@@ -1,0 +1,84 @@
+/// \file ablation_bc_accum.cpp
+/// Ablation: the two parallel decompositions of betweenness centrality the
+/// paper discusses (§II-B). Coarse parallelism runs sources concurrently
+/// with O(m+n) private storage each; fine-grained parallelism (the Cray XMT
+/// style) runs one source at a time with level-parallel sweeps whose only
+/// synchronization is atomic fetch-and-add. Both must produce identical
+/// scores; their costs differ by memory footprint and synchronization.
+///
+///   ./ablation_bc_accum [--scale 13] [--sources 64] [--quick]
+
+#include <cmath>
+#include <iostream>
+
+#include "core/betweenness.hpp"
+#include "gen/rmat.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "R-MAT scale"},
+             {"sources", "sampled sources"},
+             {"quick", "small graph!"}});
+    const auto scale = cli.has("quick") ? std::int64_t{11}
+                                        : cli.get("scale", std::int64_t{13});
+    const auto sources = cli.get("sources", std::int64_t{64});
+
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 16;
+    const auto g = rmat_graph(r);
+    std::cout << "== Ablation: BC parallel decomposition (coarse vs fine) ==\n"
+              << "graph: " << with_commas(g.num_vertices()) << " vertices, "
+              << with_commas(g.num_edges()) << " edges; " << sources
+              << " sources; " << num_threads() << " threads\n\n";
+
+    BetweennessOptions base;
+    base.num_sources = sources;
+    base.seed = 5;
+
+    TextTable t({"mode", "time", "Medge-traversals/s", "score checksum"});
+    std::vector<double> coarse_scores, fine_scores;
+    for (auto mode : {BcParallelism::kCoarse, BcParallelism::kFine}) {
+      BetweennessOptions o = base;
+      o.parallelism = mode;
+      const auto res = betweenness_centrality(g, o);
+      double checksum = 0;
+      for (double s : res.score) checksum += s;
+      (mode == BcParallelism::kCoarse ? coarse_scores : fine_scores) =
+          res.score;
+      const double traversals = static_cast<double>(res.sources_used) *
+                                static_cast<double>(g.num_adjacency_entries());
+      t.add_row({std::string(mode == BcParallelism::kCoarse
+                     ? "coarse (parallel sources, private buffers)"
+                     : "fine (serial sources, level-parallel + atomics)"),
+                 format_duration(res.seconds),
+                 strf("%.0f", traversals / 1e6 / res.seconds),
+                 strf("%.6g", checksum)});
+    }
+    std::cout << t.render();
+
+    double max_diff = 0;
+    for (std::size_t i = 0; i < coarse_scores.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs(coarse_scores[i] - fine_scores[i]));
+    }
+    std::cout << strf("\nmax per-vertex score difference: %.3g (must be "
+                      "float-noise only)\n",
+                      max_diff)
+              << "\nFine mode is the XMT's regime: with hardware thread "
+                 "contexts the per-level\nparallelism hides memory latency "
+                 "without per-source buffer memory (O(S*(m+n))\nfor coarse, "
+                 "§II-A). On commodity cores, coarse wins once sources >> "
+                 "threads.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,102 @@
+/// \file ablation_bfs.cpp
+/// Ablation: top-down vs direction-optimizing BFS. GraphCT's kernels are
+/// all top-down level-synchronous searches; direction-optimizing BFS
+/// (bottom-up sweeps on huge frontiers) is the modern refinement for the
+/// very scale-free graphs the paper targets. Both must agree exactly on
+/// distances; the interesting output is traversal rate per strategy.
+///
+///   ./ablation_bfs [--scale 16] [--trials 16] [--quick]
+
+#include <iostream>
+
+#include "algs/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "graph/transforms.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "R-MAT scale"},
+             {"trials", "BFS sources to average over"},
+             {"quick", "small graph!"}});
+    const auto scale = cli.has("quick") ? std::int64_t{12}
+                                        : cli.get("scale", std::int64_t{16});
+    const auto trials = cli.get("trials", std::int64_t{16});
+
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 16;
+    const auto g = rmat_graph(r);
+    std::cout << "== Ablation: top-down vs direction-optimizing BFS ==\n"
+              << "graph: " << with_commas(g.num_vertices()) << " vertices, "
+              << with_commas(g.num_edges()) << " edges; " << trials
+              << " random sources\n\n";
+
+    Rng rng(3);
+    std::vector<vid> sources;
+    for (std::int64_t i = 0; i < trials; ++i) {
+      sources.push_back(static_cast<vid>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_vertices()))));
+    }
+
+    TextTable t({"strategy", "total time", "Medges/s", "mismatches"});
+    double td_time = 0;
+    std::vector<std::vector<vid>> td_dists;
+    {
+      Timer timer;
+      for (vid s : sources) td_dists.push_back(bfs(g, s).distance);
+      td_time = timer.seconds();
+      t.add_row({"top-down (GraphCT)", format_duration(td_time),
+                 strf("%.0f", static_cast<double>(trials) *
+                                  static_cast<double>(g.num_adjacency_entries()) /
+                                  1e6 / td_time),
+                 "0"});
+    }
+    {
+      BfsOptions o;
+      o.strategy = BfsStrategy::kDirectionOptimizing;
+      Timer timer;
+      std::int64_t mismatches = 0;
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const auto d = bfs(g, sources[i], o).distance;
+        if (d != td_dists[i]) ++mismatches;
+      }
+      const double dt = timer.seconds();
+      t.add_row({"direction-optimizing", format_duration(dt),
+                 strf("%.0f", static_cast<double>(trials) *
+                                  static_cast<double>(g.num_adjacency_entries()) /
+                                  1e6 / dt),
+                 std::to_string(mismatches)});
+      std::cout << t.render()
+                << strf("\nspeedup: %.2fx (direction-optimizing skips most "
+                        "edge checks once the frontier\nis large — the "
+                        "common case on scale-free graphs with tiny "
+                        "diameters)\n",
+                        td_time / dt);
+    }
+
+    // Second ablation: degree-ordered relabeling. Hubs packed first improve
+    // cache locality for every CSR sweep on commodity CPUs (the cache-less
+    // XMT hashed addresses on purpose; here locality pays).
+    {
+      const auto rl = relabel_by_degree(g);
+      Timer timer;
+      for (vid s : sources) {
+        (void)bfs(rl.graph, rl.graph.num_vertices() > s ? s : 0).num_reached();
+      }
+      const double rt = timer.seconds();
+      std::cout << strf("\ndegree-relabeled top-down BFS: %s total "
+                        "(%.2fx vs original labels)\n",
+                        format_duration(rt).c_str(), td_time / rt);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

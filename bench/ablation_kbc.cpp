@@ -1,0 +1,97 @@
+/// \file ablation_kbc.cpp
+/// Ablation: the cost and effect of the k in k-betweenness centrality.
+/// GraphCT's scripting example runs kcentrality for k = 1 and k = 2; this
+/// bench measures the slowdown per extra slack level and how much the
+/// ranking actually moves (Spearman correlation and top-k overlap against
+/// k = 0 = classic Brandes), on an R-MAT graph and on the H1N1 conversation
+/// subgraph where robustness matters.
+///
+///   ./ablation_kbc [--scale 12] [--sources 32] [--quick]
+
+#include <iostream>
+
+#include "algs/ranking.hpp"
+#include "bench_common.hpp"
+#include "core/kbetweenness.hpp"
+#include "gen/rmat.hpp"
+#include "twitter/conversation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void run_family(const graphct::CsrGraph& g, const std::string& label,
+                std::int64_t sources) {
+  using namespace graphct;
+  std::cout << "-- " << label << ": " << with_commas(g.num_vertices())
+            << " vertices, " << with_commas(g.num_edges()) << " edges --\n";
+  std::vector<double> k0_scores;
+  double k0_time = 0;
+  TextTable t({"k", "time", "vs k=0", "spearman vs k=0", "top-5% overlap"});
+  for (std::int64_t k = 0; k <= 2; ++k) {
+    KBetweennessOptions o;
+    o.k = k;
+    o.num_sources = std::min<std::int64_t>(sources, g.num_vertices());
+    o.seed = 7;
+    const auto r = k_betweenness_centrality(g, o);
+    if (k == 0) {
+      k0_scores = r.score;
+      k0_time = r.seconds;
+    }
+    const double rho = spearman_correlation(
+        std::span<const double>(k0_scores.data(), k0_scores.size()),
+        std::span<const double>(r.score.data(), r.score.size()));
+    const double ov = top_k_overlap(
+        std::span<const double>(k0_scores.data(), k0_scores.size()),
+        std::span<const double>(r.score.data(), r.score.size()), 5.0);
+    t.add_row({std::to_string(k), format_duration(r.seconds),
+               strf("%.2fx", r.seconds / k0_time), strf("%.3f", rho),
+               strf("%.0f%%", ov * 100)});
+  }
+  std::cout << t.render() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "R-MAT scale"},
+             {"sources", "sampled sources"},
+             {"quick", "small graphs!"}});
+    const auto scale = cli.has("quick") ? std::int64_t{10}
+                                        : cli.get("scale", std::int64_t{12});
+    const auto sources = cli.get("sources", std::int64_t{32});
+
+    std::cout << "== Ablation: k-betweenness centrality, k = 0, 1, 2 ==\n\n";
+
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 8;
+    run_family(rmat_graph(r), strf("rmat scale %lld",
+                                   static_cast<long long>(scale)),
+               sources);
+
+    const auto preset =
+        tw::dataset_preset("h1n1", cli.has("quick") ? 0.05 : 0.2);
+    const auto mg = bench::build_preset_graph(preset);
+    const auto sub = tw::subcommunity_filter(mg);
+    if (sub.mutual_lwcc.graph.num_vertices() > 2) {
+      run_family(sub.mutual_lwcc.graph, "h1n1 largest conversation cluster",
+                 kNoVertex);  // exact: the cluster is small
+    }
+
+    std::cout << "Each slack level costs roughly one extra sweep family "
+                 "(O(k*m) per source); the\nranking stays highly correlated "
+                 "but k >= 1 redistributes weight onto near-shortest\n"
+                 "alternates — the robustness the paper wants against noisy "
+                 "social graphs (§II-A).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,111 @@
+/// \file ablation_kbc_robustness.cpp
+/// Quantifies the paper's §II-A motivation for k-betweenness centrality:
+/// "Betweenness centrality is not robust against noise. Adding or removing
+/// a single edge may drastically alter many vertices' betweenness
+/// centrality scores. ... k-Betweenness centrality considers alternate
+/// paths that may become important should the shortest path change."
+///
+/// Protocol: compute BC_k rankings on a graph, delete a random sample of
+/// edges (the "noise"), recompute, and measure ranking stability
+/// (Spearman over all vertices, top-5% overlap) per k. The claim holds if
+/// stability rises with k.
+///
+///   ./ablation_kbc_robustness [--scale 11] [--drop 0.02] [--trials 5]
+///                             [--quick]
+
+#include <iostream>
+
+#include "algs/ranking.hpp"
+#include "core/kbetweenness.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace graphct;
+
+// Rebuild `g` without a random `drop` fraction of its edges.
+CsrGraph perturb(const CsrGraph& g, double drop, Rng& rng) {
+  EdgeList el(g.num_vertices());
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (vid v : g.neighbors(u)) {
+      if (u > v) continue;
+      if (rng.next_bool(drop)) continue;
+      el.add(u, v);
+    }
+  }
+  BuildOptions b;
+  b.symmetrize = true;
+  b.dedup = false;
+  return build_csr(el, b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "R-MAT scale"},
+             {"drop", "fraction of edges deleted per trial"},
+             {"trials", "perturbation trials"},
+             {"quick", "small run!"}});
+    const auto scale = cli.has("quick") ? std::int64_t{9}
+                                        : cli.get("scale", std::int64_t{11});
+    const double drop = cli.get("drop", 0.02);
+    const auto trials = cli.has("quick") ? std::int64_t{3}
+                                         : cli.get("trials", std::int64_t{5});
+
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 8;
+    r.seed = 3;
+    const auto g = rmat_graph(r);
+
+    std::cout << "== Ablation: k-BC robustness to edge noise (paper §II-A "
+                 "claim) ==\n"
+              << "graph: " << with_commas(g.num_vertices()) << " vertices, "
+              << with_commas(g.num_edges()) << " edges; dropping "
+              << strf("%.1f%%", drop * 100) << " of edges, " << trials
+              << " trials\n\n";
+
+    TextTable t({"k", "spearman (mean)", "top-5% overlap (mean)",
+                 "overlap 90% ci"});
+    for (std::int64_t k = 0; k <= 2; ++k) {
+      KBetweennessOptions o;
+      o.k = k;
+      o.num_sources = std::min<vid>(512, g.num_vertices());
+      o.seed = 11;
+      const auto base = k_betweenness_centrality(g, o);
+      const std::span<const double> base_s(base.score.data(),
+                                           base.score.size());
+      std::vector<double> rhos, overlaps;
+      for (std::int64_t trial = 0; trial < trials; ++trial) {
+        Rng rng(700 + static_cast<std::uint64_t>(trial));
+        const auto g2 = perturb(g, drop, rng);
+        const auto after = k_betweenness_centrality(g2, o);
+        const std::span<const double> after_s(after.score.data(),
+                                              after.score.size());
+        rhos.push_back(spearman_correlation(base_s, after_s));
+        overlaps.push_back(top_k_overlap(base_s, after_s, 5.0));
+      }
+      const auto rs = summarize(std::span<const double>(rhos.data(), rhos.size()));
+      const auto os_ = summarize(
+          std::span<const double>(overlaps.data(), overlaps.size()));
+      t.add_row({std::to_string(k), strf("%.4f", rs.mean),
+                 strf("%.1f%%", os_.mean * 100),
+                 strf("+/- %.1f", confidence_half_width(os_, 0.90) * 100)});
+    }
+    std::cout << t.render()
+              << "\nThe claim holds when stability (both columns) rises "
+                 "with k: rankings that\nalready credit near-shortest "
+                 "alternates move less when an edge disappears.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

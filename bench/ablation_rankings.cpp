@@ -1,0 +1,72 @@
+/// \file ablation_rankings.cpp
+/// Ablation: how much does the choice of influence metric matter for the
+/// paper's Table IV task ("identify the top ranked actors")? Compares
+/// betweenness centrality (the paper's choice) against degree, PageRank,
+/// and harmonic closeness on the tweet mention graphs: Spearman correlation
+/// over all vertices and top-1% set overlap.
+///
+///   ./ablation_rankings [--scale 0.3] [--quick]
+
+#include <iostream>
+
+#include "algs/closeness.hpp"
+#include "algs/connected_components.hpp"
+#include "algs/degree.hpp"
+#include "algs/pagerank.hpp"
+#include "algs/ranking.hpp"
+#include "bench_common.hpp"
+#include "core/betweenness.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "corpus scale factor"}, {"quick", "small corpora!"}});
+    const double scale = cli.has("quick") ? 0.08 : cli.get("scale", 0.3);
+
+    std::cout << "== Ablation: influence metrics vs betweenness centrality "
+                 "(Table IV task) ==\ncorpus scale " << scale << "\n\n";
+
+    for (const auto& name : {"atlflood", "h1n1"}) {
+      const auto preset = tw::dataset_preset(name, scale);
+      const auto mg = bench::build_preset_graph(preset);
+      const auto lwcc = largest_component(mg.undirected());
+      const auto& g = lwcc.graph;
+
+      const auto bc = betweenness_centrality(g);
+      const std::span<const double> bc_s(bc.score.data(), bc.score.size());
+
+      std::vector<double> degree_s(static_cast<std::size_t>(g.num_vertices()));
+      for (vid v = 0; v < g.num_vertices(); ++v) {
+        degree_s[static_cast<std::size_t>(v)] =
+            static_cast<double>(g.degree(v));
+      }
+      const auto pr = pagerank(g);
+      const auto cl = closeness_centrality(g);
+
+      std::cout << "-- " << name << " LWCC: "
+                << with_commas(g.num_vertices()) << " vertices --\n";
+      TextTable t({"metric", "spearman vs BC", "top-1% overlap with BC"});
+      auto row = [&](const std::string& label, std::span<const double> s) {
+        t.add_row({label, strf("%.3f", spearman_correlation(bc_s, s)),
+                   strf("%.0f%%", 100.0 * top_k_overlap(bc_s, s, 1.0))});
+      };
+      row("degree", {degree_s.data(), degree_s.size()});
+      row("pagerank", {pr.score.data(), pr.score.size()});
+      row("harmonic closeness", {cl.score.data(), cl.score.size()});
+      std::cout << t.render() << "\n";
+    }
+    std::cout << "Reading: on broadcast-dominated mention graphs the metrics "
+                 "agree on the hub\naccounts (high top-1% overlap) but "
+                 "diverge in the middle of the ranking —\nbetweenness "
+                 "specifically rewards *brokers*, which is why the paper "
+                 "uses it to\nfind conversation-bridging actors rather than "
+                 "merely popular ones.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,84 @@
+/// \file bc_confidence_study.cpp
+/// Extension study for the paper's §V open problem: "quantifying
+/// significance and confidence of approximations over noisy graph data."
+/// Runs repeated independent source samples of approximate BC on the H1N1
+/// LWCC and reports, per sampling level, the stability of the analyst's
+/// top-1% list and the mean relative confidence interval of the top
+/// vertices' scores.
+///
+///   ./bc_confidence_study [--scale 0.3] [--replicates 10] [--quick]
+
+#include <algorithm>
+#include <iostream>
+
+#include "algs/connected_components.hpp"
+#include "algs/ranking.hpp"
+#include "bench_common.hpp"
+#include "core/bc_confidence.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "corpus scale factor"},
+             {"replicates", "independent source samples per setting"},
+             {"quick", "small corpus, fewer replicates!"}});
+    const double scale = cli.has("quick") ? 0.08 : cli.get("scale", 0.3);
+    const auto reps = cli.has("quick")
+                          ? std::int64_t{4}
+                          : cli.get("replicates", std::int64_t{10});
+
+    const auto preset = tw::dataset_preset("h1n1", scale);
+    const auto mg = bench::build_preset_graph(preset);
+    const auto lwcc = largest_component(mg.undirected());
+    const auto& g = lwcc.graph;
+
+    std::cout << "== Sampled-BC confidence (paper §V open problem) ==\n"
+              << "h1n1 LWCC (x" << scale << "): "
+              << with_commas(g.num_vertices()) << " vertices, "
+              << with_commas(g.num_edges()) << " edges; " << reps
+              << " replicates, 90% intervals\n\n";
+
+    TextTable t({"sampled %", "top-1% list stability",
+                 "vertices certain in top-1%", "median rel. CI (top 1%)"});
+    for (double frac : {0.05, 0.10, 0.25, 0.50}) {
+      BcConfidenceOptions o;
+      o.num_sources = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(frac *
+                                       static_cast<double>(g.num_vertices())));
+      o.replicates = reps;
+      o.top_percent = 1.0;
+      o.seed = 77;
+      const auto r = bc_confidence(g, o);
+
+      std::int64_t certain = 0;
+      std::vector<double> rel_ci;
+      for (std::size_t v = 0; v < r.mean.size(); ++v) {
+        if (r.top_membership[v] >= 0.999) ++certain;
+        if (r.top_membership[v] > 0.5 && r.mean[v] > 0) {
+          rel_ci.push_back(r.half_width[v] / r.mean[v]);
+        }
+      }
+      double median_ci = 0;
+      if (!rel_ci.empty()) {
+        std::sort(rel_ci.begin(), rel_ci.end());
+        median_ci = rel_ci[rel_ci.size() / 2];
+      }
+      t.add_row({strf("%.0f%%", frac * 100),
+                 strf("%.0f%%", r.top_list_stability * 100),
+                 with_commas(certain), strf("%.0f%%", median_ci * 100)});
+    }
+    std::cout << t.render()
+              << "\nReading: 'stability' is the mean pairwise overlap of "
+                 "independent top-1% lists;\n'certain' counts vertices every "
+                 "replicate agrees on. Both rise with the sampled\nfraction, "
+                 "giving the analyst a quantitative confidence knob the "
+                 "paper asked for.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared helpers for the table/figure benchmark binaries: building a
+/// mention graph from a dataset preset and formatting paper-vs-measured
+/// cells.
+
+#include <string>
+
+#include "twitter/corpus_gen.hpp"
+#include "twitter/datasets.hpp"
+#include "twitter/mention_graph.hpp"
+#include "util/table.hpp"
+
+namespace graphct::bench {
+
+/// Generate a preset's corpus and build its mention graph.
+inline twitter::MentionGraph build_preset_graph(
+    const twitter::DatasetPreset& preset) {
+  const auto tweets = twitter::generate_corpus(preset.corpus);
+  twitter::MentionGraphBuilder builder;
+  for (const auto& t : tweets) builder.add(t);
+  return std::move(builder).build();
+}
+
+/// "measured (paper N)" cell, or just the measurement when the paper does
+/// not report the quantity.
+inline std::string vs_paper(std::int64_t measured, std::int64_t paper) {
+  if (paper == 0) return with_commas(measured);
+  return with_commas(measured) + " (" + with_commas(paper) + ")";
+}
+
+}  // namespace graphct::bench

@@ -1,0 +1,84 @@
+/// \file fig2_degree_distribution.cpp
+/// Reproduces Fig. 2: the degree distribution of the Twitter user-user
+/// graph on log-log axes — a heavy tail with "relatively few high-degree
+/// vertices" (the scale-free / power-law observation of §III-C).
+///
+/// Prints the log-binned distribution for each dataset plus the MLE
+/// power-law exponent; the observable is the straight-line decay over
+/// several decades and max degree orders of magnitude above the mean.
+///
+///   ./fig2_degree_distribution [--scale 1.0] [--dataset all|h1n1|...]
+
+#include <iostream>
+
+#include "algs/assortativity.hpp"
+#include "algs/degree.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "corpus scale factor"},
+             {"dataset", "h1n1, atlflood, sep1, or all"},
+             {"quick", "small corpora!"}});
+    const double scale = cli.has("quick") ? 0.05 : cli.get("scale", 1.0);
+    const auto which = cli.get("dataset", std::string("all"));
+
+    std::vector<std::string> names;
+    if (which == "all") {
+      names = {"h1n1", "atlflood", "sep1"};
+    } else {
+      names = {which};
+    }
+
+    std::cout << "== Fig. 2: degree distribution of the Twitter user-user "
+                 "graph ==\ncorpus scale " << scale << "\n";
+    for (const auto& name : names) {
+      const auto preset = tw::dataset_preset(name, scale);
+      const auto mg = bench::build_preset_graph(preset);
+      const auto und = mg.undirected();
+
+      const auto summary = degree_summary(und);
+      const double alpha = degree_power_law_alpha(und, 2);
+      const double r = degree_assortativity(und);
+
+      std::cout << "\n-- " << name << ": " << with_commas(und.num_vertices())
+                << " vertices, " << with_commas(und.num_edges())
+                << " edges --\n";
+      std::cout << strf("mean degree %.2f, max %lld (%.0fx mean), "
+                        "power-law alpha (MLE, x>=2): %.2f,\n"
+                        "assortativity %.3f (broadcast graphs are strongly "
+                        "disassortative)\n\n",
+                        summary.mean, static_cast<long long>(summary.max),
+                        summary.max / summary.mean, alpha, r);
+
+      // The log-log series: (degree, count) for plotting...
+      std::cout << "degree,count series (log-binned bar chart):\n"
+                << degree_histogram(und).ascii_chart(48);
+
+      // ...and the exact head/tail of the frequency table.
+      const auto freq = degree_frequency(und);
+      TextTable t({"degree", "#vertices"});
+      const std::size_t head = std::min<std::size_t>(5, freq.size());
+      for (std::size_t i = 0; i < head; ++i) {
+        t.add_row({std::to_string(freq[i].first), with_commas(freq[i].second)});
+      }
+      if (freq.size() > head + 3) t.add_row({"...", "..."});
+      for (std::size_t i = freq.size() - std::min<std::size_t>(3, freq.size());
+           i < freq.size(); ++i) {
+        t.add_row({std::to_string(freq[i].first), with_commas(freq[i].second)});
+      }
+      std::cout << "\n" << t.render();
+    }
+    std::cout << "\nShape check: counts fall roughly linearly on log-log "
+                 "axes (power law), with a\nhandful of broadcast-hub "
+                 "vertices orders of magnitude above the mean degree.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

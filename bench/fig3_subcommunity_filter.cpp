@@ -1,0 +1,59 @@
+/// \file fig3_subcommunity_filter.cpp
+/// Reproduces Fig. 3: sub-community filtering on the Twitter data sets.
+/// The paper shows, per dataset, the original largest component shrinking
+/// to a small mutual-mention ("conversation") subgraph — H1N1 ~17k -> 1,184
+/// vertices, #atlflood ~1,164 -> 37 vertices — "reduction factors ... as
+/// high as two orders of magnitude".
+///
+///   ./fig3_subcommunity_filter [--scale 1.0] [--quick]
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "twitter/conversation.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "corpus scale factor"}, {"quick", "small corpora!"}});
+    const double scale = cli.has("quick") ? 0.1 : cli.get("scale", 1.0);
+
+    std::cout << "== Fig. 3: sub-community (mutual-mention) filtering ==\n"
+              << "corpus scale " << scale
+              << (scale < 1.0 ? "  [paper numbers are full-scale]" : "")
+              << "\n\n";
+
+    TextTable t({"data set", "original", "largest component",
+                 "mutual subgraph", "largest conversation", "reduction"});
+    for (const auto& name : {"h1n1", "atlflood", "sep1"}) {
+      const auto preset = tw::dataset_preset(name, scale);
+      Timer timer;
+      const auto mg = bench::build_preset_graph(preset);
+      const auto r = tw::subcommunity_filter(mg);
+
+      t.add_row({preset.name, with_commas(r.original_vertices),
+                 bench::vs_paper(r.lwcc_vertices,
+                                 preset.paper.fig3_largest_component),
+                 bench::vs_paper(r.mutual_vertices,
+                                 preset.paper.fig3_subcommunity),
+                 with_commas(r.mutual_lwcc_vertices),
+                 strf("%.0fx", r.reduction_factor)});
+      std::cerr << preset.name << ": filtered in "
+                << format_duration(timer.seconds()) << "\n";
+    }
+    std::cout << t.render()
+              << "\n(vertex counts; cells show measured (paper) where the "
+                 "paper reports a value)\n"
+              << "\nShape check: the mutual filter removes the one-way "
+                 "broadcast mass, shrinking each\ndataset by 1-2 orders of "
+                 "magnitude and leaving small conversation clusters.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,98 @@
+/// \file io_parse.cpp
+/// Quantifies the paper's §IV-C claim: "Loading massive datasets into
+/// memory and unloading results often occupies a majority of computation
+/// time", and GraphCT therefore parses DIMACS text in parallel in memory.
+/// Measures text parse rate, CSR build rate, binary save/restore rate, and
+/// compares one load against one analysis kernel.
+///
+///   ./io_parse [--scale 16] [--quick]
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "algs/connected_components.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "R-MAT scale of the test graph"},
+             {"quick", "small graph!"}});
+    const auto scale = cli.has("quick") ? std::int64_t{12}
+                                        : cli.get("scale", std::int64_t{16});
+
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 16;
+    const auto g = rmat_graph(r);
+    std::cout << "== I/O and ingest rates (paper §IV-C) ==\n"
+              << "graph: " << with_commas(g.num_vertices()) << " vertices, "
+              << with_commas(g.num_edges()) << " edges\n\n";
+
+    TextTable t({"stage", "time", "rate"});
+
+    Timer timer;
+    const std::string text = to_dimacs(g);
+    t.add_row({"serialize DIMACS text", format_duration(timer.seconds()),
+               strf("%.1f MB/s", static_cast<double>(text.size()) / 1e6 /
+                                     timer.seconds())});
+
+    timer.restart();
+    const EdgeList el = parse_dimacs(text);
+    const double parse_s = timer.seconds();
+    t.add_row({"parallel DIMACS parse", format_duration(parse_s),
+               strf("%.1f MB/s, %.1f Medges/s",
+                    static_cast<double>(text.size()) / 1e6 / parse_s,
+                    static_cast<double>(el.size()) / 1e6 / parse_s)});
+
+    timer.restart();
+    const CsrGraph built = build_csr(el);
+    const double build_s = timer.seconds();
+    t.add_row({"CSR build (count/scan/scatter/sort/dedup)",
+               format_duration(build_s),
+               strf("%.1f Medges/s",
+                    static_cast<double>(el.size()) / 1e6 / build_s)});
+
+    const std::string bin =
+        (std::filesystem::temp_directory_path() / "gct_io_parse.bin").string();
+    timer.restart();
+    write_binary(built, bin);
+    t.add_row({"binary save", format_duration(timer.seconds()),
+               strf("%.0f MB/s", static_cast<double>(built.memory_bytes()) /
+                                     1e6 / timer.seconds())});
+    timer.restart();
+    const CsrGraph restored = read_binary(bin);
+    t.add_row({"binary restore", format_duration(timer.seconds()),
+               strf("%.0f MB/s", static_cast<double>(restored.memory_bytes()) /
+                                     1e6 / timer.seconds())});
+    std::remove(bin.c_str());
+
+    timer.restart();
+    const auto labels = connected_components(built);
+    const double cc_s = timer.seconds();
+    t.add_row({"connected components (for comparison)", format_duration(cc_s),
+               strf("%.1f Medges/s",
+                    static_cast<double>(built.num_adjacency_entries()) / 1e6 /
+                        cc_s)});
+
+    std::cout << t.render()
+              << strf("\nload (parse+build) / components kernel time: %.1fx "
+                      "— loading rivals or exceeds\nanalysis cost, the "
+                      "paper's motivation for in-memory parallel parsing and "
+                      "the\nscripting interface's amortization of I/O over "
+                      "multiple kernels.\n",
+                      (parse_s + build_s) / cc_s);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

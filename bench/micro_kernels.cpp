@@ -1,0 +1,171 @@
+/// \file micro_kernels.cpp
+/// google-benchmark microbenchmarks for every GraphCT kernel and the ingest
+/// path, parameterized by R-MAT scale. These are the per-kernel numbers
+/// behind the table/figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "algs/bfs.hpp"
+#include "algs/clustering.hpp"
+#include "algs/connected_components.hpp"
+#include "algs/degree.hpp"
+#include "algs/diameter.hpp"
+#include "algs/kcore.hpp"
+#include "core/betweenness.hpp"
+#include "core/kbetweenness.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/io_dimacs.hpp"
+
+namespace {
+
+using namespace graphct;
+
+const CsrGraph& cached_graph(std::int64_t scale) {
+  static std::map<std::int64_t, CsrGraph> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 8;
+    r.seed = 12;
+    it = cache.emplace(scale, rmat_graph(r)).first;
+  }
+  return it->second;
+}
+
+void BM_RmatGenerate(benchmark::State& state) {
+  RmatOptions r;
+  r.scale = state.range(0);
+  r.edge_factor = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmat_edges(r));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (r.edge_factor << r.scale));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_CsrBuild(benchmark::State& state) {
+  RmatOptions r;
+  r.scale = state.range(0);
+  r.edge_factor = 8;
+  const EdgeList el = rmat_edges(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_csr(el));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(el.size()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_DimacsParse(benchmark::State& state) {
+  const std::string text = to_dimacs(cached_graph(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_dimacs(text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_DimacsParse)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  vid s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs(g, s));
+    s = (s + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_adjacency_entries());
+}
+BENCHMARK(BM_Bfs)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_BfsDirectionOptimizing(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  BfsOptions o;
+  o.strategy = BfsStrategy::kDirectionOptimizing;
+  vid s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs(g, s, o));
+    s = (s + 1) % g.num_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_adjacency_entries());
+}
+BENCHMARK(BM_BfsDirectionOptimizing)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_adjacency_entries());
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_DegreeStats(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degree_summary(g));
+  }
+}
+BENCHMARK(BM_DegreeStats)->Arg(12)->Arg(14);
+
+void BM_KCore(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core_numbers(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_adjacency_entries());
+}
+BENCHMARK(BM_KCore)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_Clustering(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering_coefficients(g));
+  }
+}
+BENCHMARK(BM_Clustering)->Arg(10)->Arg(12);
+
+void BM_DiameterEstimate(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  DiameterOptions o;
+  o.num_samples = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_diameter(g, o));
+  }
+}
+BENCHMARK(BM_DiameterEstimate)->Arg(10)->Arg(12);
+
+void BM_BetweennessPerSource(benchmark::State& state) {
+  const auto& g = cached_graph(state.range(0));
+  BetweennessOptions o;
+  o.num_sources = 8;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    benchmark::DoNotOptimize(betweenness_centrality(g, o));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * g.num_adjacency_entries());
+}
+BENCHMARK(BM_BetweennessPerSource)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_KBetweenness(benchmark::State& state) {
+  const auto& g = cached_graph(12);
+  KBetweennessOptions o;
+  o.k = state.range(0);
+  o.num_sources = 8;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    benchmark::DoNotOptimize(k_betweenness_centrality(g, o));
+  }
+}
+BENCHMARK(BM_KBetweenness)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

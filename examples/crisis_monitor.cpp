@@ -1,0 +1,151 @@
+/// \file crisis_monitor.cpp
+/// The paper's motivating scenario, end to end: an analyst monitoring a
+/// crisis hashtag (the 2009 Atlanta flood) needs to go from a hundred
+/// thousand raw interactions to "a handful of conversations" (§I) with
+/// confidence in the ranking. This example chains every stage:
+///
+///   1. harvest      — synthetic #atlflood stream (stands in for Spinn3r)
+///   2. triage       — Table III-style graph characteristics
+///   3. temporal     — is the event still growing? which hubs persist?
+///   4. filter       — mutual-mention conversations + SCC rings (Fig. 3)
+///   5. rank         — k-betweenness of the conversation cluster (Table IV)
+///   6. confidence   — is the sampled ranking stable enough to act on? (§V)
+///
+///   ./crisis_monitor [--scale 1.0] [--seed S]
+
+#include <iostream>
+
+#include "algs/connected_components.hpp"
+#include "algs/ranking.hpp"
+#include "core/bc_confidence.hpp"
+#include "core/kbetweenness.hpp"
+#include "twitter/conversation.hpp"
+#include "twitter/corpus_gen.hpp"
+#include "twitter/datasets.hpp"
+#include "twitter/mention_graph.hpp"
+#include "twitter/temporal.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "corpus scale factor"}, {"seed", "corpus seed"}});
+    auto preset = tw::dataset_preset("atlflood", cli.get("scale", 1.0));
+    if (cli.has("seed")) {
+      preset.corpus.seed =
+          static_cast<std::uint64_t>(cli.get("seed", std::int64_t{1}));
+    }
+
+    std::cout << "#atlflood crisis monitor — " << preset.description << "\n\n";
+
+    // 1. Harvest.
+    const auto tweets = tw::generate_corpus(preset.corpus);
+    tw::MentionGraphBuilder builder;
+    for (const auto& t : tweets) builder.add(t);
+    const auto mg = std::move(builder).build();
+
+    // 2. Triage: is this a broadcast storm or a conversation?
+    std::cout << "== triage ==\n";
+    TextTable triage({"signal", "value", "reading"});
+    triage.add_row({"tweets", with_commas(mg.num_tweets), ""});
+    triage.add_row({"users", with_commas(mg.num_users), ""});
+    triage.add_row(
+        {"unique interactions", with_commas(mg.unique_interactions),
+         mg.unique_interactions < mg.num_users ? "tree-like (broadcast)"
+                                               : "denser than a forest"});
+    triage.add_row({"tweets with responses",
+                    with_commas(mg.tweets_with_responses),
+                    strf("%.1f%% of tweets",
+                         100.0 * static_cast<double>(mg.tweets_with_responses) /
+                             static_cast<double>(std::max<std::int64_t>(
+                                 1, mg.num_tweets)))});
+    triage.add_row({"self-references", with_commas(mg.self_references),
+                    "echo chamber indicator"});
+    std::cout << triage.render() << "\n";
+
+    // 3. Temporal: event trajectory and hub persistence.
+    std::cout << "== temporal ==\n";
+    const auto span = tweets.back().timestamp - tweets.front().timestamp;
+    tw::WindowOptions w;
+    w.window_seconds = span / 6 + 1;
+    const auto windows = tw::sliding_window_stats(tweets, w);
+    TextTable tempo({"window", "tweets", "users", "responses", "top cited"});
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      tempo.add_row({std::to_string(i), with_commas(windows[i].tweets),
+                     with_commas(windows[i].users),
+                     with_commas(windows[i].tweets_with_responses),
+                     "@" + windows[i].top_user});
+    }
+    std::cout << tempo.render();
+    const auto hubs = tw::hub_persistence(tweets, w, 5);
+    std::cout << "persistent hubs:";
+    for (const auto& h : hubs) {
+      std::cout << strf(" @%s (%.0f%%)", h.name.c_str(), h.presence * 100);
+    }
+    std::cout << "\n\n";
+
+    // 4. Filter to conversations.
+    std::cout << "== conversations ==\n";
+    const auto sub = tw::subcommunity_filter(mg);
+    std::cout << strf(
+        "mutual filter: %s -> %s vertices (%.0fx reduction); largest "
+        "conversation %s users\n",
+        with_commas(sub.original_vertices).c_str(),
+        with_commas(sub.mutual_vertices).c_str(), sub.reduction_factor,
+        with_commas(sub.mutual_lwcc_vertices).c_str());
+    const auto rings = tw::scc_conversations(mg);
+    std::cout << "directed conversation rings (SCCs >= 2): " << rings.size()
+              << "\n\n";
+
+    // 5. Rank the actors of the biggest conversation cluster with k-BC
+    //    (robust to single dropped edges, §II-A).
+    std::cout << "== who matters ==\n";
+    if (sub.mutual_lwcc_vertices > 2) {
+      KBetweennessOptions ko;
+      ko.k = 1;
+      const auto kbc = k_betweenness_centrality(sub.mutual_lwcc.graph, ko);
+      const auto top = top_k(
+          std::span<const double>(kbc.score.data(), kbc.score.size()), 5);
+      TextTable actors({"rank", "user", "k=1 betweenness"});
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        const vid orig =
+            sub.mutual_lwcc.orig_ids[static_cast<std::size_t>(top[i])];
+        actors.add_row({std::to_string(i + 1),
+                        "@" + mg.users[static_cast<std::size_t>(orig)],
+                        strf("%.4g", kbc.score[static_cast<std::size_t>(
+                                 top[i])])});
+      }
+      std::cout << actors.render() << "\n";
+    }
+
+    // 6. Confidence: can the analyst trust a sampled ranking here?
+    std::cout << "== confidence ==\n";
+    const auto lwcc = largest_component(mg.undirected());
+    BcConfidenceOptions co;
+    co.num_sources =
+        std::max<std::int64_t>(16, lwcc.graph.num_vertices() / 10);
+    co.replicates = 5;
+    co.top_percent = 1.0;
+    const auto conf = bc_confidence(lwcc.graph, co);
+    std::int64_t certain = 0;
+    for (double m : conf.top_membership) {
+      if (m >= 0.999) ++certain;
+    }
+    std::cout << strf(
+        "10%%-sampled BC on the LWCC: top-1%% list stability %.0f%%, "
+        "%lld vertices\nunanimous across %lld replicates — "
+        "%s\n",
+        conf.top_list_stability * 100, static_cast<long long>(certain),
+        static_cast<long long>(co.replicates),
+        conf.top_list_stability > 0.7
+            ? "act on the sampled ranking"
+            : "increase the sample before acting");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+/// \file script_demo.cpp
+/// The GraphCT analyst scripting interface (paper §IV-B).
+///
+/// With a file argument, behaves as the `graphct-script` CLI:
+///   ./script_demo analysis.gct
+/// Without arguments, runs the paper's example script against a generated
+/// stand-in for `patents.txt` and shows the output.
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "script/interpreter.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  try {
+    Cli cli(argc, argv, {{"timings", "print per-command wall times!"}});
+    script::InterpreterOptions opts;
+    opts.timings = cli.has("timings");
+    script::Interpreter interp(std::cout, opts);
+
+    if (!cli.positional().empty()) {
+      for (const auto& path : cli.positional()) {
+        interp.run_file(path);
+      }
+      return 0;
+    }
+
+    // Demo mode: generate a stand-in dataset, then run the paper's script.
+    const std::string dimacs =
+        (std::filesystem::temp_directory_path() / "patents.txt").string();
+    const std::string comp1 =
+        (std::filesystem::temp_directory_path() / "comp1.bin").string();
+    const std::string k1 =
+        (std::filesystem::temp_directory_path() / "k1scores.txt").string();
+    const std::string k2 =
+        (std::filesystem::temp_directory_path() / "k2scores.txt").string();
+
+    std::cout << "== preparing a stand-in for patents.txt ==\n";
+    interp.run("generate rmat 12 8\nwrite dimacs " + dimacs + "\n");
+
+    const std::string script =
+        "read dimacs " + dimacs + "\n" +
+        "print diameter 10\n"
+        "save graph\n"
+        "extract component 1 => " + comp1 + "\n" +
+        "print degrees\n"
+        "kcentrality 1 256 => " + k1 + "\n" +
+        "kcentrality 2 256 => " + k2 + "\n" +
+        "restore graph\n"
+        "extract component 2\n"
+        "print degrees\n";
+
+    std::cout << "\n== the paper's example script ==\n" << script
+              << "\n== execution ==\n";
+    interp.run(script);
+
+    std::cout << "\nPer-vertex outputs written to:\n  " << comp1 << "\n  "
+              << k1 << "\n  " << k2 << "\n";
+    for (const auto& p : {dimacs, comp1, k1, k2}) std::remove(p.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

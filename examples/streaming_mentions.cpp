@@ -1,0 +1,83 @@
+/// \file streaming_mentions.cpp
+/// Live analysis of a tweet stream: maintain the mention graph of the
+/// trailing window with incrementally-updated clustering coefficients
+/// (the authors' streaming analytics, ref [10], applied to the paper's
+/// Twitter pipeline). Prints a ticker of the live graph as the stream
+/// plays: active conversations (triangles) rise and fall with the window.
+///
+///   ./streaming_mentions [--dataset tiny|atlflood|h1n1] [--scale 0.2]
+///                        [--window 1200] [--ticks 12]
+
+#include <iostream>
+#include <unordered_map>
+
+#include "stream/sliding_window.hpp"
+#include "twitter/corpus_gen.hpp"
+#include "twitter/datasets.hpp"
+#include "twitter/tweet_parser.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"dataset", "corpus preset"},
+             {"scale", "corpus scale factor"},
+             {"window", "trailing window in seconds"},
+             {"ticks", "status lines to print"}});
+    const auto preset = tw::dataset_preset(cli.get("dataset", std::string("tiny")),
+                                           cli.get("scale", 1.0));
+    const auto window = cli.get("window", std::int64_t{1200});
+    const auto ticks = cli.get("ticks", std::int64_t{12});
+
+    const auto tweets = tw::generate_corpus(preset.corpus);
+    std::cout << "Streaming " << with_commas(static_cast<long long>(tweets.size()))
+              << " tweets (" << preset.name << ") through a " << window
+              << " s window...\n\n";
+
+    // Intern users on the fly; the window graph needs a fixed vertex budget,
+    // so reserve the whole pool.
+    std::unordered_map<std::string, vid> ids;
+    auto intern = [&](const std::string& name) {
+      auto [it, fresh] = ids.try_emplace(name, static_cast<vid>(ids.size()));
+      (void)fresh;
+      return it->second;
+    };
+
+    SlidingWindowGraph live(preset.corpus.user_pool + 8, window);
+
+    const std::int64_t t0 = tweets.front().timestamp;
+    const std::int64_t t1 = tweets.back().timestamp;
+    const std::int64_t tick_every = std::max<std::int64_t>(1, (t1 - t0) / ticks);
+    std::int64_t next_tick = t0 + tick_every;
+
+    TextTable ticker({"time (s)", "live edges", "live triangles",
+                      "global clustering", "window observations"});
+    for (const auto& t : tweets) {
+      const auto p = tw::parse_tweet(t);
+      const vid author = intern(p.author);
+      for (const auto& m : p.mentions) {
+        live.observe(author, intern(m), t.timestamp);
+      }
+      while (t.timestamp >= next_tick) {
+        ticker.add_row({std::to_string(next_tick - t0),
+                        with_commas(live.live().graph().num_edges()),
+                        with_commas(live.live().total_triangles()),
+                        strf("%.4f", live.live().global_clustering()),
+                        with_commas(live.active_observations())});
+        next_tick += tick_every;
+      }
+    }
+    std::cout << ticker.render()
+              << "\nThe live triangle count is the analyst's conversation "
+                 "pulse: reciprocated\nclusters light up as threads ignite "
+                 "and fade as the window slides past them —\nno snapshot "
+                 "recomputation required.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,111 @@
+/// \file twitter_pipeline.cpp
+/// The paper's §III workflow end to end: harvest (here: synthesize) a tweet
+/// stream, build the user-to-user mention graph, characterize it, strip the
+/// one-way broadcast links with the mutual filter to expose conversations,
+/// and rank the actors an analyst should look at first.
+///
+///   ./twitter_pipeline [--dataset h1n1|atlflood|sep1|tiny] [--scale 0.1]
+///                      [--top 15] [--seed S]
+
+#include <iostream>
+
+#include "algs/degree.hpp"
+#include "core/toolkit.hpp"
+#include "twitter/conversation.hpp"
+#include "twitter/corpus_gen.hpp"
+#include "twitter/datasets.hpp"
+#include "twitter/mention_graph.hpp"
+#include "twitter/tweet_io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphct;
+  namespace tw = graphct::twitter;
+  try {
+    Cli cli(argc, argv,
+            {{"dataset", "preset: h1n1, atlflood, sep1, tiny"},
+             {"scale", "corpus scale factor in (0,1]"},
+             {"top", "actors to rank"},
+             {"seed", "override the preset corpus seed"},
+             {"input", "tweet TSV file to analyze instead of a preset"},
+             {"save-corpus", "write the generated corpus to this TSV file"}});
+
+    auto preset = tw::dataset_preset(cli.get("dataset", std::string("atlflood")),
+                                     cli.get("scale", 1.0));
+    if (cli.has("seed")) {
+      preset.corpus.seed =
+          static_cast<std::uint64_t>(cli.get("seed", std::int64_t{1}));
+    }
+    const auto top_n = cli.get("top", std::int64_t{15});
+
+    Timer t;
+    std::vector<tw::Tweet> tweets;
+    if (cli.has("input")) {
+      const auto path = cli.get("input", std::string());
+      std::cout << "Dataset: " << path << " (harvested stream)\n\n";
+      tweets = tw::read_tweets(path);
+    } else {
+      std::cout << "Dataset: " << preset.name << " — " << preset.description
+                << "\n\n";
+      tweets = tw::generate_corpus(preset.corpus);
+      if (cli.has("save-corpus")) {
+        tw::write_tweets(tweets, cli.get("save-corpus", std::string()));
+      }
+    }
+    std::cout << "1. Harvested " << with_commas(static_cast<long long>(tweets.size()))
+              << " tweets (" << format_duration(t.seconds()) << ")\n";
+
+    t.restart();
+    tw::MentionGraphBuilder builder;
+    for (const auto& tweet : tweets) builder.add(tweet);
+    const auto mg = std::move(builder).build();
+    std::cout << "2. Built mention graph (" << format_duration(t.seconds())
+              << ")\n\n";
+
+    TextTable stats({"metric", "value"});
+    stats.add_row({"users", with_commas(mg.num_users)});
+    stats.add_row({"unique user interactions", with_commas(mg.unique_interactions)});
+    stats.add_row({"tweets with mentions", with_commas(mg.tweets_with_mentions)});
+    stats.add_row({"tweets with responses", with_commas(mg.tweets_with_responses)});
+    stats.add_row({"self-referring tweets", with_commas(mg.self_references)});
+    stats.add_row({"retweets", with_commas(mg.retweets)});
+    std::cout << stats.render() << "\n";
+
+    t.restart();
+    const auto sub = tw::subcommunity_filter(mg);
+    std::cout << "3. Conversation (mutual-mention) filter ("
+              << format_duration(t.seconds()) << ")\n\n";
+    TextTable funnel({"stage", "vertices", "edges"});
+    funnel.add_row({"full mention graph", with_commas(sub.original_vertices),
+                    with_commas(sub.original_edges)});
+    funnel.add_row({"largest component", with_commas(sub.lwcc_vertices),
+                    with_commas(sub.lwcc_edges)});
+    funnel.add_row({"mutual (conversations)", with_commas(sub.mutual_vertices),
+                    with_commas(sub.mutual_edges)});
+    funnel.add_row({"largest conversation", with_commas(sub.mutual_lwcc_vertices),
+                    with_commas(sub.mutual_lwcc_edges)});
+    std::cout << funnel.render()
+              << strf("\nreduction factor: %.1fx (the paper observes up to "
+                      "two orders of magnitude)\n\n",
+                      sub.reduction_factor);
+
+    std::cout << "4. Ranking actors by betweenness centrality...\n\n";
+    const auto ranked = tw::rank_users_by_betweenness(mg, top_n);
+    TextTable top({"rank", "user", "bc score"});
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      top.add_row({std::to_string(i + 1), "@" + ranked[i].name,
+                   strf("%.4g", ranked[i].score)});
+    }
+    std::cout << top.render()
+              << "\nHigh-degree media/government hubs dominating the top of "
+                 "the list is the paper's\nTable IV observation; an analyst "
+                 "drills into the mutual subgraph for the\nconversations "
+                 "behind them.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

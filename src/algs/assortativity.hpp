@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file assortativity.hpp
+/// Degree assortativity (Newman 2002) — the Pearson correlation of degrees
+/// across edges. Social networks are famously assortative (hubs befriend
+/// hubs) while broadcast media graphs are *dis*assortative: many low-degree
+/// users all pointing at a few hubs, exactly the paper's tree-like news
+/// dissemination structure (§III-C). A strongly negative coefficient on the
+/// mention graphs is therefore a structural signature worth reporting
+/// alongside the degree distribution.
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Degree assortativity coefficient in [-1, 1] of an undirected graph.
+/// Self-loops are excluded. Returns 0 for degenerate graphs (fewer than 2
+/// edges or zero degree variance across edge endpoints).
+double degree_assortativity(const CsrGraph& g);
+
+}  // namespace graphct

@@ -1,0 +1,173 @@
+#include "algs/bfs.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace graphct {
+
+namespace {
+
+// One top-down expansion of order[lo,hi) writing newly discovered vertices
+// at order[tail...]; returns the new tail.
+eid expand_top_down(const CsrGraph& g, std::vector<vid>& distance,
+                    std::vector<vid>& parent, std::vector<vid>& order, eid lo,
+                    eid hi, eid tail, vid depth, bool compute_parents) {
+  std::int64_t t = tail;
+#pragma omp parallel for schedule(dynamic, 64)
+  for (eid i = lo; i < hi; ++i) {
+    const vid u = order[static_cast<std::size_t>(i)];
+    for (vid v : g.neighbors(u)) {
+      if (distance[static_cast<std::size_t>(v)] != kNoVertex) continue;
+      if (compare_and_swap(distance[static_cast<std::size_t>(v)], kNoVertex,
+                           depth)) {
+        if (compute_parents) parent[static_cast<std::size_t>(v)] = u;
+        const eid slot = fetch_add(t, 1);
+        order[static_cast<std::size_t>(slot)] = v;
+      }
+    }
+  }
+  return t;
+}
+
+// One bottom-up sweep: every undiscovered vertex scans its neighbors for a
+// member of the current frontier (marked in `in_frontier`). Returns new tail.
+eid expand_bottom_up(const CsrGraph& g, std::vector<vid>& distance,
+                     std::vector<vid>& parent, std::vector<vid>& order,
+                     const std::vector<char>& in_frontier, eid tail, vid depth,
+                     bool compute_parents) {
+  const vid n = g.num_vertices();
+  std::int64_t t = tail;
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid v = 0; v < n; ++v) {
+    if (distance[static_cast<std::size_t>(v)] != kNoVertex) continue;
+    for (vid u : g.neighbors(v)) {
+      if (in_frontier[static_cast<std::size_t>(u)]) {
+        distance[static_cast<std::size_t>(v)] = depth;
+        if (compute_parents) parent[static_cast<std::size_t>(v)] = u;
+        const eid slot = fetch_add(t, 1);
+        order[static_cast<std::size_t>(slot)] = v;
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+BfsResult bfs(const CsrGraph& g, vid source, const BfsOptions& opts) {
+  BfsResult r;
+  bfs_into(g, source, opts, r);
+  return r;
+}
+
+void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
+              BfsResult& r) {
+  const vid n = g.num_vertices();
+  GCT_CHECK(source >= 0 && source < n, "bfs: source out of range");
+  if (opts.strategy == BfsStrategy::kDirectionOptimizing) {
+    GCT_CHECK(!g.directed(),
+              "bfs: direction-optimizing strategy requires an undirected "
+              "graph (bottom-up sweeps use out-neighbors as in-neighbors)");
+  }
+
+  r.distance.assign(static_cast<std::size_t>(n), kNoVertex);
+  if (opts.compute_parents) {
+    r.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  } else {
+    r.parent.clear();
+  }
+  r.order.resize(static_cast<std::size_t>(n));
+  r.level_offsets.assign({0, 1});
+
+  r.distance[static_cast<std::size_t>(source)] = 0;
+  if (opts.compute_parents) {
+    r.parent[static_cast<std::size_t>(source)] = source;
+  }
+  r.order[0] = source;
+
+  const eid total_entries = g.num_adjacency_entries();
+  std::vector<char> in_frontier;  // allocated lazily for bottom-up sweeps
+  bool bottom_up = false;
+
+  eid lo = 0, hi = 1;
+  vid depth = 0;
+  eid frontier_edges = g.degree(source);
+  while (hi > lo) {
+    if (opts.max_depth != kNoVertex && depth >= opts.max_depth) break;
+    ++depth;
+
+    if (opts.strategy == BfsStrategy::kDirectionOptimizing) {
+      const eid explored = hi;
+      const eid remaining_edges = total_entries - frontier_edges;
+      if (!bottom_up &&
+          static_cast<double>(frontier_edges) >
+              static_cast<double>(remaining_edges) / opts.alpha) {
+        bottom_up = true;
+      } else if (bottom_up && static_cast<double>(hi - lo) <
+                                  static_cast<double>(n) / opts.beta) {
+        bottom_up = false;
+      }
+      (void)explored;
+    }
+
+    eid tail;
+    if (bottom_up) {
+      if (in_frontier.empty()) {
+        in_frontier.assign(static_cast<std::size_t>(n), 0);
+      } else {
+        std::fill(in_frontier.begin(), in_frontier.end(), 0);
+      }
+#pragma omp parallel for schedule(static)
+      for (eid i = lo; i < hi; ++i) {
+        in_frontier[static_cast<std::size_t>(
+            r.order[static_cast<std::size_t>(i)])] = 1;
+      }
+      tail = expand_bottom_up(g, r.distance, r.parent, r.order, in_frontier,
+                              hi, depth, opts.compute_parents);
+    } else {
+      tail = expand_top_down(g, r.distance, r.parent, r.order, lo, hi, hi,
+                             depth, opts.compute_parents);
+    }
+
+    lo = hi;
+    hi = tail;
+    if (hi > lo) r.level_offsets.push_back(hi);
+
+    if (opts.strategy == BfsStrategy::kDirectionOptimizing) {
+      std::int64_t fe = 0;
+#pragma omp parallel for reduction(+ : fe) schedule(static)
+      for (eid i = lo; i < hi; ++i) {
+        fe += g.degree(r.order[static_cast<std::size_t>(i)]);
+      }
+      frontier_edges = fe;
+    }
+  }
+
+  r.order.resize(static_cast<std::size_t>(hi));
+  // Sort each level by vertex id so `order` is deterministic regardless of
+  // the OpenMP schedule; kernels that sweep levels rely on reproducibility.
+  if (opts.deterministic_order) {
+    for (std::size_t d = 0; d + 1 < r.level_offsets.size(); ++d) {
+      std::sort(
+          r.order.begin() + static_cast<std::ptrdiff_t>(r.level_offsets[d]),
+          r.order.begin() +
+              static_cast<std::ptrdiff_t>(r.level_offsets[d + 1]));
+    }
+  }
+}
+
+Subgraph ego_network(const CsrGraph& g, vid center, vid radius) {
+  GCT_CHECK(radius >= 0, "ego_network: radius must be >= 0");
+  BfsOptions opts;
+  opts.max_depth = radius;
+  opts.compute_parents = false;
+  const BfsResult r = bfs(g, center, opts);
+  std::vector<char> mask(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (vid v : r.order) mask[static_cast<std::size_t>(v)] = 1;
+  return induced_subgraph(g, mask);
+}
+
+}  // namespace graphct

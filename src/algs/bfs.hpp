@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file bfs.hpp
+/// Parallel level-synchronous breadth-first search.
+///
+/// BFS is the traversal engine under most of GraphCT: connected components,
+/// diameter estimation (§IV-A), and the (k-)betweenness forward pass all run
+/// level-synchronous searches. The implementation exposes the fine-grained
+/// parallelism the paper describes (§II-B): every frontier expansion is a
+/// parallel loop whose only synchronization is atomic claim of the next
+/// frontier slot (fetch-and-add) plus a CAS on the distance word.
+///
+/// Two strategies are provided:
+///  * kTopDown — the classic frontier-expansion search (what GraphCT ran on
+///    the XMT).
+///  * kDirectionOptimizing — switches to bottom-up sweeps when the frontier
+///    is a large fraction of the graph (Beamer-style); an ablation in this
+///    reproduction, undirected graphs only.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/transforms.hpp"
+
+namespace graphct {
+
+/// BFS traversal strategy.
+enum class BfsStrategy {
+  kTopDown,
+  kDirectionOptimizing,
+};
+
+/// BFS tuning knobs.
+struct BfsOptions {
+  BfsStrategy strategy = BfsStrategy::kTopDown;
+
+  /// Stop after this many levels (kNoVertex = unbounded). Implements the
+  /// paper's "breadth-first search from a given vertex of a given length"
+  /// kernel.
+  vid max_depth = kNoVertex;
+
+  /// Direction-optimizing heuristic: go bottom-up when the frontier's edge
+  /// count exceeds (unexplored edges)/alpha; return top-down when the
+  /// frontier shrinks below n/beta vertices.
+  double alpha = 14.0;
+  double beta = 24.0;
+
+  /// Sort each BFS level by vertex id so `order` is schedule-independent.
+  /// Centrality kernels disable this: their per-vertex accumulations are
+  /// order-invariant (integer path counts, per-vertex sequential sums), so
+  /// they skip the O(n log n) sorting cost.
+  bool deterministic_order = true;
+
+  /// Record shortest-path parents. Centrality kernels disable this — they
+  /// recover predecessors from distances — saving one n-sized array per
+  /// search. When false, BfsResult::parent is left empty.
+  bool compute_parents = true;
+};
+
+/// Result of one BFS.
+struct BfsResult {
+  /// distance[v] = hop count from the source, or kNoVertex if unreached.
+  std::vector<vid> distance;
+
+  /// parent[v] = predecessor on one shortest path (source's parent is
+  /// itself); kNoVertex if unreached. Which predecessor wins between ties is
+  /// schedule-dependent; distances and level structure are deterministic.
+  std::vector<vid> parent;
+
+  /// Vertices in discovery order, grouped by level:
+  /// order[level_offsets[d] .. level_offsets[d+1]) is level d.
+  std::vector<vid> order;
+
+  /// Level boundaries into `order`; size = (#levels + 1).
+  std::vector<eid> level_offsets;
+
+  /// Number of vertices reached, including the source.
+  [[nodiscard]] vid num_reached() const {
+    return static_cast<vid>(order.size());
+  }
+
+  /// Eccentricity of the source within its component (deepest level).
+  [[nodiscard]] vid max_distance() const {
+    return static_cast<vid>(level_offsets.size()) - 2;
+  }
+};
+
+/// Run BFS from `source`. Throws if source is out of range.
+BfsResult bfs(const CsrGraph& g, vid source, const BfsOptions& opts = {});
+
+/// As bfs(), but reuses `result`'s buffers — no allocations when the same
+/// BfsResult is passed across many searches of one graph. This is the inner
+/// loop of every sampled kernel (diameter estimation runs 256 of these,
+/// betweenness one per source).
+void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
+              BfsResult& result);
+
+/// Ego network: the subgraph induced by every vertex within `radius` hops
+/// of `center` (radius 1 = the classic ego net of center + its neighbors).
+/// The analyst drill-down after a ranking: "show me @ajc's neighborhood."
+/// orig_ids maps back to the input graph; the center is always included.
+Subgraph ego_network(const CsrGraph& g, vid center, vid radius);
+
+}  // namespace graphct

@@ -1,0 +1,89 @@
+#include "algs/bridges.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+CutStructure find_cut_structure(const CsrGraph& g) {
+  GCT_CHECK(!g.directed(), "find_cut_structure: graph must be undirected");
+  const vid n = g.num_vertices();
+  CutStructure out;
+  out.is_articulation.assign(static_cast<std::size_t>(n), 0);
+
+  std::vector<vid> disc(static_cast<std::size_t>(n), kNoVertex);
+  std::vector<vid> low(static_cast<std::size_t>(n), 0);
+  std::vector<vid> parent(static_cast<std::size_t>(n), kNoVertex);
+  // One tree-edge-to-parent may be skipped per vertex; a second copy of the
+  // same undirected edge (impossible after dedup) would count as a cycle.
+  std::vector<char> skipped_parent_edge(static_cast<std::size_t>(n), 0);
+
+  struct Frame {
+    vid v;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  vid timer = 0;
+
+  for (vid root = 0; root < n; ++root) {
+    if (disc[static_cast<std::size_t>(root)] != kNoVertex) continue;
+    vid root_children = 0;
+    disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] =
+        timer++;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const vid v = f.v;
+      const auto nbrs = g.neighbors(v);
+      if (f.next < nbrs.size()) {
+        const vid u = nbrs[f.next++];
+        if (u == v) continue;  // self-loop
+        if (disc[static_cast<std::size_t>(u)] == kNoVertex) {
+          parent[static_cast<std::size_t>(u)] = v;
+          skipped_parent_edge[static_cast<std::size_t>(u)] = 0;
+          disc[static_cast<std::size_t>(u)] =
+              low[static_cast<std::size_t>(u)] = timer++;
+          if (v == root) ++root_children;
+          stack.push_back({u, 0});
+        } else if (u == parent[static_cast<std::size_t>(v)] &&
+                   !skipped_parent_edge[static_cast<std::size_t>(v)]) {
+          // Skip the single tree edge back to the parent.
+          skipped_parent_edge[static_cast<std::size_t>(v)] = 1;
+        } else {
+          // Back (or forward/cross within the DFS of an undirected graph:
+          // always an ancestor) edge: update low-link.
+          low[static_cast<std::size_t>(v)] =
+              std::min(low[static_cast<std::size_t>(v)],
+                       disc[static_cast<std::size_t>(u)]);
+        }
+      } else {
+        stack.pop_back();
+        const vid p = parent[static_cast<std::size_t>(v)];
+        if (p != kNoVertex) {
+          low[static_cast<std::size_t>(p)] =
+              std::min(low[static_cast<std::size_t>(p)],
+                       low[static_cast<std::size_t>(v)]);
+          // low(v) > disc(p): no back edge escapes v's subtree above p,
+          // so the tree edge (p, v) is a bridge.
+          if (low[static_cast<std::size_t>(v)] >
+              disc[static_cast<std::size_t>(p)]) {
+            out.bridges.emplace_back(std::min(p, v), std::max(p, v));
+          }
+          if (p != root &&
+              low[static_cast<std::size_t>(v)] >=
+                  disc[static_cast<std::size_t>(p)]) {
+            out.is_articulation[static_cast<std::size_t>(p)] = 1;
+          }
+        }
+      }
+    }
+    if (root_children >= 2) {
+      out.is_articulation[static_cast<std::size_t>(root)] = 1;
+    }
+  }
+  std::sort(out.bridges.begin(), out.bridges.end());
+  return out;
+}
+
+}  // namespace graphct

@@ -1,0 +1,82 @@
+#include "algs/closeness.hpp"
+
+#include <omp.h>
+
+#include "algs/bfs.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace graphct {
+
+ClosenessResult closeness_centrality(const CsrGraph& g,
+                                     const ClosenessOptions& opts) {
+  GCT_CHECK(!g.directed(), "closeness_centrality: graph must be undirected");
+  const vid n = g.num_vertices();
+  ClosenessResult result;
+  result.score.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  std::vector<vid> sources;
+  if (opts.num_sources == kNoVertex || opts.num_sources >= n) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  } else {
+    GCT_CHECK(opts.num_sources > 0,
+              "closeness_centrality: num_sources must be positive");
+    Rng rng(opts.seed);
+    sources = rng.sample_without_replacement(n, opts.num_sources);
+  }
+  result.sources_used = static_cast<std::int64_t>(sources.size());
+
+  Timer timer;
+  const int nt = num_threads();
+  std::vector<std::vector<double>> buffers(
+      static_cast<std::size_t>(nt),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto& mine = buffers[static_cast<std::size_t>(t)];
+    BfsOptions bopts;
+    bopts.deterministic_order = false;
+    bopts.compute_parents = false;
+    BfsResult b;
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
+         ++i) {
+      bfs_into(g, sources[static_cast<std::size_t>(i)], bopts, b);
+      // Harmonic contribution of this pivot to every reached vertex;
+      // level_offsets give the distance without a per-vertex lookup.
+      for (std::size_t d = 1; d + 1 < b.level_offsets.size(); ++d) {
+        const double w = 1.0 / static_cast<double>(d);
+        const auto lo = static_cast<std::size_t>(b.level_offsets[d]);
+        const auto hi = static_cast<std::size_t>(b.level_offsets[d + 1]);
+        for (std::size_t j = lo; j < hi; ++j) {
+          mine[static_cast<std::size_t>(b.order[j])] += w;
+        }
+      }
+    }
+  }
+  for (const auto& buf : buffers) {
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      result.score[static_cast<std::size_t>(v)] +=
+          buf[static_cast<std::size_t>(v)];
+    }
+  }
+
+  if (opts.rescale && result.sources_used < n) {
+    const double scale =
+        static_cast<double>(n) / static_cast<double>(result.sources_used);
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      result.score[static_cast<std::size_t>(v)] *= scale;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace graphct

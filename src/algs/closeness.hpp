@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file closeness.hpp
+/// Closeness centrality with the same source-sampling machinery as
+/// betweenness: exact closeness costs one BFS per vertex, so massive graphs
+/// use sampled pivots (Eppstein-Wang style estimation).
+///
+/// We use the harmonic variant, sum over t of 1/d(v,t), which is the
+/// disconnected-graph-safe formulation — essential for mention graphs,
+/// whose many components would zero out classic closeness.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Options for closeness_centrality().
+struct ClosenessOptions {
+  /// Pivots to sample; kNoVertex = every vertex (exact).
+  std::int64_t num_sources = kNoVertex;
+
+  std::uint64_t seed = 1;
+
+  /// Scale sampled sums by n/num_sources for magnitude-comparable scores.
+  bool rescale = true;
+};
+
+/// Result of a closeness run.
+struct ClosenessResult {
+  /// Harmonic closeness per vertex: sum of 1/d(pivot, v) over pivots.
+  std::vector<double> score;
+  std::int64_t sources_used = 0;
+  double seconds = 0.0;
+};
+
+/// Compute (approximate) harmonic closeness of an undirected graph.
+ClosenessResult closeness_centrality(const CsrGraph& g,
+                                     const ClosenessOptions& opts = {});
+
+}  // namespace graphct

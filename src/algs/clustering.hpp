@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file clustering.hpp
+/// Per-vertex clustering coefficients (a GraphCT top-level kernel, §IV-A)
+/// via parallel triangle counting on sorted adjacency lists.
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Triangle/clustering results.
+struct ClusteringResult {
+  /// triangles[v] = number of triangles through v.
+  std::vector<std::int64_t> triangles;
+
+  /// coefficient[v] = 2*triangles[v] / (deg(v)*(deg(v)-1)), self-loops and
+  /// multi-edges excluded; 0 when deg(v) < 2.
+  std::vector<double> coefficient;
+
+  /// Total distinct triangles in the graph.
+  std::int64_t total_triangles = 0;
+
+  /// Global transitivity: 3 * triangles / wedges (0 if no wedges).
+  double global_clustering = 0.0;
+
+  /// Mean of the per-vertex coefficients over vertices with deg >= 2.
+  double mean_local_clustering = 0.0;
+};
+
+/// Count triangles and clustering coefficients. Requires an undirected graph
+/// with sorted adjacency. Self-loops are ignored.
+ClusteringResult clustering_coefficients(const CsrGraph& g);
+
+}  // namespace graphct

@@ -1,0 +1,153 @@
+#include "algs/community.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+
+CommunityResult label_propagation(const CsrGraph& g,
+                                  const LabelPropagationOptions& opts) {
+  GCT_CHECK(!g.directed(), "label_propagation: graph must be undirected");
+  GCT_CHECK(opts.max_iterations >= 1, "label_propagation: need >= 1 iteration");
+  const vid n = g.num_vertices();
+
+  CommunityResult r;
+  r.labels.resize(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid v = 0; v < n; ++v) r.labels[static_cast<std::size_t>(v)] = v;
+  if (n == 0) return r;
+
+  // Random parity assignment: vertices update in two alternating
+  // half-steps (red/black), which kills the two-coloring oscillation that
+  // plagues fully synchronous label propagation while staying deterministic
+  // and parallel.
+  std::vector<char> parity(static_cast<std::size_t>(n));
+  {
+    Rng rng(opts.seed);
+    for (vid v = 0; v < n; ++v) {
+      parity[static_cast<std::size_t>(v)] = rng.next_bool(0.5) ? 1 : 0;
+    }
+  }
+
+  std::vector<vid> next(r.labels);
+  bool changed = true;
+  for (std::int64_t it = 0; it < opts.max_iterations && changed; ++it) {
+    changed = false;
+    for (int phase = 0; phase < 2; ++phase) {
+      bool phase_changed = false;
+#pragma omp parallel for reduction(|| : phase_changed) schedule(dynamic, 256)
+      for (vid v = 0; v < n; ++v) {
+        if (parity[static_cast<std::size_t>(v)] != phase) continue;
+        const auto nbrs = g.neighbors(v);
+        if (nbrs.empty()) continue;
+        // Most frequent label among neighbors plus the vertex's own vote
+        // (the self-vote breaks the synchronous-update label swap between
+        // adjacent same-phase vertices); ties -> smallest label.
+        std::unordered_map<vid, std::int64_t> freq;
+        freq[r.labels[static_cast<std::size_t>(v)]] = 1;
+        for (vid u : nbrs) {
+          if (u == v) continue;  // self-loops don't add extra votes
+          ++freq[r.labels[static_cast<std::size_t>(u)]];
+        }
+        vid best = r.labels[static_cast<std::size_t>(v)];
+        std::int64_t best_count = 0;
+        for (const auto& [label, count] : freq) {
+          if (count > best_count ||
+              (count == best_count && label < best)) {
+            best = label;
+            best_count = count;
+          }
+        }
+        if (best != r.labels[static_cast<std::size_t>(v)]) {
+          next[static_cast<std::size_t>(v)] = best;
+          phase_changed = true;
+        } else {
+          next[static_cast<std::size_t>(v)] = best;
+        }
+      }
+      // Commit the half-step.
+#pragma omp parallel for schedule(static)
+      for (vid v = 0; v < n; ++v) {
+        if (parity[static_cast<std::size_t>(v)] == phase) {
+          r.labels[static_cast<std::size_t>(v)] =
+              next[static_cast<std::size_t>(v)];
+        }
+      }
+      changed = changed || phase_changed;
+    }
+    r.iterations = it + 1;
+  }
+  r.converged = !changed;
+
+  // Canonicalize: community id = min vertex id carrying that label.
+  std::unordered_map<vid, vid> canon;
+  for (vid v = 0; v < n; ++v) {
+    const vid l = r.labels[static_cast<std::size_t>(v)];
+    auto [it, inserted] = canon.try_emplace(l, v);
+    if (!inserted) it->second = std::min(it->second, v);
+  }
+#pragma omp parallel for schedule(static)
+  for (vid v = 0; v < n; ++v) {
+    r.labels[static_cast<std::size_t>(v)] =
+        canon.at(r.labels[static_cast<std::size_t>(v)]);
+  }
+
+  std::unordered_map<vid, std::int64_t> counts;
+  for (vid l : r.labels) ++counts[l];
+  r.num_communities = static_cast<std::int64_t>(counts.size());
+  r.sizes.assign(counts.begin(), counts.end());
+  std::sort(r.sizes.begin(), r.sizes.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return r;
+}
+
+double modularity(const CsrGraph& g, std::span<const vid> labels) {
+  GCT_CHECK(!g.directed(), "modularity: graph must be undirected");
+  const vid n = g.num_vertices();
+  GCT_CHECK(static_cast<vid>(labels.size()) == n,
+            "modularity: labels size must equal vertex count");
+
+  // Effective degrees and edge count exclude self-loops.
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(n));
+  std::int64_t two_m = 0;
+#pragma omp parallel for reduction(+ : two_m) schedule(static)
+  for (vid v = 0; v < n; ++v) {
+    std::int64_t d = g.degree(v);
+    if (g.has_edge(v, v)) --d;
+    deg[static_cast<std::size_t>(v)] = d;
+    two_m += d;
+  }
+  GCT_CHECK(two_m > 0, "modularity: graph has no (non-loop) edges");
+
+  // Q = sum_c [ e_c/m - (sum_deg_c / 2m)^2 ] with e_c = intra-community
+  // edge endpoints / 2.
+  std::unordered_map<vid, std::int64_t> intra_endpoints;  // per community
+  std::unordered_map<vid, std::int64_t> total_degree;
+  for (vid v = 0; v < n; ++v) {
+    const vid lv = labels[static_cast<std::size_t>(v)];
+    total_degree[lv] += deg[static_cast<std::size_t>(v)];
+    for (vid u : g.neighbors(v)) {
+      if (u == v) continue;
+      if (labels[static_cast<std::size_t>(u)] == lv) ++intra_endpoints[lv];
+    }
+  }
+  double q = 0.0;
+  const double m2 = static_cast<double>(two_m);
+  for (const auto& [label, dsum] : total_degree) {
+    const auto it = intra_endpoints.find(label);
+    const double e = it == intra_endpoints.end()
+                         ? 0.0
+                         : static_cast<double>(it->second) / m2;
+    const double a = static_cast<double>(dsum) / m2;
+    q += e - a * a;
+  }
+  return q;
+}
+
+}  // namespace graphct

@@ -1,0 +1,52 @@
+#include "algs/degree.hpp"
+
+#include "util/parallel.hpp"
+
+namespace graphct {
+
+std::vector<std::int64_t> degrees(const CsrGraph& g) {
+  const vid n = g.num_vertices();
+  std::vector<std::int64_t> d(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid v = 0; v < n; ++v) d[static_cast<std::size_t>(v)] = g.degree(v);
+  return d;
+}
+
+std::vector<std::int64_t> in_degrees(const CsrGraph& g) {
+  const vid n = g.num_vertices();
+  std::vector<std::int64_t> d(static_cast<std::size_t>(n), 0);
+  if (!g.directed()) return degrees(g);
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid u = 0; u < n; ++u) {
+    for (vid v : g.neighbors(u)) {
+      fetch_add(d[static_cast<std::size_t>(v)], 1);
+    }
+  }
+  return d;
+}
+
+Summary degree_summary(const CsrGraph& g) {
+  const auto d = degrees(g);
+  return summarize(std::span<const std::int64_t>(d.data(), d.size()));
+}
+
+LogHistogram degree_histogram(const CsrGraph& g) {
+  LogHistogram h;
+  const auto d = degrees(g);
+  h.add_all(std::span<const std::int64_t>(d.data(), d.size()));
+  return h;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> degree_frequency(
+    const CsrGraph& g) {
+  const auto d = degrees(g);
+  return frequency_table(std::span<const std::int64_t>(d.data(), d.size()));
+}
+
+double degree_power_law_alpha(const CsrGraph& g, std::int64_t xmin) {
+  const auto d = degrees(g);
+  return power_law_alpha(std::span<const std::int64_t>(d.data(), d.size()),
+                         xmin);
+}
+
+}  // namespace graphct

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file degree.hpp
+/// Degree-distribution characterization (paper §II-A): degrees are implicit
+/// in CSR; statistics are summarized by mean and variance; a histogram gives
+/// the general shape ("a few high degree vertices with many low degree
+/// vertices indicates a similarity to scale-free social networks").
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace graphct {
+
+/// Out-degrees of every vertex (== degrees for undirected graphs).
+std::vector<std::int64_t> degrees(const CsrGraph& g);
+
+/// In-degrees of every vertex (== degrees for undirected graphs).
+std::vector<std::int64_t> in_degrees(const CsrGraph& g);
+
+/// Mean/variance/min/max of the degree sequence.
+Summary degree_summary(const CsrGraph& g);
+
+/// Power-of-two binned degree histogram (the Fig. 2 presentation).
+LogHistogram degree_histogram(const CsrGraph& g);
+
+/// Exact (degree, #vertices) frequency pairs — the raw log-log series.
+std::vector<std::pair<std::int64_t, std::int64_t>> degree_frequency(
+    const CsrGraph& g);
+
+/// MLE power-law exponent of the degree sequence for degrees >= xmin.
+double degree_power_law_alpha(const CsrGraph& g, std::int64_t xmin = 2);
+
+}  // namespace graphct

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file diameter.hpp
+/// Graph diameter estimation, exactly as GraphCT does on graph load
+/// (§IV-A): run BFS from a set of randomly selected source vertices, take
+/// the longest distance found, and multiply by a safety factor (default 4).
+/// The toolkit uses the estimate to size traversal queues; it "does not
+/// affect accuracy of the kernels".
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Diameter estimation parameters (paper defaults: 256 samples, 4x).
+struct DiameterOptions {
+  std::int64_t num_samples = 256;
+  std::int64_t multiplier = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Result of a diameter estimation pass.
+struct DiameterEstimate {
+  /// Longest BFS distance observed from any sampled source — a lower bound
+  /// on the true diameter of the (reachable parts of the) graph.
+  vid longest_distance = 0;
+
+  /// longest_distance * multiplier — the queue-sizing estimate.
+  vid estimate = 0;
+
+  /// Number of sources actually sampled (min(num_samples, n)).
+  std::int64_t samples_used = 0;
+};
+
+/// Estimate the diameter by sampled BFS sweeps.
+DiameterEstimate estimate_diameter(const CsrGraph& g,
+                                   const DiameterOptions& opts = {});
+
+/// Exact diameter: max eccentricity over all vertices, ignoring unreachable
+/// pairs (0 for an empty or edgeless graph). O(n·m) — tests and small graphs
+/// only.
+vid exact_diameter(const CsrGraph& g);
+
+}  // namespace graphct

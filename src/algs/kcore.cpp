@@ -1,0 +1,102 @@
+#include "algs/kcore.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace graphct {
+
+std::vector<std::int64_t> core_numbers(const CsrGraph& g) {
+  GCT_CHECK(!g.directed(), "core_numbers: graph must be undirected");
+  const vid n = g.num_vertices();
+
+  // Effective degree ignores self-loops (one slot each in the adjacency).
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (vid v = 0; v < n; ++v) {
+    std::int64_t d = g.degree(v);
+    if (g.has_edge(v, v)) --d;
+    deg[static_cast<std::size_t>(v)] = d;
+  }
+
+  std::vector<std::int64_t> core(static_cast<std::size_t>(n), 0);
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+  std::vector<vid> frontier;
+  frontier.reserve(static_cast<std::size_t>(n));
+  std::vector<vid> next(static_cast<std::size_t>(n));
+
+  std::int64_t remaining = n;
+  std::int64_t k = 0;
+  while (remaining > 0) {
+    // Peel everything of degree <= k, cascading, then increment k.
+    frontier.clear();
+    for (vid v = 0; v < n; ++v) {
+      if (!removed[static_cast<std::size_t>(v)] &&
+          deg[static_cast<std::size_t>(v)] <= k) {
+        frontier.push_back(v);
+      }
+    }
+    while (!frontier.empty()) {
+      std::int64_t next_tail = 0;
+      const std::int64_t fsz = static_cast<std::int64_t>(frontier.size());
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < fsz; ++i) {
+        const vid v = frontier[static_cast<std::size_t>(i)];
+        removed[static_cast<std::size_t>(v)] = 1;
+        core[static_cast<std::size_t>(v)] = k;
+        for (vid u : g.neighbors(v)) {
+          if (u == v) continue;
+          if (removed[static_cast<std::size_t>(u)]) continue;
+          const std::int64_t before =
+              fetch_add(deg[static_cast<std::size_t>(u)], -1);
+          // The thread that moves u's degree from k+1 to k enqueues it; the
+          // fetch-and-add return value makes exactly one thread responsible,
+          // and a vertex's degree crosses k+1 -> k at most once, so `next`
+          // never holds more than n entries.
+          if (before == k + 1) {
+            const std::int64_t slot = fetch_add(next_tail, 1);
+            next[static_cast<std::size_t>(slot)] = u;
+          }
+        }
+      }
+      remaining -= fsz;
+      // A vertex can be enqueued by the fetch-add rule even though a thread
+      // in the same wave also peels it (it was in `frontier` already with a
+      // stale degree); filter those, then sort for determinism.
+      frontier.assign(next.begin(),
+                      next.begin() + static_cast<std::ptrdiff_t>(next_tail));
+      frontier.erase(std::remove_if(frontier.begin(), frontier.end(),
+                                    [&](vid u) {
+                                      return removed[static_cast<std::size_t>(
+                                                 u)] != 0;
+                                    }),
+                     frontier.end());
+      std::sort(frontier.begin(), frontier.end());
+      frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                     frontier.end());
+    }
+    ++k;
+  }
+  return core;
+}
+
+std::int64_t degeneracy(std::span<const std::int64_t> coreness) {
+  std::int64_t d = 0;
+  for (std::int64_t c : coreness) d = std::max(d, c);
+  return d;
+}
+
+Subgraph kcore_subgraph(const CsrGraph& g, std::int64_t k) {
+  const auto core = core_numbers(g);
+  const vid n = g.num_vertices();
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+#pragma omp parallel for schedule(static)
+  for (vid v = 0; v < n; ++v) {
+    mask[static_cast<std::size_t>(v)] =
+        core[static_cast<std::size_t>(v)] >= k ? 1 : 0;
+  }
+  return induced_subgraph(g, mask);
+}
+
+}  // namespace graphct

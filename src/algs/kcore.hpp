@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file kcore.hpp
+/// k-core decomposition (a GraphCT top-level kernel: "extracting k-cores",
+/// §IV-A). The k-core is the maximal subgraph in which every vertex has
+/// degree >= k; the coreness of a vertex is the largest k whose k-core
+/// contains it. Cores peel away the low-degree broadcast fringe of social
+/// graphs and expose the densely connected conversational middle.
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/transforms.hpp"
+
+namespace graphct {
+
+/// Coreness of every vertex, by parallel iterative peeling. Requires an
+/// undirected graph; self-loops do not contribute to degree.
+std::vector<std::int64_t> core_numbers(const CsrGraph& g);
+
+/// Largest k with a non-empty k-core (the graph's degeneracy).
+std::int64_t degeneracy(std::span<const std::int64_t> coreness);
+
+/// Extract the k-core as a subgraph (vertices with coreness >= k).
+Subgraph kcore_subgraph(const CsrGraph& g, std::int64_t k);
+
+}  // namespace graphct

@@ -1,0 +1,69 @@
+#include "algs/pagerank.hpp"
+
+#include <cmath>
+
+#include "graph/transforms.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace graphct {
+
+PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts) {
+  GCT_CHECK(opts.damping > 0.0 && opts.damping < 1.0,
+            "pagerank: damping must be in (0,1)");
+  GCT_CHECK(opts.max_iterations >= 1, "pagerank: need >= 1 iteration");
+  const vid n = g.num_vertices();
+  PageRankResult r;
+  if (n == 0) return r;
+
+  // Pull formulation needs in-neighbors; for directed graphs build the
+  // reverse once. Undirected adjacency is its own reverse.
+  const CsrGraph rev_storage = g.directed() ? reverse(g) : CsrGraph();
+  const CsrGraph& in = g.directed() ? rev_storage : g;
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(static_cast<std::size_t>(n), inv_n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> contrib(static_cast<std::size_t>(n), 0.0);
+
+  for (std::int64_t it = 0; it < opts.max_iterations; ++it) {
+    // Per-vertex outgoing contribution, and the dangling mass.
+    double dangling = 0.0;
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      const vid d = g.degree(v);
+      if (d == 0) {
+        dangling += rank[static_cast<std::size_t>(v)];
+        contrib[static_cast<std::size_t>(v)] = 0.0;
+      } else {
+        contrib[static_cast<std::size_t>(v)] =
+            rank[static_cast<std::size_t>(v)] / static_cast<double>(d);
+      }
+    }
+
+    const double base =
+        (1.0 - opts.damping) * inv_n + opts.damping * dangling * inv_n;
+    double delta = 0.0;
+#pragma omp parallel for reduction(+ : delta) schedule(dynamic, 256)
+    for (vid v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (vid u : in.neighbors(v)) {
+        acc += contrib[static_cast<std::size_t>(u)];
+      }
+      const double nv = base + opts.damping * acc;
+      next[static_cast<std::size_t>(v)] = nv;
+      delta += std::abs(nv - rank[static_cast<std::size_t>(v)]);
+    }
+    rank.swap(next);
+    r.iterations = it + 1;
+    r.residual = delta;
+    if (delta < opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.score = std::move(rank);
+  return r;
+}
+
+}  // namespace graphct

@@ -1,0 +1,105 @@
+#include "algs/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace graphct {
+
+std::vector<vid> top_k(std::span<const double> scores, std::int64_t k) {
+  const std::int64_t n = static_cast<std::int64_t>(scores.size());
+  k = std::clamp<std::int64_t>(k, 0, n);
+  std::vector<vid> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  auto better = [&](vid a, vid b) {
+    const double sa = scores[static_cast<std::size_t>(a)];
+    const double sb = scores[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;  // deterministic tie-break
+  };
+  if (k < n) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                     idx.end(), better);
+    idx.resize(static_cast<std::size_t>(k));
+  }
+  std::sort(idx.begin(), idx.end(), better);
+  return idx;
+}
+
+std::vector<vid> top_percent(std::span<const double> scores, double percent) {
+  GCT_CHECK(percent > 0.0 && percent <= 100.0,
+            "top_percent: percent must be in (0, 100]");
+  const auto n = static_cast<double>(scores.size());
+  const std::int64_t k =
+      static_cast<std::int64_t>(std::ceil(n * percent / 100.0));
+  return top_k(scores, std::max<std::int64_t>(k, 1));
+}
+
+std::int64_t set_intersection_size(std::span<const vid> a,
+                                   std::span<const vid> b) {
+  std::unordered_set<vid> sa(a.begin(), a.end());
+  std::int64_t common = 0;
+  std::unordered_set<vid> seen;
+  for (vid v : b) {
+    if (sa.count(v) && seen.insert(v).second) ++common;
+  }
+  return common;
+}
+
+double normalized_set_hamming(std::span<const vid> a, std::span<const vid> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const std::int64_t common = set_intersection_size(a, b);
+  const std::int64_t sym_diff = static_cast<std::int64_t>(a.size()) +
+                                static_cast<std::int64_t>(b.size()) -
+                                2 * common;
+  return static_cast<double>(sym_diff) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double top_k_overlap(std::span<const double> exact_scores,
+                     std::span<const double> approx_scores, double percent) {
+  GCT_CHECK(exact_scores.size() == approx_scores.size(),
+            "top_k_overlap: score vectors must have equal length");
+  const auto a = top_percent(exact_scores, percent);
+  const auto b = top_percent(approx_scores, percent);
+  if (a.empty()) return 1.0;
+  return static_cast<double>(set_intersection_size(a, b)) /
+         static_cast<double>(a.size());
+}
+
+namespace {
+// Average ranks (1-based) with ties sharing the mean rank.
+std::vector<double> average_ranks(std::span<const double> x) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[idx[j + 1]] == x[idx[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                       1.0;
+    for (std::size_t t = i; t <= j; ++t) rank[idx[t]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+}  // namespace
+
+double spearman_correlation(std::span<const double> a,
+                            std::span<const double> b) {
+  GCT_CHECK(a.size() == b.size(), "spearman: length mismatch");
+  if (a.size() < 2) return 0.0;
+  const auto ra = average_ranks(a);
+  const auto rb = average_ranks(b);
+  return pearson(std::span<const double>(ra.data(), ra.size()),
+                 std::span<const double>(rb.data(), rb.size()));
+}
+
+}  // namespace graphct

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ranking.hpp
+/// Top-k actor ranking and rank-agreement metrics.
+///
+/// The paper evaluates approximate betweenness centrality by "the
+/// identification of top ranked actors": it extracts the top N% of users by
+/// score and compares approximate-vs-exact rankings with a normalized top-k
+/// set Hamming distance (§III-D/E, Fig. 5). These utilities implement that
+/// machinery: deterministic top-k selection (score descending, vertex id
+/// ascending on ties) and the set-overlap / Hamming / Spearman metrics.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Indices of the k largest scores, ordered by (score desc, index asc).
+/// k is clamped to scores.size().
+std::vector<vid> top_k(std::span<const double> scores, std::int64_t k);
+
+/// Top ceil(percent/100 * n) indices; percent in (0, 100].
+std::vector<vid> top_percent(std::span<const double> scores, double percent);
+
+/// |A ∩ B| for two index sets (orders ignored).
+std::int64_t set_intersection_size(std::span<const vid> a,
+                                   std::span<const vid> b);
+
+/// Normalized set Hamming distance between two equal-size top-k sets:
+/// |A Δ B| / (2k)  — 0 when identical, 1 when disjoint.
+double normalized_set_hamming(std::span<const vid> a, std::span<const vid> b);
+
+/// The paper's Fig. 5 y-axis: fraction of top-k actors present in both
+/// rankings, |A ∩ B| / k (== 1 - normalized set Hamming for equal sizes).
+double top_k_overlap(std::span<const double> exact_scores,
+                     std::span<const double> approx_scores, double percent);
+
+/// Spearman rank correlation between two score vectors (average ranks for
+/// ties). Returns 0 for degenerate inputs.
+double spearman_correlation(std::span<const double> a,
+                            std::span<const double> b);
+
+}  // namespace graphct

@@ -1,0 +1,107 @@
+#include "algs/scc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "algs/connected_components.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+
+std::vector<vid> strongly_connected_components(const CsrGraph& g) {
+  GCT_CHECK(g.directed(),
+            "strongly_connected_components: graph must be directed");
+  const vid n = g.num_vertices();
+  std::vector<vid> labels(static_cast<std::size_t>(n), kNoVertex);
+  if (n == 0) return labels;
+
+  // Pass 1: iterative DFS over g recording finish order.
+  std::vector<vid> finish_order;
+  finish_order.reserve(static_cast<std::size_t>(n));
+  {
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    // Frame: vertex + index of the next neighbor to explore.
+    std::vector<std::pair<vid, std::size_t>> stack;
+    for (vid root = 0; root < n; ++root) {
+      if (visited[static_cast<std::size_t>(root)]) continue;
+      visited[static_cast<std::size_t>(root)] = 1;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [v, next] = stack.back();
+        const auto nbrs = g.neighbors(v);
+        bool descended = false;
+        while (next < nbrs.size()) {
+          const vid u = nbrs[next++];
+          if (!visited[static_cast<std::size_t>(u)]) {
+            visited[static_cast<std::size_t>(u)] = 1;
+            stack.emplace_back(u, 0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          finish_order.push_back(v);
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Pass 2: DFS over the reversed graph in decreasing finish order; each
+  // tree is one SCC.
+  const CsrGraph rev = reverse(g);
+  std::vector<vid> dfs_stack;
+  for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+    const vid root = *it;
+    if (labels[static_cast<std::size_t>(root)] != kNoVertex) continue;
+    vid min_id = root;
+    std::vector<vid> members;
+    dfs_stack.push_back(root);
+    labels[static_cast<std::size_t>(root)] = root;  // provisional
+    while (!dfs_stack.empty()) {
+      const vid v = dfs_stack.back();
+      dfs_stack.pop_back();
+      members.push_back(v);
+      min_id = std::min(min_id, v);
+      for (vid u : rev.neighbors(v)) {
+        if (labels[static_cast<std::size_t>(u)] == kNoVertex) {
+          labels[static_cast<std::size_t>(u)] = root;  // provisional
+          dfs_stack.push_back(u);
+        }
+      }
+    }
+    // Canonicalize to the smallest member id.
+    for (vid v : members) {
+      labels[static_cast<std::size_t>(v)] = min_id;
+    }
+  }
+  return labels;
+}
+
+std::int64_t count_components(std::span<const vid> labels,
+                              std::int64_t min_size) {
+  std::unordered_map<vid, std::int64_t> counts;
+  for (vid l : labels) ++counts[l];
+  std::int64_t total = 0;
+  for (const auto& [l, size] : counts) {
+    if (size >= min_size) ++total;
+  }
+  return total;
+}
+
+Subgraph largest_scc(const CsrGraph& g) {
+  const auto labels = strongly_connected_components(g);
+  std::unordered_map<vid, std::int64_t> counts;
+  for (vid l : labels) ++counts[l];
+  vid best = kNoVertex;
+  std::int64_t best_size = 0;
+  for (const auto& [l, size] : counts) {
+    if (size > best_size || (size == best_size && l < best)) {
+      best = l;
+      best_size = size;
+    }
+  }
+  return extract_by_label(g, labels, best);
+}
+
+}  // namespace graphct

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file scc.hpp
+/// Strongly connected components of a directed graph (Kosaraju's two-pass
+/// algorithm, iterative).
+///
+/// The companion of the directed-flow extension (paper §I-A): in a directed
+/// mention graph, a strongly connected component is a set of users every
+/// one of whom can reach every other along mention chains — a
+/// generalization of the paper's mutual-pair conversation filter from
+/// 2-cycles to arbitrary cycles. Nontrivial SCCs (size >= 2) are exactly
+/// the "many-to-many communication patterns hidden in the data" the paper
+/// goes looking for (§III-C).
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/transforms.hpp"
+
+namespace graphct {
+
+/// Per-vertex SCC labels of a directed graph; labels[v] is the smallest
+/// vertex id in v's component (canonical). Undirected input is rejected
+/// (use connected_components).
+std::vector<vid> strongly_connected_components(const CsrGraph& g);
+
+/// Count SCCs of size >= min_size from a label array.
+std::int64_t count_components(std::span<const vid> labels,
+                              std::int64_t min_size = 1);
+
+/// Extract the largest SCC as a subgraph (arcs preserved).
+Subgraph largest_scc(const CsrGraph& g);
+
+}  // namespace graphct

@@ -1,0 +1,178 @@
+#include "algs/sssp.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+
+EdgeWeights random_weights(const CsrGraph& g, double lo, double hi,
+                           std::uint64_t seed) {
+  GCT_CHECK(lo >= 0.0 && hi > lo, "random_weights: need 0 <= lo < hi");
+  EdgeWeights w;
+  w.value.resize(static_cast<std::size_t>(g.num_adjacency_entries()));
+  const vid n = g.num_vertices();
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const eid base = g.offsets()[static_cast<std::size_t>(u)];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid v = nbrs[i];
+      // Hash the unordered pair so both stored copies of an undirected
+      // edge draw the same weight.
+      const std::uint64_t a = static_cast<std::uint64_t>(std::min(u, v));
+      const std::uint64_t b = static_cast<std::uint64_t>(std::max(u, v));
+      const std::uint64_t h = mix64(seed ^ mix64(a * 0x9e3779b97f4a7c15ULL + b));
+      const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+      w.value[static_cast<std::size_t>(base) + i] = lo + unit * (hi - lo);
+    }
+  }
+  return w;
+}
+
+EdgeWeights unit_weights(const CsrGraph& g) {
+  EdgeWeights w;
+  w.value.assign(static_cast<std::size_t>(g.num_adjacency_entries()), 1.0);
+  return w;
+}
+
+namespace {
+
+// Lock-free atomic min on a double through its bit pattern. Nonnegative
+// IEEE doubles order identically to their bit patterns, so a CAS loop on
+// the integer view is exact.
+bool atomic_min_double(double& target, double value) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  auto* bits = reinterpret_cast<std::uint64_t*>(&target);
+  std::uint64_t vbits;
+  std::memcpy(&vbits, &value, sizeof value);
+  std::uint64_t cur = __atomic_load_n(bits, __ATOMIC_RELAXED);
+  double curd;
+  std::memcpy(&curd, &cur, sizeof curd);
+  while (value < curd) {
+    if (__atomic_compare_exchange_n(bits, &cur, vbits, /*weak=*/true,
+                                    __ATOMIC_SEQ_CST, __ATOMIC_RELAXED)) {
+      return true;
+    }
+    std::memcpy(&curd, &cur, sizeof curd);
+  }
+  return false;
+}
+
+}  // namespace
+
+SsspResult delta_stepping(const CsrGraph& g, const EdgeWeights& w, vid source,
+                          double delta) {
+  const vid n = g.num_vertices();
+  GCT_CHECK(source >= 0 && source < n, "delta_stepping: source out of range");
+  GCT_CHECK(delta > 0.0, "delta_stepping: delta must be positive");
+  GCT_CHECK(static_cast<eid>(w.value.size()) == g.num_adjacency_entries(),
+            "delta_stepping: weights must match adjacency size");
+  for (double x : w.value) {
+    GCT_CHECK(x >= 0.0, "delta_stepping: weights must be nonnegative");
+  }
+
+  SsspResult r;
+  r.distance.assign(static_cast<std::size_t>(n), kInfDistance);
+  r.distance[static_cast<std::size_t>(source)] = 0.0;
+
+  // Buckets with lazy deletion: a vertex's authoritative bucket is
+  // floor(dist/delta); stale entries are skipped on pop.
+  std::vector<std::vector<vid>> buckets(4);
+  auto bucket_of = [&](double d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  auto push = [&](vid v, double d) {
+    const std::size_t b = bucket_of(d);
+    if (b >= buckets.size()) buckets.resize(b * 2 + 1);
+    buckets[b].push_back(v);
+  };
+  push(source, 0.0);
+
+  const int nt = num_threads();
+  std::vector<std::vector<std::pair<vid, double>>> updated(
+      static_cast<std::size_t>(nt));
+
+  // Relax out-edges of `frontier` matching the predicate; collect vertices
+  // whose distance improved.
+  auto relax = [&](const std::vector<vid>& frontier, bool light) {
+#pragma omp parallel num_threads(nt)
+    {
+      auto& mine = updated[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+           ++i) {
+        const vid u = frontier[static_cast<std::size_t>(i)];
+        const double du = r.distance[static_cast<std::size_t>(u)];
+        const auto nbrs = g.neighbors(u);
+        const eid base = g.offsets()[static_cast<std::size_t>(u)];
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          const double wt = w[base + static_cast<eid>(j)];
+          if (light ? wt > delta : wt <= delta) continue;
+          const double cand = du + wt;
+          const vid v = nbrs[j];
+          if (atomic_min_double(r.distance[static_cast<std::size_t>(v)],
+                                cand)) {
+            mine.emplace_back(v, cand);
+          }
+        }
+      }
+    }
+    for (auto& mine : updated) {
+      for (const auto& [v, d] : mine) {
+        // d may be stale (another thread improved further); push by the
+        // current distance so the authoritative bucket gets the entry.
+        push(v, r.distance[static_cast<std::size_t>(v)]);
+      }
+      mine.clear();
+    }
+  };
+
+  std::vector<vid> settled;  // R: retired this bucket, for heavy relaxation
+  std::vector<vid> current;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    settled.clear();
+    while (b < buckets.size() && !buckets[b].empty()) {
+      current.clear();
+      current.swap(buckets[b]);
+      // Drop stale entries (vertex since moved to a lower bucket).
+      current.erase(
+          std::remove_if(current.begin(), current.end(),
+                         [&](vid v) {
+                           const double d =
+                               r.distance[static_cast<std::size_t>(v)];
+                           return d == kInfDistance || bucket_of(d) != b;
+                         }),
+          current.end());
+      if (current.empty()) continue;
+      ++r.phases;
+      settled.insert(settled.end(), current.begin(), current.end());
+      relax(current, /*light=*/true);
+    }
+    if (!settled.empty()) {
+      // Dedup: a vertex can re-enter the bucket several times.
+      std::sort(settled.begin(), settled.end());
+      settled.erase(std::unique(settled.begin(), settled.end()),
+                    settled.end());
+      relax(settled, /*light=*/false);
+    }
+  }
+  return r;
+}
+
+SsspResult delta_stepping(const CsrGraph& g, const EdgeWeights& w,
+                          vid source) {
+  double mean = 1.0;
+  if (!w.value.empty()) {
+    mean = reduce_sum(std::span<const double>(w.value.data(), w.value.size())) /
+           static_cast<double>(w.value.size());
+  }
+  return delta_stepping(g, w, source, std::max(mean, 1e-9));
+}
+
+}  // namespace graphct

@@ -1,0 +1,276 @@
+#include "core/betweenness.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "algs/bfs.hpp"
+#include "algs/connected_components.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace graphct {
+
+namespace {
+
+/// Per-source scratch reused across sources by one thread.
+struct BcWorkspace {
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  BfsResult bfs_buffer;  // reused so the hot loop never allocates
+
+  explicit BcWorkspace(vid n)
+      : sigma(static_cast<std::size_t>(n)), delta(static_cast<std::size_t>(n)) {}
+};
+
+/// Brandes accumulation from one source into `score`.
+/// `atomic_scores` selects atomic adds (fine mode shares one score array
+/// between concurrently-running level loops; coarse mode owns its buffer).
+/// The inner loops carry OpenMP pragmas; under coarse mode they execute
+/// serially because the caller is already inside a parallel region and
+/// nested parallelism is disabled.
+void accumulate_source(const CsrGraph& g, vid s, BcWorkspace& ws,
+                       std::vector<double>& score, bool atomic_scores) {
+  BfsOptions bopts;
+  bopts.deterministic_order = false;  // sigma/delta sums are order-invariant
+  bopts.compute_parents = false;      // predecessors come from distances
+  BfsResult& b = ws.bfs_buffer;
+  bfs_into(g, s, bopts, b);
+  const auto& dist = b.distance;
+  auto& sigma = ws.sigma;
+  auto& delta = ws.delta;
+  const vid reached = b.num_reached();
+  // Only touch reached vertices, so sparse components stay cheap.
+  for (eid i = 0; i < reached; ++i) {
+    const vid v = b.order[static_cast<std::size_t>(i)];
+    sigma[static_cast<std::size_t>(v)] = 0.0;
+    delta[static_cast<std::size_t>(v)] = 0.0;
+  }
+  sigma[static_cast<std::size_t>(s)] = 1.0;
+
+  const std::int64_t num_levels =
+      static_cast<std::int64_t>(b.level_offsets.size()) - 1;
+
+  // Forward sweep: shortest-path counts, level by level. sigma of level d+1
+  // vertices accumulates from level-d neighbors; vertices within a level are
+  // independent, so each level is a parallel loop.
+  for (std::int64_t d = 0; d + 1 < num_levels; ++d) {
+    const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
+    const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+    for (eid i = lo; i < hi; ++i) {
+      const vid u = b.order[static_cast<std::size_t>(i)];
+      const double su = sigma[static_cast<std::size_t>(u)];
+      for (vid v : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] ==
+            dist[static_cast<std::size_t>(u)] + 1) {
+          fetch_add(sigma[static_cast<std::size_t>(v)], su);
+        }
+      }
+    }
+  }
+
+  // Backward sweep: dependencies, deepest level first. delta[v] reads only
+  // values one level deeper, so again each level is parallel.
+  for (std::int64_t d = num_levels - 1; d >= 0; --d) {
+    const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
+    const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+    for (eid i = lo; i < hi; ++i) {
+      const vid v = b.order[static_cast<std::size_t>(i)];
+      double acc = 0.0;
+      const double sv = sigma[static_cast<std::size_t>(v)];
+      for (vid w : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(v)] + 1) {
+          acc += sv / sigma[static_cast<std::size_t>(w)] *
+                 (1.0 + delta[static_cast<std::size_t>(w)]);
+        }
+      }
+      delta[static_cast<std::size_t>(v)] = acc;
+      if (v != s) {
+        if (atomic_scores) {
+          fetch_add(score[static_cast<std::size_t>(v)], acc);
+        } else {
+          score[static_cast<std::size_t>(v)] += acc;
+        }
+      }
+    }
+  }
+}
+
+std::vector<vid> sample_component_aware(const CsrGraph& g, std::int64_t k,
+                                        Rng& rng) {
+  const auto labels = connected_components(g);
+  const auto stats = component_stats(labels);
+  const vid n = g.num_vertices();
+
+  // Bucket vertices by component, largest component first.
+  std::vector<std::vector<vid>> buckets;
+  std::unordered_map<vid, std::size_t> slot;
+  buckets.reserve(stats.sizes.size());
+  for (const auto& [label, size] : stats.sizes) {
+    slot[label] = buckets.size();
+    buckets.emplace_back();
+    buckets.back().reserve(static_cast<std::size_t>(size));
+  }
+  for (vid v = 0; v < n; ++v) {
+    buckets[slot[labels[static_cast<std::size_t>(v)]]].push_back(v);
+  }
+
+  // Proportional allocation with a floor of one source per component (while
+  // budget lasts, biggest first), so no component is left unsampled — the
+  // failure mode the paper conjectures for unguided sampling (§V).
+  std::vector<std::int64_t> quota(buckets.size(), 0);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < buckets.size() && assigned < k; ++i) {
+    quota[i] = 1;
+    ++assigned;
+  }
+  while (assigned < k) {
+    // Distribute the remainder proportionally to residual capacity.
+    bool progressed = false;
+    for (std::size_t i = 0; i < buckets.size() && assigned < k; ++i) {
+      const auto cap = static_cast<std::int64_t>(buckets[i].size());
+      if (quota[i] < cap) {
+        const double share = static_cast<double>(cap) /
+                             static_cast<double>(n) *
+                             static_cast<double>(k);
+        if (static_cast<double>(quota[i]) < share || !progressed) {
+          ++quota[i];
+          ++assigned;
+          progressed = true;
+        }
+      }
+    }
+    if (!progressed) break;  // every component saturated
+  }
+
+  std::vector<vid> sources;
+  sources.reserve(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto cap = static_cast<std::int64_t>(buckets[i].size());
+    const std::int64_t q = std::min(quota[i], cap);
+    auto picks = rng.sample_without_replacement(cap, q);
+    for (auto p : picks) {
+      sources.push_back(buckets[i][static_cast<std::size_t>(p)]);
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+}  // namespace
+
+std::vector<vid> choose_sources(const CsrGraph& g,
+                                const BetweennessOptions& opts) {
+  const vid n = g.num_vertices();
+  std::int64_t k = opts.num_sources;
+  if (opts.sample_fraction > 0.0) {
+    GCT_CHECK(opts.sample_fraction <= 1.0,
+              "betweenness: sample_fraction must be in (0, 1]");
+    k = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(n) * opts.sample_fraction));
+  }
+  if (k == kNoVertex || k >= n) {
+    std::vector<vid> all(static_cast<std::size_t>(n));
+    for (vid v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    return all;
+  }
+  GCT_CHECK(k > 0, "betweenness: num_sources must be positive");
+  Rng rng(opts.seed);
+  if (opts.sampling == BcSampling::kComponentAware) {
+    return sample_component_aware(g, k, rng);
+  }
+  return rng.sample_without_replacement(n, k);
+}
+
+namespace {
+
+// Shared implementation. Brandes' forward/backward sweeps read only
+// out-neighbors with dist == dist(v) + 1, which is correct for directed
+// and undirected CSR alike; only the pair-counting interpretation differs.
+BetweennessResult betweenness_impl(const CsrGraph& g,
+                                   const BetweennessOptions& opts) {
+  const vid n = g.num_vertices();
+  BetweennessResult result;
+  result.score.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  const auto sources = choose_sources(g, opts);
+  result.sources_used = static_cast<std::int64_t>(sources.size());
+
+  Timer timer;
+  if (opts.parallelism == BcParallelism::kFine) {
+    // Sources serial; each sweep is level-parallel with atomic adds.
+    BcWorkspace ws(n);
+    for (vid s : sources) {
+      accumulate_source(g, s, ws, result.score, /*atomic_scores=*/true);
+    }
+  } else {
+    // Coarse: sources in parallel, per-thread buffers, tree-free reduction.
+    const int nt = num_threads();
+    std::vector<std::vector<double>> buffers(
+        static_cast<std::size_t>(nt),
+        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+#pragma omp parallel num_threads(nt)
+    {
+      const int t = omp_get_thread_num();
+      BcWorkspace ws(n);
+#pragma omp for schedule(dynamic, 1)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
+           ++i) {
+        accumulate_source(g, sources[static_cast<std::size_t>(i)], ws,
+                          buffers[static_cast<std::size_t>(t)],
+                          /*atomic_scores=*/false);
+      }
+    }
+    for (const auto& buf : buffers) {
+#pragma omp parallel for schedule(static)
+      for (vid v = 0; v < n; ++v) {
+        result.score[static_cast<std::size_t>(v)] +=
+            buf[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  if (opts.rescale && result.sources_used > 0 &&
+      result.sources_used < n) {
+    const double scale = static_cast<double>(n) /
+                         static_cast<double>(result.sources_used);
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      result.score[static_cast<std::size_t>(v)] *= scale;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+BetweennessResult betweenness_centrality(const CsrGraph& g,
+                                         const BetweennessOptions& opts) {
+  GCT_CHECK(!g.directed(),
+            "betweenness_centrality: graph must be undirected (the paper "
+            "treats mention graphs as undirected, §I-A); use "
+            "directed_betweenness_centrality for the directed flow model");
+  return betweenness_impl(g, opts);
+}
+
+BetweennessResult directed_betweenness_centrality(
+    const CsrGraph& g, const BetweennessOptions& opts) {
+  GCT_CHECK(g.directed(),
+            "directed_betweenness_centrality: graph must be directed");
+  BetweennessOptions o = opts;
+  // Weak components say nothing about directed reachability; stratifying
+  // by them would be misleading, so fall back to uniform sampling.
+  o.sampling = BcSampling::kUniform;
+  return betweenness_impl(g, o);
+}
+
+}  // namespace graphct

@@ -1,0 +1,188 @@
+#include "core/kbetweenness.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "algs/bfs.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace graphct {
+
+namespace {
+
+/// Scratch for one source, sized (k+1) x n for the slack-indexed tables.
+struct KbcWorkspace {
+  std::int64_t k;
+  vid n;
+  std::vector<double> sigma;  // sigma[j*n + v]
+  std::vector<double> rho;    // rho[m*n + v]
+  std::vector<double> total;  // T(v)
+  BfsResult bfs_buffer;       // reused so the hot loop never allocates
+
+  KbcWorkspace(std::int64_t k_, vid n_)
+      : k(k_),
+        n(n_),
+        sigma(static_cast<std::size_t>((k_ + 1) * n_)),
+        rho(static_cast<std::size_t>((k_ + 1) * n_)),
+        total(static_cast<std::size_t>(n_)) {}
+
+  double& s(std::int64_t j, vid v) {
+    return sigma[static_cast<std::size_t>(j * n + v)];
+  }
+  double& r(std::int64_t m, vid v) {
+    return rho[static_cast<std::size_t>(m * n + v)];
+  }
+};
+
+/// Accumulate one source's k-BC dependencies into `score` (plain adds; the
+/// caller arranges exclusive buffers or serial source order).
+void accumulate_source_kbc(const CsrGraph& g, vid s, KbcWorkspace& ws,
+                           std::vector<double>& score) {
+  const std::int64_t k = ws.k;
+  BfsOptions bopts;
+  bopts.deterministic_order = false;  // per-vertex sums are order-invariant
+  bopts.compute_parents = false;
+  BfsResult& b = ws.bfs_buffer;
+  bfs_into(g, s, bopts, b);
+  const auto& dist = b.distance;
+  const vid reached = b.num_reached();
+  const std::int64_t num_levels =
+      static_cast<std::int64_t>(b.level_offsets.size()) - 1;
+
+  // Clear only the entries of reached vertices.
+  for (eid i = 0; i < reached; ++i) {
+    const vid v = b.order[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j <= k; ++j) {
+      ws.s(j, v) = 0.0;
+      ws.r(j, v) = 0.0;
+    }
+    ws.total[static_cast<std::size_t>(v)] = 0.0;
+  }
+
+  // ---- Forward pass: sigma_j by ascending slack, ascending level. ----
+  ws.s(0, s) = 1.0;
+  for (std::int64_t j = 0; j <= k; ++j) {
+    for (std::int64_t d = 0; d < num_levels; ++d) {
+      const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
+      const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+      for (eid i = lo; i < hi; ++i) {
+        const vid v = b.order[static_cast<std::size_t>(i)];
+        double acc = (j == 0 && v == s) ? 1.0 : 0.0;
+        for (vid u : g.neighbors(v)) {
+          if (dist[static_cast<std::size_t>(u)] == kNoVertex) continue;
+          // slack of the prefix ending at u: j' = j - 1 + d(v) - d(u)
+          const std::int64_t jp = j - 1 + d - dist[static_cast<std::size_t>(u)];
+          if (jp < 0 || jp > k) continue;
+          // Prefix values at (jp == j) come from the previous level of this
+          // same sweep (forward edges only: d(u) == d-1); jp < j values are
+          // finalized by earlier sweeps. Both are complete when read.
+          acc += ws.s(jp, u);
+        }
+        ws.s(j, v) = acc;
+      }
+    }
+  }
+
+  // T(v) = total walks within slack k ending at v.
+  for (eid i = 0; i < reached; ++i) {
+    const vid v = b.order[static_cast<std::size_t>(i)];
+    double t = 0.0;
+    for (std::int64_t j = 0; j <= k; ++j) t += ws.s(j, v);
+    ws.total[static_cast<std::size_t>(v)] = t;
+  }
+
+  // ---- Backward pass: rho_m by ascending m, descending level. ----
+  for (std::int64_t m = 0; m <= k; ++m) {
+    for (std::int64_t d = num_levels - 1; d >= 0; --d) {
+      const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
+      const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+      for (eid i = lo; i < hi; ++i) {
+        const vid v = b.order[static_cast<std::size_t>(i)];
+        double acc = (m == 0 && v != s)
+                         ? 1.0 / ws.total[static_cast<std::size_t>(v)]
+                         : 0.0;
+        for (vid u : g.neighbors(v)) {
+          if (dist[static_cast<std::size_t>(u)] == kNoVertex) continue;
+          // suffix slack consumed stepping v -> u: m' = m - 1 + d(u) - d(v)
+          const std::int64_t mp = m - 1 + dist[static_cast<std::size_t>(u)] - d;
+          if (mp < 0 || mp > k) continue;
+          acc += ws.r(mp, u);
+        }
+        ws.r(m, v) = acc;
+      }
+    }
+  }
+
+  // ---- Combine: delta(v) = sum_j sigma_j(v) * S_{k-j}(v) - 1. ----
+  for (eid i = 0; i < reached; ++i) {
+    const vid v = b.order[static_cast<std::size_t>(i)];
+    if (v == s) continue;
+    // Prefix sums of rho over m, reused across j (S_c = sum_{m<=c} rho_m).
+    double delta = 0.0;
+    for (std::int64_t j = 0; j <= k; ++j) {
+      double S = 0.0;
+      for (std::int64_t m = 0; m <= k - j; ++m) S += ws.r(m, v);
+      delta += ws.s(j, v) * S;
+    }
+    delta -= 1.0;
+    score[static_cast<std::size_t>(v)] += delta;
+  }
+}
+
+}  // namespace
+
+KBetweennessResult k_betweenness_centrality(const CsrGraph& g,
+                                            const KBetweennessOptions& opts) {
+  GCT_CHECK(!g.directed(), "k_betweenness_centrality: graph must be undirected");
+  GCT_CHECK(opts.k >= 0, "k_betweenness_centrality: k must be >= 0");
+  const vid n = g.num_vertices();
+  KBetweennessResult result;
+  result.score.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  std::vector<vid> sources;
+  if (opts.num_sources == kNoVertex || opts.num_sources >= n) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  } else {
+    GCT_CHECK(opts.num_sources > 0,
+              "k_betweenness_centrality: num_sources must be positive");
+    Rng rng(opts.seed);
+    sources = rng.sample_without_replacement(n, opts.num_sources);
+  }
+  result.sources_used = static_cast<std::int64_t>(sources.size());
+
+  Timer timer;
+  const int nt = num_threads();
+  std::vector<std::vector<double>> buffers(
+      static_cast<std::size_t>(nt),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    KbcWorkspace ws(opts.k, n);
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
+         ++i) {
+      accumulate_source_kbc(g, sources[static_cast<std::size_t>(i)], ws,
+                            buffers[static_cast<std::size_t>(t)]);
+    }
+  }
+  for (const auto& buf : buffers) {
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      result.score[static_cast<std::size_t>(v)] +=
+          buf[static_cast<std::size_t>(v)];
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace graphct

@@ -1,0 +1,134 @@
+#include "core/toolkit.hpp"
+
+#include "algs/degree.hpp"
+#include "graph/builder.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "graph/transforms.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+
+Toolkit::Toolkit(CsrGraph graph, const ToolkitOptions& opts)
+    : graph_(std::move(graph)), opts_(opts) {
+  if (opts_.estimate_diameter_on_load) {
+    DiameterOptions d;
+    d.num_samples = opts_.diameter_samples;
+    d.multiplier = opts_.diameter_multiplier;
+    d.seed = opts_.seed;
+    diameter_ = graphct::estimate_diameter(graph_, d);
+  }
+}
+
+Toolkit Toolkit::load_dimacs(const std::string& path,
+                             const ToolkitOptions& opts) {
+  EdgeList el = read_dimacs(path);
+  BuildOptions b;  // undirected, deduplicated — GraphCT's default view
+  return Toolkit(build_csr(el, b), opts);
+}
+
+Toolkit Toolkit::load_binary(const std::string& path,
+                             const ToolkitOptions& opts) {
+  return Toolkit(read_binary(path), opts);
+}
+
+const DiameterEstimate& Toolkit::diameter() {
+  if (!diameter_) {
+    return estimate_diameter(opts_.diameter_samples, opts_.diameter_multiplier);
+  }
+  return *diameter_;
+}
+
+const DiameterEstimate& Toolkit::estimate_diameter(std::int64_t num_samples,
+                                                   std::int64_t multiplier) {
+  DiameterOptions d;
+  d.num_samples = num_samples;
+  d.multiplier = multiplier;
+  d.seed = opts_.seed;
+  diameter_ = graphct::estimate_diameter(graph_, d);
+  return *diameter_;
+}
+
+const std::vector<vid>& Toolkit::components() {
+  if (!components_) components_ = weak_components(graph_);
+  return *components_;
+}
+
+const ComponentStats& Toolkit::components_stats() {
+  if (!component_stats_) component_stats_ = component_stats(components());
+  return *component_stats_;
+}
+
+const Summary& Toolkit::degree_stats() {
+  if (!degree_stats_) degree_stats_ = degree_summary(graph_);
+  return *degree_stats_;
+}
+
+const LogHistogram& Toolkit::degree_histogram() {
+  if (!degree_histogram_) degree_histogram_ = graphct::degree_histogram(graph_);
+  return *degree_histogram_;
+}
+
+const ClusteringResult& Toolkit::clustering() {
+  if (!clustering_) clustering_ = clustering_coefficients(graph_);
+  return *clustering_;
+}
+
+const std::vector<std::int64_t>& Toolkit::core_numbers() {
+  if (!core_numbers_) core_numbers_ = graphct::core_numbers(graph_);
+  return *core_numbers_;
+}
+
+BetweennessResult Toolkit::betweenness(const BetweennessOptions& opts) {
+  return betweenness_centrality(graph_, opts);
+}
+
+KBetweennessResult Toolkit::k_betweenness(const KBetweennessOptions& opts) {
+  return k_betweenness_centrality(graph_, opts);
+}
+
+PageRankResult Toolkit::pagerank(const PageRankOptions& opts) {
+  return graphct::pagerank(graph_, opts);
+}
+
+ClosenessResult Toolkit::closeness(const ClosenessOptions& opts) {
+  return closeness_centrality(graph_, opts);
+}
+
+const CommunityResult& Toolkit::communities() {
+  if (!communities_) {
+    LabelPropagationOptions o;
+    o.seed = opts_.seed;
+    communities_ = label_propagation(graph_, o);
+  }
+  return *communities_;
+}
+
+double Toolkit::community_modularity() {
+  const auto& c = communities();
+  return modularity(graph_,
+                    std::span<const vid>(c.labels.data(), c.labels.size()));
+}
+
+Toolkit Toolkit::extract_component(std::int64_t i) {
+  const auto& stats = components_stats();
+  GCT_CHECK(i >= 0 && i < stats.num_components,
+            "extract_component: index out of range");
+  Subgraph sub = extract_by_label(graph_, components(),
+                                  stats.sizes[static_cast<std::size_t>(i)].first);
+  ToolkitOptions opts = opts_;
+  return Toolkit(std::move(sub.graph), opts);
+}
+
+void Toolkit::invalidate() {
+  diameter_.reset();
+  components_.reset();
+  component_stats_.reset();
+  degree_stats_.reset();
+  degree_histogram_.reset();
+  clustering_.reset();
+  core_numbers_.reset();
+  communities_.reset();
+}
+
+}  // namespace graphct

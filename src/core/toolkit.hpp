@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file toolkit.hpp
+/// The GraphCT facade: one in-memory graph, many kernels, accumulated
+/// results.
+///
+/// Mirrors the paper's §IV-A workflow: after loading the graph into memory
+/// and before running any kernel, the diameter is estimated by BFS from 256
+/// randomly selected sources (estimate = 4 x the longest distance found) and
+/// stored for sizing traversal queues; users may override the multiplier or
+/// sample count. "Graph kernels accumulate results in structures accessible
+/// by later kernel functions" — here, kernels cache their outputs so a
+/// script like components -> extract -> degrees -> kcentrality never
+/// recomputes shared state.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algs/closeness.hpp"
+#include "algs/clustering.hpp"
+#include "algs/community.hpp"
+#include "algs/connected_components.hpp"
+#include "algs/diameter.hpp"
+#include "algs/kcore.hpp"
+#include "algs/pagerank.hpp"
+#include "core/betweenness.hpp"
+#include "core/kbetweenness.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace graphct {
+
+/// Toolkit configuration.
+struct ToolkitOptions {
+  /// Diameter estimation on load (paper defaults: 256 sources, 4x).
+  std::int64_t diameter_samples = 256;
+  std::int64_t diameter_multiplier = 4;
+  std::uint64_t seed = 1;
+
+  /// Skip the load-time diameter pass (it is O(samples * (m+n))).
+  bool estimate_diameter_on_load = true;
+};
+
+/// One loaded graph plus cached kernel results.
+class Toolkit {
+ public:
+  explicit Toolkit(CsrGraph graph, const ToolkitOptions& opts = {});
+
+  /// Load a DIMACS text file (parsed in parallel, §IV-C), building an
+  /// undirected deduplicated graph per GraphCT's defaults.
+  static Toolkit load_dimacs(const std::string& path,
+                             const ToolkitOptions& opts = {});
+
+  /// Load a GraphCT binary graph.
+  static Toolkit load_binary(const std::string& path,
+                             const ToolkitOptions& opts = {});
+
+  [[nodiscard]] const CsrGraph& graph() const { return graph_; }
+
+  /// The load-time diameter estimate (computed lazily if load skipped it).
+  const DiameterEstimate& diameter();
+
+  /// Re-estimate the diameter with explicit parameters and update the
+  /// stored value (the script's `print diameter <percent>` path).
+  const DiameterEstimate& estimate_diameter(std::int64_t num_samples,
+                                            std::int64_t multiplier);
+
+  /// Component labels (cached).
+  const std::vector<vid>& components();
+
+  /// Component statistics (cached; computes components() if needed).
+  const ComponentStats& components_stats();
+
+  /// Degree summary statistics (cached).
+  const Summary& degree_stats();
+
+  /// Log-binned degree histogram (cached).
+  const LogHistogram& degree_histogram();
+
+  /// Per-vertex clustering coefficients (cached).
+  const ClusteringResult& clustering();
+
+  /// Coreness values (cached).
+  const std::vector<std::int64_t>& core_numbers();
+
+  /// Betweenness centrality. Results are cached per distinct option set is
+  /// NOT attempted — centrality runs dominate cost and callers vary options
+  /// deliberately, so each call computes fresh.
+  BetweennessResult betweenness(const BetweennessOptions& opts = {});
+
+  /// k-betweenness centrality (uncached, as above).
+  KBetweennessResult k_betweenness(const KBetweennessOptions& opts = {});
+
+  /// PageRank (uncached: parameterized kernel).
+  PageRankResult pagerank(const PageRankOptions& opts = {});
+
+  /// Harmonic closeness (uncached: parameterized kernel).
+  ClosenessResult closeness(const ClosenessOptions& opts = {});
+
+  /// Label-propagation communities (cached).
+  const CommunityResult& communities();
+
+  /// Modularity of the cached community labeling.
+  double community_modularity();
+
+  /// Extract the i-th largest weakly connected component (0 = largest) as a
+  /// new Toolkit, reusing this one's cached component labels.
+  Toolkit extract_component(std::int64_t i);
+
+  /// Invalidate every cached result (after external graph surgery).
+  void invalidate();
+
+ private:
+  CsrGraph graph_;
+  ToolkitOptions opts_;
+  std::optional<DiameterEstimate> diameter_;
+  std::optional<std::vector<vid>> components_;
+  std::optional<ComponentStats> component_stats_;
+  std::optional<Summary> degree_stats_;
+  std::optional<LogHistogram> degree_histogram_;
+  std::optional<ClusteringResult> clustering_;
+  std::optional<std::vector<std::int64_t>> core_numbers_;
+  std::optional<CommunityResult> communities_;
+};
+
+}  // namespace graphct

@@ -1,0 +1,103 @@
+#include "gen/random_graphs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+
+CsrGraph erdos_renyi(vid n, std::int64_t m, std::uint64_t seed) {
+  GCT_CHECK(n > 0, "erdos_renyi: n must be positive");
+  EdgeList el(n);
+  el.reserve(static_cast<std::size_t>(m));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const vid u = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const vid v = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    el.add(u, v);
+  }
+  BuildOptions b;
+  b.symmetrize = true;
+  b.dedup = true;
+  b.remove_self_loops = true;
+  return build_csr(el, b);
+}
+
+CsrGraph chung_lu_power_law(vid n, std::int64_t m, double alpha,
+                            std::uint64_t seed) {
+  GCT_CHECK(n > 0, "chung_lu: n must be positive");
+  GCT_CHECK(alpha > 2.0, "chung_lu: alpha must exceed 2 for finite mean");
+
+  // Weights w_v = (v+1)^(-gamma) with gamma = 1/(alpha-1); vertex 0 is the
+  // biggest hub. Edges are drawn by picking endpoints proportional to
+  // weight via the cumulative distribution (binary search per draw).
+  const double gamma = 1.0 / (alpha - 1.0);
+  std::vector<double> cum(static_cast<std::size_t>(n) + 1, 0.0);
+  for (vid v = 0; v < n; ++v) {
+    cum[static_cast<std::size_t>(v) + 1] =
+        cum[static_cast<std::size_t>(v)] +
+        std::pow(static_cast<double>(v + 1), -gamma);
+  }
+  const double total = cum.back();
+
+  Rng rng(seed);
+  auto draw = [&]() -> vid {
+    const double r = rng.next_double() * total;
+    // Binary search for the first cum entry exceeding r.
+    std::size_t lo = 0, hi = static_cast<std::size_t>(n) - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cum[mid + 1] <= r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<vid>(lo);
+  };
+
+  EdgeList el(n);
+  el.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    el.add(draw(), draw());
+  }
+  BuildOptions b;
+  b.symmetrize = true;
+  b.dedup = true;
+  b.remove_self_loops = true;
+  return build_csr(el, b);
+}
+
+CsrGraph watts_strogatz(vid n, std::int64_t k, double p, std::uint64_t seed) {
+  GCT_CHECK(n > 2 * k, "watts_strogatz: n must exceed 2k");
+  GCT_CHECK(k >= 1, "watts_strogatz: k must be >= 1");
+  GCT_CHECK(p >= 0.0 && p <= 1.0, "watts_strogatz: p must be in [0,1]");
+
+  Rng rng(seed);
+  EdgeList el(n);
+  el.reserve(static_cast<std::size_t>(n * k));
+  for (vid u = 0; u < n; ++u) {
+    for (std::int64_t j = 1; j <= k; ++j) {
+      vid v = (u + j) % n;
+      if (rng.next_bool(p)) {
+        // Rewire to a uniform random endpoint, avoiding a self-loop.
+        vid w = u;
+        while (w == u) {
+          w = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+        }
+        v = w;
+      }
+      el.add(u, v);
+    }
+  }
+  BuildOptions b;
+  b.symmetrize = true;
+  b.dedup = true;
+  b.remove_self_loops = true;
+  return build_csr(el, b);
+}
+
+}  // namespace graphct

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file random_graphs.hpp
+/// Classic random-graph models used as baselines and test fixtures:
+/// Erdős–Rényi G(n, m), Chung–Lu power-law graphs (degree shape comparable
+/// to the scale-free mention graphs of §III-C), and Watts–Strogatz small
+/// worlds (high clustering, for the clustering-coefficient kernel).
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace graphct {
+
+/// Erdős–Rényi G(n, m): m arcs drawn uniformly with replacement, then
+/// deduplicated into an undirected graph.
+CsrGraph erdos_renyi(vid n, std::int64_t m, std::uint64_t seed = 1);
+
+/// Chung–Lu graph with a discrete power-law weight sequence
+/// w_v ∝ (v+1)^(-1/(alpha-1)) scaled so the expected edge count is ~m.
+/// alpha is the target degree exponent (2 < alpha <= 4 is realistic for
+/// social data).
+CsrGraph chung_lu_power_law(vid n, std::int64_t m, double alpha,
+                            std::uint64_t seed = 1);
+
+/// Watts–Strogatz small world: ring of n vertices, each joined to its
+/// nearest 2*k neighbors, each edge rewired with probability p.
+CsrGraph watts_strogatz(vid n, std::int64_t k, double p,
+                        std::uint64_t seed = 1);
+
+}  // namespace graphct

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file rmat.hpp
+/// R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos,
+/// SDM 2004) — the paper's synthetic workload. The headline experiment runs
+/// betweenness on a scale-29, edge-factor-16 R-MAT graph with parameters
+/// A = 0.55, B = C = 0.1, D = 0.25 (footnote 3), emulating a Facebook-size
+/// social network. Generation is embarrassingly parallel: every edge is an
+/// independent sequence of quadrant choices from its own RNG stream.
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace graphct {
+
+/// R-MAT parameters. Defaults are the paper's.
+struct RmatOptions {
+  std::int64_t scale = 16;       ///< n = 2^scale vertices
+  std::int64_t edge_factor = 16; ///< m = edge_factor * n generated arcs
+  double a = 0.55;
+  double b = 0.10;
+  double c = 0.10;
+  // d = 1 - a - b - c (0.25 with the defaults)
+  std::uint64_t seed = 1;
+
+  /// Add +/-10% uniform noise to the quadrant probabilities at each level,
+  /// as recommended by the R-MAT authors to avoid staircase artifacts.
+  bool noise = true;
+};
+
+/// Generate the raw R-MAT arc list (duplicates and self-loops included, as
+/// the generator naturally produces them; the CSR builder deduplicates).
+EdgeList rmat_edges(const RmatOptions& opts);
+
+/// Generate and build an undirected, deduplicated R-MAT graph — the form
+/// every experiment consumes.
+CsrGraph rmat_graph(const RmatOptions& opts);
+
+}  // namespace graphct

@@ -1,0 +1,115 @@
+#include "gen/shapes.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+
+namespace {
+CsrGraph from_edges(EdgeList&& el) {
+  BuildOptions b;
+  b.symmetrize = true;
+  b.dedup = true;
+  b.sort_adjacency = true;
+  return build_csr(el, b);
+}
+}  // namespace
+
+CsrGraph path_graph(vid n) {
+  GCT_CHECK(n >= 1, "path_graph: n must be >= 1");
+  EdgeList el(n);
+  for (vid v = 0; v + 1 < n; ++v) el.add(v, v + 1);
+  return from_edges(std::move(el));
+}
+
+CsrGraph cycle_graph(vid n) {
+  GCT_CHECK(n >= 3, "cycle_graph: n must be >= 3");
+  EdgeList el(n);
+  for (vid v = 0; v < n; ++v) el.add(v, (v + 1) % n);
+  return from_edges(std::move(el));
+}
+
+CsrGraph star_graph(vid n) {
+  GCT_CHECK(n >= 2, "star_graph: n must be >= 2");
+  EdgeList el(n);
+  for (vid v = 1; v < n; ++v) el.add(0, v);
+  return from_edges(std::move(el));
+}
+
+CsrGraph complete_graph(vid n) {
+  GCT_CHECK(n >= 1, "complete_graph: n must be >= 1");
+  EdgeList el(n);
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = u + 1; v < n; ++v) el.add(u, v);
+  }
+  return from_edges(std::move(el));
+}
+
+CsrGraph balanced_tree(vid branching, std::int64_t depth) {
+  GCT_CHECK(branching >= 1, "balanced_tree: branching must be >= 1");
+  GCT_CHECK(depth >= 0, "balanced_tree: depth must be >= 0");
+  // Count vertices: 1 + b + b^2 + ... + b^depth.
+  vid n = 1, level = 1;
+  for (std::int64_t d = 0; d < depth; ++d) {
+    level *= branching;
+    n += level;
+  }
+  EdgeList el(n);
+  // Children of vertex v (level by level numbering): the first child of the
+  // i-th vertex overall is i*b + 1.
+  for (vid v = 0; v < n; ++v) {
+    for (vid c = 0; c < branching; ++c) {
+      const vid child = v * branching + 1 + c;
+      if (child < n) el.add(v, child);
+    }
+  }
+  return from_edges(std::move(el));
+}
+
+CsrGraph grid_graph(vid rows, vid cols) {
+  GCT_CHECK(rows >= 1 && cols >= 1, "grid_graph: dimensions must be >= 1");
+  EdgeList el(rows * cols);
+  for (vid r = 0; r < rows; ++r) {
+    for (vid c = 0; c < cols; ++c) {
+      const vid v = r * cols + c;
+      if (c + 1 < cols) el.add(v, v + 1);
+      if (r + 1 < rows) el.add(v, v + cols);
+    }
+  }
+  return from_edges(std::move(el));
+}
+
+CsrGraph star_of_cliques(vid count, vid clique_size) {
+  GCT_CHECK(count >= 1 && clique_size >= 2,
+            "star_of_cliques: need >= 1 clique of size >= 2");
+  const vid n = 1 + count * clique_size;
+  EdgeList el(n);
+  for (vid k = 0; k < count; ++k) {
+    const vid base = 1 + k * clique_size;
+    for (vid i = 0; i < clique_size; ++i) {
+      for (vid j = i + 1; j < clique_size; ++j) {
+        el.add(base + i, base + j);
+      }
+    }
+    el.add(0, base);  // hub attaches to the first member
+  }
+  return from_edges(std::move(el));
+}
+
+CsrGraph barbell_graph(vid clique_size) {
+  GCT_CHECK(clique_size >= 2, "barbell_graph: clique_size must be >= 2");
+  const vid n = 2 * clique_size;
+  EdgeList el(n);
+  for (vid off : {vid{0}, clique_size}) {
+    for (vid i = 0; i < clique_size; ++i) {
+      for (vid j = i + 1; j < clique_size; ++j) {
+        el.add(off + i, off + j);
+      }
+    }
+  }
+  el.add(clique_size - 1, clique_size);  // the bridge
+  return from_edges(std::move(el));
+}
+
+}  // namespace graphct

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file shapes.hpp
+/// Deterministic structured graphs with analytically known properties —
+/// the backbone of the test suite (paths, cycles, stars, complete graphs,
+/// balanced trees, grids, and the star-of-cliques used to validate the
+/// conversation-filter pipeline).
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Path 0-1-2-...-(n-1). BC of an interior vertex v is 2*(v+1)*(n-v-1)-2
+/// under the directed-pair (s,t) and (t,s) counting this library uses.
+CsrGraph path_graph(vid n);
+
+/// Cycle 0-1-...-(n-1)-0.
+CsrGraph cycle_graph(vid n);
+
+/// Star: hub 0 joined to spokes 1..n-1. Hub BC = (n-1)(n-2); spokes 0.
+CsrGraph star_graph(vid n);
+
+/// Complete graph K_n. All BC values are 0.
+CsrGraph complete_graph(vid n);
+
+/// Complete balanced tree with the given branching factor and depth
+/// (depth 0 = single vertex). Vertices number level by level from the root.
+CsrGraph balanced_tree(vid branching, std::int64_t depth);
+
+/// rows x cols 4-neighbor grid; vertex (r, c) has id r*cols + c.
+CsrGraph grid_graph(vid rows, vid cols);
+
+/// `count` disjoint cliques of size `clique_size`, plus a hub vertex (id 0)
+/// connected to one member of each clique — a toy model of conversation
+/// clusters hanging off a broadcast hub.
+CsrGraph star_of_cliques(vid count, vid clique_size);
+
+/// Two cliques of size `clique_size` joined by a single bridge edge; the
+/// bridge endpoints dominate betweenness (a classic BC sanity fixture).
+CsrGraph barbell_graph(vid clique_size);
+
+}  // namespace graphct

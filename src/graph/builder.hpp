@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file builder.hpp
+/// Parallel CSR construction from edge lists.
+///
+/// The build is the paper's ingest path (§IV-C): count degrees with atomic
+/// fetch-and-add, prefix-sum into offsets, scatter with per-vertex atomic
+/// cursors, then (optionally) sort and deduplicate each adjacency list in
+/// parallel. "Duplicate user interactions are thrown out so that only unique
+/// user-interactions are represented in the graph" (§III-B) — that is the
+/// `dedup` option here.
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace graphct {
+
+/// Options controlling the CSR build.
+struct BuildOptions {
+  /// Treat input arcs as undirected edges: store each in both adjacency
+  /// lists and mark the graph undirected. Matches the paper's default view
+  /// ("for most metrics, we treat the graph as undirected", §I-A).
+  bool symmetrize = true;
+
+  /// Drop self-loops entirely (kept by default: the paper observes
+  /// "self-referring" Twitter vertices and they are analytically meaningful).
+  bool remove_self_loops = false;
+
+  /// Collapse parallel edges so each (u,v) appears once.
+  bool dedup = true;
+
+  /// Sort each adjacency list ascending (required by dedup; also enables
+  /// O(log d) has_edge and merge-based triangle counting).
+  bool sort_adjacency = true;
+};
+
+/// Build a CSR graph from an edge list. Vertex count is the edge list's
+/// hint when set, else 1 + max endpoint id. All endpoint ids must be >= 0.
+CsrGraph build_csr(const EdgeList& edges, const BuildOptions& opts = {});
+
+}  // namespace graphct

@@ -1,0 +1,40 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+CsrGraph::CsrGraph(std::vector<eid> offsets, std::vector<vid> adjacency,
+                   bool directed, vid num_self_loops, bool sorted_adjacency)
+    : offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      directed_(directed),
+      num_self_loops_(num_self_loops),
+      sorted_(sorted_adjacency) {
+  GCT_CHECK(!offsets_.empty(), "CsrGraph: offsets must have >= 1 entry");
+  GCT_CHECK(offsets_.front() == 0, "CsrGraph: offsets must start at 0");
+  GCT_CHECK(offsets_.back() == static_cast<eid>(adjacency_.size()),
+            "CsrGraph: offsets must end at adjacency size");
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    GCT_CHECK(offsets_[i - 1] <= offsets_[i],
+              "CsrGraph: offsets must be nondecreasing");
+  }
+  const vid n = num_vertices();
+  for (vid v : adjacency_) {
+    GCT_CHECK(v >= 0 && v < n, "CsrGraph: adjacency entry out of range");
+  }
+}
+
+bool CsrGraph::has_edge(vid u, vid v) const {
+  GCT_ASSERT(u >= 0 && u < num_vertices());
+  GCT_ASSERT(v >= 0 && v < num_vertices());
+  const auto nbrs = neighbors(u);
+  if (sorted_) {
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+}  // namespace graphct

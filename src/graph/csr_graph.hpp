@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file csr_graph.hpp
+/// The static graph data structure shared by every GraphCT kernel.
+///
+/// Following the paper (§IV-A), GraphCT stores graphs in compressed sparse
+/// row (CSR) format: one offsets array of length n+1 and one adjacency array.
+/// Degrees are implicit (offsets[v+1] - offsets[v]). The same structure backs
+/// directed and undirected graphs; an undirected graph stores each edge in
+/// both endpoint's adjacency lists (self-loops once). All kernels run over
+/// one in-memory graph of this type, so results can be accumulated and
+/// reused across kernels without reloading.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace graphct {
+
+/// Vertex identifier. 64-bit so billion-scale graphs address cleanly, as on
+/// the 1 TiB Cray XMT the paper used.
+using vid = std::int64_t;
+
+/// Edge (adjacency offset) index.
+using eid = std::int64_t;
+
+/// Marks "no vertex" in distance/parent/component arrays.
+inline constexpr vid kNoVertex = -1;
+
+/// Static CSR graph.
+class CsrGraph {
+ public:
+  /// Empty graph.
+  CsrGraph() = default;
+
+  /// Assemble from raw CSR arrays. `offsets` must have n+1 entries, be
+  /// nondecreasing, start at 0, and end at adjacency.size().
+  /// `num_self_loops` is the count of vertices v with an entry v in their own
+  /// adjacency list (stored once in undirected graphs).
+  CsrGraph(std::vector<eid> offsets, std::vector<vid> adjacency, bool directed,
+           vid num_self_loops, bool sorted_adjacency);
+
+  /// Number of vertices.
+  [[nodiscard]] vid num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<vid>(offsets_.size()) - 1;
+  }
+
+  /// Logical edge count: directed arcs for a directed graph; unordered pairs
+  /// (self-loops counted once) for an undirected graph.
+  [[nodiscard]] eid num_edges() const {
+    const eid entries = static_cast<eid>(adjacency_.size());
+    return directed_ ? entries : (entries + num_self_loops_) / 2;
+  }
+
+  /// Total adjacency entries (what the kernels actually traverse).
+  [[nodiscard]] eid num_adjacency_entries() const {
+    return static_cast<eid>(adjacency_.size());
+  }
+
+  [[nodiscard]] bool directed() const { return directed_; }
+  [[nodiscard]] vid num_self_loops() const { return num_self_loops_; }
+
+  /// True when every adjacency list is sorted ascending (enables has_edge
+  /// by binary search and linear-merge triangle counting).
+  [[nodiscard]] bool sorted_adjacency() const { return sorted_; }
+
+  /// Out-degree of v (== degree for undirected graphs).
+  [[nodiscard]] vid degree(vid v) const {
+    return static_cast<vid>(offsets_[static_cast<std::size_t>(v) + 1] -
+                            offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Neighbors of v as a contiguous span.
+  [[nodiscard]] std::span<const vid> neighbors(vid v) const {
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {adjacency_.data() + lo, hi - lo};
+  }
+
+  /// Whether arc u->v exists. O(log deg(u)) when adjacency is sorted,
+  /// O(deg(u)) otherwise.
+  [[nodiscard]] bool has_edge(vid u, vid v) const;
+
+  /// Raw arrays (read-only) for kernels that stride over the whole structure.
+  [[nodiscard]] std::span<const eid> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const vid> adjacency() const { return adjacency_; }
+
+  /// Approximate in-memory footprint in bytes (offsets + adjacency).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return offsets_.size() * sizeof(eid) + adjacency_.size() * sizeof(vid);
+  }
+
+  /// Structural equality (same arrays and flags). Mainly for I/O round-trip
+  /// tests.
+  bool operator==(const CsrGraph& other) const = default;
+
+ private:
+  std::vector<eid> offsets_;   // n+1 entries
+  std::vector<vid> adjacency_; // one entry per directed arc / half-edge
+  bool directed_ = false;
+  vid num_self_loops_ = 0;
+  bool sorted_ = true;  // an empty graph is trivially sorted
+};
+
+}  // namespace graphct

@@ -1,0 +1,74 @@
+#include "graph/io_binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4743544231ULL;  // "GCTB1"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t flags = 0;  // bit 0: directed, bit 1: sorted adjacency
+  std::int64_t num_vertices = 0;
+  std::int64_t num_entries = 0;
+  std::int64_t num_self_loops = 0;
+};
+
+}  // namespace
+
+void write_binary(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GCT_CHECK(out.good(), "cannot open file for writing: " + path);
+
+  Header h;
+  h.flags = (g.directed() ? 1u : 0u) | (g.sorted_adjacency() ? 2u : 0u);
+  h.num_vertices = g.num_vertices();
+  h.num_entries = g.num_adjacency_entries();
+  h.num_self_loops = g.num_self_loops();
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+
+  const auto off = g.offsets();
+  const auto adj = g.adjacency();
+  out.write(reinterpret_cast<const char*>(off.data()),
+            static_cast<std::streamsize>(off.size() * sizeof(eid)));
+  out.write(reinterpret_cast<const char*>(adj.data()),
+            static_cast<std::streamsize>(adj.size() * sizeof(vid)));
+  GCT_CHECK(out.good(), "write failed: " + path);
+}
+
+CsrGraph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GCT_CHECK(in.good(), "cannot open binary graph file: " + path);
+
+  Header h;
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  GCT_CHECK(in.good(), "truncated binary graph header: " + path);
+  GCT_CHECK(h.magic == kMagic, "not a GraphCT binary graph: " + path);
+  GCT_CHECK(h.version == kVersion,
+            "unsupported binary graph version in " + path);
+  GCT_CHECK(h.num_vertices >= 0 && h.num_entries >= 0,
+            "corrupt binary graph header: " + path);
+
+  std::vector<eid> offsets(static_cast<std::size_t>(h.num_vertices) + 1);
+  std::vector<vid> adjacency(static_cast<std::size_t>(h.num_entries));
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(eid)));
+  in.read(reinterpret_cast<char*>(adjacency.data()),
+          static_cast<std::streamsize>(adjacency.size() * sizeof(vid)));
+  GCT_CHECK(in.good(), "truncated binary graph data: " + path);
+
+  // The CsrGraph constructor re-validates all structural invariants, so a
+  // corrupt file cannot produce an out-of-bounds graph.
+  return CsrGraph(std::move(offsets), std::move(adjacency),
+                  (h.flags & 1u) != 0, h.num_self_loops, (h.flags & 2u) != 0);
+}
+
+}  // namespace graphct

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file io_binary.hpp
+/// GraphCT binary graph format.
+///
+/// The paper's scripting interface saves intermediate graphs in "a binary
+/// format" (`extract component 1 => comp1.bin`, §IV-B). This is that format:
+/// a fixed header (magic, version, flags, counts) followed by the raw CSR
+/// offsets and adjacency arrays, so save/restore is a straight memory copy.
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Write a graph to the GraphCT binary format. Throws on I/O failure.
+void write_binary(const CsrGraph& g, const std::string& path);
+
+/// Read a graph from the GraphCT binary format. Validates the header and
+/// the structural invariants; throws graphct::Error on any mismatch.
+CsrGraph read_binary(const std::string& path);
+
+}  // namespace graphct

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file io_dimacs.hpp
+/// DIMACS text graph format (paper §IV-C).
+///
+/// GraphCT's canonical text input is the DIMACS challenge format: a problem
+/// line `p <type> <n> <m>`, comment lines `c ...`, and one line per edge —
+/// `a u v w` (arc) or `e u v [w]` (edge), with 1-based vertex ids. As in the
+/// paper, the whole file is pulled into memory and parsed in parallel
+/// (per-thread chunks split on line boundaries); edge weights are parsed and
+/// discarded since every GraphCT kernel is topological.
+
+#include <string>
+#include <string_view>
+
+#include "graph/edge_list.hpp"
+
+namespace graphct {
+
+/// Parse DIMACS text (the file contents, not a path). Returns an EdgeList
+/// with 0-based ids and the problem line's vertex count as its hint.
+/// Throws graphct::Error on malformed input.
+EdgeList parse_dimacs(std::string_view text);
+
+/// Read and parse a DIMACS file from disk.
+EdgeList read_dimacs(const std::string& path);
+
+/// Serialize a graph to DIMACS text: `p sp n m` plus one `a u v 1` line per
+/// stored arc (undirected graphs emit each edge once, smaller id first).
+std::string to_dimacs(const CsrGraph& g);
+
+/// Write DIMACS text to a file.
+void write_dimacs(const CsrGraph& g, const std::string& path);
+
+}  // namespace graphct

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file io_edgelist.hpp
+/// Plain whitespace-separated edge-list text: one `u v` pair per line,
+/// 0-based ids, `#`/`%`/`c` comment lines. The lowest-friction interchange
+/// format for getting external data into GraphCT.
+
+#include <string>
+#include <string_view>
+
+#include "graph/edge_list.hpp"
+
+namespace graphct {
+
+/// Parse edge-list text into an EdgeList (no vertex-count hint).
+EdgeList parse_edge_list(std::string_view text);
+
+/// Read an edge-list file from disk.
+EdgeList read_edge_list(const std::string& path);
+
+/// Serialize a graph as edge-list text (undirected edges emitted once).
+std::string to_edge_list(const CsrGraph& g);
+
+/// Write edge-list text to a file.
+void write_edge_list(const CsrGraph& g, const std::string& path);
+
+}  // namespace graphct

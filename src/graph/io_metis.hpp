@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file io_metis.hpp
+/// METIS graph format — the interchange format of the partitioning world
+/// and a common distribution format for social-network datasets.
+///
+/// Layout: a header line `<n> <m> [fmt]`, then one line per vertex listing
+/// its neighbors with 1-based ids; `%` starts a comment. Only the
+/// unweighted format (fmt absent or 0) is supported; weighted inputs are
+/// rejected loudly rather than silently misread. Self-loops are not
+/// representable in METIS and are skipped on write.
+
+#include <string>
+#include <string_view>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Parse METIS text into an undirected graph. Validates the header counts
+/// and symmetry-implied edge count; throws graphct::Error on malformed or
+/// weighted input.
+CsrGraph parse_metis(std::string_view text);
+
+/// Read a METIS file from disk.
+CsrGraph read_metis(const std::string& path);
+
+/// Serialize an undirected graph (self-loops dropped, as METIS cannot
+/// express them). Throws for directed input.
+std::string to_metis(const CsrGraph& g);
+
+/// Write METIS text to a file.
+void write_metis(const CsrGraph& g, const std::string& path);
+
+}  // namespace graphct

@@ -1,0 +1,451 @@
+#include "script/interpreter.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "algs/bfs.hpp"
+#include "algs/degree.hpp"
+#include "algs/kcore.hpp"
+#include "algs/ranking.hpp"
+#include "gen/rmat.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/builder.hpp"
+#include "graph/transforms.hpp"
+#include "twitter/mention_graph.hpp"
+#include "twitter/tweet_io.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace graphct::script {
+
+using graphct::Error;
+using graphct::Toolkit;
+
+struct Interpreter::Impl {
+  std::ostream& out;
+  InterpreterOptions opts;
+  // Stack "memory": back() is the current graph.
+  std::vector<Toolkit> stack;
+
+  Impl(std::ostream& o, InterpreterOptions op) : out(o), opts(std::move(op)) {}
+
+  Toolkit& current(int line) {
+    if (stack.empty()) {
+      throw Error("script line " + std::to_string(line) +
+                  ": no graph loaded (use 'read' or 'generate' first)");
+    }
+    return stack.back();
+  }
+};
+
+namespace {
+
+std::int64_t parse_i64(const std::string& s, const Command& cmd) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(s, &used);
+    GCT_CHECK(used == s.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("script line " + std::to_string(cmd.line) +
+                ": expected an integer, got '" + s + "'");
+  }
+}
+
+double parse_f64(const std::string& s, const Command& cmd) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw Error("script line " + std::to_string(cmd.line) +
+                ": expected a number, got '" + s + "'");
+  }
+}
+
+void require_arity(const Command& cmd, std::size_t min_tokens,
+                   std::size_t max_tokens) {
+  if (cmd.tokens.size() < min_tokens || cmd.tokens.size() > max_tokens) {
+    throw Error("script line " + std::to_string(cmd.line) + ": command '" +
+                cmd.tokens.front() + "' has wrong number of arguments");
+  }
+}
+
+template <typename T>
+void write_per_vertex(const std::string& path, const std::vector<T>& values) {
+  std::ofstream f(path);
+  GCT_CHECK(f.good(), "cannot open output file: " + path);
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    f << v << ' ' << values[v] << '\n';
+  }
+  GCT_CHECK(f.good(), "write failed: " + path);
+}
+
+}  // namespace
+
+Interpreter::Interpreter(std::ostream& out, InterpreterOptions opts)
+    : impl_(std::make_unique<Impl>(out, std::move(opts))) {}
+
+Interpreter::~Interpreter() = default;
+
+std::size_t Interpreter::stack_depth() const { return impl_->stack.size(); }
+
+Toolkit& Interpreter::current() { return impl_->current(0); }
+
+void Interpreter::run(std::string_view script_text) {
+  const std::vector<Command> cmds = parse_script(script_text);
+
+  // Script-level control flow: `repeat <n> ... end`, nestable. The original
+  // GraphCT had "no loop constructs or feedback mechanisms"; this is the
+  // future-work extension, kept out of execute() so single commands stay
+  // loop-free.
+  struct Loop {
+    std::size_t body_start;
+    std::int64_t remaining;
+  };
+  std::vector<Loop> loops;
+
+  auto matching_end = [&](std::size_t open) {
+    std::int64_t depth = 1;
+    for (std::size_t j = open + 1; j < cmds.size(); ++j) {
+      if (cmds[j].tokens[0] == "repeat") ++depth;
+      if (cmds[j].tokens[0] == "end" && --depth == 0) return j;
+    }
+    throw Error("script line " + std::to_string(cmds[open].line) +
+                ": 'repeat' without matching 'end'");
+  };
+
+  std::size_t i = 0;
+  while (i < cmds.size()) {
+    const Command& cmd = cmds[i];
+    if (cmd.tokens[0] == "repeat") {
+      GCT_CHECK(cmd.tokens.size() == 2,
+                "script line " + std::to_string(cmd.line) +
+                    ": 'repeat' takes exactly one count");
+      const std::int64_t count = parse_i64(cmd.tokens[1], cmd);
+      GCT_CHECK(count >= 0, "script line " + std::to_string(cmd.line) +
+                                ": repeat count must be >= 0");
+      if (count == 0) {
+        i = matching_end(i) + 1;  // skip the body entirely
+      } else {
+        matching_end(i);  // validate pairing up front
+        loops.push_back({i + 1, count});
+        ++i;
+      }
+      continue;
+    }
+    if (cmd.tokens[0] == "end") {
+      GCT_CHECK(!loops.empty(), "script line " + std::to_string(cmd.line) +
+                                    ": 'end' without 'repeat'");
+      if (--loops.back().remaining > 0) {
+        i = loops.back().body_start;
+      } else {
+        loops.pop_back();
+        ++i;
+      }
+      continue;
+    }
+    execute(cmd);
+    ++i;
+  }
+  GCT_CHECK(loops.empty(), "script: 'repeat' without matching 'end'");
+}
+
+void Interpreter::run_file(const std::string& path) {
+  std::ifstream in(path);
+  GCT_CHECK(in.good(), "cannot open script file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  run(ss.str());
+}
+
+void Interpreter::execute(const Command& cmd) {
+  if (cmd.tokens.empty()) return;
+  auto& im = *impl_;
+  std::ostream& out = im.out;
+  const std::string& verb = cmd.tokens[0];
+  Timer timer;
+
+  if (verb == "read") {
+    require_arity(cmd, 3, 3);
+    const std::string& fmt = cmd.tokens[1];
+    const std::string& path = cmd.tokens[2];
+    if (fmt == "dimacs") {
+      im.stack.clear();
+      im.stack.push_back(Toolkit::load_dimacs(path, im.opts.toolkit));
+    } else if (fmt == "binary") {
+      im.stack.clear();
+      im.stack.push_back(Toolkit::load_binary(path, im.opts.toolkit));
+    } else if (fmt == "edgelist") {
+      graphct::EdgeList el = graphct::read_edge_list(path);
+      im.stack.clear();
+      im.stack.emplace_back(graphct::build_csr(el), im.opts.toolkit);
+    } else if (fmt == "tweets") {
+      // Build the undirected user-to-user mention graph from a TSV tweet
+      // stream — the §III-B ingest, scriptable.
+      const auto tweets = graphct::twitter::read_tweets(path);
+      graphct::twitter::MentionGraphBuilder builder;
+      for (const auto& t : tweets) builder.add(t);
+      const auto mg = std::move(builder).build();
+      im.stack.clear();
+      im.stack.emplace_back(mg.undirected(), im.opts.toolkit);
+      out << "mention graph: " << mg.num_users << " users, "
+          << mg.unique_interactions << " unique interactions, "
+          << mg.tweets_with_responses << " tweets with responses\n";
+    } else {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": unknown read format '" + fmt + "'");
+    }
+    const auto& g = im.stack.back().graph();
+    out << "read " << fmt << " " << path << ": " << g.num_vertices()
+        << " vertices, " << g.num_edges() << " edges\n";
+  } else if (verb == "generate") {
+    require_arity(cmd, 4, 5);
+    GCT_CHECK(cmd.tokens[1] == "rmat",
+              "script line " + std::to_string(cmd.line) +
+                  ": only 'generate rmat' is supported");
+    graphct::RmatOptions r;
+    r.scale = parse_i64(cmd.tokens[2], cmd);
+    r.edge_factor = parse_i64(cmd.tokens[3], cmd);
+    if (cmd.tokens.size() > 4) {
+      r.seed = static_cast<std::uint64_t>(parse_i64(cmd.tokens[4], cmd));
+    }
+    im.stack.clear();
+    im.stack.emplace_back(graphct::rmat_graph(r), im.opts.toolkit);
+    const auto& g = im.stack.back().graph();
+    out << "generated rmat scale " << r.scale << ": " << g.num_vertices()
+        << " vertices, " << g.num_edges() << " edges\n";
+  } else if (verb == "print") {
+    require_arity(cmd, 2, 3);
+    Toolkit& tk = im.current(cmd.line);
+    const std::string& what = cmd.tokens[1];
+    if (what == "diameter") {
+      if (cmd.tokens.size() > 2) {
+        // Argument = percentage of vertices to sample (paper example:
+        // "print diameter 10" estimates from 10% of the vertices).
+        const double pct = parse_f64(cmd.tokens[2], cmd);
+        GCT_CHECK(pct > 0.0 && pct <= 100.0,
+                  "script line " + std::to_string(cmd.line) +
+                      ": diameter sample percentage must be in (0,100]");
+        const auto n = tk.graph().num_vertices();
+        const auto samples = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(static_cast<double>(n) * pct / 100.0));
+        const auto& d = tk.estimate_diameter(samples, 4);
+        out << "diameter estimate: " << d.estimate << " (longest BFS distance "
+            << d.longest_distance << ", " << d.samples_used << " samples)\n";
+      } else {
+        const auto& d = tk.diameter();
+        out << "diameter estimate: " << d.estimate << " (longest BFS distance "
+            << d.longest_distance << ", " << d.samples_used << " samples)\n";
+      }
+    } else if (what == "degrees") {
+      const auto& s = tk.degree_stats();
+      out << "degrees: n=" << s.count << " mean=" << s.mean
+          << " variance=" << s.variance << " max=" << s.max << "\n";
+      if (cmd.has_redirect()) {
+        write_per_vertex(cmd.redirect, graphct::degrees(tk.graph()));
+      }
+    } else if (what == "components") {
+      const auto& stats = tk.components_stats();
+      out << "components: " << stats.num_components << " (largest "
+          << stats.largest_size() << ")\n";
+      if (cmd.has_redirect()) {
+        write_per_vertex(cmd.redirect, tk.components());
+      }
+    } else if (what == "clustering") {
+      const auto& c = tk.clustering();
+      out << "clustering: triangles=" << c.total_triangles
+          << " global=" << c.global_clustering
+          << " mean_local=" << c.mean_local_clustering << "\n";
+      if (cmd.has_redirect()) {
+        write_per_vertex(cmd.redirect, c.coefficient);
+      }
+    } else if (what == "kcores") {
+      const auto& cores = tk.core_numbers();
+      out << "kcores: degeneracy=" << graphct::degeneracy(cores) << "\n";
+      if (cmd.has_redirect()) {
+        write_per_vertex(cmd.redirect, cores);
+      }
+    } else if (what == "graph") {
+      const auto& g = tk.graph();
+      out << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
+          << " edges, " << g.num_self_loops() << " self-loops, "
+          << (g.directed() ? "directed" : "undirected") << "\n";
+    } else {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": unknown print target '" + what + "'");
+    }
+  } else if (verb == "save") {
+    require_arity(cmd, 2, 2);
+    GCT_CHECK(cmd.tokens[1] == "graph",
+              "script line " + std::to_string(cmd.line) +
+                  ": expected 'save graph'");
+    Toolkit& tk = im.current(cmd.line);
+    // Duplicate the current graph on the stack; subsequent extracts replace
+    // the copy and 'restore graph' pops back to the original.
+    graphct::ToolkitOptions topts = im.opts.toolkit;
+    topts.estimate_diameter_on_load = false;  // identical graph; skip rework
+    im.stack.emplace_back(tk.graph(), topts);
+    out << "graph saved (stack depth " << im.stack.size() << ")\n";
+  } else if (verb == "restore") {
+    require_arity(cmd, 2, 2);
+    GCT_CHECK(cmd.tokens[1] == "graph",
+              "script line " + std::to_string(cmd.line) +
+                  ": expected 'restore graph'");
+    GCT_CHECK(im.stack.size() >= 2, "script line " + std::to_string(cmd.line) +
+                                        ": nothing to restore");
+    im.stack.pop_back();
+    out << "graph restored (stack depth " << im.stack.size() << ")\n";
+  } else if (verb == "extract") {
+    require_arity(cmd, 3, 3);
+    Toolkit& tk = im.current(cmd.line);
+    const std::string& what = cmd.tokens[1];
+    if (what == "component") {
+      const std::int64_t idx = parse_i64(cmd.tokens[2], cmd);
+      GCT_CHECK(idx >= 1, "script line " + std::to_string(cmd.line) +
+                              ": component index is 1-based");
+      Toolkit sub = tk.extract_component(idx - 1);
+      if (cmd.has_redirect()) {
+        graphct::write_binary(sub.graph(), cmd.redirect);
+      }
+      const auto& g = sub.graph();
+      out << "extracted component " << idx << ": " << g.num_vertices()
+          << " vertices, " << g.num_edges() << " edges\n";
+      im.stack.back() = std::move(sub);
+    } else if (what == "kcore") {
+      const std::int64_t k = parse_i64(cmd.tokens[2], cmd);
+      graphct::Subgraph sub = graphct::kcore_subgraph(tk.graph(), k);
+      if (cmd.has_redirect()) {
+        graphct::write_binary(sub.graph, cmd.redirect);
+      }
+      out << "extracted " << k << "-core: " << sub.graph.num_vertices()
+          << " vertices, " << sub.graph.num_edges() << " edges\n";
+      graphct::ToolkitOptions topts = im.opts.toolkit;
+      im.stack.back() = Toolkit(std::move(sub.graph), topts);
+    } else {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": unknown extract target '" + what + "'");
+    }
+  } else if (verb == "kcentrality") {
+    require_arity(cmd, 3, 3);
+    Toolkit& tk = im.current(cmd.line);
+    graphct::KBetweennessOptions ko;
+    ko.k = parse_i64(cmd.tokens[1], cmd);
+    ko.num_sources = parse_i64(cmd.tokens[2], cmd);
+    const auto res = tk.k_betweenness(ko);
+    out << "kcentrality k=" << ko.k << " sources=" << res.sources_used
+        << ": done in " << graphct::format_duration(res.seconds) << "\n";
+    if (cmd.has_redirect()) {
+      write_per_vertex(cmd.redirect, res.score);
+    } else {
+      // Screen summary: the ten most central vertices.
+      auto top = graphct::top_k(
+          std::span<const double>(res.score.data(), res.score.size()), 10);
+      for (auto v : top) {
+        out << "  vertex " << v << "  score "
+            << res.score[static_cast<std::size_t>(v)] << "\n";
+      }
+    }
+  } else if (verb == "pagerank") {
+    require_arity(cmd, 1, 1);
+    Toolkit& tk = im.current(cmd.line);
+    const auto res = tk.pagerank();
+    out << "pagerank: " << res.iterations << " iterations, residual "
+        << res.residual << (res.converged ? "" : " (not converged)") << "\n";
+    if (cmd.has_redirect()) {
+      write_per_vertex(cmd.redirect, res.score);
+    } else {
+      auto top = graphct::top_k(
+          std::span<const double>(res.score.data(), res.score.size()), 10);
+      for (auto v : top) {
+        out << "  vertex " << v << "  score "
+            << res.score[static_cast<std::size_t>(v)] << "\n";
+      }
+    }
+  } else if (verb == "closeness") {
+    require_arity(cmd, 2, 2);
+    Toolkit& tk = im.current(cmd.line);
+    graphct::ClosenessOptions co;
+    co.num_sources = parse_i64(cmd.tokens[1], cmd);
+    const auto res = tk.closeness(co);
+    out << "closeness: " << res.sources_used << " sources in "
+        << graphct::format_duration(res.seconds) << "\n";
+    if (cmd.has_redirect()) {
+      write_per_vertex(cmd.redirect, res.score);
+    } else {
+      auto top = graphct::top_k(
+          std::span<const double>(res.score.data(), res.score.size()), 10);
+      for (auto v : top) {
+        out << "  vertex " << v << "  score "
+            << res.score[static_cast<std::size_t>(v)] << "\n";
+      }
+    }
+  } else if (verb == "communities") {
+    require_arity(cmd, 1, 1);
+    Toolkit& tk = im.current(cmd.line);
+    const auto& c = tk.communities();
+    out << "communities: " << c.num_communities << " (largest "
+        << (c.sizes.empty() ? 0 : c.sizes.front().second) << "), modularity "
+        << tk.community_modularity() << "\n";
+    if (cmd.has_redirect()) {
+      write_per_vertex(cmd.redirect, c.labels);
+    }
+  } else if (verb == "bfs") {
+    require_arity(cmd, 3, 3);
+    Toolkit& tk = im.current(cmd.line);
+    graphct::BfsOptions bo;
+    const graphct::vid src = parse_i64(cmd.tokens[1], cmd);
+    bo.max_depth = parse_i64(cmd.tokens[2], cmd);
+    const auto r = graphct::bfs(tk.graph(), src, bo);
+    out << "bfs from " << src << " depth " << bo.max_depth << ": reached "
+        << r.num_reached() << " vertices\n";
+    if (cmd.has_redirect()) {
+      write_per_vertex(cmd.redirect, r.distance);
+    }
+  } else if (verb == "ego") {
+    // Analyst drill-down: replace the current graph with a vertex's
+    // neighborhood (use after 'kcentrality' surfaces an actor of interest).
+    require_arity(cmd, 3, 3);
+    Toolkit& tk = im.current(cmd.line);
+    const graphct::vid center = parse_i64(cmd.tokens[1], cmd);
+    const graphct::vid radius = parse_i64(cmd.tokens[2], cmd);
+    graphct::Subgraph sub = graphct::ego_network(tk.graph(), center, radius);
+    if (cmd.has_redirect()) {
+      graphct::write_binary(sub.graph, cmd.redirect);
+    }
+    out << "ego network of " << center << " radius " << radius << ": "
+        << sub.graph.num_vertices() << " vertices, "
+        << sub.graph.num_edges() << " edges\n";
+    graphct::ToolkitOptions topts = im.opts.toolkit;
+    im.stack.back() = Toolkit(std::move(sub.graph), topts);
+  } else if (verb == "write") {
+    require_arity(cmd, 3, 3);
+    Toolkit& tk = im.current(cmd.line);
+    const std::string& fmt = cmd.tokens[1];
+    if (fmt == "binary") {
+      graphct::write_binary(tk.graph(), cmd.tokens[2]);
+    } else if (fmt == "dimacs") {
+      graphct::write_dimacs(tk.graph(), cmd.tokens[2]);
+    } else {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": unknown write format '" + fmt + "'");
+    }
+    out << "wrote " << fmt << " " << cmd.tokens[2] << "\n";
+  } else if (verb == "echo") {
+    for (std::size_t i = 1; i < cmd.tokens.size(); ++i) {
+      if (i > 1) out << ' ';
+      out << cmd.tokens[i];
+    }
+    out << "\n";
+  } else {
+    throw Error("script line " + std::to_string(cmd.line) +
+                ": unknown command '" + verb + "'");
+  }
+
+  if (im.opts.timings) {
+    out << "[" << graphct::format_duration(timer.seconds()) << "]\n";
+  }
+}
+
+}  // namespace graphct::script

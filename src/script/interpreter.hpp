@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file interpreter.hpp
+/// Interpreter for the GraphCT scripting language (paper §IV-B).
+///
+/// Execution is sequential, one kernel per line. A stack-based "memory"
+/// (like a basic calculator's) holds graphs: `save graph` pushes the
+/// current graph, `restore graph` pops back to it, and `extract ...`
+/// replaces the current graph with a subgraph. Kernels producing per-vertex
+/// data write to the `=>` redirect file; everything else prints to the
+/// interpreter's output stream. There are deliberately no loop constructs
+/// ("the current implementation contains no loop constructs or feedback
+/// mechanisms"); an external process can monitor output and drive further
+/// scripts.
+///
+/// Command reference (beyond the paper's, marked +):
+///   read dimacs <path> | read binary <path> | read edgelist <path>
+///   + generate rmat <scale> <edge factor> [seed]
+///   print diameter [<percent of vertices>]
+///   print degrees            [=> per-vertex degrees]
+///   print components         [=> per-vertex component labels]
+///   + print clustering       [=> per-vertex coefficients]
+///   + print kcores           [=> per-vertex coreness]
+///   + print graph            (vertex/edge counts)
+///   save graph
+///   restore graph
+///   extract component <i>    [=> binary graph file]   (1-based, by size)
+///   + extract kcore <k>      [=> binary graph file]
+///   kcentrality <k> <num sources>  [=> per-vertex scores]
+///   + pagerank               [=> per-vertex scores]
+///   + closeness <num sources> [=> per-vertex scores]
+///   + communities             [=> per-vertex labels]
+///   + bfs <source> <depth>
+///   + write binary <path> | write dimacs <path>
+///   + echo <words...>
+///   + repeat <n> ... end    (the paper's "simple loop structures ... a
+///     topic for future consideration"; nestable, script-level only)
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "script/script_parser.hpp"
+
+namespace graphct::script {
+
+/// Interpreter options.
+struct InterpreterOptions {
+  graphct::ToolkitOptions toolkit;
+
+  /// Print kernel wall times after each command.
+  bool timings = false;
+};
+
+/// Executes parsed commands against a graph stack.
+class Interpreter {
+ public:
+  /// `out` receives screen output; it must outlive the interpreter.
+  explicit Interpreter(std::ostream& out, InterpreterOptions opts = {});
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Run one command. Throws graphct::Error (annotated with the line) on
+  /// unknown commands, bad arity, or kernel failures.
+  void execute(const Command& cmd);
+
+  /// Parse and run a whole script.
+  void run(std::string_view script_text);
+
+  /// Run a script file from disk.
+  void run_file(const std::string& path);
+
+  /// Depth of the graph stack (current graph included); 0 before any read.
+  [[nodiscard]] std::size_t stack_depth() const;
+
+  /// The current toolkit (throws if no graph is loaded).
+  graphct::Toolkit& current();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace graphct::script

@@ -1,0 +1,75 @@
+#include "script/script_parser.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace graphct::script {
+
+Command parse_line(std::string_view line, int lineno) {
+  Command cmd;
+  cmd.line = lineno;
+
+  // Strip comments (a '#' starts a comment anywhere outside a token that
+  // began earlier — the language has no quoting, so any '#' ends the line).
+  if (auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+
+  std::vector<std::string> words;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    if (j > i) words.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  if (words.empty()) return cmd;
+
+  // Split on `=>`.
+  bool saw_arrow = false;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    if (words[w] == "=>") {
+      GCT_CHECK(!saw_arrow, "script line " + std::to_string(lineno) +
+                                ": multiple '=>' redirects");
+      GCT_CHECK(w + 1 < words.size(), "script line " + std::to_string(lineno) +
+                                          ": '=>' needs a file name");
+      GCT_CHECK(w + 2 >= words.size(),
+                "script line " + std::to_string(lineno) +
+                    ": unexpected tokens after redirect target");
+      cmd.redirect = words[w + 1];
+      saw_arrow = true;
+      break;
+    }
+    cmd.tokens.push_back(words[w]);
+  }
+  GCT_CHECK(!cmd.tokens.empty() || !saw_arrow,
+            "script line " + std::to_string(lineno) +
+                ": redirect without a command");
+  return cmd;
+}
+
+std::vector<Command> parse_script(std::string_view text) {
+  std::vector<Command> out;
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    ++lineno;
+    Command c = parse_line(text.substr(pos, eol - pos), lineno);
+    if (!c.tokens.empty()) out.push_back(std::move(c));
+    if (eol == text.size()) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace graphct::script

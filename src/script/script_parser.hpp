@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file script_parser.hpp
+/// Parser for the GraphCT analyst scripting language (paper §IV-B).
+///
+/// Scripts are line-oriented: the first line typically reads a graph from
+/// disk and each following line invokes one kernel. A trailing `=> <file>`
+/// redirects a kernel's per-vertex output to a file. `#` starts a comment.
+/// The example from the paper parses as-is:
+///
+///   read dimacs patents.txt
+///   print diameter 10
+///   save graph
+///   extract component 1 => comp1.bin
+///   print degrees
+///   kcentrality 1 256 => k1scores.txt
+///   kcentrality 2 256 => k2scores.txt
+///   restore graph
+///   extract component 2
+///   print degrees
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphct::script {
+
+/// One parsed script line.
+struct Command {
+  std::vector<std::string> tokens;  ///< whitespace-split words before `=>`
+  std::string redirect;             ///< output file after `=>`, or empty
+  int line = 0;                     ///< 1-based source line (for errors)
+
+  [[nodiscard]] bool has_redirect() const { return !redirect.empty(); }
+};
+
+/// Parse a whole script. Blank lines and comments are skipped. Throws
+/// graphct::Error (with line numbers) on malformed lines, e.g. a dangling
+/// `=>` with no target or multiple `=>` on one line.
+std::vector<Command> parse_script(std::string_view text);
+
+/// Parse a single line (no trailing newline); returns a Command with no
+/// tokens for blank/comment lines.
+Command parse_line(std::string_view line, int lineno);
+
+}  // namespace graphct::script

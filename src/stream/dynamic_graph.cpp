@@ -1,0 +1,102 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+DynamicGraph::DynamicGraph(vid num_vertices)
+    : adjacency_(static_cast<std::size_t>(num_vertices)) {
+  GCT_CHECK(num_vertices >= 0, "DynamicGraph: negative vertex count");
+}
+
+DynamicGraph::DynamicGraph(const CsrGraph& g)
+    : adjacency_(static_cast<std::size_t>(g.num_vertices())) {
+  GCT_CHECK(!g.directed(), "DynamicGraph: input must be undirected");
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    auto& a = adjacency_[static_cast<std::size_t>(v)];
+    a.assign(nbrs.begin(), nbrs.end());
+    if (!g.sorted_adjacency()) std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  num_edges_ = 0;
+  for (vid v = 0; v < num_vertices(); ++v) {
+    for (vid u : adjacency_[static_cast<std::size_t>(v)]) {
+      if (u >= v) ++num_edges_;  // counts each pair once, self-loops once
+    }
+  }
+}
+
+namespace {
+// Insert `x` into sorted vector `a`; returns false if already present.
+bool sorted_insert(std::vector<graphct::vid>& a, graphct::vid x) {
+  const auto it = std::lower_bound(a.begin(), a.end(), x);
+  if (it != a.end() && *it == x) return false;
+  a.insert(it, x);
+  return true;
+}
+
+// Erase `x` from sorted vector `a`; returns false if absent.
+bool sorted_erase(std::vector<graphct::vid>& a, graphct::vid x) {
+  const auto it = std::lower_bound(a.begin(), a.end(), x);
+  if (it == a.end() || *it != x) return false;
+  a.erase(it);
+  return true;
+}
+}  // namespace
+
+bool DynamicGraph::insert_edge(vid u, vid v) {
+  const vid n = num_vertices();
+  GCT_CHECK(u >= 0 && u < n && v >= 0 && v < n,
+            "DynamicGraph::insert_edge: endpoint out of range");
+  if (!sorted_insert(adjacency_[static_cast<std::size_t>(u)], v)) return false;
+  if (u != v) {
+    sorted_insert(adjacency_[static_cast<std::size_t>(v)], u);
+  }
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::remove_edge(vid u, vid v) {
+  const vid n = num_vertices();
+  GCT_CHECK(u >= 0 && u < n && v >= 0 && v < n,
+            "DynamicGraph::remove_edge: endpoint out of range");
+  if (!sorted_erase(adjacency_[static_cast<std::size_t>(u)], v)) return false;
+  if (u != v) {
+    sorted_erase(adjacency_[static_cast<std::size_t>(v)], u);
+  }
+  --num_edges_;
+  return true;
+}
+
+bool DynamicGraph::has_edge(vid u, vid v) const {
+  const vid n = num_vertices();
+  GCT_CHECK(u >= 0 && u < n && v >= 0 && v < n,
+            "DynamicGraph::has_edge: endpoint out of range");
+  const auto& a = adjacency_[static_cast<std::size_t>(u)];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+CsrGraph DynamicGraph::snapshot() const {
+  const vid n = num_vertices();
+  std::vector<eid> offsets(static_cast<std::size_t>(n) + 1, 0);
+  vid self_loops = 0;
+  for (vid v = 0; v < n; ++v) {
+    offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[static_cast<std::size_t>(v)] +
+        static_cast<eid>(adjacency_[static_cast<std::size_t>(v)].size());
+    if (has_edge(v, v)) ++self_loops;
+  }
+  std::vector<vid> adj;
+  adj.reserve(static_cast<std::size_t>(offsets.back()));
+  for (vid v = 0; v < n; ++v) {
+    const auto& a = adjacency_[static_cast<std::size_t>(v)];
+    adj.insert(adj.end(), a.begin(), a.end());
+  }
+  return CsrGraph(std::move(offsets), std::move(adj), /*directed=*/false,
+                  self_loops, /*sorted=*/true);
+}
+
+}  // namespace graphct

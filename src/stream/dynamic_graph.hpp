@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file dynamic_graph.hpp
+/// A dynamic undirected graph for streaming updates.
+///
+/// The paper analyzes a static snapshot but its authors' companion work
+/// (ref [10], "Massive streaming data analytics: a case study with
+/// clustering coefficients", MTAAP 2010) processes the tweet stream as edge
+/// insertions into a dynamic structure. This is that substrate: a
+/// fixed-vertex-set undirected multigraph-free graph with sorted per-vertex
+/// adjacency vectors, O(deg) insert/erase, O(log deg) membership, and a
+/// CSR snapshot for handing live graphs to the static kernels.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct {
+
+/// Dynamic undirected graph over a fixed vertex set [0, n).
+/// Self-loops are permitted (stored once); parallel edges are not (inserting
+/// an existing edge is a no-op that reports false).
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(vid num_vertices);
+
+  /// Build pre-populated from a static undirected graph.
+  explicit DynamicGraph(const CsrGraph& g);
+
+  [[nodiscard]] vid num_vertices() const {
+    return static_cast<vid>(adjacency_.size());
+  }
+  [[nodiscard]] eid num_edges() const { return num_edges_; }
+
+  /// Insert undirected edge {u, v}. Returns true if the graph changed
+  /// (false when the edge already existed).
+  bool insert_edge(vid u, vid v);
+
+  /// Remove undirected edge {u, v}. Returns true if the graph changed.
+  bool remove_edge(vid u, vid v);
+
+  [[nodiscard]] bool has_edge(vid u, vid v) const;
+  [[nodiscard]] vid degree(vid v) const {
+    return static_cast<vid>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+  [[nodiscard]] std::span<const vid> neighbors(vid v) const {
+    const auto& a = adjacency_[static_cast<std::size_t>(v)];
+    return {a.data(), a.size()};
+  }
+
+  /// Freeze the current state into a CSR graph (for the static kernels).
+  [[nodiscard]] CsrGraph snapshot() const;
+
+ private:
+  std::vector<std::vector<vid>> adjacency_;  // each sorted ascending
+  eid num_edges_ = 0;
+};
+
+}  // namespace graphct

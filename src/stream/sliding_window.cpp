@@ -1,0 +1,48 @@
+#include "stream/sliding_window.hpp"
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+SlidingWindowGraph::SlidingWindowGraph(vid num_vertices,
+                                       std::int64_t window_seconds)
+    : live_(num_vertices), window_(window_seconds) {
+  GCT_CHECK(window_seconds > 0,
+            "SlidingWindowGraph: window must be positive");
+  GCT_CHECK(num_vertices < (vid{1} << 32),
+            "SlidingWindowGraph: vertex ids must fit 32 bits");
+}
+
+void SlidingWindowGraph::observe(vid u, vid v, std::int64_t timestamp) {
+  GCT_CHECK(timestamp >= now_,
+            "SlidingWindowGraph: observations must arrive in time order");
+  now_ = timestamp;
+  expire();
+  if (u == v) return;
+  events_.push_back({timestamp, u, v});
+  if (++refcount_[key(u, v)] == 1) {
+    live_.insert_edge(u, v);
+  }
+}
+
+void SlidingWindowGraph::advance(std::int64_t now) {
+  GCT_CHECK(now >= now_, "SlidingWindowGraph: clock cannot run backwards");
+  now_ = now;
+  expire();
+}
+
+void SlidingWindowGraph::expire() {
+  while (!events_.empty() && events_.front().timestamp + window_ < now_) {
+    const Event e = events_.front();
+    events_.pop_front();
+    const auto k = key(e.u, e.v);
+    auto it = refcount_.find(k);
+    GCT_ASSERT(it != refcount_.end());
+    if (--it->second == 0) {
+      refcount_.erase(it);
+      live_.remove_edge(e.u, e.v);
+    }
+  }
+}
+
+}  // namespace graphct

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file sliding_window.hpp
+/// A time-windowed live graph: edges carry timestamps, arrive in order, and
+/// expire once they fall out of the trailing window. Multiple observations
+/// of the same edge are reference-counted, so the edge survives until its
+/// *last* observation expires. Triangle counts stay current through the
+/// embedded StreamingClustering.
+///
+/// This is the machinery for "live" views of a tweet stream — the paper's
+/// temporal future work combined with its authors' streaming analytics
+/// (ref [10]): at any instant the analyst can ask for the clustering
+/// structure of the last hour's conversations without recomputation.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "stream/streaming_clustering.hpp"
+
+namespace graphct {
+
+/// Sliding-window graph over a fixed vertex set.
+class SlidingWindowGraph {
+ public:
+  /// `window_seconds` — trailing window width; an observation at time t
+  /// expires when now > t + window_seconds.
+  SlidingWindowGraph(vid num_vertices, std::int64_t window_seconds);
+
+  /// Observe edge {u, v} at `timestamp` (must be >= every prior timestamp).
+  /// Expires old observations first. Self-loops are ignored (they carry no
+  /// clustering information).
+  void observe(vid u, vid v, std::int64_t timestamp);
+
+  /// Advance the clock without new observations (expiring stale edges).
+  void advance(std::int64_t now);
+
+  /// Current live structure.
+  [[nodiscard]] const StreamingClustering& live() const { return live_; }
+
+  /// Observations currently inside the window (counting multiplicity).
+  [[nodiscard]] std::int64_t active_observations() const {
+    return static_cast<std::int64_t>(events_.size());
+  }
+
+  [[nodiscard]] std::int64_t window_seconds() const { return window_; }
+  [[nodiscard]] std::int64_t now() const { return now_; }
+
+ private:
+  struct Event {
+    std::int64_t timestamp;
+    vid u, v;
+  };
+
+  static std::uint64_t key(vid u, vid v) {
+    const auto a = static_cast<std::uint64_t>(u < v ? u : v);
+    const auto b = static_cast<std::uint64_t>(u < v ? v : u);
+    return (a << 32) | b;
+  }
+
+  void expire();
+
+  StreamingClustering live_;
+  std::deque<Event> events_;                       // timestamp-ordered
+  std::unordered_map<std::uint64_t, std::int32_t> refcount_;
+  std::int64_t window_;
+  std::int64_t now_ = 0;
+};
+
+}  // namespace graphct

@@ -1,0 +1,82 @@
+#include "stream/streaming_clustering.hpp"
+
+#include "algs/clustering.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+
+StreamingClustering::StreamingClustering(vid num_vertices)
+    : graph_(num_vertices),
+      triangles_(static_cast<std::size_t>(num_vertices), 0) {}
+
+StreamingClustering::StreamingClustering(const CsrGraph& g) : graph_(g) {
+  const auto stat = clustering_coefficients(g);
+  triangles_ = stat.triangles;
+  total_ = stat.total_triangles;
+}
+
+void StreamingClustering::update_triangles(vid u, vid v, std::int64_t delta) {
+  // Common neighbors of u and v are exactly the triangles the edge {u,v}
+  // opens or closes. Sorted-intersection over the two adjacency vectors.
+  const auto nu = graph_.neighbors(u);
+  const auto nv = graph_.neighbors(v);
+  auto iu = nu.begin();
+  auto iv = nv.begin();
+  while (iu != nu.end() && iv != nv.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      const vid w = *iu;
+      // Self-loop entries (u in N(u)) never intersect as a third vertex
+      // distinct from u, v; skip degenerate w.
+      if (w != u && w != v) {
+        triangles_[static_cast<std::size_t>(u)] += delta;
+        triangles_[static_cast<std::size_t>(v)] += delta;
+        triangles_[static_cast<std::size_t>(w)] += delta;
+        total_ += delta;
+      }
+      ++iu;
+      ++iv;
+    }
+  }
+}
+
+bool StreamingClustering::insert_edge(vid u, vid v) {
+  if (graph_.has_edge(u, v)) return false;
+  // Count against the adjacency *before* the edge exists, then insert.
+  if (u != v) update_triangles(u, v, +1);
+  graph_.insert_edge(u, v);
+  return true;
+}
+
+bool StreamingClustering::remove_edge(vid u, vid v) {
+  if (!graph_.has_edge(u, v)) return false;
+  graph_.remove_edge(u, v);
+  // Count against the adjacency *after* removal — the exact inverse.
+  if (u != v) update_triangles(u, v, -1);
+  return true;
+}
+
+double StreamingClustering::coefficient(vid v) const {
+  std::int64_t d = graph_.degree(v);
+  if (graph_.has_edge(v, v)) --d;
+  if (d < 2) return 0.0;
+  return 2.0 * static_cast<double>(triangles_[static_cast<std::size_t>(v)]) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double StreamingClustering::global_clustering() const {
+  const vid n = graph_.num_vertices();
+  std::int64_t wedges = 0;
+  for (vid v = 0; v < n; ++v) {
+    std::int64_t d = graph_.degree(v);
+    if (graph_.has_edge(v, v)) --d;
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(total_) / static_cast<double>(wedges);
+}
+
+}  // namespace graphct

@@ -1,0 +1,236 @@
+#include "twitter/corpus_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct::twitter {
+
+namespace {
+
+using graphct::Rng;
+
+/// Zipf-like sampler over [0, n): P(i) ∝ (i+1)^-s, via inverse-CDF on a
+/// precomputed cumulative table (exact, O(log n) per draw).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double s) : cum_(static_cast<std::size_t>(n)) {
+    GCT_ASSERT(n > 0);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc += std::pow(static_cast<double>(i + 1), -s);
+      cum_[static_cast<std::size_t>(i)] = acc;
+    }
+  }
+
+  std::int64_t draw(Rng& rng) const {
+    const double r = rng.next_double() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), r);
+    return static_cast<std::int64_t>(it - cum_.begin());
+  }
+
+ private:
+  std::vector<double> cum_;
+};
+
+const char* kFiller[] = {
+    "just",   "heard",  "about",   "the",    "latest", "news",  "today",
+    "please", "stay",   "safe",    "out",    "there",  "this",  "is",
+    "really", "wild",   "cannot",  "believe","it",     "check", "update",
+    "from",   "watch",  "live",    "now",    "more",   "info",  "soon",
+    "thanks", "for",    "sharing", "what",   "do",     "you",   "think",
+    "hope",   "everyone","ok",     "big",    "story",  "breaking"};
+constexpr std::size_t kNumFiller = sizeof(kFiller) / sizeof(kFiller[0]);
+
+void append_filler(std::string& text, Rng& rng, int words) {
+  for (int i = 0; i < words; ++i) {
+    if (!text.empty()) text += ' ';
+    text += kFiller[rng.next_below(kNumFiller)];
+  }
+}
+
+void maybe_hashtag(std::string& text, Rng& rng, const CorpusOptions& o) {
+  if (!o.hashtags.empty() && rng.next_bool(o.hashtag_prob)) {
+    text += " #";
+    text += o.hashtags[rng.next_below(o.hashtags.size())];
+  }
+}
+
+}  // namespace
+
+std::vector<Tweet> generate_corpus(const CorpusOptions& o) {
+  GCT_CHECK(o.user_pool >= 2, "corpus: user_pool must be >= 2");
+  GCT_CHECK(o.num_hubs >= 1 && o.num_hubs < o.user_pool,
+            "corpus: num_hubs must be in [1, user_pool)");
+  GCT_CHECK(o.max_conversation_size >= 2,
+            "corpus: conversations need >= 2 members");
+
+  Rng rng(o.seed);
+
+  // --- Name the population: hubs first, then ordinary users. ---
+  std::vector<std::string> names(static_cast<std::size_t>(o.user_pool));
+  for (std::int64_t h = 0; h < o.num_hubs; ++h) {
+    if (h < static_cast<std::int64_t>(o.hub_names.size())) {
+      names[static_cast<std::size_t>(h)] = o.hub_names[static_cast<std::size_t>(h)];
+    } else {
+      names[static_cast<std::size_t>(h)] = "hub" + std::to_string(h);
+    }
+  }
+  for (std::int64_t u = o.num_hubs; u < o.user_pool; ++u) {
+    names[static_cast<std::size_t>(u)] = "u" + std::to_string(u);
+  }
+
+  // --- Conversation groups: small circles drawn from a shared
+  // conversationalist sub-population. The pool is sized so each member
+  // joins ~conversation_overlap circles on average; shared members connect
+  // circles into the larger conversation clusters of Fig. 3. ---
+  struct Group {
+    std::vector<std::int64_t> members;
+  };
+  std::vector<Group> groups;
+  groups.reserve(static_cast<std::size_t>(o.num_conversations));
+  const double avg_size = (2.0 + static_cast<double>(o.max_conversation_size)) / 2.0;
+  const double overlap = std::max(1.0, o.conversation_overlap);
+  std::int64_t conversational_pool = static_cast<std::int64_t>(
+      static_cast<double>(o.num_conversations) * avg_size / overlap);
+  conversational_pool =
+      std::clamp<std::int64_t>(conversational_pool, o.max_conversation_size,
+                               o.user_pool - o.num_hubs);
+  for (std::int64_t c = 0; c < o.num_conversations; ++c) {
+    const std::int64_t size =
+        std::min<std::int64_t>(rng.next_in(2, o.max_conversation_size),
+                               conversational_pool);
+    Group g;
+    const auto picks = rng.sample_without_replacement(conversational_pool, size);
+    for (auto p : picks) g.members.push_back(o.num_hubs + p);
+    groups.push_back(std::move(g));
+  }
+
+  const ZipfSampler hub_pick(o.num_hubs, o.zipf_hubs);
+  const ZipfSampler activity(o.user_pool - o.num_hubs, o.zipf_activity);
+  auto pick_author = [&]() {
+    return o.num_hubs + activity.draw(rng);
+  };
+
+  // Normalize the tweet-type mixture.
+  const double psum = o.p_plain + o.p_broadcast + o.p_random_mention +
+                      o.p_conversation + o.p_self;
+  GCT_CHECK(psum > 0.0, "corpus: tweet-type mixture is all zero");
+
+  std::vector<Tweet> tweets;
+  tweets.reserve(static_cast<std::size_t>(o.num_tweets) * 5 / 4);
+  std::int64_t next_id = 1;
+  std::int64_t clock = 1251763200;  // 2009-09-01 00:00 UTC
+
+  auto emit = [&](const std::string& author, std::string text) {
+    clock += rng.next_in(1, 10);
+    tweets.push_back({next_id++, author, std::move(text), clock});
+  };
+
+  for (std::int64_t i = 0; i < o.num_tweets; ++i) {
+    double r = rng.next_double() * psum;
+    std::string text;
+
+    if ((r -= o.p_plain) < 0.0) {
+      // Plain chatter: author only, no mentions.
+      append_filler(text, rng, 4 + static_cast<int>(rng.next_below(6)));
+      maybe_hashtag(text, rng, o);
+      emit(names[static_cast<std::size_t>(pick_author())], std::move(text));
+    } else if ((r -= o.p_broadcast) < 0.0) {
+      // Broadcast: cite (or retweet) a hub.
+      const std::int64_t hub = hub_pick.draw(rng);
+      const std::string& hub_name = names[static_cast<std::size_t>(hub)];
+      if (rng.next_bool(o.retweet_fraction)) {
+        text = "RT @" + hub_name;
+        append_filler(text, rng, 3 + static_cast<int>(rng.next_below(5)));
+      } else {
+        append_filler(text, rng, 1 + static_cast<int>(rng.next_below(3)));
+        text += " @" + hub_name;
+        append_filler(text, rng, 2 + static_cast<int>(rng.next_below(4)));
+      }
+      maybe_hashtag(text, rng, o);
+      emit(names[static_cast<std::size_t>(pick_author())], std::move(text));
+    } else if ((r -= o.p_random_mention) < 0.0) {
+      // One-way mention of a random (activity-weighted) user.
+      const std::int64_t author = pick_author();
+      std::int64_t target = pick_author();
+      if (target == author) target = o.num_hubs + (target + 1 - o.num_hubs) %
+                                                      (o.user_pool - o.num_hubs);
+      append_filler(text, rng, 2 + static_cast<int>(rng.next_below(3)));
+      text += " @" + names[static_cast<std::size_t>(target)];
+      append_filler(text, rng, 2 + static_cast<int>(rng.next_below(4)));
+      maybe_hashtag(text, rng, o);
+      emit(names[static_cast<std::size_t>(author)], std::move(text));
+    } else if ((r -= o.p_conversation) < 0.0 && !groups.empty()) {
+      // Conversation: a thread inside one group, alternating speakers while
+      // replies keep coming. Every reply creates a reciprocated arc.
+      const Group& g = groups[rng.next_below(groups.size())];
+      std::int64_t a = g.members[rng.next_below(g.members.size())];
+      std::int64_t b = g.members[rng.next_below(g.members.size())];
+      if (a == b) b = g.members[(rng.next_below(g.members.size()) + 1) %
+                                g.members.size()];
+      if (a == b) {  // group of size >= 2 guarantees an alternative
+        for (std::int64_t m : g.members) {
+          if (m != a) {
+            b = m;
+            break;
+          }
+        }
+      }
+      int turns = 1;
+      while (rng.next_bool(o.reply_prob) && turns < 6) ++turns;
+      for (int t = 0; t < turns; ++t) {
+        std::string msg = "@" + names[static_cast<std::size_t>(t % 2 == 0 ? b : a)];
+        append_filler(msg, rng, 3 + static_cast<int>(rng.next_below(5)));
+        maybe_hashtag(msg, rng, o);
+        emit(names[static_cast<std::size_t>(t % 2 == 0 ? a : b)],
+             std::move(msg));
+      }
+    } else {
+      // Echo chamber: author references themself.
+      const std::int64_t author = pick_author();
+      append_filler(text, rng, 2 + static_cast<int>(rng.next_below(3)));
+      text += " @" + names[static_cast<std::size_t>(author)];
+      append_filler(text, rng, 1 + static_cast<int>(rng.next_below(3)));
+      maybe_hashtag(text, rng, o);
+      emit(names[static_cast<std::size_t>(author)], std::move(text));
+    }
+  }
+
+  // Twitter's hard limit: truncate to 140 characters.
+  for (auto& t : tweets) {
+    if (t.text.size() > 140) t.text.resize(140);
+  }
+  return tweets;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> simulate_weekly_articles(
+    const ArticleVolumeOptions& o) {
+  Rng rng(o.seed);
+  std::vector<std::pair<std::int64_t, std::int64_t>> rows;
+  rows.reserve(static_cast<std::size_t>(o.num_weeks));
+  for (std::int64_t w = 0; w < o.num_weeks; ++w) {
+    const std::int64_t week = o.first_week + w;
+    double intensity = o.baseline;
+    if (w >= 1) {
+      // Burst wave: onset the week after first_week, geometric decay.
+      intensity += o.peak * std::pow(o.decay, static_cast<double>(w - 1));
+    }
+    if (week >= o.rebound_week) {
+      intensity += o.peak * o.rebound *
+                   std::pow(o.decay, static_cast<double>(week - o.rebound_week));
+    }
+    // Lognormal week-to-week attention noise.
+    intensity *= std::exp(o.noise_sigma * rng.next_normal());
+    // Poisson(intensity) via normal approximation (intensity >> 30 here).
+    const double draw =
+        intensity + std::sqrt(std::max(intensity, 1.0)) * rng.next_normal();
+    rows.emplace_back(week,
+                      std::max<std::int64_t>(0, std::llround(draw)));
+  }
+  return rows;
+}
+
+}  // namespace graphct::twitter

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file corpus_gen.hpp
+/// Synthetic tweet-corpus generator.
+///
+/// The paper's Twitter data (Spinn3r harvests of H1N1 / #atlflood /
+/// September 2009 streams) is proprietary and unavailable, so this module
+/// synthesizes corpora with the structural properties the paper reports and
+/// analyzes (DESIGN.md §2):
+///
+///  * broadcast dominance — most mentions point at a small set of hub
+///    accounts (media/government), Zipf-weighted, producing the tree-like
+///    news-dissemination shape of §III-C;
+///  * heavy-tailed user activity — a few users author a large share of
+///    tweets (power-law degree distributions, Fig. 2);
+///  * embedded conversations — small groups exchanging reciprocated
+///    mentions, the sub-communities the mutual filter isolates (Fig. 3);
+///  * echo-chamber self-references, retweets, plain (mention-free) tweets,
+///    and topical hashtags.
+///
+/// The generator emits real tweet *text* ("RT @cdcflu wash hands #h1n1 ...")
+/// so the end-to-end pipeline — parser, interning, dedup, graph build — is
+/// exercised exactly as it would be on harvested data.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "twitter/tweet.hpp"
+
+namespace graphct::twitter {
+
+/// Knobs controlling a synthetic corpus.
+struct CorpusOptions {
+  std::int64_t user_pool = 10000;  ///< candidate users ("u<i>" + hub names)
+  std::int64_t num_tweets = 12000; ///< primary tweets (replies add more)
+  std::int64_t num_hubs = 20;      ///< broadcast hubs (media/government)
+
+  /// Named hub accounts; the first num_hubs entries are used, padded with
+  /// generated "hub<i>" names when the list is shorter.
+  std::vector<std::string> hub_names;
+
+  /// Zipf exponent for hub popularity and user activity.
+  double zipf_hubs = 1.1;
+  double zipf_activity = 1.05;
+
+  // Tweet-type mixture (normalized internally).
+  double p_plain = 0.30;         ///< no mentions
+  double p_broadcast = 0.35;     ///< mention (or RT) a hub
+  double p_random_mention = 0.18;///< one-way mention of a random user
+  double p_conversation = 0.15;  ///< talk within a conversation group
+  double p_self = 0.02;          ///< self-reference
+
+  /// Fraction of broadcast tweets that are retweets ("RT @hub ...").
+  double retweet_fraction = 0.4;
+
+  /// Conversation structure: groups of 2..max size drawn from a shared
+  /// "conversationalist" sub-population; because groups overlap (one user
+  /// joins several circles), reciprocated edges weave into larger
+  /// conversation clusters — the connected sub-communities of Fig. 3.
+  /// A conversational mention is answered with probability reply_prob
+  /// (each answer is an extra tweet, creating mutual arcs).
+  std::int64_t num_conversations = 400;
+  std::int64_t max_conversation_size = 6;
+  double reply_prob = 0.5;
+
+  /// Average circles each conversationalist belongs to; higher = larger
+  /// connected conversation clusters after mutual filtering.
+  double conversation_overlap = 2.0;
+
+  /// Topic hashtags sprinkled into tweet text.
+  std::vector<std::string> hashtags = {"topic"};
+  double hashtag_prob = 0.5;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate a corpus. Deterministic for a fixed option set (including seed).
+/// Tweets are returned in timestamp order.
+std::vector<Tweet> generate_corpus(const CorpusOptions& opts);
+
+/// Weekly article-volume model (Table II): simulates the count of English
+/// non-spam articles mentioning a pandemic keyword per week, as an
+/// attention burst — quiet baseline, an explosive onset week, geometric
+/// decay of attention, a secondary rebound wave, and lognormal week-to-week
+/// noise. Counts are Poisson draws from the weekly intensity.
+struct ArticleVolumeOptions {
+  std::int64_t first_week = 17;    ///< ISO week of the onset year
+  std::int64_t num_weeks = 8;
+  double baseline = 5500.0;        ///< pre-onset weekly volume
+  double peak = 105000.0;          ///< onset-week burst intensity
+  double decay = 0.45;             ///< week-over-week attention retention
+  double rebound = 0.35;           ///< secondary wave amplitude (x peak)
+  std::int64_t rebound_week = 22;  ///< when the second wave lands
+  double noise_sigma = 0.15;       ///< lognormal week noise
+  std::uint64_t seed = 1;
+};
+
+/// Simulated (week, article count) rows.
+std::vector<std::pair<std::int64_t, std::int64_t>> simulate_weekly_articles(
+    const ArticleVolumeOptions& opts);
+
+}  // namespace graphct::twitter

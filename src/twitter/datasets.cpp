@@ -1,0 +1,201 @@
+#include "twitter/datasets.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace graphct::twitter {
+
+namespace {
+
+// Hub account names observed in the paper's Table IV (media/government for
+// H1N1; Atlanta media and personalities for #atlflood). Used as the named
+// broadcast hubs so Table IV-style output is directly comparable.
+const std::vector<std::string> kH1n1Hubs = {
+    "cdcflu",      "addthis",   "official_pax", "flugov",
+    "nytimes",     "tweetmeme", "mercola",      "cnn",
+    "backstreetboys", "elliesmith_x", "time",   "cdcemergency",
+    "cdc_ehealth", "perezhilton", "billmaher"};
+
+const std::vector<std::string> kAtlfloodHubs = {
+    "ajc",        "driveafastercar", "atlcheap",      "twci",
+    "hellonorthga", "11alivenews",   "wsb_tv",        "shaunking",
+    "carl",       "spaceyg",         "atlintownpaper", "tjsdjs",
+    "atlien",     "marshallramsey",  "kanye"};
+
+DatasetPreset make_h1n1() {
+  DatasetPreset p;
+  p.name = "h1n1";
+  p.description =
+      "influenza H1N1 keyword tweets, September 2009 (synthetic stand-in "
+      "for the Spinn3r harvest)";
+  CorpusOptions& c = p.corpus;
+  c.user_pool = 100000;
+  c.num_tweets = 60000;
+  c.num_hubs = 60;
+  c.hub_names = kH1n1Hubs;
+  c.zipf_hubs = 1.0;
+  c.zipf_activity = 0.40;
+  c.p_plain = 0.40;
+  c.p_broadcast = 0.14;
+  c.p_random_mention = 0.36;
+  c.p_conversation = 0.035;
+  c.p_self = 0.025;
+  c.retweet_fraction = 0.45;
+  c.num_conversations = 1400;
+  c.max_conversation_size = 6;
+  c.reply_prob = 0.35;
+  c.hashtags = {"h1n1", "swineflu", "flu", "influenza"};
+  c.hashtag_prob = 0.7;
+  c.seed = 20090901;
+
+  p.paper = {46457, 36886, 3444, 13200, 16541, 1772, 17000, 1184};
+  return p;
+}
+
+DatasetPreset make_atlflood() {
+  DatasetPreset p;
+  p.name = "atlflood";
+  p.description =
+      "#atlflood tweets, 20-25 September 2009 (synthetic stand-in)";
+  CorpusOptions& c = p.corpus;
+  c.user_pool = 3400;
+  c.num_tweets = 4100;
+  c.num_hubs = 30;
+  c.hub_names = kAtlfloodHubs;
+  c.zipf_hubs = 0.9;
+  c.zipf_activity = 0.45;
+  c.p_plain = 0.30;
+  c.p_broadcast = 0.38;
+  c.p_random_mention = 0.20;
+  c.p_conversation = 0.05;
+  c.p_self = 0.03;
+  c.retweet_fraction = 0.5;
+  c.num_conversations = 110;
+  c.max_conversation_size = 5;
+  c.reply_prob = 0.35;
+  c.hashtags = {"atlflood"};
+  c.hashtag_prob = 0.95;
+  c.seed = 20090920;
+
+  p.paper = {2283, 2774, 279, 1488, 2267, 247, 1164, 37};
+  return p;
+}
+
+DatasetPreset make_sep1() {
+  DatasetPreset p;
+  p.name = "sep1";
+  p.description = "all public tweets, 1 September 2009 (synthetic stand-in)";
+  CorpusOptions& c = p.corpus;
+  c.user_pool = 1150000;
+  c.num_tweets = 1150000;
+  c.num_hubs = 3000;
+  c.zipf_hubs = 1.05;
+  c.zipf_activity = 0.45;
+  c.p_plain = 0.13;
+  c.p_broadcast = 0.30;
+  c.p_random_mention = 0.40;
+  c.p_conversation = 0.10;
+  c.p_self = 0.02;
+  c.retweet_fraction = 0.35;
+  c.num_conversations = 45000;
+  c.max_conversation_size = 6;
+  c.reply_prob = 0.45;
+  c.hashtags = {"news", "music", "jobs", "fun", "sports"};
+  c.hashtag_prob = 0.3;
+  c.seed = 20090801;
+
+  p.paper = {735465, 1020671, 171512, 512010, 879621, 148708, 0, 0};
+  return p;
+}
+
+DatasetPreset make_sep1_9() {
+  DatasetPreset p = make_sep1();
+  p.name = "sep1_9";
+  p.description = "tweets of 1-9 September 2009 (Fig. 6 scaling point)";
+  CorpusOptions& c = p.corpus;
+  c.user_pool = 4500000;
+  c.num_tweets = 6500000;
+  c.num_hubs = 12000;
+  c.num_conversations = 220000;
+  c.seed = 20090809;
+  // Fig. 6 caption: 4.1M vertices, 7.1M edges.
+  p.paper = {4100000, 7100000, 0, 0, 0, 0, 0, 0};
+  return p;
+}
+
+DatasetPreset make_sep_all() {
+  DatasetPreset p = make_sep1();
+  p.name = "sep_all";
+  p.description = "all September 2009 tweets (Fig. 6 scaling point)";
+  CorpusOptions& c = p.corpus;
+  c.user_pool = 8000000;
+  c.num_tweets = 16000000;
+  c.num_hubs = 20000;
+  c.num_conversations = 400000;
+  c.seed = 20090930;
+  // Fig. 6 caption: 7.2M vertices, 18.2M edges.
+  p.paper = {7200000, 18200000, 0, 0, 0, 0, 0, 0};
+  return p;
+}
+
+DatasetPreset make_tiny() {
+  DatasetPreset p;
+  p.name = "tiny";
+  p.description = "miniature mixed corpus for unit tests";
+  CorpusOptions& c = p.corpus;
+  c.user_pool = 300;
+  c.num_tweets = 900;
+  c.num_hubs = 6;
+  c.hub_names = {"newsdesk", "cityhall", "weather"};
+  c.num_conversations = 25;
+  c.max_conversation_size = 4;
+  c.reply_prob = 0.5;
+  c.hashtags = {"test"};
+  c.seed = 42;
+  return p;
+}
+
+}  // namespace
+
+DatasetPreset dataset_preset(std::string_view name, double scale) {
+  GCT_CHECK(scale > 0.0 && scale <= 1.0,
+            "dataset_preset: scale must be in (0, 1]");
+  DatasetPreset p;
+  if (name == "h1n1") {
+    p = make_h1n1();
+  } else if (name == "atlflood") {
+    p = make_atlflood();
+  } else if (name == "sep1") {
+    p = make_sep1();
+  } else if (name == "sep1_9") {
+    p = make_sep1_9();
+  } else if (name == "sep_all") {
+    p = make_sep_all();
+  } else if (name == "tiny") {
+    p = make_tiny();
+  } else {
+    throw graphct::Error("unknown dataset preset: " + std::string(name));
+  }
+  if (scale < 1.0) {
+    auto shrink = [&](std::int64_t v, std::int64_t floor_v) {
+      return std::max<std::int64_t>(
+          floor_v, static_cast<std::int64_t>(std::llround(
+                       static_cast<double>(v) * scale)));
+    };
+    CorpusOptions& c = p.corpus;
+    c.user_pool = shrink(c.user_pool, 50);
+    c.num_tweets = shrink(c.num_tweets, 100);
+    c.num_hubs = shrink(c.num_hubs, 3);
+    c.num_conversations = shrink(c.num_conversations, 5);
+  }
+  return p;
+}
+
+const std::vector<std::string>& dataset_preset_names() {
+  static const std::vector<std::string> names = {
+      "h1n1", "atlflood", "sep1", "sep1_9", "sep_all", "tiny"};
+  return names;
+}
+
+}  // namespace graphct::twitter

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file datasets.hpp
+/// Named dataset presets calibrated to the paper's corpora.
+///
+/// Each preset pairs a CorpusOptions configuration with the statistics the
+/// paper reports for the corresponding real data set (Table III, Fig. 3),
+/// so benches can print paper-vs-measured side by side. The `scale`
+/// parameter shrinks user pool / tweet count / conversation count
+/// proportionally for fast tests and 1-core benchmark runs.
+///
+/// Presets:
+///  * "h1n1"     — influenza tweets, September 2009 (Table III row 1)
+///  * "atlflood" — #atlflood tweets, 20-25 September 2009 (row 2)
+///  * "sep1"     — all public tweets of 1 September 2009 (row 3)
+///  * "sep1_9"   — tweets of 1-9 September 2009 (Fig. 6 point: 4.1M/7.1M)
+///  * "sep_all"  — all September 2009 tweets (Fig. 6 point: 7.2M/18.2M)
+///  * "tiny"     — miniature mixed corpus for unit tests
+
+#include <string>
+#include <string_view>
+
+#include "twitter/corpus_gen.hpp"
+
+namespace graphct::twitter {
+
+/// Statistics the paper reports for a dataset (0 = not reported).
+struct PaperTweetStats {
+  std::int64_t users = 0;
+  std::int64_t unique_interactions = 0;
+  std::int64_t tweets_with_responses = 0;
+  std::int64_t lwcc_users = 0;
+  std::int64_t lwcc_interactions = 0;
+  std::int64_t lwcc_responses = 0;
+  std::int64_t fig3_largest_component = 0;  ///< Fig. 3 "original" LC size
+  std::int64_t fig3_subcommunity = 0;       ///< Fig. 3 mutual-filtered size
+};
+
+/// A calibrated corpus configuration plus the paper's reference numbers.
+struct DatasetPreset {
+  std::string name;
+  std::string description;
+  CorpusOptions corpus;
+  PaperTweetStats paper;
+};
+
+/// Look up a preset by name; `scale` in (0, 1] shrinks the corpus (the
+/// paper numbers are left untouched — scaling is reported by the benches).
+/// Throws graphct::Error for unknown names.
+DatasetPreset dataset_preset(std::string_view name, double scale = 1.0);
+
+/// Names of all presets, in the order above.
+const std::vector<std::string>& dataset_preset_names();
+
+}  // namespace graphct::twitter

@@ -1,0 +1,95 @@
+#include "twitter/mention_graph.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/transforms.hpp"
+#include "twitter/tweet_parser.hpp"
+#include "util/error.hpp"
+
+namespace graphct::twitter {
+
+CsrGraph MentionGraph::undirected() const {
+  return graphct::to_undirected(directed);
+}
+
+vid MentionGraph::id_of(const std::string& normalized_name) const {
+  auto it = user_ids.find(normalized_name);
+  return it == user_ids.end() ? graphct::kNoVertex : it->second;
+}
+
+vid MentionGraphBuilder::intern(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, static_cast<vid>(users_.size()));
+  if (inserted) users_.push_back(name);
+  return it->second;
+}
+
+void MentionGraphBuilder::add(const Tweet& tweet) {
+  add(parse_tweet(tweet));
+}
+
+void MentionGraphBuilder::add(const ParsedTweet& tweet) {
+  ++num_tweets_;
+  if (tweet.is_retweet) ++retweets_;
+  const vid author = intern(tweet.author);
+  if (tweet.mentions.empty()) return;
+
+  ++tweets_with_mentions_;
+  const std::size_t first = arcs_.size();
+  bool self = false;
+  for (const auto& target : tweet.mentions) {
+    const vid t = intern(target);
+    if (t == author) {
+      self = true;
+    }
+    arcs_.push_back({author, t});
+  }
+  if (self) ++self_references_;
+  tweet_arcs_.push_back({author, first, arcs_.size()});
+}
+
+MentionGraph MentionGraphBuilder::build() && {
+  MentionGraph g;
+  g.num_tweets = num_tweets_;
+  g.tweets_with_mentions = tweets_with_mentions_;
+  g.self_references = self_references_;
+  g.retweets = retweets_;
+  g.num_users = static_cast<std::int64_t>(users_.size());
+
+  graphct::EdgeList el(static_cast<vid>(users_.size()));
+  el.edges() = arcs_;  // copy; arcs_ is still needed for response counting
+
+  graphct::BuildOptions opts;
+  opts.symmetrize = false;   // keep direction for the conversation filter
+  opts.dedup = true;         // "duplicate user interactions are thrown out"
+  opts.remove_self_loops = false;
+  opts.sort_adjacency = true;
+  g.directed = graphct::build_csr(el, opts);
+
+  // Unique interactions exclude self-loops (an interaction needs two users).
+  g.unique_interactions =
+      g.directed.num_edges() - g.directed.num_self_loops();
+
+  // A tweet "has a response" when it mentions at least one user who mentions
+  // the author back somewhere in the corpus — i.e. it lies on a reciprocated
+  // (conversation) arc.
+  std::int64_t responses = 0;
+  const std::int64_t nt = static_cast<std::int64_t>(tweet_arcs_.size());
+#pragma omp parallel for reduction(+ : responses) schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < nt; ++i) {
+    const auto& ta = tweet_arcs_[static_cast<std::size_t>(i)];
+    for (std::size_t a = ta.first; a < ta.last; ++a) {
+      const vid target = arcs_[a].dst;
+      if (target != ta.author && g.directed.has_edge(target, ta.author)) {
+        ++responses;
+        break;
+      }
+    }
+  }
+  g.tweets_with_responses = responses;
+
+  g.users = std::move(users_);
+  g.user_ids = std::move(ids_);
+  return g;
+}
+
+}  // namespace graphct::twitter

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file mention_graph.hpp
+/// Building the user-to-user interaction graph from a tweet stream
+/// (paper §III-B): "User interaction graphs are created by adding an edge
+/// into the graph for every mention (denoted by the prefix @) of a user by
+/// the tweet author. Duplicate user interactions are thrown out so that only
+/// unique user-interactions are represented in the graph."
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "twitter/tweet.hpp"
+
+namespace graphct::twitter {
+
+using graphct::CsrGraph;
+using graphct::vid;
+
+/// The mention graph plus the user-name dictionary and corpus statistics.
+struct MentionGraph {
+  /// Directed graph: arc author -> mentioned user, duplicates removed.
+  /// Self-references (an author mentioning themself) are self-loops.
+  CsrGraph directed;
+
+  /// users[v] is the (normalized) name of vertex v.
+  std::vector<std::string> users;
+
+  /// Reverse lookup: name -> vertex id.
+  std::unordered_map<std::string, vid> user_ids;
+
+  // --- Table III statistics ---
+  std::int64_t num_tweets = 0;           ///< tweets ingested
+  std::int64_t num_users = 0;            ///< distinct authors + mentionees
+  std::int64_t unique_interactions = 0;  ///< distinct (author, mentionee)
+                                         ///< pairs, author != mentionee
+  std::int64_t tweets_with_mentions = 0; ///< tweets carrying >= 1 mention
+  std::int64_t tweets_with_responses = 0;///< tweets mentioning a user who
+                                         ///< mentions the author back
+                                         ///< somewhere in the corpus
+  std::int64_t self_references = 0;      ///< tweets whose author mentions
+                                         ///< themself (§III-C "echo chamber")
+  std::int64_t retweets = 0;             ///< tweets with the RT marker
+
+  /// Undirected, deduplicated view — the form GraphCT's metrics consume.
+  [[nodiscard]] CsrGraph undirected() const;
+
+  /// Vertex id for a user name (kNoVertex when absent).
+  [[nodiscard]] vid id_of(const std::string& normalized_name) const;
+};
+
+/// Incrementally ingest tweets and build the mention graph.
+class MentionGraphBuilder {
+ public:
+  /// Ingest one raw tweet (parses the text).
+  void add(const Tweet& tweet);
+
+  /// Ingest an already-parsed tweet.
+  void add(const ParsedTweet& tweet);
+
+  /// Finish: deduplicate, build CSR, and compute the response statistics.
+  /// The builder is consumed.
+  MentionGraph build() &&;
+
+ private:
+  vid intern(const std::string& name);
+
+  std::vector<std::string> users_;
+  std::unordered_map<std::string, vid> ids_;
+  std::vector<graphct::Edge> arcs_;  // author -> mentioned, per tweet mention
+  // One record per tweet that has mentions: (author, first..last arc range)
+  struct TweetArcs {
+    vid author;
+    std::size_t first;
+    std::size_t last;
+  };
+  std::vector<TweetArcs> tweet_arcs_;
+  std::int64_t num_tweets_ = 0;
+  std::int64_t tweets_with_mentions_ = 0;
+  std::int64_t self_references_ = 0;
+  std::int64_t retweets_ = 0;
+};
+
+}  // namespace graphct::twitter

@@ -1,0 +1,179 @@
+#include "twitter/temporal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "algs/connected_components.hpp"
+#include "graph/transforms.hpp"
+#include "twitter/tweet_parser.hpp"
+#include "util/error.hpp"
+
+namespace graphct::twitter {
+
+namespace {
+
+void check_sorted(const std::vector<Tweet>& tweets) {
+  for (std::size_t i = 1; i < tweets.size(); ++i) {
+    GCT_CHECK(tweets[i - 1].timestamp <= tweets[i].timestamp,
+              "temporal: tweet stream must be sorted by timestamp");
+  }
+}
+
+// Half-open [start, start + window) slices over the stream's time span.
+struct WindowSlicer {
+  std::int64_t width;
+  std::int64_t stride;
+  std::int64_t first_start;
+  std::int64_t last_start;
+
+  WindowSlicer(const std::vector<Tweet>& tweets, const WindowOptions& opts) {
+    width = opts.window_seconds;
+    stride = opts.stride_seconds > 0 ? opts.stride_seconds : width;
+    GCT_CHECK(width > 0, "temporal: window_seconds must be positive");
+    first_start = tweets.front().timestamp;
+    last_start = tweets.back().timestamp;
+  }
+};
+
+}  // namespace
+
+std::vector<WindowStats> sliding_window_stats(const std::vector<Tweet>& tweets,
+                                              const WindowOptions& opts) {
+  std::vector<WindowStats> out;
+  if (tweets.empty()) return out;
+  check_sorted(tweets);
+  const WindowSlicer slicer(tweets, opts);
+
+  for (std::int64_t start = slicer.first_start; start <= slicer.last_start;
+       start += slicer.stride) {
+    const std::int64_t end = start + slicer.width;
+    // The stream is sorted: binary-search the window's tweet range.
+    const auto lo = std::lower_bound(
+        tweets.begin(), tweets.end(), start,
+        [](const Tweet& t, std::int64_t ts) { return t.timestamp < ts; });
+    const auto hi = std::lower_bound(
+        tweets.begin(), tweets.end(), end,
+        [](const Tweet& t, std::int64_t ts) { return t.timestamp < ts; });
+    const auto count = static_cast<std::int64_t>(hi - lo);
+    if (count < opts.min_tweets) continue;
+
+    MentionGraphBuilder builder;
+    for (auto it = lo; it != hi; ++it) builder.add(*it);
+    const MentionGraph mg = std::move(builder).build();
+
+    WindowStats w;
+    w.start = start;
+    w.end = end;
+    w.tweets = count;
+    w.users = mg.num_users;
+    w.unique_interactions = mg.unique_interactions;
+    w.tweets_with_responses = mg.tweets_with_responses;
+
+    if (mg.directed.num_vertices() > 0) {
+      const CsrGraph mutual = mutual_subgraph(mg.directed);
+      w.mutual_pairs = mutual.num_edges();
+
+      const CsrGraph und = mg.undirected();
+      const auto labels = connected_components(und);
+      w.lwcc_users = component_stats(labels).largest_size();
+
+      // Most-cited user = max in-degree in the directed mention graph.
+      const CsrGraph rev = reverse(mg.directed);
+      vid best = 0;
+      for (vid v = 1; v < rev.num_vertices(); ++v) {
+        if (rev.degree(v) > rev.degree(best)) best = v;
+      }
+      if (rev.degree(best) > 0) {
+        w.top_user = mg.users[static_cast<std::size_t>(best)];
+        w.top_user_mentions = rev.degree(best);
+      }
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::vector<HubPersistence> hub_persistence(const std::vector<Tweet>& tweets,
+                                            const WindowOptions& opts,
+                                            std::int64_t top_n) {
+  GCT_CHECK(top_n >= 1, "hub_persistence: top_n must be >= 1");
+  std::vector<HubPersistence> out;
+  if (tweets.empty()) return out;
+  check_sorted(tweets);
+
+  // Global top-N most-cited accounts.
+  std::unordered_map<std::string, std::int64_t> citations;
+  for (const auto& t : tweets) {
+    const auto p = parse_tweet(t);
+    for (const auto& m : p.mentions) {
+      if (m != p.author) ++citations[m];
+    }
+  }
+  std::vector<std::pair<std::string, std::int64_t>> ranked(citations.begin(),
+                                                           citations.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const auto global_n =
+      std::min<std::size_t>(static_cast<std::size_t>(top_n), ranked.size());
+  ranked.resize(global_n);
+
+  std::vector<HubPersistence> hubs;
+  hubs.reserve(global_n);
+  for (const auto& [name, cites] : ranked) {
+    HubPersistence h;
+    h.name = name;
+    hubs.push_back(std::move(h));
+  }
+
+  // Per-window top-N by citation count.
+  const WindowSlicer slicer(tweets, opts);
+  std::int64_t windows = 0;
+  for (std::int64_t start = slicer.first_start; start <= slicer.last_start;
+       start += slicer.stride) {
+    const std::int64_t end = start + slicer.width;
+    const auto lo = std::lower_bound(
+        tweets.begin(), tweets.end(), start,
+        [](const Tweet& t, std::int64_t ts) { return t.timestamp < ts; });
+    const auto hi = std::lower_bound(
+        tweets.begin(), tweets.end(), end,
+        [](const Tweet& t, std::int64_t ts) { return t.timestamp < ts; });
+    if (hi - lo < opts.min_tweets) continue;
+    ++windows;
+
+    std::unordered_map<std::string, std::int64_t> local;
+    for (auto it = lo; it != hi; ++it) {
+      const auto p = parse_tweet(*it);
+      for (const auto& m : p.mentions) {
+        if (m != p.author) ++local[m];
+      }
+    }
+    std::vector<std::pair<std::string, std::int64_t>> lranked(local.begin(),
+                                                              local.end());
+    std::sort(lranked.begin(), lranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const auto ln =
+        std::min<std::size_t>(static_cast<std::size_t>(top_n), lranked.size());
+    for (auto& hub : hubs) {
+      for (std::size_t i = 0; i < ln; ++i) {
+        if (lranked[i].first == hub.name) {
+          ++hub.windows_present;
+          break;
+        }
+      }
+    }
+  }
+  for (auto& hub : hubs) {
+    hub.presence = windows > 0 ? static_cast<double>(hub.windows_present) /
+                                     static_cast<double>(windows)
+                               : 0.0;
+  }
+  return hubs;
+}
+
+}  // namespace graphct::twitter

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file temporal.hpp
+/// Temporal analysis of tweet streams.
+///
+/// The paper analyzes a single snapshot but flags the temporal dimension as
+/// ongoing work (§I-B: "Characteristics change over time"). This module
+/// provides the snapshot-series machinery: slice a timestamp-ordered tweet
+/// stream into (possibly overlapping) time windows, build the mention graph
+/// of each window, and track how the structural characteristics — users,
+/// interactions, conversations, the broadcast hubs — evolve. Hub
+/// persistence quantifies the paper's implicit claim that the same media
+/// accounts dominate throughout an event.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "twitter/mention_graph.hpp"
+#include "twitter/tweet.hpp"
+
+namespace graphct::twitter {
+
+/// Sliding-window slicing parameters.
+struct WindowOptions {
+  /// Window width in seconds.
+  std::int64_t window_seconds = 3600;
+
+  /// Stride between window starts; defaults to the width (tumbling
+  /// windows). Smaller strides overlap.
+  std::int64_t stride_seconds = 0;
+
+  /// Windows with fewer tweets than this are dropped from the series.
+  std::int64_t min_tweets = 1;
+};
+
+/// Structural characteristics of one window.
+struct WindowStats {
+  std::int64_t start = 0;  ///< window start timestamp (inclusive)
+  std::int64_t end = 0;    ///< window end timestamp (exclusive)
+  std::int64_t tweets = 0;
+  std::int64_t users = 0;
+  std::int64_t unique_interactions = 0;
+  std::int64_t tweets_with_responses = 0;
+  std::int64_t mutual_pairs = 0;    ///< reciprocated pairs inside the window
+  std::int64_t lwcc_users = 0;      ///< largest component of the window graph
+  std::string top_user;             ///< highest in-degree user (most cited)
+  std::int64_t top_user_mentions = 0;
+};
+
+/// Slice `tweets` (must be sorted by timestamp ascending, as the corpus
+/// generator and any harvested stream produce) into windows and
+/// characterize each. Throws if the stream is unsorted.
+std::vector<WindowStats> sliding_window_stats(const std::vector<Tweet>& tweets,
+                                              const WindowOptions& opts = {});
+
+/// Persistence of a hub account across windows.
+struct HubPersistence {
+  std::string name;
+  double presence = 0.0;       ///< fraction of windows where the account is
+                               ///< among that window's top_n by in-degree
+  std::int64_t windows_present = 0;
+};
+
+/// For the `top_n` most-cited users of the whole stream, measure how often
+/// each stays in the per-window top_n (uses the same windows as
+/// sliding_window_stats). High presence = the paper's stable broadcast
+/// hubs; low presence = bursty, event-local actors.
+std::vector<HubPersistence> hub_persistence(const std::vector<Tweet>& tweets,
+                                            const WindowOptions& opts,
+                                            std::int64_t top_n);
+
+}  // namespace graphct::twitter

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file tweet.hpp
+/// The tweet record and its parsed form.
+///
+/// Twitter messages are "short 140-character messages ... transmitted via
+/// cell phones and personal computers onto a central server" (§III-A). The
+/// analytically relevant symbols are Table I's: `@foo` addresses user foo
+/// and `#tag` marks a topic. GraphCT's ingest reduces each tweet to its
+/// author, the set of users it mentions, its hashtags, and whether it is a
+/// retweet (`RT @source ...`).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphct::twitter {
+
+/// A raw tweet as it arrives from the (synthetic) stream.
+struct Tweet {
+  std::int64_t id = 0;
+  std::string author;       ///< user name without the leading '@'
+  std::string text;         ///< the 140-char message body
+  std::int64_t timestamp = 0;  ///< seconds since epoch
+};
+
+/// A tweet after symbol extraction.
+struct ParsedTweet {
+  std::int64_t id = 0;
+  std::string author;                 ///< normalized (lowercased)
+  std::vector<std::string> mentions;  ///< normalized @-targets, in order,
+                                      ///< duplicates within the tweet removed
+  std::vector<std::string> hashtags;  ///< normalized #-topics
+  bool is_retweet = false;            ///< text begins with "RT @..."
+  std::string retweet_of;             ///< the retweeted user when is_retweet
+  std::int64_t timestamp = 0;
+};
+
+}  // namespace graphct::twitter

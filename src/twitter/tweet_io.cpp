@@ -1,0 +1,105 @@
+#include "twitter/tweet_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace graphct::twitter {
+
+std::string to_tsv(const std::vector<Tweet>& tweets) {
+  std::ostringstream os;
+  os << "# GraphCT tweet stream: id\ttimestamp\tauthor\ttext\n";
+  for (const auto& t : tweets) {
+    std::string text = t.text;
+    for (char& c : text) {
+      if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    }
+    os << t.id << '\t' << t.timestamp << '\t' << t.author << '\t' << text
+       << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::int64_t parse_int_field(std::string_view field, int lineno,
+                             const char* what) {
+  GCT_CHECK(!field.empty(), "tweet TSV line " + std::to_string(lineno) +
+                                ": empty " + what);
+  std::int64_t v = 0;
+  bool neg = false;
+  std::size_t i = 0;
+  if (field[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  GCT_CHECK(i < field.size(), "tweet TSV line " + std::to_string(lineno) +
+                                  ": malformed " + what);
+  for (; i < field.size(); ++i) {
+    GCT_CHECK(std::isdigit(static_cast<unsigned char>(field[i])),
+              "tweet TSV line " + std::to_string(lineno) + ": malformed " +
+                  what);
+    v = v * 10 + (field[i] - '0');
+  }
+  return neg ? -v : v;
+}
+
+}  // namespace
+
+std::vector<Tweet> parse_tsv(std::string_view text) {
+  std::vector<Tweet> out;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    // Split into exactly 4 fields on the first three tabs (text may not
+    // contain tabs by construction).
+    std::string_view fields[4];
+    std::size_t start = 0;
+    for (int f = 0; f < 3; ++f) {
+      const std::size_t tab = line.find('\t', start);
+      GCT_CHECK(tab != std::string_view::npos,
+                "tweet TSV line " + std::to_string(lineno) +
+                    ": expected 4 tab-separated fields");
+      fields[f] = line.substr(start, tab - start);
+      start = tab + 1;
+    }
+    fields[3] = line.substr(start);
+
+    Tweet t;
+    t.id = parse_int_field(fields[0], lineno, "id");
+    t.timestamp = parse_int_field(fields[1], lineno, "timestamp");
+    GCT_CHECK(!fields[2].empty(), "tweet TSV line " + std::to_string(lineno) +
+                                      ": empty author");
+    t.author = std::string(fields[2]);
+    t.text = std::string(fields[3]);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void write_tweets(const std::vector<Tweet>& tweets, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  GCT_CHECK(f.good(), "cannot open file for writing: " + path);
+  f << to_tsv(tweets);
+  GCT_CHECK(f.good(), "write failed: " + path);
+}
+
+std::vector<Tweet> read_tweets(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GCT_CHECK(f.good(), "cannot open tweet stream file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_tsv(ss.str());
+}
+
+}  // namespace graphct::twitter

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file tweet_io.hpp
+/// Tweet-stream files: tab-separated `id <TAB> timestamp <TAB> author <TAB>
+/// text` records, one per line, `#` comments. This is the interchange
+/// format between the corpus generator and the analysis pipeline — and the
+/// adapter point for real harvested data: convert any archive to this TSV
+/// and every example/bench consumes it unchanged.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "twitter/tweet.hpp"
+
+namespace graphct::twitter {
+
+/// Serialize tweets as TSV. Tabs/newlines inside text are replaced with
+/// spaces (tweet text is 140 chars of message body; control characters
+/// carry no analytic meaning).
+std::string to_tsv(const std::vector<Tweet>& tweets);
+
+/// Parse a TSV tweet stream. Throws graphct::Error on malformed rows
+/// (missing fields, non-numeric id/timestamp).
+std::vector<Tweet> parse_tsv(std::string_view text);
+
+/// Write a tweet stream to a file.
+void write_tweets(const std::vector<Tweet>& tweets, const std::string& path);
+
+/// Read a tweet stream from a file.
+std::vector<Tweet> read_tweets(const std::string& path);
+
+}  // namespace graphct::twitter

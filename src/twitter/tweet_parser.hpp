@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file tweet_parser.hpp
+/// Extraction of @mentions, #hashtags, and retweet markers from tweet text
+/// (the Table I symbols).
+
+#include <string_view>
+
+#include "twitter/tweet.hpp"
+
+namespace graphct::twitter {
+
+/// True for characters Twitter allows in a user name (letters, digits, '_').
+bool is_username_char(char c);
+
+/// Normalize a user name: lowercase (Twitter handles are case-insensitive).
+std::string normalize_username(std::string_view name);
+
+/// Parse one tweet: find every @mention and #hashtag, detect the `RT @user`
+/// retweet prefix, normalize names, and drop duplicate mentions while
+/// preserving first-occurrence order. Mentions of zero length (a bare '@')
+/// are ignored.
+ParsedTweet parse_tweet(const Tweet& tweet);
+
+}  // namespace graphct::twitter

@@ -1,0 +1,122 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+LinearHistogram::LinearHistogram(std::int64_t bin_width,
+                                 std::int64_t max_value)
+    : width_(bin_width) {
+  GCT_CHECK(bin_width > 0, "LinearHistogram: bin width must be positive");
+  GCT_CHECK(max_value >= 0, "LinearHistogram: max value must be nonnegative");
+  const std::int64_t nbins = max_value / bin_width + 1;
+  bins_.resize(static_cast<std::size_t>(nbins));
+  for (std::int64_t b = 0; b < nbins; ++b) {
+    bins_[static_cast<std::size_t>(b)] = {b * bin_width, (b + 1) * bin_width,
+                                          0};
+  }
+}
+
+void LinearHistogram::add(std::int64_t value) {
+  GCT_CHECK(value >= 0, "LinearHistogram: negative value");
+  std::size_t b = static_cast<std::size_t>(value / width_);
+  if (b >= bins_.size()) b = bins_.size() - 1;
+  ++bins_[b].count;
+  ++total_;
+}
+
+void LinearHistogram::add_all(std::span<const std::int64_t> values) {
+  for (std::int64_t v : values) add(v);
+}
+
+namespace {
+// Bin index for the log histogram: 0 -> {0}, 1 -> {1}, else 1+ceil(log2(v)).
+std::size_t log_bin_index(std::int64_t value) {
+  if (value <= 0) return 0;
+  if (value == 1) return 1;
+  std::size_t b = 2;
+  std::int64_t hi = 2;
+  while (value >= hi * 2 && hi > 0) {
+    hi *= 2;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
+LogHistogram::LogHistogram() : counts_(64, 0) {}
+
+void LogHistogram::add(std::int64_t value) {
+  GCT_CHECK(value >= 0, "LogHistogram: negative value");
+  ++counts_[log_bin_index(value)];
+  ++total_;
+}
+
+void LogHistogram::add_all(std::span<const std::int64_t> values) {
+  for (std::int64_t v : values) add(v);
+}
+
+std::vector<HistogramBin> LogHistogram::bins() const {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) last = i;
+  }
+  std::vector<HistogramBin> out;
+  out.reserve(last + 1);
+  for (std::size_t i = 0; i <= last; ++i) {
+    HistogramBin b;
+    if (i == 0) {
+      b.lo = 0;
+      b.hi = 1;
+    } else if (i == 1) {
+      b.lo = 1;
+      b.hi = 2;
+    } else {
+      b.lo = std::int64_t{1} << (i - 1);
+      b.hi = std::int64_t{1} << i;
+    }
+    b.count = counts_[i];
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::string LogHistogram::ascii_chart(int width) const {
+  std::ostringstream os;
+  const auto bs = bins();
+  std::int64_t maxc = 1;
+  for (const auto& b : bs) maxc = std::max(maxc, b.count);
+  const double lmax = std::log10(static_cast<double>(maxc) + 1.0);
+  for (const auto& b : bs) {
+    char label[40];
+    if (b.hi - b.lo == 1) {
+      std::snprintf(label, sizeof label, "%10lld      ",
+                    static_cast<long long>(b.lo));
+    } else {
+      std::snprintf(label, sizeof label, "%6lld-%-8lld",
+                    static_cast<long long>(b.lo),
+                    static_cast<long long>(b.hi - 1));
+    }
+    const double frac =
+        lmax > 0 ? std::log10(static_cast<double>(b.count) + 1.0) / lmax : 0.0;
+    const int bar = static_cast<int>(frac * width + 0.5);
+    os << label << " |";
+    for (int i = 0; i < bar; ++i) os << '#';
+    os << ' ' << b.count << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> frequency_table(
+    std::span<const std::int64_t> values) {
+  std::map<std::int64_t, std::int64_t> freq;
+  for (std::int64_t v : values) ++freq[v];
+  return {freq.begin(), freq.end()};
+}
+
+}  // namespace graphct

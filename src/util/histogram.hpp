@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Linear and logarithmic (power-of-two) histograms.
+///
+/// GraphCT characterizes graphs by distributions — degree distributions,
+/// component-size distributions, BFS level widths. Social-network data is
+/// heavy-tailed, so the log-binned histogram is the workhorse for the
+/// paper's Fig. 2-style plots.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace graphct {
+
+/// One bin of a histogram: values in [lo, hi) with `count` occurrences.
+struct HistogramBin {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t count = 0;
+};
+
+/// Fixed-width histogram over nonnegative integer data.
+class LinearHistogram {
+ public:
+  /// Create with bins [0,w), [w,2w), ... covering [0, max_value].
+  LinearHistogram(std::int64_t bin_width, std::int64_t max_value);
+
+  /// Count one occurrence of `value` (values above max clamp to last bin,
+  /// negative values are an error).
+  void add(std::int64_t value);
+
+  /// Bulk-add a span of values (parallel).
+  void add_all(std::span<const std::int64_t> values);
+
+  [[nodiscard]] const std::vector<HistogramBin>& bins() const { return bins_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+ private:
+  std::int64_t width_;
+  std::vector<HistogramBin> bins_;
+  std::int64_t total_ = 0;
+};
+
+/// Power-of-two binned histogram: bins {0}, {1}, [2,4), [4,8), ...
+/// The natural presentation for scale-free degree data (paper Fig. 2).
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void add(std::int64_t value);
+  void add_all(std::span<const std::int64_t> values);
+
+  /// Bins up to and including the highest non-empty one.
+  [[nodiscard]] std::vector<HistogramBin> bins() const;
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+  /// Render an ASCII log-log style chart (one row per bin with a bar scaled
+  /// to log10 of the count) — used by benches to "draw" Fig. 2 in text.
+  [[nodiscard]] std::string ascii_chart(int width = 50) const;
+
+ private:
+  std::vector<std::int64_t> counts_;  // counts_[i] covers [2^(i-1), 2^i), i>=2
+  std::int64_t total_ = 0;
+};
+
+/// Exact frequency-of-frequencies: for data like degrees, returns pairs
+/// (value, multiplicity) for every distinct value, sorted by value.
+/// This is the raw series behind a log-log degree-distribution plot.
+std::vector<std::pair<std::int64_t, std::int64_t>> frequency_table(
+    std::span<const std::int64_t> values);
+
+}  // namespace graphct

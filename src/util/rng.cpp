@@ -1,0 +1,115 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+std::uint64_t mix64(std::uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.next();
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  GCT_ASSERT(bound != 0);
+  // Lemire's multiply-shift rejection method: unbiased, one division in the
+  // rare rejection path only.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  GCT_ASSERT(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_normal() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = next_double();
+  double u2 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n,
+                                                          std::int64_t k) {
+  GCT_CHECK(k >= 0 && k <= n, "sample_without_replacement: k must be in [0,n]");
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k * 16 >= n) {
+    // Dense sample: partial Fisher-Yates over an explicit index array, O(n).
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (std::int64_t i = 0; i < k; ++i) {
+      std::int64_t j = next_in(i, n - 1);
+      std::swap(idx[static_cast<std::size_t>(i)],
+                idx[static_cast<std::size_t>(j)]);
+    }
+    out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Sparse sample: Floyd's algorithm with a hash set, O(k) expected.
+    std::unordered_set<std::int64_t> chosen;
+    chosen.reserve(static_cast<std::size_t>(k) * 2);
+    for (std::int64_t j = n - k; j < n; ++j) {
+      std::int64_t t = next_in(0, j);
+      std::int64_t pick = chosen.count(t) ? j : t;
+      chosen.insert(pick);
+      out.push_back(pick);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace graphct

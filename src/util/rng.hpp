@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic component of GraphCT (R-MAT generation, source sampling,
+/// the synthetic tweet corpus) takes an explicit 64-bit seed and derives all
+/// randomness from these generators, so every experiment is reproducible
+/// bit-for-bit. In parallel regions each thread derives an independent
+/// stream with `Rng::split()`, keeping results independent of the OpenMP
+/// schedule.
+
+#include <cstdint>
+#include <vector>
+
+namespace graphct {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to seed Xoshiro and to
+/// hash small integers into well-distributed 64-bit values.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Mix an arbitrary 64-bit value into a well-distributed one (stateless).
+std::uint64_t mix64(std::uint64_t x);
+
+/// Xoshiro256** — the library's workhorse generator. Fast, passes BigCrush,
+/// 2^256-1 period, cheap to fork into independent streams.
+class Rng {
+ public:
+  /// Construct from a seed; any value (including 0) is acceptable.
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Standard-normal variate (Box-Muller, one value per call).
+  double next_normal();
+
+  /// Fork an independent generator. Implemented as a SplitMix64 reseed of a
+  /// fresh Xoshiro state from this stream, so parent and child sequences do
+  /// not overlap in practice.
+  Rng split();
+
+  /// Sample `k` distinct values from [0, n) in increasing order
+  /// (Floyd's algorithm; O(k) expected memory, deterministic given the seed).
+  /// Requires k <= n.
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n,
+                                                       std::int64_t k);
+
+  /// Fisher-Yates shuffle of `v` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace graphct

@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+namespace {
+template <typename T>
+Summary summarize_impl(std::span<const T> data) {
+  Summary s;
+  s.count = static_cast<std::int64_t>(data.size());
+  if (s.count == 0) return s;
+
+  double sum = 0.0, mn = static_cast<double>(data[0]),
+         mx = static_cast<double>(data[0]);
+  const std::int64_t n = s.count;
+#pragma omp parallel for reduction(+ : sum) reduction(min : mn) \
+    reduction(max : mx) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(data[static_cast<std::size_t>(i)]);
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  s.mean = sum / static_cast<double>(n);
+  s.min = mn;
+  s.max = mx;
+
+  double ss = 0.0;
+  const double mean = s.mean;
+#pragma omp parallel for reduction(+ : ss) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d =
+        static_cast<double>(data[static_cast<std::size_t>(i)]) - mean;
+    ss += d * d;
+  }
+  s.variance = n > 1 ? ss / static_cast<double>(n - 1) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+}  // namespace
+
+Summary summarize(std::span<const std::int64_t> data) {
+  return summarize_impl(data);
+}
+Summary summarize(std::span<const double> data) { return summarize_impl(data); }
+
+double quantile(std::span<const double> data, double q) {
+  GCT_CHECK(!data.empty(), "quantile: empty data");
+  GCT_CHECK(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::vector<double> v(data.begin(), data.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+namespace {
+// Two-sided Student t critical values at 90% confidence for df = 1..30;
+// beyond 30 the normal approximation (1.6449) is within 1%.
+constexpr double kT90[31] = {
+    0.0,    6.3138, 2.9200, 2.3534, 2.1318, 2.0150, 1.9432, 1.8946,
+    1.8595, 1.8331, 1.8125, 1.7959, 1.7823, 1.7709, 1.7613, 1.7531,
+    1.7459, 1.7396, 1.7341, 1.7291, 1.7247, 1.7207, 1.7171, 1.7139,
+    1.7109, 1.7081, 1.7056, 1.7033, 1.7011, 1.6991, 1.6973};
+// 95% two-sided.
+constexpr double kT95[31] = {
+    0.0,    12.706, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646,
+    2.3060, 2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448, 2.1314,
+    2.1199, 2.1098, 2.1009, 2.0930, 2.0860, 2.0796, 2.0739, 2.0687,
+    2.0639, 2.0595, 2.0555, 2.0518, 2.0484, 2.0452, 2.0423};
+}  // namespace
+
+double confidence_half_width(const Summary& s, double level) {
+  if (s.count < 2) return 0.0;
+  const std::int64_t df = s.count - 1;
+  double t;
+  const bool use95 = level > 0.925;
+  if (df <= 30) {
+    t = use95 ? kT95[df] : kT90[df];
+  } else {
+    t = use95 ? 1.9600 : 1.6449;
+  }
+  return t * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+double power_law_alpha(std::span<const std::int64_t> data, std::int64_t xmin) {
+  GCT_CHECK(xmin >= 1, "power_law_alpha: xmin must be >= 1");
+  double logsum = 0.0;
+  std::int64_t n = 0;
+  const double denom = static_cast<double>(xmin) - 0.5;
+  for (std::int64_t x : data) {
+    if (x >= xmin) {
+      logsum += std::log(static_cast<double>(x) / denom);
+      ++n;
+    }
+  }
+  if (n < 2 || logsum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / logsum;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  GCT_CHECK(x.size() == y.size(), "pearson: length mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const Summary sx = summarize(x), sy = summarize(y);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (x[i] - sx.mean) * (y[i] - sy.mean);
+  }
+  cov /= static_cast<double>(n - 1);
+  return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace graphct

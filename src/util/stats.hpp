@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics used throughout GraphCT's characterization kernels
+/// and benchmark harnesses: mean/variance summaries (the paper summarizes
+/// degree statistics by mean and variance, §II-A), quantiles, confidence
+/// intervals (the paper reports 90% confidence over 10 realizations, §III-E),
+/// and a power-law exponent estimate for Fig. 2-style degree data.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace graphct {
+
+/// Moment summary of a sample.
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance; 0 when n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary over integer or real data (parallel two-pass).
+Summary summarize(std::span<const std::int64_t> data);
+Summary summarize(std::span<const double> data);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on a sorted copy.
+double quantile(std::span<const double> data, double q);
+
+/// Two-sided confidence half-width for the sample mean at the given level
+/// (default 0.90, matching the paper) using Student's t critical values.
+/// Returns 0 for n < 2.
+double confidence_half_width(const Summary& s, double level = 0.90);
+
+/// Maximum-likelihood power-law exponent for discrete data x >= xmin
+/// (Clauset-Shalizi-Newman approximation:
+///  alpha = 1 + n / sum(ln(x_i / (xmin - 0.5)))).
+/// Values below xmin are ignored. Returns 0 when fewer than 2 usable points.
+double power_law_alpha(std::span<const std::int64_t> data,
+                       std::int64_t xmin = 1);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace graphct

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GCT_CHECK(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GCT_CHECK(cells.size() == header_.size(),
+            "TextTable: row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == ',' || c == 'e' || c == 'E' ||
+          c == '%' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      w[c] = std::max(w[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << "  ";
+      const bool right = looks_numeric(r[c]);
+      const std::size_t pad = w[c] - r[c].size();
+      if (right) os << std::string(pad, ' ') << r[c];
+      else os << r[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  auto rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  };
+  emit(header_);
+  rule();
+  for (const auto& r : rows_) {
+    if (r.empty()) rule();
+    else emit(r);
+  }
+  return os.str();
+}
+
+std::string strf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string with_commas(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? 0ULL - static_cast<unsigned long long>(v)
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace graphct

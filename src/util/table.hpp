@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table rendering for benchmark output. Every bench binary prints
+/// paper-style tables/series with this so rows stay aligned and parseable.
+
+#include <string>
+#include <vector>
+
+namespace graphct {
+
+/// Column-aligned text table. Usage:
+///   TextTable t({"data set", "vertices", "edges"});
+///   t.add_row({"h1n1", "46457", "73000"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Render with 2-space column gaps; numeric-looking cells right-align.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+/// printf-style helper returning std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format an integer with thousands separators ("8,599,999").
+std::string with_commas(long long v);
+
+}  // namespace graphct

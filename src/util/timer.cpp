@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace graphct {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace graphct

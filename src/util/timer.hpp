@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing utilities used by kernels and benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace graphct {
+
+/// Monotonic wall-clock timer with microsecond resolution.
+///
+/// A Timer starts running on construction; `seconds()` reports elapsed time
+/// without stopping it, and `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Reset the timer origin to now.
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last restart().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time across repeated start/stop intervals; used by the
+/// toolkit to attribute time to individual kernels (load vs. compute).
+class StopWatch {
+ public:
+  /// Begin an interval. Calling start() twice without stop() restarts it.
+  void start() {
+    running_ = true;
+    timer_.restart();
+  }
+
+  /// End the current interval, folding it into the accumulated total.
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+
+  /// Total accumulated seconds over all completed intervals (plus the live
+  /// interval, if one is running).
+  [[nodiscard]] double seconds() const {
+    return total_ + (running_ ? timer_.seconds() : 0.0);
+  }
+
+  /// Discard all accumulated time.
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// Format a duration in seconds as a short human-readable string
+/// ("339 ms", "4.9 s", "105 min") mirroring how the paper reports runtimes.
+std::string format_duration(double seconds);
+
+}  // namespace graphct

@@ -1,0 +1,85 @@
+#include "algs/assortativity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(AssortativityTest, RegularGraphIsDegenerate) {
+  // All degrees equal: zero variance -> defined as 0.
+  EXPECT_DOUBLE_EQ(degree_assortativity(cycle_graph(10)), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(complete_graph(6)), 0.0);
+}
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  // Every edge joins degree n-1 with degree 1: r = -1.
+  EXPECT_NEAR(degree_assortativity(star_graph(12)), -1.0, 1e-12);
+}
+
+TEST(AssortativityTest, PathIsDisassortative) {
+  // Known value: r(P_n) < 0 (ends of degree 1 attach to degree 2).
+  EXPECT_LT(degree_assortativity(path_graph(10)), 0.0);
+}
+
+TEST(AssortativityTest, DoubleStarMoreAssortativeThanStar) {
+  // Two hubs joined to each other plus their own leaves: the hub-hub edge
+  // raises r relative to a pure star.
+  EdgeList el(10);
+  el.add(0, 1);
+  for (vid v = 2; v < 6; ++v) el.add(0, v);
+  for (vid v = 6; v < 10; ++v) el.add(1, v);
+  const auto g = build_csr(el);
+  EXPECT_GT(degree_assortativity(g), degree_assortativity(star_graph(10)));
+}
+
+TEST(AssortativityTest, BroadcastMentionGraphIsDisassortative) {
+  // The paper's structural signature: hub-dominated graphs have r << 0.
+  const auto g = chung_lu_power_law(3000, 9000, 2.3, 11);
+  EXPECT_LT(degree_assortativity(g), -0.05);
+}
+
+TEST(AssortativityTest, ErdosRenyiNearZero) {
+  const auto g = erdos_renyi(3000, 12000, 13);
+  EXPECT_NEAR(degree_assortativity(g), 0.0, 0.05);
+}
+
+TEST(AssortativityTest, SelfLoopsIgnored) {
+  const auto with = make_undirected(4, {{0, 1}, {1, 2}, {2, 3}, {1, 1}});
+  // Self-loop must not perturb the edge-endpoint degree pairs beyond
+  // excluding itself: compare against manually decremented degrees.
+  const double r = degree_assortativity(with);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  const auto without = make_undirected(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_NEAR(r, degree_assortativity(without), 1e-12);
+}
+
+TEST(AssortativityTest, RangeAlwaysValid) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = erdos_renyi(100, 100 + 40 * seed, seed);
+    const double r = degree_assortativity(g);
+    EXPECT_GE(r, -1.0 - 1e-9);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+TEST(AssortativityTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(degree_assortativity(g), Error);
+}
+
+TEST(AssortativityTest, TinyGraphsDegenerate) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(make_undirected(2, {{0, 1}})), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(make_undirected(3, {})), 0.0);
+}
+
+}  // namespace
+}  // namespace graphct

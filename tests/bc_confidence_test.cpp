@@ -1,0 +1,120 @@
+#include "core/bc_confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(BcConfidenceTest, StarHubIsCertain) {
+  const auto g = star_graph(40);
+  BcConfidenceOptions o;
+  o.num_sources = 8;
+  o.replicates = 6;
+  o.top_percent = 2.5;  // top-1 of 40
+  const auto r = bc_confidence(g, o);
+  // Every replicate puts the hub in the top list; the spokes never appear.
+  EXPECT_DOUBLE_EQ(r.top_membership[0], 1.0);
+  for (std::size_t v = 1; v < 40; ++v) {
+    EXPECT_DOUBLE_EQ(r.top_membership[v], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(r.top_list_stability, 1.0);
+  EXPECT_GT(r.mean[0], 0.0);
+}
+
+TEST(BcConfidenceTest, MeanApproximatesExactBc) {
+  const auto g = erdos_renyi(120, 500, 3);
+  const auto exact = betweenness_centrality(g);
+  BcConfidenceOptions o;
+  o.num_sources = 40;
+  o.replicates = 12;
+  o.seed = 9;
+  const auto r = bc_confidence(g, o);
+  // Rescaled replicate means should track exact BC closely in aggregate.
+  double sum_exact = 0, sum_mean = 0;
+  for (std::size_t v = 0; v < exact.score.size(); ++v) {
+    sum_exact += exact.score[v];
+    sum_mean += r.mean[v];
+  }
+  EXPECT_NEAR(sum_mean / sum_exact, 1.0, 0.15);
+  // And the exact value should usually lie inside mean +/- half_width for
+  // high-score vertices (generous check: 70% coverage at 90% nominal).
+  std::int64_t covered = 0, considered = 0;
+  for (std::size_t v = 0; v < exact.score.size(); ++v) {
+    if (exact.score[v] < 10.0) continue;
+    ++considered;
+    if (std::abs(exact.score[v] - r.mean[v]) <= r.half_width[v] * 1.5) {
+      ++covered;
+    }
+  }
+  ASSERT_GT(considered, 5);
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(considered),
+            0.7);
+}
+
+TEST(BcConfidenceTest, MoreSourcesTightenIntervals) {
+  const auto g = erdos_renyi(150, 700, 5);
+  BcConfidenceOptions small_o;
+  small_o.num_sources = 10;
+  small_o.replicates = 8;
+  small_o.seed = 3;
+  BcConfidenceOptions big_o = small_o;
+  big_o.num_sources = 80;
+  const auto small_r = bc_confidence(g, small_o);
+  const auto big_r = bc_confidence(g, big_o);
+  double small_sum = 0, big_sum = 0;
+  for (std::size_t v = 0; v < small_r.half_width.size(); ++v) {
+    small_sum += small_r.half_width[v];
+    big_sum += big_r.half_width[v];
+  }
+  EXPECT_LT(big_sum, small_sum);
+  EXPECT_GE(big_r.top_list_stability, small_r.top_list_stability - 0.05);
+}
+
+TEST(BcConfidenceTest, Deterministic) {
+  const auto g = erdos_renyi(60, 200, 7);
+  BcConfidenceOptions o;
+  o.num_sources = 15;
+  o.replicates = 4;
+  o.seed = 11;
+  const auto a = bc_confidence(g, o);
+  const auto b = bc_confidence(g, o);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.top_membership, b.top_membership);
+  EXPECT_DOUBLE_EQ(a.top_list_stability, b.top_list_stability);
+}
+
+TEST(BcConfidenceTest, SourceCountClampsToGraph) {
+  const auto g = path_graph(10);
+  BcConfidenceOptions o;
+  o.num_sources = 1000;
+  o.replicates = 3;
+  const auto r = bc_confidence(g, o);
+  EXPECT_EQ(r.sources_per_replicate, 10);
+  // All-sources sampling is exact: zero variance across replicates.
+  for (double hw : r.half_width) EXPECT_DOUBLE_EQ(hw, 0.0);
+  EXPECT_DOUBLE_EQ(r.top_list_stability, 1.0);
+}
+
+TEST(BcConfidenceTest, InvalidOptionsThrow) {
+  const auto g = path_graph(5);
+  BcConfidenceOptions o;
+  o.replicates = 1;
+  EXPECT_THROW(bc_confidence(g, o), Error);
+  o.replicates = 3;
+  o.num_sources = 0;
+  EXPECT_THROW(bc_confidence(g, o), Error);
+}
+
+TEST(BcConfidenceTest, EmptyGraph) {
+  CsrGraph g;
+  const auto r = bc_confidence(g);
+  EXPECT_TRUE(r.mean.empty());
+}
+
+}  // namespace
+}  // namespace graphct

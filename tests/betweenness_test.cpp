@@ -1,0 +1,215 @@
+#include "core/betweenness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algs/ranking.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+using testing::reference_betweenness;
+
+void expect_scores_near(const std::vector<double>& got,
+                        const std::vector<double>& want, double tol = 1e-9) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol) << "vertex " << i;
+  }
+}
+
+TEST(BetweennessTest, PathAnalytic) {
+  // Path 0-1-2-3-4: interior vertex v lies on all pairs crossing it; with
+  // directed-pair counting BC(v) = 2*(v+1-0)*(n-1-v) for interior vertices
+  // counting ordered pairs (left x right): v=1: 2*2*3=12? Careful: pairs
+  // strictly through v: left={0..v-1} (v choices... vertex count v... )
+  const auto g = path_graph(5);
+  const auto r = betweenness_centrality(g);
+  // v=1: pairs {0}x{2,3,4} -> 3 ordered both ways = 6.
+  // v=2: {0,1}x{3,4} -> 4 pairs -> 8. v=3: symmetric with v=1.
+  expect_scores_near(r.score, {0, 6, 8, 6, 0});
+  EXPECT_EQ(r.sources_used, 5);
+}
+
+TEST(BetweennessTest, StarAnalytic) {
+  const auto g = star_graph(6);  // hub + 5 spokes
+  const auto r = betweenness_centrality(g);
+  // Hub carries all 5*4 ordered spoke pairs.
+  expect_scores_near(r.score, {20, 0, 0, 0, 0, 0});
+}
+
+TEST(BetweennessTest, CycleAndCompleteAreFlat) {
+  const auto cyc = betweenness_centrality(cycle_graph(7));
+  for (std::size_t v = 1; v < 7; ++v) {
+    EXPECT_NEAR(cyc.score[v], cyc.score[0], 1e-9);
+  }
+  const auto comp = betweenness_centrality(complete_graph(5));
+  for (double s : comp.score) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+TEST(BetweennessTest, BarbellBridgeDominates) {
+  const auto g = barbell_graph(6);
+  const auto r = betweenness_centrality(g);
+  const auto top = top_k(std::span<const double>(r.score.data(), r.score.size()), 2);
+  const std::set<vid> bridge{5, 6};
+  EXPECT_TRUE(bridge.count(top[0]));
+  EXPECT_TRUE(bridge.count(top[1]));
+}
+
+TEST(BetweennessTest, DisconnectedComponentsIndependent) {
+  // Two paths; scores must match two independent path computations.
+  const auto g = make_undirected(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto r = betweenness_centrality(g);
+  expect_scores_near(r.score, {0, 2, 0, 0, 2, 0});
+}
+
+TEST(BetweennessTest, SelfLoopIgnored) {
+  const auto with = betweenness_centrality(
+      make_undirected(3, {{0, 1}, {1, 2}, {1, 1}}));
+  const auto without =
+      betweenness_centrality(make_undirected(3, {{0, 1}, {1, 2}}));
+  expect_scores_near(with.score, without.score);
+}
+
+TEST(BetweennessTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(betweenness_centrality(g), Error);
+}
+
+TEST(BetweennessTest, FineAndCoarseAgree) {
+  const auto g = erdos_renyi(120, 500, 3);
+  BetweennessOptions coarse;
+  BetweennessOptions fine;
+  fine.parallelism = BcParallelism::kFine;
+  expect_scores_near(betweenness_centrality(g, coarse).score,
+                     betweenness_centrality(g, fine).score, 1e-7);
+}
+
+TEST(BetweennessTest, SampledSubsetOfSourcesUnderestimates) {
+  const auto g = erdos_renyi(150, 600, 5);
+  BetweennessOptions o;
+  o.num_sources = 30;
+  o.seed = 9;
+  const auto approx = betweenness_centrality(g, o);
+  const auto exact = betweenness_centrality(g);
+  EXPECT_EQ(approx.sources_used, 30);
+  for (std::size_t v = 0; v < approx.score.size(); ++v) {
+    EXPECT_LE(approx.score[v], exact.score[v] + 1e-9);
+  }
+}
+
+TEST(BetweennessTest, RescaleMatchesMagnitudeInExpectation) {
+  const auto g = erdos_renyi(200, 1000, 7);
+  const auto exact = betweenness_centrality(g);
+  BetweennessOptions o;
+  o.num_sources = 100;
+  o.rescale = true;
+  o.seed = 3;
+  const auto approx = betweenness_centrality(g, o);
+  double sum_exact = 0, sum_approx = 0;
+  for (std::size_t v = 0; v < exact.score.size(); ++v) {
+    sum_exact += exact.score[v];
+    sum_approx += approx.score[v];
+  }
+  EXPECT_NEAR(sum_approx / sum_exact, 1.0, 0.25);
+}
+
+TEST(BetweennessTest, SampleFractionOverridesNumSources) {
+  const auto g = erdos_renyi(100, 300, 11);
+  BetweennessOptions o;
+  o.num_sources = 3;
+  o.sample_fraction = 0.25;
+  const auto r = betweenness_centrality(g, o);
+  EXPECT_EQ(r.sources_used, 25);
+}
+
+TEST(BetweennessTest, DeterministicForFixedSeed) {
+  const auto g = erdos_renyi(100, 400, 13);
+  BetweennessOptions o;
+  o.num_sources = 20;
+  o.seed = 77;
+  const auto a = betweenness_centrality(g, o);
+  const auto b = betweenness_centrality(g, o);
+  expect_scores_near(a.score, b.score, 0.0);
+}
+
+TEST(ChooseSourcesTest, ExactUsesAllVertices) {
+  const auto g = path_graph(7);
+  BetweennessOptions o;
+  const auto s = choose_sources(g, o);
+  EXPECT_EQ(s.size(), 7u);
+}
+
+TEST(ChooseSourcesTest, UniformSampleSizeAndRange) {
+  const auto g = erdos_renyi(500, 1000, 17);
+  BetweennessOptions o;
+  o.num_sources = 50;
+  const auto s = choose_sources(g, o);
+  EXPECT_EQ(s.size(), 50u);
+  std::set<vid> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 50u);
+}
+
+TEST(ChooseSourcesTest, ComponentAwareCoversEveryComponent) {
+  // Five components; uniform sampling of 5 sources will often miss some,
+  // but component-aware sampling must hit all five.
+  EdgeList el(50);
+  for (vid c = 0; c < 5; ++c) {
+    const vid base = c * 10;
+    for (vid i = 0; i < 9; ++i) el.add(base + i, base + i + 1);
+  }
+  const auto g = build_csr(el);
+  BetweennessOptions o;
+  o.num_sources = 5;
+  o.sampling = BcSampling::kComponentAware;
+  o.seed = 3;
+  const auto sources = choose_sources(g, o);
+  ASSERT_EQ(sources.size(), 5u);
+  std::set<vid> comps;
+  for (vid s : sources) comps.insert(s / 10);
+  EXPECT_EQ(comps.size(), 5u);
+}
+
+TEST(ChooseSourcesTest, InvalidArgumentsThrow) {
+  const auto g = path_graph(5);
+  BetweennessOptions o;
+  o.num_sources = 0;
+  EXPECT_THROW(choose_sources(g, o), Error);
+  o.num_sources = kNoVertex;
+  o.sample_fraction = 1.5;
+  EXPECT_THROW(choose_sources(g, o), Error);
+}
+
+TEST(BetweennessTest, EmptyGraph) {
+  CsrGraph g;
+  const auto r = betweenness_centrality(g);
+  EXPECT_TRUE(r.score.empty());
+  EXPECT_EQ(r.sources_used, 0);
+}
+
+// Property sweep: parallel implementation matches the serial Brandes
+// reference exactly (modulo float noise) across random graphs.
+class BetweennessPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BetweennessPropertyTest, MatchesSerialBrandes) {
+  Rng rng(GetParam());
+  const vid n = 10 + static_cast<vid>(rng.next_below(80));
+  const auto m = static_cast<std::int64_t>(n * (1 + rng.next_below(4)));
+  const auto g = erdos_renyi(n, m, GetParam() * 101 + 13);
+  const auto expect = reference_betweenness(g);
+  const auto got = betweenness_centrality(g);
+  expect_scores_near(got.score, expect, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BetweennessPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace graphct

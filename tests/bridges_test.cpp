@@ -1,0 +1,187 @@
+#include "algs/bridges.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algs/connected_components.hpp"
+#include "core/betweenness.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(BridgesTest, EveryTreeEdgeIsABridge) {
+  const auto g = balanced_tree(2, 3);
+  const auto cut = find_cut_structure(g);
+  EXPECT_EQ(static_cast<eid>(cut.bridges.size()), g.num_edges());
+  // Every internal vertex is an articulation point; leaves are not.
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(cut.is_articulation[static_cast<std::size_t>(v)] != 0,
+              g.degree(v) > 1)
+        << "vertex " << v;
+  }
+}
+
+TEST(BridgesTest, CycleHasNone) {
+  const auto cut = find_cut_structure(cycle_graph(8));
+  EXPECT_TRUE(cut.bridges.empty());
+  EXPECT_EQ(cut.num_articulation_points(), 0);
+}
+
+TEST(BridgesTest, BarbellBridgeFound) {
+  const auto g = barbell_graph(5);
+  const auto cut = find_cut_structure(g);
+  ASSERT_EQ(cut.bridges.size(), 1u);
+  EXPECT_EQ(cut.bridges[0], (std::pair<vid, vid>{4, 5}));
+  EXPECT_TRUE(cut.is_articulation[4]);
+  EXPECT_TRUE(cut.is_articulation[5]);
+  EXPECT_EQ(cut.num_articulation_points(), 2);
+}
+
+TEST(BridgesTest, TriangleWithPendant) {
+  const auto g = make_undirected(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto cut = find_cut_structure(g);
+  ASSERT_EQ(cut.bridges.size(), 1u);
+  EXPECT_EQ(cut.bridges[0], (std::pair<vid, vid>{2, 3}));
+  EXPECT_TRUE(cut.is_articulation[2]);
+  EXPECT_FALSE(cut.is_articulation[0]);
+  EXPECT_FALSE(cut.is_articulation[3]);
+}
+
+TEST(BridgesTest, SelfLoopsIgnored) {
+  const auto g = make_undirected(3, {{0, 1}, {1, 2}, {1, 1}});
+  const auto cut = find_cut_structure(g);
+  EXPECT_EQ(cut.bridges.size(), 2u);
+  EXPECT_TRUE(cut.is_articulation[1]);
+}
+
+TEST(BridgesTest, DisconnectedComponentsHandled) {
+  const auto g = make_undirected(7, {{0, 1}, {1, 2}, {0, 2},  // triangle
+                                     {3, 4}, {4, 5}});        // path
+  const auto cut = find_cut_structure(g);
+  EXPECT_EQ(cut.bridges.size(), 2u);
+  EXPECT_TRUE(cut.is_articulation[4]);
+  EXPECT_EQ(cut.num_articulation_points(), 1);
+}
+
+TEST(BridgesTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(find_cut_structure(g), Error);
+}
+
+TEST(BridgesTest, BridgeEndpointsCarryHighBetweenness) {
+  // Structural validation of the BC narrative: the barbell bridge endpoints
+  // are the top-2 betweenness vertices.
+  const auto g = barbell_graph(7);
+  const auto cut = find_cut_structure(g);
+  ASSERT_EQ(cut.bridges.size(), 1u);
+  const auto bc = betweenness_centrality(g);
+  std::vector<std::pair<double, vid>> ranked;
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    ranked.emplace_back(bc.score[static_cast<std::size_t>(v)], v);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  const std::set<vid> top2{ranked[0].second, ranked[1].second};
+  EXPECT_TRUE(top2.count(cut.bridges[0].first));
+  EXPECT_TRUE(top2.count(cut.bridges[0].second));
+}
+
+// Property: an edge is a bridge iff removing it increases the number of
+// connected components (brute-force check on small random graphs).
+class BridgePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BridgePropertyTest, MatchesRemovalDefinition) {
+  Rng rng(GetParam());
+  const vid n = 8 + static_cast<vid>(rng.next_below(25));
+  EdgeList el(n);
+  const std::int64_t m = n + static_cast<std::int64_t>(
+                                 rng.next_below(static_cast<std::uint64_t>(n)));
+  std::set<std::pair<vid, vid>> edges;
+  for (std::int64_t i = 0; i < m; ++i) {
+    vid u = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    vid v = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    el.add(u, v);
+    edges.insert({std::min(u, v), std::max(u, v)});
+  }
+  const auto g = build_csr(el);
+  const auto cut = find_cut_structure(g);
+  const std::set<std::pair<vid, vid>> found(cut.bridges.begin(),
+                                            cut.bridges.end());
+  const auto base_components =
+      component_stats(connected_components(g)).num_components;
+
+  for (const auto& e : edges) {
+    // Rebuild without this edge.
+    EdgeList el2(n);
+    for (const auto& e2 : edges) {
+      if (e2 != e) el2.add(e2.first, e2.second);
+    }
+    const auto g2 = build_csr(el2);
+    const auto removed_components =
+        component_stats(connected_components(g2)).num_components;
+    const bool is_bridge = removed_components > base_components;
+    EXPECT_EQ(found.count(e) > 0, is_bridge)
+        << "edge " << e.first << "-" << e.second;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BridgePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Property: a vertex is an articulation point iff removing it increases the
+// component count among the remaining vertices.
+class ArticulationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArticulationPropertyTest, MatchesRemovalDefinition) {
+  Rng rng(GetParam() + 500);
+  const vid n = 8 + static_cast<vid>(rng.next_below(20));
+  EdgeList el(n);
+  const std::int64_t m = n + static_cast<std::int64_t>(
+                                 rng.next_below(static_cast<std::uint64_t>(n)));
+  std::set<std::pair<vid, vid>> edges;
+  for (std::int64_t i = 0; i < m; ++i) {
+    vid u = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    vid v = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    el.add(u, v);
+    edges.insert({std::min(u, v), std::max(u, v)});
+  }
+  const auto g = build_csr(el);
+  const auto cut = find_cut_structure(g);
+
+  for (vid x = 0; x < n; ++x) {
+    // Count components among V \ {x} before and after: removal of x is
+    // simulated by dropping its edges and ignoring x in both counts.
+    auto count_without = [&](bool drop_x_edges) {
+      EdgeList el2(n);
+      for (const auto& e : edges) {
+        if (drop_x_edges && (e.first == x || e.second == x)) continue;
+        el2.add(e.first, e.second);
+      }
+      const auto labels = connected_components(build_csr(el2));
+      std::set<vid> comps;
+      for (vid v = 0; v < n; ++v) {
+        if (v != x) comps.insert(labels[static_cast<std::size_t>(v)]);
+      }
+      return comps.size();
+    };
+    const bool is_cut = count_without(true) > count_without(false);
+    EXPECT_EQ(cut.is_articulation[static_cast<std::size_t>(x)] != 0, is_cut)
+        << "vertex " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ArticulationPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,200 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(BuilderTest, EmptyEdgeListWithHint) {
+  EdgeList el(5);
+  const auto g = build_csr(el);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(BuilderTest, EmptyEdgeListNoHint) {
+  EdgeList el;
+  const auto g = build_csr(el);
+  EXPECT_EQ(g.num_vertices(), 0);
+}
+
+TEST(BuilderTest, InferredVertexCountFromMaxId) {
+  EdgeList el;
+  el.add(3, 7);
+  const auto g = build_csr(el);
+  EXPECT_EQ(g.num_vertices(), 8);
+}
+
+TEST(BuilderTest, SymmetrizeStoresBothDirections) {
+  EdgeList el(3);
+  el.add(0, 1);
+  BuildOptions o;
+  o.symmetrize = true;
+  const auto g = build_csr(el, o);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(BuilderTest, DirectedKeepsOneDirection) {
+  EdgeList el(3);
+  el.add(0, 1);
+  BuildOptions o;
+  o.symmetrize = false;
+  const auto g = build_csr(el, o);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(BuilderTest, DedupCollapsesParallelEdges) {
+  EdgeList el(2);
+  for (int i = 0; i < 10; ++i) el.add(0, 1);
+  for (int i = 0; i < 5; ++i) el.add(1, 0);
+  const auto g = build_csr(el);  // undirected + dedup defaults
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(BuilderTest, NoDedupKeepsMultiplicity) {
+  EdgeList el(2);
+  el.add(0, 1);
+  el.add(0, 1);
+  BuildOptions o;
+  o.symmetrize = false;
+  o.dedup = false;
+  const auto g = build_csr(el, o);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(BuilderTest, SelfLoopKeptByDefault) {
+  EdgeList el(2);
+  el.add(1, 1);
+  const auto g = build_csr(el);
+  EXPECT_EQ(g.num_self_loops(), 1);
+  EXPECT_EQ(g.degree(1), 1);  // stored once in undirected form
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(BuilderTest, SelfLoopRemovedOnRequest) {
+  EdgeList el(2);
+  el.add(1, 1);
+  el.add(0, 1);
+  BuildOptions o;
+  o.remove_self_loops = true;
+  const auto g = build_csr(el, o);
+  EXPECT_EQ(g.num_self_loops(), 0);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(BuilderTest, DuplicateSelfLoopsDedup) {
+  EdgeList el(2);
+  el.add(0, 0);
+  el.add(0, 0);
+  const auto g = build_csr(el);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.num_self_loops(), 1);
+}
+
+TEST(BuilderTest, OutOfRangeEndpointThrows) {
+  EdgeList el(2);
+  el.add(0, 5);
+  el.set_num_vertices_hint(2);
+  EXPECT_THROW(build_csr(el), Error);
+}
+
+TEST(BuilderTest, NegativeEndpointThrows) {
+  EdgeList el(3);
+  el.add(-1, 0);
+  EXPECT_THROW(build_csr(el), Error);
+}
+
+TEST(BuilderTest, DedupRequiresSortedAdjacency) {
+  EdgeList el(2);
+  el.add(0, 1);
+  BuildOptions o;
+  o.dedup = true;
+  o.sort_adjacency = false;
+  EXPECT_THROW(build_csr(el, o), Error);
+}
+
+TEST(BuilderTest, DegreeSumEqualsAdjacencyEntries) {
+  Rng rng(5);
+  EdgeList el(100);
+  for (int i = 0; i < 500; ++i) {
+    el.add(static_cast<vid>(rng.next_below(100)),
+           static_cast<vid>(rng.next_below(100)));
+  }
+  const auto g = build_csr(el);
+  eid sum = 0;
+  for (vid v = 0; v < g.num_vertices(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, g.num_adjacency_entries());
+}
+
+TEST(BuilderTest, UndirectedAdjacencyIsSymmetric) {
+  Rng rng(6);
+  EdgeList el(50);
+  for (int i = 0; i < 300; ++i) {
+    el.add(static_cast<vid>(rng.next_below(50)),
+           static_cast<vid>(rng.next_below(50)));
+  }
+  const auto g = build_csr(el);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (vid v : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(BuilderTest, AdjacencyListsSortedAndUnique) {
+  Rng rng(7);
+  EdgeList el(40);
+  for (int i = 0; i < 400; ++i) {
+    el.add(static_cast<vid>(rng.next_below(40)),
+           static_cast<vid>(rng.next_below(40)));
+  }
+  const auto g = build_csr(el);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+// Property sweep: for random multigraphs, build twice with different option
+// paths and compare edge membership against a reference set.
+class BuilderPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuilderPropertyTest, MatchesReferenceEdgeSet) {
+  Rng rng(GetParam());
+  const vid n = 5 + static_cast<vid>(rng.next_below(60));
+  const int m = 1 + static_cast<int>(rng.next_below(300));
+  EdgeList el(n);
+  std::set<std::pair<vid, vid>> expect;  // undirected canonical pairs
+  for (int i = 0; i < m; ++i) {
+    const vid u = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const vid v = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    el.add(u, v);
+    expect.insert({std::min(u, v), std::max(u, v)});
+  }
+  const auto g = build_csr(el);
+  // Every expected pair present...
+  for (const auto& [u, v] : expect) {
+    EXPECT_TRUE(g.has_edge(u, v));
+    EXPECT_TRUE(g.has_edge(v, u));
+  }
+  // ...and the count matches exactly (no phantom edges).
+  EXPECT_EQ(g.num_edges(), static_cast<eid>(expect.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMultigraphs, BuilderPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,108 @@
+#include "algs/closeness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(ClosenessTest, PathCenterIsClosest) {
+  const auto g = path_graph(7);
+  const auto r = closeness_centrality(g);
+  // Center (3): 2*(1 + 1/2 + 1/3) = 11/3.
+  EXPECT_NEAR(r.score[3], 2.0 * (1.0 + 0.5 + 1.0 / 3.0), 1e-9);
+  // Ends are least close, center most.
+  EXPECT_GT(r.score[3], r.score[1]);
+  EXPECT_GT(r.score[1], r.score[0]);
+  EXPECT_NEAR(r.score[0], r.score[6], 1e-12);
+}
+
+TEST(ClosenessTest, StarHubValue) {
+  const auto g = star_graph(11);  // hub + 10 spokes
+  const auto r = closeness_centrality(g);
+  EXPECT_NEAR(r.score[0], 10.0, 1e-9);              // all at distance 1
+  EXPECT_NEAR(r.score[1], 1.0 + 9.0 / 2.0, 1e-9);   // hub at 1, others at 2
+}
+
+TEST(ClosenessTest, CompleteGraphUniform) {
+  const auto g = complete_graph(6);
+  const auto r = closeness_centrality(g);
+  for (double s : r.score) EXPECT_NEAR(s, 5.0, 1e-9);
+}
+
+TEST(ClosenessTest, DisconnectedIsFinite) {
+  // Harmonic closeness handles disconnection gracefully (the classic
+  // formulation would be 0 everywhere).
+  const auto g = make_undirected(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto r = closeness_centrality(g);
+  EXPECT_NEAR(r.score[1], 2.0, 1e-9);
+  EXPECT_NEAR(r.score[3], 1.0, 1e-9);
+  EXPECT_NEAR(r.score[5], 0.0, 1e-12);  // isolated
+}
+
+TEST(ClosenessTest, SampledApproximatesExact) {
+  const auto g = erdos_renyi(400, 2000, 9);
+  const auto exact = closeness_centrality(g);
+  ClosenessOptions o;
+  o.num_sources = 100;
+  o.seed = 3;
+  const auto approx = closeness_centrality(g, o);
+  EXPECT_EQ(approx.sources_used, 100);
+  // Rescaled estimates track exact values within a modest relative error
+  // for well-connected vertices.
+  double rel_err_sum = 0;
+  std::int64_t counted = 0;
+  for (std::size_t v = 0; v < exact.score.size(); ++v) {
+    if (exact.score[v] < 50.0) continue;
+    rel_err_sum += std::abs(approx.score[v] - exact.score[v]) / exact.score[v];
+    ++counted;
+  }
+  ASSERT_GT(counted, 100);
+  EXPECT_LT(rel_err_sum / static_cast<double>(counted), 0.10);
+}
+
+TEST(ClosenessTest, DeterministicForFixedSeed) {
+  const auto g = erdos_renyi(100, 400, 11);
+  ClosenessOptions o;
+  o.num_sources = 20;
+  o.seed = 5;
+  EXPECT_EQ(closeness_centrality(g, o).score,
+            closeness_centrality(g, o).score);
+}
+
+TEST(ClosenessTest, NoRescaleKeepsRawSums) {
+  const auto g = star_graph(10);
+  ClosenessOptions o;
+  o.num_sources = 3;
+  o.rescale = false;
+  const auto r = closeness_centrality(g, o);
+  // Raw harmonic sums over 3 pivots can't exceed 3.
+  for (double s : r.score) EXPECT_LE(s, 3.0 + 1e-12);
+}
+
+TEST(ClosenessTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(closeness_centrality(g), Error);
+}
+
+TEST(ClosenessTest, InvalidSourcesThrow) {
+  const auto g = path_graph(5);
+  ClosenessOptions o;
+  o.num_sources = 0;
+  EXPECT_THROW(closeness_centrality(g, o), Error);
+}
+
+TEST(ClosenessTest, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_TRUE(closeness_centrality(g).score.empty());
+}
+
+}  // namespace
+}  // namespace graphct

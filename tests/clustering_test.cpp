@@ -1,0 +1,121 @@
+#include "algs/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(ClusteringTest, TriangleGraph) {
+  const auto g = complete_graph(3);
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 1);
+  for (vid v = 0; v < 3; ++v) {
+    EXPECT_EQ(r.triangles[static_cast<std::size_t>(v)], 1);
+    EXPECT_DOUBLE_EQ(r.coefficient[static_cast<std::size_t>(v)], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(r.global_clustering, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_local_clustering, 1.0);
+}
+
+TEST(ClusteringTest, CompleteGraphCounts) {
+  const auto g = complete_graph(6);
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 20);  // C(6,3)
+  EXPECT_DOUBLE_EQ(r.global_clustering, 1.0);
+}
+
+TEST(ClusteringTest, TreeHasNoTriangles) {
+  const auto g = balanced_tree(3, 4);
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 0);
+  EXPECT_DOUBLE_EQ(r.global_clustering, 0.0);
+}
+
+TEST(ClusteringTest, PathCoefficients) {
+  const auto g = path_graph(4);
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 0);
+  for (double c : r.coefficient) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle 0-1-2 plus pendant 3 on vertex 0.
+  const auto g = make_undirected(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 1);
+  EXPECT_DOUBLE_EQ(r.coefficient[0], 1.0 / 3.0);  // one of three pairs closed
+  EXPECT_DOUBLE_EQ(r.coefficient[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.coefficient[3], 0.0);
+  // Global: 3*1 triangles / (3+1+1+0... wedges: d0=3 ->3, d1=2 ->1, d2=2 ->1,
+  // d3=1 ->0; total 5). 3/5.
+  EXPECT_DOUBLE_EQ(r.global_clustering, 3.0 / 5.0);
+}
+
+TEST(ClusteringTest, SelfLoopIgnored) {
+  const auto g = make_undirected(3, {{0, 1}, {1, 2}, {0, 2}, {1, 1}});
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 1);
+  EXPECT_DOUBLE_EQ(r.coefficient[1], 1.0);  // self-loop must not inflate deg
+}
+
+TEST(ClusteringTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(clustering_coefficients(g), Error);
+}
+
+TEST(ClusteringTest, WattsStrogatzRingIsClustered) {
+  // The unrewired ring lattice (p=0) with k=3 has high clustering (0.6).
+  const auto ring = watts_strogatz(200, 3, 0.0, 3);
+  const auto r = clustering_coefficients(ring);
+  EXPECT_NEAR(r.mean_local_clustering, 0.6, 0.01);
+  // Heavy rewiring destroys clustering.
+  const auto rewired = watts_strogatz(200, 3, 1.0, 3);
+  const auto r2 = clustering_coefficients(rewired);
+  EXPECT_LT(r2.mean_local_clustering, 0.2);
+}
+
+// Property: per-vertex triangle counts sum to 3x the total; coefficients lie
+// in [0,1]; brute-force triple check on small random graphs.
+class ClusteringPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusteringPropertyTest, MatchesBruteForce) {
+  const auto g = erdos_renyi(40, 150, GetParam());
+  const auto r = clustering_coefficients(g);
+
+  std::int64_t brute = 0;
+  const vid n = g.num_vertices();
+  std::vector<std::int64_t> per(static_cast<std::size_t>(n), 0);
+  for (vid a = 0; a < n; ++a) {
+    for (vid b = a + 1; b < n; ++b) {
+      if (!g.has_edge(a, b)) continue;
+      for (vid c = b + 1; c < n; ++c) {
+        if (g.has_edge(a, c) && g.has_edge(b, c)) {
+          ++brute;
+          ++per[static_cast<std::size_t>(a)];
+          ++per[static_cast<std::size_t>(b)];
+          ++per[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+  EXPECT_EQ(r.total_triangles, brute);
+  EXPECT_EQ(r.triangles, per);
+  for (double c : r.coefficient) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ClusteringPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,173 @@
+#include "algs/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algs/connected_components.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+std::span<const vid> sp(const std::vector<vid>& v) { return {v.data(), v.size()}; }
+
+TEST(LabelPropagationTest, DisjointCliquesSeparate) {
+  // Two K5s, no bridge: two communities, exactly the components.
+  EdgeList el(10);
+  for (vid off : {vid{0}, vid{5}}) {
+    for (vid i = 0; i < 5; ++i) {
+      for (vid j = i + 1; j < 5; ++j) el.add(off + i, off + j);
+    }
+  }
+  const auto g = build_csr(el);
+  const auto r = label_propagation(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.num_communities, 2);
+  for (vid v = 0; v < 5; ++v) {
+    EXPECT_EQ(r.labels[static_cast<std::size_t>(v)], r.labels[0]);
+  }
+  for (vid v = 5; v < 10; ++v) {
+    EXPECT_EQ(r.labels[static_cast<std::size_t>(v)], r.labels[5]);
+  }
+  EXPECT_NE(r.labels[0], r.labels[5]);
+}
+
+TEST(LabelPropagationTest, BridgedCliquesUsuallySeparate) {
+  // Two K6s joined by one bridge edge: dense cores should keep distinct
+  // labels despite the bridge.
+  const auto g = barbell_graph(6);
+  const auto r = label_propagation(g);
+  std::set<vid> left, right;
+  for (vid v = 0; v < 6; ++v) left.insert(r.labels[static_cast<std::size_t>(v)]);
+  for (vid v = 6; v < 12; ++v) right.insert(r.labels[static_cast<std::size_t>(v)]);
+  EXPECT_EQ(left.size(), 1u);
+  EXPECT_EQ(right.size(), 1u);
+  EXPECT_NE(*left.begin(), *right.begin());
+}
+
+TEST(LabelPropagationTest, LabelsAreCanonicalMinIds) {
+  const auto g = star_of_cliques(3, 4);
+  const auto r = label_propagation(g);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const vid l = r.labels[static_cast<std::size_t>(v)];
+    // The label is a vertex id inside the same community (its minimum).
+    EXPECT_EQ(r.labels[static_cast<std::size_t>(l)], l);
+    EXPECT_LE(l, v);
+  }
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabel) {
+  const auto g = make_undirected(4, {{0, 1}});
+  const auto r = label_propagation(g);
+  EXPECT_EQ(r.labels[2], 2);
+  EXPECT_EQ(r.labels[3], 3);
+  EXPECT_EQ(r.num_communities, 3);
+}
+
+TEST(LabelPropagationTest, CommunitiesRefineComponents) {
+  // Every community must live inside one connected component.
+  const auto g = erdos_renyi(300, 450, 7);
+  const auto comm = label_propagation(g);
+  const auto comp = connected_components(g);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const vid l = comm.labels[static_cast<std::size_t>(v)];
+    EXPECT_EQ(comp[static_cast<std::size_t>(l)],
+              comp[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(LabelPropagationTest, DeterministicForFixedSeed) {
+  const auto g = erdos_renyi(200, 700, 9);
+  LabelPropagationOptions o;
+  o.seed = 3;
+  EXPECT_EQ(label_propagation(g, o).labels, label_propagation(g, o).labels);
+}
+
+TEST(LabelPropagationTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(label_propagation(g), Error);
+}
+
+TEST(LabelPropagationTest, SizesSortedLargestFirst) {
+  const auto g = star_of_cliques(4, 6);
+  const auto r = label_propagation(g);
+  for (std::size_t i = 1; i < r.sizes.size(); ++i) {
+    EXPECT_GE(r.sizes[i - 1].second, r.sizes[i].second);
+  }
+  std::int64_t total = 0;
+  for (const auto& [l, s] : r.sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(ModularityTest, PerfectSplitOfDisjointCliques) {
+  EdgeList el(8);
+  for (vid off : {vid{0}, vid{4}}) {
+    for (vid i = 0; i < 4; ++i) {
+      for (vid j = i + 1; j < 4; ++j) el.add(off + i, off + j);
+    }
+  }
+  const auto g = build_csr(el);
+  std::vector<vid> split{0, 0, 0, 0, 4, 4, 4, 4};
+  // Two equal halves with no cross edges: Q = 1 - 2*(1/2)^2 = 0.5.
+  EXPECT_NEAR(modularity(g, sp(split)), 0.5, 1e-12);
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  const auto g = complete_graph(6);
+  std::vector<vid> all(6, 0);
+  EXPECT_NEAR(modularity(g, sp(all)), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, AllSingletonsIsNegative) {
+  const auto g = cycle_graph(8);
+  std::vector<vid> singletons(8);
+  for (vid v = 0; v < 8; ++v) singletons[static_cast<std::size_t>(v)] = v;
+  EXPECT_LT(modularity(g, sp(singletons)), 0.0);
+}
+
+TEST(ModularityTest, GoodSplitBeatsBadSplit) {
+  const auto g = barbell_graph(6);
+  std::vector<vid> good(12), bad(12);
+  for (vid v = 0; v < 12; ++v) {
+    good[static_cast<std::size_t>(v)] = v < 6 ? 0 : 6;
+    bad[static_cast<std::size_t>(v)] = v % 2;  // interleaved nonsense
+  }
+  EXPECT_GT(modularity(g, sp(good)), 0.3);
+  EXPECT_GT(modularity(g, sp(good)), modularity(g, sp(bad)) + 0.3);
+}
+
+TEST(ModularityTest, LabelPropagationFindsPositiveModularity) {
+  const auto g = star_of_cliques(6, 8);
+  const auto r = label_propagation(g);
+  EXPECT_GT(modularity(g, sp(r.labels)), 0.5);
+}
+
+TEST(ModularityTest, SelfLoopsIgnored) {
+  const auto with = make_undirected(4, {{0, 1}, {2, 3}, {0, 0}});
+  const auto without = make_undirected(4, {{0, 1}, {2, 3}});
+  std::vector<vid> labels{0, 0, 2, 2};
+  EXPECT_NEAR(modularity(with, sp(labels)), modularity(without, sp(labels)),
+              1e-12);
+}
+
+TEST(ModularityTest, EdgelessGraphThrows) {
+  const auto g = make_undirected(3, {});
+  std::vector<vid> labels{0, 1, 2};
+  EXPECT_THROW(modularity(g, sp(labels)), Error);
+}
+
+TEST(ModularityTest, SizeMismatchThrows) {
+  const auto g = path_graph(4);
+  std::vector<vid> labels{0, 0};
+  EXPECT_THROW(modularity(g, sp(labels)), Error);
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,191 @@
+#include "twitter/corpus_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algs/connected_components.hpp"
+#include "graph/transforms.hpp"
+#include "twitter/mention_graph.hpp"
+#include "twitter/tweet_parser.hpp"
+#include "util/error.hpp"
+
+namespace graphct::twitter {
+namespace {
+
+CorpusOptions small_opts() {
+  CorpusOptions o;
+  o.user_pool = 200;
+  o.num_tweets = 800;
+  o.num_hubs = 5;
+  o.hub_names = {"newsdesk", "cityhall"};
+  o.num_conversations = 20;
+  o.hashtags = {"topic", "other"};
+  o.seed = 7;
+  return o;
+}
+
+TEST(CorpusTest, DeterministicForFixedSeed) {
+  const auto a = generate_corpus(small_opts());
+  const auto b = generate_corpus(small_opts());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].author, b[i].author);
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+  }
+}
+
+TEST(CorpusTest, SeedChangesOutput) {
+  auto o = small_opts();
+  const auto a = generate_corpus(o);
+  o.seed = 8;
+  const auto b = generate_corpus(o);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].text != b[i].text;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CorpusTest, TweetInvariants) {
+  const auto tweets = generate_corpus(small_opts());
+  EXPECT_GE(tweets.size(), 800u);  // replies add extra tweets
+  std::int64_t prev_ts = 0;
+  std::set<std::int64_t> ids;
+  for (const auto& t : tweets) {
+    EXPECT_LE(t.text.size(), 140u);  // Twitter's hard limit
+    EXPECT_FALSE(t.author.empty());
+    EXPECT_GE(t.timestamp, prev_ts);  // timestamp ordered
+    prev_ts = t.timestamp;
+    EXPECT_TRUE(ids.insert(t.id).second);  // unique ids
+  }
+}
+
+TEST(CorpusTest, ContainsAllTweetKinds) {
+  const auto tweets = generate_corpus(small_opts());
+  int plain = 0, retweet = 0, mention = 0, selfref = 0, hashtag = 0;
+  for (const auto& t : tweets) {
+    const auto p = parse_tweet(t);
+    if (p.mentions.empty()) ++plain;
+    if (p.is_retweet) ++retweet;
+    if (!p.mentions.empty()) ++mention;
+    for (const auto& m : p.mentions) {
+      if (m == p.author) ++selfref;
+    }
+    if (!p.hashtags.empty()) ++hashtag;
+  }
+  EXPECT_GT(plain, 0);
+  EXPECT_GT(retweet, 0);
+  EXPECT_GT(mention, plain / 10);
+  EXPECT_GT(selfref, 0);
+  EXPECT_GT(hashtag, 0);
+}
+
+TEST(CorpusTest, HubsReceiveMostMentions) {
+  const auto o = small_opts();
+  const auto tweets = generate_corpus(o);
+  MentionGraphBuilder b;
+  for (const auto& t : tweets) b.add(t);
+  const auto mg = std::move(b).build();
+  // The named hubs should be among the highest in-degree vertices.
+  const vid hub = mg.id_of("newsdesk");
+  ASSERT_NE(hub, graphct::kNoVertex);
+  std::int64_t hub_in = 0, max_other = 0;
+  const auto rev = graphct::reverse(mg.directed);
+  for (vid v = 0; v < rev.num_vertices(); ++v) {
+    if (v == hub) {
+      hub_in = rev.degree(v);
+    }
+  }
+  for (vid v = 0; v < rev.num_vertices(); ++v) {
+    if (mg.users[static_cast<std::size_t>(v)].rfind("u", 0) == 0) {
+      max_other = std::max<std::int64_t>(max_other, rev.degree(v));
+    }
+  }
+  EXPECT_GT(hub_in, max_other / 2);  // hub is broadcast-scale
+  EXPECT_GT(hub_in, 20);
+}
+
+TEST(CorpusTest, ConversationsProduceMutualArcs) {
+  const auto tweets = generate_corpus(small_opts());
+  MentionGraphBuilder b;
+  for (const auto& t : tweets) b.add(t);
+  const auto mg = std::move(b).build();
+  const auto mutual = graphct::mutual_subgraph(mg.directed);
+  EXPECT_GT(mutual.num_edges(), 0);
+}
+
+TEST(CorpusTest, ConversationOverlapConcentratesClusters) {
+  // Higher overlap draws circles from a smaller shared pool, so the mutual
+  // graph's largest cluster covers a larger *fraction* of the participants
+  // (the Fig. 3 subcommunity structure). Absolute sizes shrink with the
+  // pool, so the fraction is the right observable.
+  auto lo = small_opts();
+  lo.user_pool = 2000;
+  lo.num_tweets = 1500;
+  lo.num_conversations = 40;
+  lo.p_conversation = 0.35;
+  lo.reply_prob = 0.7;
+  lo.conversation_overlap = 1.0;
+  auto hi = lo;
+  hi.conversation_overlap = 6.0;
+
+  auto cluster_concentration = [](const CorpusOptions& o) {
+    const auto tweets = generate_corpus(o);
+    MentionGraphBuilder b;
+    for (const auto& t : tweets) b.add(t);
+    const auto mg = std::move(b).build();
+    const auto mutual =
+        graphct::drop_isolated(graphct::mutual_subgraph(mg.directed));
+    if (mutual.graph.num_vertices() == 0) return 0.0;
+    const auto labels = graphct::connected_components(mutual.graph);
+    return static_cast<double>(
+               graphct::component_stats(labels).largest_size()) /
+           static_cast<double>(mutual.graph.num_vertices());
+  };
+  EXPECT_GT(cluster_concentration(hi), cluster_concentration(lo));
+}
+
+TEST(CorpusTest, RejectsBadOptions) {
+  CorpusOptions o;
+  o.user_pool = 1;
+  EXPECT_THROW(generate_corpus(o), graphct::Error);
+  o = small_opts();
+  o.num_hubs = o.user_pool;
+  EXPECT_THROW(generate_corpus(o), graphct::Error);
+}
+
+TEST(ArticleVolumeTest, BurstShape) {
+  ArticleVolumeOptions o;
+  const auto rows = simulate_weekly_articles(o);
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows.front().first, 17);
+  EXPECT_EQ(rows.back().first, 24);
+  // Pre-burst baseline is small; onset week explodes by >5x.
+  EXPECT_GT(rows[1].second, rows[0].second * 5);
+  // Attention decays after the burst.
+  EXPECT_GT(rows[1].second, rows[3].second);
+  for (const auto& [week, count] : rows) {
+    EXPECT_GE(count, 0);
+  }
+}
+
+TEST(ArticleVolumeTest, Deterministic) {
+  ArticleVolumeOptions o;
+  o.seed = 12;
+  EXPECT_EQ(simulate_weekly_articles(o), simulate_weekly_articles(o));
+}
+
+TEST(ArticleVolumeTest, ReboundWaveVisible) {
+  ArticleVolumeOptions o;
+  o.noise_sigma = 0.0;  // deterministic intensities
+  const auto rows = simulate_weekly_articles(o);
+  // The rebound week should exceed the week before it.
+  const std::size_t idx = static_cast<std::size_t>(o.rebound_week - o.first_week);
+  ASSERT_LT(idx, rows.size());
+  EXPECT_GT(rows[idx].second, rows[idx - 1].second);
+}
+
+}  // namespace
+}  // namespace graphct::twitter

@@ -1,0 +1,104 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CsrGraphTest, ManualConstruction) {
+  // Triangle 0-1-2, undirected.
+  std::vector<eid> off{0, 2, 4, 6};
+  std::vector<vid> adj{1, 2, 0, 2, 0, 1};
+  CsrGraph g(off, adj, /*directed=*/false, /*self_loops=*/0, /*sorted=*/true);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_adjacency_entries(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(CsrGraphTest, ValidatesOffsets) {
+  // offsets not starting at 0
+  EXPECT_THROW(CsrGraph({1, 2}, {0}, false, 0, true), Error);
+  // offsets not ending at adjacency size
+  EXPECT_THROW(CsrGraph({0, 2}, {0}, false, 0, true), Error);
+  // decreasing offsets
+  EXPECT_THROW(CsrGraph({0, 2, 1, 3}, {0, 0, 0}, false, 0, true), Error);
+  // adjacency out of range
+  EXPECT_THROW(CsrGraph({0, 1}, {5}, false, 0, true), Error);
+  EXPECT_THROW(CsrGraph({0, 1}, {-1}, false, 0, true), Error);
+}
+
+TEST(CsrGraphTest, UndirectedEdgeCountHalvesEntries) {
+  const auto g = make_undirected(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_adjacency_entries(), 6);
+}
+
+TEST(CsrGraphTest, SelfLoopCountedOnceUndirected) {
+  const auto g = make_undirected(3, {{0, 1}, {2, 2}});
+  EXPECT_EQ(g.num_self_loops(), 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(2, 2));
+}
+
+TEST(CsrGraphTest, DirectedEdgesCountArcs) {
+  const auto g = make_directed(3, {{0, 1}, {1, 0}, {1, 2}});
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(2, 1));
+}
+
+TEST(CsrGraphTest, NeighborsSpanIsSorted) {
+  const auto g = make_undirected(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(CsrGraphTest, HasEdgeOnUnsortedAdjacency) {
+  std::vector<eid> off{0, 2, 3, 4};
+  std::vector<vid> adj{2, 1, 0, 0};
+  CsrGraph g(off, adj, true, 0, /*sorted=*/false);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(CsrGraphTest, MemoryBytesReflectsArrays) {
+  const auto g = make_undirected(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.memory_bytes(),
+            5 * sizeof(eid) + 6 * sizeof(vid));
+}
+
+TEST(CsrGraphTest, EqualityIsStructural) {
+  const auto a = make_undirected(3, {{0, 1}, {1, 2}});
+  const auto b = make_undirected(3, {{0, 1}, {1, 2}});
+  const auto c = make_undirected(3, {{0, 1}, {0, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CsrGraphTest, IsolatedVerticesHaveEmptyNeighborhoods) {
+  const auto g = make_undirected(10, {{0, 1}});
+  EXPECT_EQ(g.degree(5), 0);
+  EXPECT_TRUE(g.neighbors(5).empty());
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,88 @@
+#include "twitter/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "twitter/mention_graph.hpp"
+#include "util/error.hpp"
+
+namespace graphct::twitter {
+namespace {
+
+TEST(DatasetsTest, AllPresetsResolve) {
+  for (const auto& name : dataset_preset_names()) {
+    const auto p = dataset_preset(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_GT(p.corpus.user_pool, 0);
+    EXPECT_GT(p.corpus.num_tweets, 0);
+    EXPECT_FALSE(p.description.empty());
+  }
+}
+
+TEST(DatasetsTest, UnknownPresetThrows) {
+  EXPECT_THROW(dataset_preset("nope"), graphct::Error);
+}
+
+TEST(DatasetsTest, ScaleShrinksCorpus) {
+  const auto full = dataset_preset("h1n1");
+  const auto half = dataset_preset("h1n1", 0.5);
+  EXPECT_LT(half.corpus.num_tweets, full.corpus.num_tweets);
+  EXPECT_LT(half.corpus.user_pool, full.corpus.user_pool);
+  // Paper reference numbers are not scaled.
+  EXPECT_EQ(half.paper.users, full.paper.users);
+}
+
+TEST(DatasetsTest, ScaleOutOfRangeThrows) {
+  EXPECT_THROW(dataset_preset("h1n1", 0.0), graphct::Error);
+  EXPECT_THROW(dataset_preset("h1n1", 1.5), graphct::Error);
+}
+
+TEST(DatasetsTest, PaperNumbersMatchTableIII) {
+  const auto h = dataset_preset("h1n1");
+  EXPECT_EQ(h.paper.users, 46457);
+  EXPECT_EQ(h.paper.unique_interactions, 36886);
+  EXPECT_EQ(h.paper.tweets_with_responses, 3444);
+  const auto a = dataset_preset("atlflood");
+  EXPECT_EQ(a.paper.users, 2283);
+  EXPECT_EQ(a.paper.lwcc_users, 1488);
+  const auto s = dataset_preset("sep1");
+  EXPECT_EQ(s.paper.users, 735465);
+  EXPECT_EQ(s.paper.unique_interactions, 1020671);
+}
+
+TEST(DatasetsTest, H1n1HubsIncludePaperTableIVNames) {
+  const auto p = dataset_preset("h1n1");
+  bool cdc = false;
+  for (const auto& h : p.corpus.hub_names) {
+    if (h == "cdcflu") cdc = true;
+  }
+  EXPECT_TRUE(cdc);
+}
+
+// Structural calibration check: the scaled-down presets must still produce
+// the paper's qualitative shape — heavy broadcast hubs, fragmented full
+// graph with a dominant LWCC, conversations a small fraction.
+TEST(DatasetsTest, ScaledH1n1HasPaperShape) {
+  const auto p = dataset_preset("h1n1", 0.1);
+  const auto tweets = generate_corpus(p.corpus);
+  MentionGraphBuilder b;
+  for (const auto& t : tweets) b.add(t);
+  const auto mg = std::move(b).build();
+
+  EXPECT_GT(mg.num_users, 1000);
+  // Interactions below users: fragmented, tree-like (paper: 36886 < 46457).
+  EXPECT_LT(mg.unique_interactions, mg.num_users);
+  // Responses are a small fraction of tweets (paper: 3444 / ~46k).
+  EXPECT_LT(mg.tweets_with_responses, mg.num_tweets / 4);
+  EXPECT_GT(mg.tweets_with_responses, 0);
+  EXPECT_GT(mg.self_references, 0);
+}
+
+TEST(DatasetsTest, TinyPresetFastEnoughForUnitTests) {
+  const auto p = dataset_preset("tiny");
+  const auto tweets = generate_corpus(p.corpus);
+  EXPECT_LT(tweets.size(), 3000u);
+  EXPECT_GE(tweets.size(), 900u);
+}
+
+}  // namespace
+}  // namespace graphct::twitter

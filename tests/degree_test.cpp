@@ -1,0 +1,71 @@
+#include "algs/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/rmat.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(DegreeTest, StarDegrees) {
+  const auto g = star_graph(6);
+  const auto d = degrees(g);
+  EXPECT_EQ(d[0], 5);
+  for (vid v = 1; v < 6; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], 1);
+}
+
+TEST(DegreeTest, DirectedOutVsIn) {
+  const auto g = make_directed(3, {{0, 1}, {0, 2}, {1, 2}});
+  const auto out = degrees(g);
+  const auto in = in_degrees(g);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{2, 1, 0}));
+  EXPECT_EQ(in, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(DegreeTest, UndirectedInEqualsOut) {
+  const auto g = cycle_graph(5);
+  EXPECT_EQ(degrees(g), in_degrees(g));
+}
+
+TEST(DegreeSummaryTest, MeanAndVariance) {
+  const auto g = star_graph(5);  // degrees 4,1,1,1,1
+  const auto s = degree_summary(g);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(DegreeHistogramTest, CountsEveryVertex) {
+  const auto g = rmat_graph({.scale = 8, .edge_factor = 4, .seed = 3});
+  const auto h = degree_histogram(g);
+  EXPECT_EQ(h.total(), g.num_vertices());
+}
+
+TEST(DegreeFrequencyTest, CompleteGraphIsSingleSpike) {
+  const auto g = complete_graph(7);
+  const auto f = degree_frequency(g);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], (std::pair<std::int64_t, std::int64_t>{6, 7}));
+}
+
+TEST(DegreePowerLawTest, RmatIsHeavyTailedVsErdosRenyi) {
+  // R-MAT degree distributions are heavy-tailed: their max degree should
+  // dwarf an Erdős–Rényi graph's with the same size.
+  const auto r = rmat_graph({.scale = 12, .edge_factor = 8, .seed = 5});
+  const auto e =
+      erdos_renyi(r.num_vertices(), r.num_edges(), 5);
+  const auto sr = degree_summary(r);
+  const auto se = degree_summary(e);
+  EXPECT_GT(sr.max, 4.0 * se.max);
+  EXPECT_GT(sr.variance, 4.0 * se.variance);
+}
+
+}  // namespace
+}  // namespace graphct

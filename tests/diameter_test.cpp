@@ -1,0 +1,89 @@
+#include "algs/diameter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_undirected;
+
+TEST(ExactDiameterTest, KnownShapes) {
+  EXPECT_EQ(exact_diameter(path_graph(10)), 9);
+  EXPECT_EQ(exact_diameter(cycle_graph(10)), 5);
+  EXPECT_EQ(exact_diameter(cycle_graph(9)), 4);
+  EXPECT_EQ(exact_diameter(star_graph(50)), 2);
+  EXPECT_EQ(exact_diameter(complete_graph(6)), 1);
+  EXPECT_EQ(exact_diameter(grid_graph(4, 7)), 9);
+}
+
+TEST(ExactDiameterTest, DisconnectedUsesLargestEccentricity) {
+  const auto g = make_undirected(8, {{0, 1}, {1, 2}, {4, 5}});
+  EXPECT_EQ(exact_diameter(g), 2);
+}
+
+TEST(EstimateTest, FullSamplingEqualsExactLowerBound) {
+  const auto g = path_graph(30);
+  DiameterOptions o;
+  o.num_samples = 30;  // every vertex
+  o.multiplier = 1;
+  const auto est = estimate_diameter(g, o);
+  EXPECT_EQ(est.longest_distance, 29);
+  EXPECT_EQ(est.estimate, 29);
+  EXPECT_EQ(est.samples_used, 30);
+}
+
+TEST(EstimateTest, MultiplierScalesEstimate) {
+  const auto g = path_graph(10);
+  DiameterOptions o;
+  o.num_samples = 10;
+  o.multiplier = 4;
+  const auto est = estimate_diameter(g, o);
+  EXPECT_EQ(est.estimate, est.longest_distance * 4);
+}
+
+TEST(EstimateTest, SampleCountClampsToVertexCount) {
+  const auto g = path_graph(5);
+  DiameterOptions o;
+  o.num_samples = 256;  // the paper's default, bigger than the graph
+  const auto est = estimate_diameter(g, o);
+  EXPECT_EQ(est.samples_used, 5);
+  EXPECT_EQ(est.longest_distance, 4);
+}
+
+TEST(EstimateTest, EstimateIsLowerBoundTimesMultiplier) {
+  // The sampled longest distance never exceeds the true diameter; with the
+  // paper's 4x factor the estimate upper-bounds it on small-world graphs.
+  const auto g = erdos_renyi(500, 2000, 9);
+  const vid exact = exact_diameter(g);
+  DiameterOptions o;
+  o.num_samples = 64;
+  o.seed = 7;
+  const auto est = estimate_diameter(g, o);
+  EXPECT_LE(est.longest_distance, exact);
+  EXPECT_GE(est.estimate, exact);  // 4x headroom
+}
+
+TEST(EstimateTest, DeterministicForFixedSeed) {
+  const auto g = erdos_renyi(300, 900, 21);
+  DiameterOptions o;
+  o.num_samples = 16;
+  o.seed = 5;
+  const auto a = estimate_diameter(g, o);
+  const auto b = estimate_diameter(g, o);
+  EXPECT_EQ(a.longest_distance, b.longest_distance);
+  EXPECT_EQ(a.estimate, b.estimate);
+}
+
+TEST(EstimateTest, EmptyGraph) {
+  CsrGraph g;
+  const auto est = estimate_diameter(g);
+  EXPECT_EQ(est.samples_used, 0);
+  EXPECT_EQ(est.estimate, 0);
+}
+
+}  // namespace
+}  // namespace graphct

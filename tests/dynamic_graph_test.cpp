@@ -1,0 +1,129 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(DynamicGraphTest, InsertAndQuery) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.insert_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(DynamicGraphTest, DuplicateInsertIsNoop) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(DynamicGraphTest, RemoveEdge) {
+  DynamicGraph g(4);
+  g.insert_edge(1, 2);
+  g.insert_edge(2, 3);
+  EXPECT_TRUE(g.remove_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.remove_edge(1, 2));  // already gone
+}
+
+TEST(DynamicGraphTest, SelfLoops) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.insert_edge(1, 1));
+  EXPECT_TRUE(g.has_edge(1, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_TRUE(g.remove_edge(1, 1));
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DynamicGraphTest, AdjacencyStaysSorted) {
+  DynamicGraph g(10);
+  for (vid v : {7, 2, 9, 4, 1}) g.insert_edge(0, v);
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.degree(0), 5);
+}
+
+TEST(DynamicGraphTest, OutOfRangeThrows) {
+  DynamicGraph g(3);
+  EXPECT_THROW(g.insert_edge(0, 3), Error);
+  EXPECT_THROW(g.remove_edge(-1, 0), Error);
+  EXPECT_THROW((void)g.has_edge(0, 5), Error);
+}
+
+TEST(DynamicGraphTest, FromStaticGraph) {
+  const auto s = cycle_graph(6);
+  DynamicGraph g(s);
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (vid v = 0; v < 6; ++v) {
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 6));
+  }
+}
+
+TEST(DynamicGraphTest, SnapshotRoundTrip) {
+  const auto s = erdos_renyi(50, 200, 3);
+  DynamicGraph g(s);
+  EXPECT_EQ(g.snapshot(), s);
+}
+
+TEST(DynamicGraphTest, SnapshotAfterMutations) {
+  DynamicGraph g(4);
+  g.insert_edge(0, 1);
+  g.insert_edge(1, 2);
+  g.insert_edge(2, 3);
+  g.remove_edge(1, 2);
+  g.insert_edge(3, 3);
+  const auto s = g.snapshot();
+  EXPECT_EQ(s.num_edges(), 3);
+  EXPECT_EQ(s.num_self_loops(), 1);
+  EXPECT_TRUE(s.has_edge(0, 1));
+  EXPECT_FALSE(s.has_edge(1, 2));
+  EXPECT_FALSE(s.directed());
+}
+
+TEST(DynamicGraphTest, RandomChurnMatchesReferenceSet) {
+  Rng rng(17);
+  const vid n = 30;
+  DynamicGraph g(n);
+  std::set<std::pair<vid, vid>> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const vid u = static_cast<vid>(rng.next_below(n));
+    const vid v = static_cast<vid>(rng.next_below(n));
+    const auto p = std::minmax(u, v);
+    if (rng.next_bool(0.6)) {
+      EXPECT_EQ(g.insert_edge(u, v), ref.insert({p.first, p.second}).second);
+    } else {
+      EXPECT_EQ(g.remove_edge(u, v),
+                ref.erase({p.first, p.second}) > 0);
+    }
+    ASSERT_EQ(g.num_edges(), static_cast<eid>(ref.size()));
+  }
+  // Final structure matches exactly.
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = u; v < n; ++v) {
+      EXPECT_EQ(g.has_edge(u, v), ref.count({u, v}) > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,113 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(LinearHistogramTest, BinAssignment) {
+  LinearHistogram h(10, 100);
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(99);
+  h.add(100);
+  EXPECT_EQ(h.total(), 5);
+  const auto& bins = h.bins();
+  EXPECT_EQ(bins[0].count, 2);   // 0 and 9
+  EXPECT_EQ(bins[1].count, 1);   // 10
+  EXPECT_EQ(bins[9].count, 1);   // 99
+  EXPECT_EQ(bins[10].count, 1);  // 100
+}
+
+TEST(LinearHistogramTest, ClampsOverflowToLastBin) {
+  LinearHistogram h(10, 50);
+  h.add(1000000);
+  EXPECT_EQ(h.bins().back().count, 1);
+}
+
+TEST(LinearHistogramTest, RejectsNegativeValues) {
+  LinearHistogram h(10, 50);
+  EXPECT_THROW(h.add(-1), Error);
+}
+
+TEST(LinearHistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(LinearHistogram(0, 10), Error);
+  EXPECT_THROW(LinearHistogram(-5, 10), Error);
+  EXPECT_THROW(LinearHistogram(1, -1), Error);
+}
+
+TEST(LinearHistogramTest, AddAll) {
+  LinearHistogram h(5, 20);
+  std::vector<std::int64_t> vals{1, 2, 3, 7, 12, 19};
+  h.add_all(std::span<const std::int64_t>(vals.data(), vals.size()));
+  EXPECT_EQ(h.total(), 6);
+}
+
+TEST(LogHistogramTest, PowerOfTwoBins) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(7);
+  h.add(8);
+  const auto bins = h.bins();
+  // {0}, {1}, [2,4), [4,8), [8,16)
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_EQ(bins[0].count, 1);
+  EXPECT_EQ(bins[1].count, 1);
+  EXPECT_EQ(bins[2].count, 2);
+  EXPECT_EQ(bins[3].count, 2);
+  EXPECT_EQ(bins[4].count, 1);
+  EXPECT_EQ(bins[2].lo, 2);
+  EXPECT_EQ(bins[2].hi, 4);
+  EXPECT_EQ(bins[4].lo, 8);
+  EXPECT_EQ(bins[4].hi, 16);
+}
+
+TEST(LogHistogramTest, LargeValues) {
+  LogHistogram h;
+  h.add((std::int64_t{1} << 40) + 5);
+  const auto bins = h.bins();
+  EXPECT_EQ(bins.back().count, 1);
+  EXPECT_LE(bins.back().lo, (std::int64_t{1} << 40) + 5);
+  EXPECT_GT(bins.back().hi, (std::int64_t{1} << 40) + 5);
+}
+
+TEST(LogHistogramTest, TotalMatchesAdds) {
+  LogHistogram h;
+  for (std::int64_t i = 0; i < 1000; ++i) h.add(i % 37);
+  EXPECT_EQ(h.total(), 1000);
+  std::int64_t bin_total = 0;
+  for (const auto& b : h.bins()) bin_total += b.count;
+  EXPECT_EQ(bin_total, 1000);
+}
+
+TEST(LogHistogramTest, AsciiChartMentionsCounts) {
+  LogHistogram h;
+  for (int i = 0; i < 42; ++i) h.add(3);
+  const std::string chart = h.ascii_chart();
+  EXPECT_NE(chart.find("42"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(FrequencyTableTest, CountsDistinctValues) {
+  std::vector<std::int64_t> v{5, 3, 5, 5, 3, 1};
+  const auto freq = frequency_table(std::span<const std::int64_t>(v.data(), v.size()));
+  ASSERT_EQ(freq.size(), 3u);
+  EXPECT_EQ(freq[0], (std::pair<std::int64_t, std::int64_t>{1, 1}));
+  EXPECT_EQ(freq[1], (std::pair<std::int64_t, std::int64_t>{3, 2}));
+  EXPECT_EQ(freq[2], (std::pair<std::int64_t, std::int64_t>{5, 3}));
+}
+
+TEST(FrequencyTableTest, Empty) {
+  std::vector<std::int64_t> v;
+  EXPECT_TRUE(frequency_table(std::span<const std::int64_t>(v.data(), 0)).empty());
+}
+
+}  // namespace
+}  // namespace graphct

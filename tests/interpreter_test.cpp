@@ -1,0 +1,327 @@
+#include "script/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gen/shapes.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "util/error.hpp"
+
+namespace graphct::script {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Interpreter with fast toolkit defaults for tests.
+InterpreterOptions fast_opts() {
+  InterpreterOptions o;
+  o.toolkit.diameter_samples = 16;
+  return o;
+}
+
+TEST(InterpreterTest, GenerateAndPrintGraph) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nprint graph\n");
+  EXPECT_NE(out.str().find("64 vertices"), std::string::npos);
+  EXPECT_NE(out.str().find("undirected"), std::string::npos);
+}
+
+TEST(InterpreterTest, ReadDimacs) {
+  const std::string path = temp_path("gct_interp.dimacs");
+  graphct::write_dimacs(graphct::path_graph(8), path);
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("read dimacs " + path + "\nprint degrees\n");
+  EXPECT_NE(out.str().find("8 vertices"), std::string::npos);
+  EXPECT_NE(out.str().find("mean="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(InterpreterTest, CommandWithoutGraphThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("print degrees\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, UnknownCommandThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("frobnicate\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, SaveExtractRestoreStack) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  // Two components: sizes 4 and 2 — build via edgelist file.
+  const std::string el = temp_path("gct_interp.el");
+  {
+    std::ofstream f(el);
+    f << "0 1\n1 2\n2 3\n8 9\n";
+  }
+  in.run("read edgelist " + el + "\n");
+  EXPECT_EQ(in.current().graph().num_vertices(), 10);
+  in.run("save graph\nextract component 1\n");
+  EXPECT_EQ(in.current().graph().num_vertices(), 4);
+  in.run("restore graph\n");
+  EXPECT_EQ(in.current().graph().num_vertices(), 10);
+  in.run("extract component 2\n");
+  EXPECT_EQ(in.current().graph().num_vertices(), 2);
+  std::remove(el.c_str());
+}
+
+TEST(InterpreterTest, RestoreWithoutSaveThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 5 2\n");
+  EXPECT_THROW(in.run("restore graph\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, ExtractComponentWritesBinary) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  const std::string bin = temp_path("gct_interp_comp.bin");
+  in.run("generate rmat 6 8\nsave graph\nextract component 1 => " + bin + "\n");
+  const auto g = graphct::read_binary(bin);
+  EXPECT_EQ(g.num_vertices(), in.current().graph().num_vertices());
+  std::remove(bin.c_str());
+}
+
+TEST(InterpreterTest, KcentralityToFile) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  const std::string scores = temp_path("gct_interp_scores.txt");
+  in.run("generate rmat 6 4\nkcentrality 1 16 => " + scores + "\n");
+  std::ifstream f(scores);
+  ASSERT_TRUE(f.good());
+  std::int64_t lines = 0;
+  std::string line;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, in.current().graph().num_vertices());
+  std::remove(scores.c_str());
+}
+
+TEST(InterpreterTest, KcentralityToScreenShowsTopVertices) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nkcentrality 0 16\n");
+  EXPECT_NE(out.str().find("vertex"), std::string::npos);
+}
+
+TEST(InterpreterTest, DiameterWithPercentArgument) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nprint diameter 10\n");
+  EXPECT_NE(out.str().find("diameter estimate"), std::string::npos);
+}
+
+TEST(InterpreterTest, ComponentsClusteringKcores) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 7 4\nprint components\nprint clustering\nprint kcores\n");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("components:"), std::string::npos);
+  EXPECT_NE(s.find("triangles="), std::string::npos);
+  EXPECT_NE(s.find("degeneracy="), std::string::npos);
+}
+
+TEST(InterpreterTest, ExtractKcore) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 7 8\nextract kcore 2\n");
+  const auto& g = in.current().graph();
+  for (graphct::vid v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 2);
+  }
+}
+
+TEST(InterpreterTest, BfsCommand) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nbfs 0 2\n");
+  EXPECT_NE(out.str().find("reached"), std::string::npos);
+}
+
+TEST(InterpreterTest, WriteFormats) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  const std::string bin = temp_path("gct_interp_w.bin");
+  const std::string dim = temp_path("gct_interp_w.dimacs");
+  in.run("generate rmat 5 4\nwrite binary " + bin + "\nwrite dimacs " + dim + "\n");
+  EXPECT_EQ(graphct::read_binary(bin), in.current().graph());
+  std::remove(bin.c_str());
+  std::remove(dim.c_str());
+}
+
+TEST(InterpreterTest, EchoPassesThrough) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("echo hello analyst world\n");
+  EXPECT_NE(out.str().find("hello analyst world"), std::string::npos);
+}
+
+TEST(InterpreterTest, PaperScriptEndToEnd) {
+  // The paper's §IV-B example, with a generated stand-in for patents.txt.
+  const std::string dimacs = temp_path("gct_patents.dimacs");
+  const std::string comp1 = temp_path("gct_comp1.bin");
+  const std::string k1 = temp_path("gct_k1.txt");
+  const std::string k2 = temp_path("gct_k2.txt");
+  {
+    std::ostringstream gen_out;
+    Interpreter gen(gen_out, fast_opts());
+    gen.run("generate rmat 7 2\nwrite dimacs " + dimacs + "\n");
+  }
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("read dimacs " + dimacs +
+         "\n"
+         "print diameter 10\n"
+         "save graph\n"
+         "extract component 1 => " + comp1 +
+         "\n"
+         "print degrees\n"
+         "kcentrality 1 32 => " + k1 +
+         "\n"
+         "kcentrality 2 32 => " + k2 +
+         "\n"
+         "restore graph\n"
+         "extract component 2\n"
+         "print degrees\n");
+  EXPECT_TRUE(std::filesystem::exists(comp1));
+  EXPECT_TRUE(std::filesystem::exists(k1));
+  EXPECT_TRUE(std::filesystem::exists(k2));
+  for (const auto& p : {dimacs, comp1, k1, k2}) std::remove(p.c_str());
+}
+
+TEST(InterpreterTest, RunFileMissingThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run_file("/nonexistent/script.gct"), graphct::Error);
+}
+
+TEST(InterpreterTest, ReadTweetsBuildsMentionGraph) {
+  // Write a tiny tweet stream, then script the whole §III workflow.
+  const std::string tsv = temp_path("gct_interp_tweets.tsv");
+  {
+    std::ofstream f(tsv);
+    f << "1\t100\talice\thello @bob\n"
+         "2\t110\tbob\t@alice hi back\n"
+         "3\t120\tcarol\tRT @hub news\n";
+  }
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("read tweets " + tsv + "\nprint graph\nprint components\n");
+  const std::string s = out.str();
+  // Directed interactions: alice->bob, bob->alice, carol->hub.
+  EXPECT_NE(s.find("3 unique interactions"), std::string::npos);
+  EXPECT_NE(s.find("4 vertices"), std::string::npos);
+  EXPECT_NE(s.find("components: 2"), std::string::npos);
+  std::remove(tsv.c_str());
+}
+
+TEST(InterpreterTest, PageRankClosenessCommunities) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 7 4\npagerank\ncloseness 16\ncommunities\n");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("pagerank:"), std::string::npos);
+  EXPECT_NE(s.find("closeness:"), std::string::npos);
+  EXPECT_NE(s.find("modularity"), std::string::npos);
+}
+
+TEST(InterpreterTest, PageRankScoresToFile) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  const std::string path = temp_path("gct_interp_pr.txt");
+  in.run("generate rmat 6 4\npagerank => " + path + "\n");
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::int64_t lines = 0;
+  std::string line;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, in.current().graph().num_vertices());
+  std::remove(path.c_str());
+}
+
+TEST(InterpreterLoopTest, RepeatRunsBodyNTimes) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("repeat 3\necho tick\nend\n");
+  std::size_t count = 0;
+  for (std::size_t p = out.str().find("tick"); p != std::string::npos;
+       p = out.str().find("tick", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(InterpreterLoopTest, RepeatZeroSkipsBody) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("repeat 0\necho never\nend\necho after\n");
+  EXPECT_EQ(out.str().find("never"), std::string::npos);
+  EXPECT_NE(out.str().find("after"), std::string::npos);
+}
+
+TEST(InterpreterLoopTest, NestedRepeat) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("repeat 2\nrepeat 3\necho x\nend\nend\n");
+  std::size_t count = 0;
+  for (std::size_t p = out.str().find('x'); p != std::string::npos;
+       p = out.str().find('x', p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(InterpreterLoopTest, RepeatDrivesKernels) {
+  // The analyst use case: re-estimate a sampled kernel several times.
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 5 4\nrepeat 3\nprint diameter 50\nend\n");
+  std::size_t count = 0;
+  for (std::size_t p = out.str().find("diameter estimate");
+       p != std::string::npos;
+       p = out.str().find("diameter estimate", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(InterpreterLoopTest, UnmatchedRepeatThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("repeat 2\necho x\n"), graphct::Error);
+}
+
+TEST(InterpreterLoopTest, DanglingEndThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("echo x\nend\n"), graphct::Error);
+}
+
+TEST(InterpreterLoopTest, NegativeCountThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("repeat -1\necho x\nend\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, TimingsOptionPrintsDurations) {
+  InterpreterOptions o = fast_opts();
+  o.timings = true;
+  std::ostringstream out;
+  Interpreter in(out, o);
+  in.run("generate rmat 5 2\n");
+  EXPECT_NE(out.str().find("["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphct::script

@@ -1,0 +1,137 @@
+#include "algs/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+// Serial reference: Batagelj–Zaveršnik style repeated peeling.
+std::vector<std::int64_t> reference_cores(const CsrGraph& g) {
+  const vid n = g.num_vertices();
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(n));
+  for (vid v = 0; v < n; ++v) {
+    std::int64_t d = g.degree(v);
+    if (g.has_edge(v, v)) --d;
+    deg[static_cast<std::size_t>(v)] = d;
+  }
+  std::vector<std::int64_t> core(static_cast<std::size_t>(n), 0);
+  std::vector<char> gone(static_cast<std::size_t>(n), 0);
+  for (std::int64_t k = 0;; ++k) {
+    bool any_left = false;
+    bool peeled = true;
+    while (peeled) {
+      peeled = false;
+      for (vid v = 0; v < n; ++v) {
+        if (gone[static_cast<std::size_t>(v)]) continue;
+        if (deg[static_cast<std::size_t>(v)] <= k) {
+          gone[static_cast<std::size_t>(v)] = 1;
+          core[static_cast<std::size_t>(v)] = k;
+          for (vid u : g.neighbors(v)) {
+            if (u != v && !gone[static_cast<std::size_t>(u)]) {
+              --deg[static_cast<std::size_t>(u)];
+            }
+          }
+          peeled = true;
+        }
+      }
+    }
+    for (vid v = 0; v < n; ++v) {
+      if (!gone[static_cast<std::size_t>(v)]) any_left = true;
+    }
+    if (!any_left) break;
+  }
+  return core;
+}
+
+TEST(KcoreTest, PathCoreness) {
+  const auto g = path_graph(6);
+  const auto c = core_numbers(g);
+  for (auto k : c) EXPECT_EQ(k, 1);
+  EXPECT_EQ(degeneracy(c), 1);
+}
+
+TEST(KcoreTest, CompleteGraphCoreness) {
+  const auto g = complete_graph(5);
+  const auto c = core_numbers(g);
+  for (auto k : c) EXPECT_EQ(k, 4);
+}
+
+TEST(KcoreTest, IsolatedVertexIsZeroCore) {
+  const auto g = make_undirected(4, {{0, 1}, {1, 2}, {0, 2}});
+  const auto c = core_numbers(g);
+  EXPECT_EQ(c[3], 0);
+  EXPECT_EQ(c[0], 2);
+}
+
+TEST(KcoreTest, SelfLoopDoesNotInflateCoreness) {
+  const auto g = make_undirected(2, {{0, 1}, {0, 0}});
+  const auto c = core_numbers(g);
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], 1);
+}
+
+TEST(KcoreTest, StarOfCliquesLayers) {
+  // 3 cliques of size 6: members have coreness 5; the hub (degree 3, all
+  // neighbors deeper) peels at k = 3.
+  const auto g = star_of_cliques(3, 6);
+  const auto c = core_numbers(g);
+  EXPECT_EQ(c[0], 3);
+  for (vid v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(c[static_cast<std::size_t>(v)], 5);
+  }
+  EXPECT_EQ(degeneracy(c), 5);
+}
+
+TEST(KcoreTest, DirectedThrows) {
+  const auto g = make_directed(3, {{0, 1}});
+  EXPECT_THROW(core_numbers(g), Error);
+}
+
+TEST(KcoreSubgraphTest, PeelsPendants) {
+  // Triangle with a pendant chain: 2-core is just the triangle.
+  const auto g = make_undirected(6, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const auto sub = kcore_subgraph(g, 2);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{0, 1, 2}));
+}
+
+TEST(KcoreSubgraphTest, EmptyCoreForTooLargeK) {
+  const auto g = path_graph(5);
+  const auto sub = kcore_subgraph(g, 10);
+  EXPECT_EQ(sub.graph.num_vertices(), 0);
+}
+
+class KcorePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KcorePropertyTest, MatchesReference) {
+  Rng rng(GetParam());
+  const vid n = 20 + static_cast<vid>(rng.next_below(150));
+  const auto m = static_cast<std::int64_t>(n * (1 + rng.next_below(5)));
+  const auto g = erdos_renyi(n, m, GetParam() * 31 + 7);
+  EXPECT_EQ(core_numbers(g), reference_cores(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, KcorePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(KcorePropertyTest, CoreMonotoneUnderKcoreExtraction) {
+  // Every vertex of the k-core subgraph must have degree >= k inside it.
+  const auto g = erdos_renyi(300, 1800, 77);
+  for (std::int64_t k = 1; k <= 4; ++k) {
+    const auto sub = kcore_subgraph(g, k);
+    for (vid v = 0; v < sub.graph.num_vertices(); ++v) {
+      EXPECT_GE(sub.graph.degree(v), k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,118 @@
+#include "twitter/mention_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphct::twitter {
+namespace {
+
+Tweet tw(std::int64_t id, const std::string& author, const std::string& text) {
+  return Tweet{id, author, text, id};
+}
+
+MentionGraph build(std::initializer_list<Tweet> tweets) {
+  MentionGraphBuilder b;
+  for (const auto& t : tweets) b.add(t);
+  return std::move(b).build();
+}
+
+TEST(MentionGraphTest, SingleMentionMakesOneArc) {
+  const auto g = build({tw(1, "alice", "hi @bob")});
+  EXPECT_EQ(g.num_users, 2);
+  EXPECT_EQ(g.unique_interactions, 1);
+  EXPECT_EQ(g.num_tweets, 1);
+  EXPECT_EQ(g.tweets_with_mentions, 1);
+  const vid a = g.id_of("alice");
+  const vid b = g.id_of("bob");
+  ASSERT_NE(a, graphct::kNoVertex);
+  ASSERT_NE(b, graphct::kNoVertex);
+  EXPECT_TRUE(g.directed.has_edge(a, b));
+  EXPECT_FALSE(g.directed.has_edge(b, a));
+}
+
+TEST(MentionGraphTest, DuplicateInteractionsThrownOut) {
+  const auto g = build({tw(1, "alice", "hi @bob"), tw(2, "alice", "yo @bob"),
+                        tw(3, "ALICE", "again @BOB")});
+  EXPECT_EQ(g.num_tweets, 3);
+  EXPECT_EQ(g.unique_interactions, 1);  // the paper's dedup rule
+}
+
+TEST(MentionGraphTest, PlainTweetsAddIsolatedAuthors) {
+  const auto g = build({tw(1, "alice", "just lunch"), tw(2, "bob", "hi @carol")});
+  EXPECT_EQ(g.num_users, 3);
+  EXPECT_EQ(g.tweets_with_mentions, 1);
+  EXPECT_EQ(g.directed.degree(g.id_of("alice")), 0);
+}
+
+TEST(MentionGraphTest, SelfReferenceCounted) {
+  const auto g = build({tw(1, "echo", "quoting @echo")});
+  EXPECT_EQ(g.self_references, 1);
+  EXPECT_EQ(g.unique_interactions, 0);  // self-loops are not interactions
+  EXPECT_EQ(g.directed.num_self_loops(), 1);
+}
+
+TEST(MentionGraphTest, RetweetCounted) {
+  const auto g = build({tw(1, "fan", "RT @hub the news")});
+  EXPECT_EQ(g.retweets, 1);
+  EXPECT_EQ(g.unique_interactions, 1);
+}
+
+TEST(MentionGraphTest, ResponsesAreReciprocatedTweets) {
+  const auto g = build({
+      tw(1, "a", "question for @b"),   // has a response (b mentions a)
+      tw(2, "b", "answer to @a"),      // has a response (a mentions b)
+      tw(3, "c", "shoutout @a"),       // no response: a never mentions c
+  });
+  EXPECT_EQ(g.tweets_with_responses, 2);
+}
+
+TEST(MentionGraphTest, MultiMentionTweetCountsOncePerTweet) {
+  const auto g = build({
+      tw(1, "a", "hey @b and @c"),  // reciprocated via b only
+      tw(2, "b", "ok @a"),
+  });
+  EXPECT_EQ(g.tweets_with_responses, 2);
+  EXPECT_EQ(g.unique_interactions, 3);
+}
+
+TEST(MentionGraphTest, UndirectedViewMergesDirections) {
+  const auto g = build({tw(1, "a", "@b"), tw(2, "b", "@a"), tw(3, "a", "@c")});
+  const auto u = g.undirected();
+  EXPECT_FALSE(u.directed());
+  EXPECT_EQ(u.num_edges(), 2);  // {a,b} and {a,c}
+}
+
+TEST(MentionGraphTest, IdOfUnknownUserIsNoVertex) {
+  const auto g = build({tw(1, "a", "@b")});
+  EXPECT_EQ(g.id_of("nobody"), graphct::kNoVertex);
+}
+
+TEST(MentionGraphTest, UsersArrayMatchesIds) {
+  const auto g = build({tw(1, "a", "@b and @c")});
+  for (vid v = 0; v < g.directed.num_vertices(); ++v) {
+    EXPECT_EQ(g.id_of(g.users[static_cast<std::size_t>(v)]), v);
+  }
+}
+
+TEST(MentionGraphTest, EmptyBuilder) {
+  MentionGraphBuilder b;
+  const auto g = std::move(b).build();
+  EXPECT_EQ(g.num_users, 0);
+  EXPECT_EQ(g.directed.num_vertices(), 0);
+}
+
+TEST(MentionGraphTest, PaperConversationFigure1) {
+  // The Fig. 1 H1N1 exchange: jaketapper <-> dancharles is a conversation.
+  const auto g = build({
+      tw(1, "jaketapper", "@EdMorrissey Asserting that all thats being done"),
+      tw(2, "jaketapper", "@dancharles as someone with a pregnant wife"),
+      tw(3, "dancharles", "RT @jaketapper @Slate: Sanjay Gupta has swine flu"),
+  });
+  const vid jt = g.id_of("jaketapper");
+  const vid dc = g.id_of("dancharles");
+  EXPECT_TRUE(g.directed.has_edge(jt, dc));
+  EXPECT_TRUE(g.directed.has_edge(dc, jt));
+  EXPECT_GE(g.tweets_with_responses, 2);
+}
+
+}  // namespace
+}  // namespace graphct::twitter

@@ -1,0 +1,138 @@
+#include "algs/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+double sum(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(PageRankTest, SumsToOne) {
+  for (const auto& g : {cycle_graph(10), star_graph(20), complete_graph(6)}) {
+    const auto r = pagerank(g);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(sum(r.score), 1.0, 1e-8);
+  }
+}
+
+TEST(PageRankTest, RegularGraphIsUniform) {
+  const auto g = cycle_graph(12);
+  const auto r = pagerank(g);
+  for (double s : r.score) EXPECT_NEAR(s, 1.0 / 12.0, 1e-9);
+}
+
+TEST(PageRankTest, StarHubDominates) {
+  const auto g = star_graph(21);
+  const auto r = pagerank(g);
+  for (std::size_t v = 1; v < 21; ++v) {
+    EXPECT_GT(r.score[0], 3.0 * r.score[v]);
+    EXPECT_NEAR(r.score[v], r.score[1], 1e-12);  // spokes symmetric
+  }
+}
+
+TEST(PageRankTest, DanglingVerticesHandled) {
+  // 0 -> 1 -> 2, vertex 2 dangles; mass must not leak.
+  const auto g = make_directed(3, {{0, 1}, {1, 2}});
+  const auto r = pagerank(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(sum(r.score), 1.0, 1e-8);
+  EXPECT_GT(r.score[2], r.score[1]);  // downstream accumulates
+  EXPECT_GT(r.score[1], r.score[0]);
+}
+
+TEST(PageRankTest, DirectedAuthorityFlowsAlongArcs) {
+  // Everyone cites @hub; hub cites nobody.
+  const auto g = make_directed(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto r = pagerank(g);
+  for (std::size_t v = 1; v < 5; ++v) {
+    EXPECT_GT(r.score[0], 2.0 * r.score[v]);
+  }
+}
+
+TEST(PageRankTest, KnownTwoVertexValue) {
+  // 0 <-> 1: symmetric, each 0.5 exactly.
+  const auto g = make_undirected(2, {{0, 1}});
+  const auto r = pagerank(g);
+  EXPECT_NEAR(r.score[0], 0.5, 1e-10);
+  EXPECT_NEAR(r.score[1], 0.5, 1e-10);
+}
+
+TEST(PageRankTest, IsolatedVerticesGetBaseRank) {
+  const auto g = make_undirected(4, {{0, 1}});
+  const auto r = pagerank(g);
+  EXPECT_NEAR(sum(r.score), 1.0, 1e-8);
+  EXPECT_NEAR(r.score[2], r.score[3], 1e-12);
+  EXPECT_GT(r.score[0], r.score[2]);
+}
+
+TEST(PageRankTest, ToleranceControlsIterations) {
+  const auto g = erdos_renyi(300, 1500, 3);
+  PageRankOptions loose;
+  loose.tolerance = 1e-3;
+  PageRankOptions tight;
+  tight.tolerance = 1e-12;
+  const auto rl = pagerank(g, loose);
+  const auto rt = pagerank(g, tight);
+  EXPECT_LT(rl.iterations, rt.iterations);
+  EXPECT_LE(rl.residual, 1e-3);
+}
+
+TEST(PageRankTest, MaxIterationsCaps) {
+  const auto g = erdos_renyi(200, 800, 5);
+  PageRankOptions o;
+  o.max_iterations = 2;
+  o.tolerance = 0.0;
+  const auto r = pagerank(g, o);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(PageRankTest, InvalidOptionsThrow) {
+  const auto g = path_graph(3);
+  PageRankOptions o;
+  o.damping = 1.5;
+  EXPECT_THROW(pagerank(g, o), Error);
+  o.damping = 0.85;
+  o.max_iterations = 0;
+  EXPECT_THROW(pagerank(g, o), Error);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  CsrGraph g;
+  const auto r = pagerank(g);
+  EXPECT_TRUE(r.score.empty());
+}
+
+TEST(PageRankTest, UndirectedRankCorrelatesWithDegree) {
+  // On undirected graphs PageRank is approximately degree-proportional.
+  const auto g = chung_lu_power_law(2000, 8000, 2.5, 7);
+  const auto r = pagerank(g);
+  vid max_deg_v = 0;
+  for (vid v = 1; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(max_deg_v)) max_deg_v = v;
+  }
+  double max_rank = 0;
+  vid max_rank_v = 0;
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (r.score[static_cast<std::size_t>(v)] > max_rank) {
+      max_rank = r.score[static_cast<std::size_t>(v)];
+      max_rank_v = v;
+    }
+  }
+  EXPECT_EQ(max_rank_v, max_deg_v);
+}
+
+}  // namespace
+}  // namespace graphct

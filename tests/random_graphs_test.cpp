@@ -1,0 +1,77 @@
+#include "gen/random_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algs/degree.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(ErdosRenyiTest, BasicShape) {
+  const auto g = erdos_renyi(100, 300, 1);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_FALSE(g.directed());
+  EXPECT_LE(g.num_edges(), 300);  // dedup and self-loop removal only shrink
+  EXPECT_GT(g.num_edges(), 250);  // collision probability is low
+  EXPECT_EQ(g.num_self_loops(), 0);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  EXPECT_EQ(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+  EXPECT_NE(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 8));
+}
+
+TEST(ErdosRenyiTest, DegreesConcentrateAroundMean) {
+  const auto g = erdos_renyi(2000, 10000, 3);
+  const auto s = degree_summary(g);
+  EXPECT_NEAR(s.mean, 10.0, 0.5);
+  EXPECT_LT(s.max, 40.0);  // Poisson tail, no hubs
+}
+
+TEST(ErdosRenyiTest, InvalidArgsThrow) {
+  EXPECT_THROW(erdos_renyi(0, 10, 1), Error);
+}
+
+TEST(ChungLuTest, HeavyTail) {
+  const auto g = chung_lu_power_law(3000, 12000, 2.3, 5);
+  const auto s = degree_summary(g);
+  // Hubs exist: max degree far above mean.
+  EXPECT_GT(s.max, 10.0 * s.mean);
+  // Vertex 0 carries the largest weight and should be among the top degrees.
+  EXPECT_GT(g.degree(0), static_cast<vid>(s.mean * 5));
+}
+
+TEST(ChungLuTest, AlphaControlsSkew) {
+  const auto steep = chung_lu_power_law(2000, 8000, 3.5, 9);
+  const auto flat = chung_lu_power_law(2000, 8000, 2.1, 9);
+  EXPECT_GT(degree_summary(flat).max, degree_summary(steep).max);
+}
+
+TEST(ChungLuTest, RejectsSmallAlpha) {
+  EXPECT_THROW(chung_lu_power_law(100, 200, 1.5, 1), Error);
+}
+
+TEST(WattsStrogatzTest, RingLatticeAtPZero) {
+  const auto g = watts_strogatz(50, 2, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 100);  // n*k
+  for (vid v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeBudget) {
+  const auto g = watts_strogatz(100, 3, 0.5, 2);
+  // Rewiring can only lose edges to dedup collisions, not gain.
+  EXPECT_LE(g.num_edges(), 300);
+  EXPECT_GT(g.num_edges(), 270);
+  EXPECT_EQ(g.num_self_loops(), 0);
+}
+
+TEST(WattsStrogatzTest, InvalidArgsThrow) {
+  EXPECT_THROW(watts_strogatz(4, 2, 0.1, 1), Error);   // n <= 2k
+  EXPECT_THROW(watts_strogatz(50, 0, 0.1, 1), Error);  // k < 1
+  EXPECT_THROW(watts_strogatz(50, 2, 1.5, 1), Error);  // p > 1
+}
+
+}  // namespace
+}  // namespace graphct

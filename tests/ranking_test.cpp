@@ -1,0 +1,124 @@
+#include "algs/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+std::span<const double> sp(const std::vector<double>& v) {
+  return {v.data(), v.size()};
+}
+
+TEST(TopKTest, OrdersByScoreDescending) {
+  std::vector<double> s{0.1, 5.0, 3.0, 4.0};
+  EXPECT_EQ(top_k(sp(s), 2), (std::vector<vid>{1, 3}));
+  EXPECT_EQ(top_k(sp(s), 4), (std::vector<vid>{1, 3, 2, 0}));
+}
+
+TEST(TopKTest, TieBreaksByIndex) {
+  std::vector<double> s{2.0, 2.0, 2.0, 1.0};
+  EXPECT_EQ(top_k(sp(s), 2), (std::vector<vid>{0, 1}));
+}
+
+TEST(TopKTest, ClampsK) {
+  std::vector<double> s{1.0, 2.0};
+  EXPECT_EQ(top_k(sp(s), 100).size(), 2u);
+  EXPECT_TRUE(top_k(sp(s), 0).empty());
+}
+
+TEST(TopPercentTest, CeilingSemantics) {
+  std::vector<double> s(100, 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<double>(i);
+  EXPECT_EQ(top_percent(sp(s), 1.0).size(), 1u);
+  EXPECT_EQ(top_percent(sp(s), 5.0).size(), 5u);
+  EXPECT_EQ(top_percent(sp(s), 10.0).size(), 10u);
+  // 2.5% of 100 -> ceil -> 3
+  EXPECT_EQ(top_percent(sp(s), 2.5).size(), 3u);
+}
+
+TEST(TopPercentTest, AtLeastOne) {
+  std::vector<double> s{1.0, 2.0, 3.0};
+  EXPECT_EQ(top_percent(sp(s), 1.0).size(), 1u);
+}
+
+TEST(TopPercentTest, RejectsBadPercent) {
+  std::vector<double> s{1.0};
+  EXPECT_THROW(top_percent(sp(s), 0.0), Error);
+  EXPECT_THROW(top_percent(sp(s), 101.0), Error);
+}
+
+TEST(SetMetricsTest, IntersectionAndHamming) {
+  std::vector<vid> a{1, 2, 3, 4};
+  std::vector<vid> b{3, 4, 5, 6};
+  EXPECT_EQ(set_intersection_size(a, b), 2);
+  EXPECT_DOUBLE_EQ(normalized_set_hamming(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(normalized_set_hamming(a, a), 0.0);
+  std::vector<vid> c{9, 10, 11, 12};
+  EXPECT_DOUBLE_EQ(normalized_set_hamming(a, c), 1.0);
+}
+
+TEST(SetMetricsTest, EmptySets) {
+  std::vector<vid> e;
+  EXPECT_DOUBLE_EQ(normalized_set_hamming(e, e), 0.0);
+  EXPECT_EQ(set_intersection_size(e, e), 0);
+}
+
+TEST(TopKOverlapTest, IdenticalScoresGiveFullOverlap) {
+  std::vector<double> s{5, 4, 3, 2, 1, 0.5, 0.1, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(top_k_overlap(sp(s), sp(s), 20.0), 1.0);
+}
+
+TEST(TopKOverlapTest, DetectsDisagreement) {
+  std::vector<double> exact{10, 9, 1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<double> approx{1, 1, 10, 9, 1, 1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(top_k_overlap(sp(exact), sp(approx), 20.0), 0.0);
+}
+
+TEST(TopKOverlapTest, OverlapIsComplementOfHamming) {
+  Rng rng(4);
+  std::vector<double> a(50), b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    a[i] = rng.next_double();
+    b[i] = a[i] + 0.2 * rng.next_double();
+  }
+  const double pct = 10.0;
+  const auto ta = top_percent(sp(a), pct);
+  const auto tb = top_percent(sp(b), pct);
+  EXPECT_NEAR(top_k_overlap(sp(a), sp(b), pct),
+              1.0 - normalized_set_hamming(ta, tb), 1e-12);
+}
+
+TEST(TopKOverlapTest, LengthMismatchThrows) {
+  std::vector<double> a{1, 2}, b{1};
+  EXPECT_THROW(top_k_overlap(sp(a), sp(b), 10.0), Error);
+}
+
+TEST(SpearmanTest, MonotoneTransformGivesOne) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 4, 9, 16, 25};  // monotone in x
+  EXPECT_NEAR(spearman_correlation(sp(x), sp(y)), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversalGivesMinusOne) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{9, 7, 5, 3};
+  EXPECT_NEAR(spearman_correlation(sp(x), sp(y)), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, TiesAverageRanks) {
+  std::vector<double> x{1, 1, 2, 2};
+  std::vector<double> y{1, 1, 2, 2};
+  EXPECT_NEAR(spearman_correlation(sp(x), sp(y)), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, DegenerateReturnsZero) {
+  std::vector<double> x{1};
+  std::vector<double> y{2};
+  EXPECT_EQ(spearman_correlation(sp(x), sp(y)), 0.0);
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,178 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace graphct {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Mix64Test, IsAFunctionAndSpreadsBits) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(0), mix64(1));
+  // Single-bit input changes should flip many output bits.
+  const std::uint64_t diff = mix64(0) ^ mix64(1);
+  EXPECT_GE(__builtin_popcountll(diff), 16);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Both endpoints should be reachable.
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_in(0, 3));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SampleWithoutReplacementBasics) {
+  Rng rng(37);
+  const auto s = rng.sample_without_replacement(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<std::int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (auto v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWholeRange) {
+  Rng rng(41);
+  const auto s = rng.sample_without_replacement(8, 8);
+  EXPECT_EQ(s.size(), 8u);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(s[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RngTest, SampleZero) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(RngTest, SampleDensePathIsUniform) {
+  // Dense path (k*16 >= n) — each element should appear roughly k/n of the
+  // time across repetitions.
+  std::vector<int> counts(10, 0);
+  for (int rep = 0; rep < 4000; ++rep) {
+    Rng rng(1000 + static_cast<std::uint64_t>(rep));
+    for (auto v : rng.sample_without_replacement(10, 5)) {
+      ++counts[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c / 4000.0, 0.5, 0.06);
+}
+
+TEST(RngTest, SampleSparsePathIsUniform) {
+  // Sparse path (k*16 < n) exercises Floyd's algorithm.
+  std::vector<int> counts(64, 0);
+  for (int rep = 0; rep < 6000; ++rep) {
+    Rng rng(5000 + static_cast<std::uint64_t>(rep));
+    for (auto v : rng.sample_without_replacement(64, 2)) {
+      ++counts[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c / 6000.0, 2.0 / 64.0, 0.015);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace graphct

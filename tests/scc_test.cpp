@@ -1,0 +1,149 @@
+#include "algs/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algs/connected_components.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(SccTest, DirectedCycleIsOneScc) {
+  const auto g = make_directed(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto labels = strongly_connected_components(g);
+  for (vid v = 0; v < 4; ++v) {
+    EXPECT_EQ(labels[static_cast<std::size_t>(v)], 0);
+  }
+}
+
+TEST(SccTest, DirectedPathIsAllSingletons) {
+  const auto g = make_directed(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto labels = strongly_connected_components(g);
+  for (vid v = 0; v < 4; ++v) {
+    EXPECT_EQ(labels[static_cast<std::size_t>(v)], v);
+  }
+  EXPECT_EQ(count_components(labels), 4);
+  EXPECT_EQ(count_components(labels, 2), 0);
+}
+
+TEST(SccTest, MutualPairIsAnScc) {
+  // The paper's conversation filter is the 2-cycle special case.
+  const auto g = make_directed(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}});
+  const auto labels = strongly_connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[3], 3);
+}
+
+TEST(SccTest, TwoCyclesJoinedOneWay) {
+  // Cycle {0,1,2} -> cycle {3,4,5}: two SCCs despite weak connectivity.
+  const auto g = make_directed(6, {{0, 1}, {1, 2}, {2, 0},
+                                   {3, 4}, {4, 5}, {5, 3},
+                                   {2, 3}});
+  const auto labels = strongly_connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(count_components(labels, 3), 2);
+}
+
+TEST(SccTest, SelfLoopIsSingletonScc) {
+  const auto g = make_directed(2, {{0, 0}, {0, 1}});
+  const auto labels = strongly_connected_components(g);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 1);
+}
+
+TEST(SccTest, LabelsAreCanonicalMinIds) {
+  const auto g = make_directed(5, {{4, 2}, {2, 4}, {1, 3}, {3, 1}, {0, 1}});
+  const auto labels = strongly_connected_components(g);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[4], 2);
+  EXPECT_EQ(labels[1], 1);
+  EXPECT_EQ(labels[3], 1);
+  EXPECT_EQ(labels[0], 0);
+}
+
+TEST(SccTest, UndirectedThrows) {
+  const auto g = make_undirected(3, {{0, 1}});
+  EXPECT_THROW(strongly_connected_components(g), Error);
+}
+
+TEST(SccTest, LargestSccExtraction) {
+  const auto g = make_directed(7, {{0, 1}, {1, 2}, {2, 0},   // triangle
+                                   {3, 4}, {4, 3},           // pair
+                                   {5, 6}});                 // singletons
+  const auto sub = largest_scc(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{0, 1, 2}));
+  EXPECT_TRUE(sub.graph.directed());
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+}
+
+// Property: SCC labels agree with brute-force pairwise reachability on
+// small random digraphs.
+class SccPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SccPropertyTest, MatchesPairwiseReachability) {
+  Rng rng(GetParam());
+  const vid n = 8 + static_cast<vid>(rng.next_below(20));
+  EdgeList el(n);
+  const std::int64_t m = n + static_cast<std::int64_t>(rng.next_below(
+                                 static_cast<std::uint64_t>(2 * n)));
+  for (std::int64_t i = 0; i < m; ++i) {
+    el.add(static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n))),
+           static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  BuildOptions b;
+  b.symmetrize = false;
+  const auto g = build_csr(el, b);
+
+  // Floyd-Warshall reachability.
+  std::vector<std::vector<char>> reach(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (vid v = 0; v < n; ++v) {
+    reach[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 1;
+    for (vid u : g.neighbors(v)) {
+      reach[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+    }
+  }
+  for (vid k = 0; k < n; ++k) {
+    for (vid i = 0; i < n; ++i) {
+      if (!reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)]) continue;
+      for (vid j = 0; j < n; ++j) {
+        if (reach[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]) {
+          reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+        }
+      }
+    }
+  }
+
+  const auto labels = strongly_connected_components(g);
+  for (vid i = 0; i < n; ++i) {
+    for (vid j = 0; j < n; ++j) {
+      const bool same_scc =
+          labels[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(j)];
+      const bool mutual =
+          reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] &&
+          reach[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      EXPECT_EQ(same_scc, mutual) << i << " vs " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDigraphs, SccPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,91 @@
+#include "script/script_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace graphct::script {
+namespace {
+
+TEST(ScriptParserTest, SimpleCommand) {
+  const auto c = parse_line("print degrees", 1);
+  EXPECT_EQ(c.tokens, (std::vector<std::string>{"print", "degrees"}));
+  EXPECT_FALSE(c.has_redirect());
+}
+
+TEST(ScriptParserTest, Redirect) {
+  const auto c = parse_line("kcentrality 1 256 => k1scores.txt", 3);
+  EXPECT_EQ(c.tokens, (std::vector<std::string>{"kcentrality", "1", "256"}));
+  EXPECT_EQ(c.redirect, "k1scores.txt");
+  EXPECT_EQ(c.line, 3);
+}
+
+TEST(ScriptParserTest, BlankAndCommentLines) {
+  EXPECT_TRUE(parse_line("", 1).tokens.empty());
+  EXPECT_TRUE(parse_line("   ", 1).tokens.empty());
+  EXPECT_TRUE(parse_line("# a comment", 1).tokens.empty());
+}
+
+TEST(ScriptParserTest, TrailingComment) {
+  const auto c = parse_line("print degrees # show them", 1);
+  EXPECT_EQ(c.tokens, (std::vector<std::string>{"print", "degrees"}));
+}
+
+TEST(ScriptParserTest, ExtraWhitespace) {
+  const auto c = parse_line("  extract   component  1   =>  out.bin ", 1);
+  EXPECT_EQ(c.tokens, (std::vector<std::string>{"extract", "component", "1"}));
+  EXPECT_EQ(c.redirect, "out.bin");
+}
+
+TEST(ScriptParserTest, DanglingArrowThrows) {
+  EXPECT_THROW(parse_line("print degrees =>", 1), graphct::Error);
+}
+
+TEST(ScriptParserTest, DoubleArrowThrows) {
+  EXPECT_THROW(parse_line("a => b => c", 1), graphct::Error);
+}
+
+TEST(ScriptParserTest, TokensAfterRedirectThrow) {
+  EXPECT_THROW(parse_line("a => b c", 1), graphct::Error);
+}
+
+TEST(ScriptParserTest, RedirectWithoutCommandThrows) {
+  EXPECT_THROW(parse_line("=> out.txt", 1), graphct::Error);
+}
+
+TEST(ScriptParserTest, WholeScriptLineNumbers) {
+  const auto cmds = parse_script(
+      "read dimacs g.txt\n"
+      "\n"
+      "# comment\n"
+      "print degrees\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].line, 1);
+  EXPECT_EQ(cmds[1].line, 4);
+}
+
+TEST(ScriptParserTest, PaperExampleScriptParses) {
+  const auto cmds = parse_script(
+      "read dimacs patents.txt\n"
+      "print diameter 10\n"
+      "save graph\n"
+      "extract component 1 => comp1.bin\n"
+      "print degrees\n"
+      "kcentrality 1 256 => k1scores.txt\n"
+      "kcentrality 2 256 => k2scores.txt\n"
+      "restore graph\n"
+      "extract component 2\n"
+      "print degrees\n");
+  ASSERT_EQ(cmds.size(), 10u);
+  EXPECT_EQ(cmds[3].redirect, "comp1.bin");
+  EXPECT_EQ(cmds[6].tokens,
+            (std::vector<std::string>{"kcentrality", "2", "256"}));
+}
+
+TEST(ScriptParserTest, NoTrailingNewline) {
+  const auto cmds = parse_script("print degrees");
+  ASSERT_EQ(cmds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace graphct::script

@@ -1,0 +1,85 @@
+#include "gen/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(ShapesTest, PathGraph) {
+  const auto g = path_graph(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  const auto single = path_graph(1);
+  EXPECT_EQ(single.num_edges(), 0);
+}
+
+TEST(ShapesTest, CycleGraph) {
+  const auto g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (vid v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_THROW(cycle_graph(2), Error);
+}
+
+TEST(ShapesTest, StarGraph) {
+  const auto g = star_graph(7);
+  EXPECT_EQ(g.degree(0), 6);
+  EXPECT_EQ(g.num_edges(), 6);
+}
+
+TEST(ShapesTest, CompleteGraph) {
+  const auto g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (vid v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(ShapesTest, BalancedTree) {
+  const auto g = balanced_tree(2, 3);  // 1+2+4+8 = 15 vertices
+  EXPECT_EQ(g.num_vertices(), 15);
+  EXPECT_EQ(g.num_edges(), 14);
+  EXPECT_EQ(g.degree(0), 2);   // root
+  EXPECT_EQ(g.degree(14), 1);  // leaf
+  const auto trivial = balanced_tree(3, 0);
+  EXPECT_EQ(trivial.num_vertices(), 1);
+}
+
+TEST(ShapesTest, GridGraph) {
+  const auto g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2);                // corner
+  EXPECT_EQ(g.degree(5), 4);                // interior (1,1)
+}
+
+TEST(ShapesTest, StarOfCliques) {
+  const auto g = star_of_cliques(3, 4);
+  EXPECT_EQ(g.num_vertices(), 13);
+  // 3 cliques of C(4,2)=6 edges plus 3 hub links.
+  EXPECT_EQ(g.num_edges(), 21);
+  EXPECT_EQ(g.degree(0), 3);
+}
+
+TEST(ShapesTest, BarbellGraph) {
+  const auto g = barbell_graph(5);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 2 * 10 + 1);
+  EXPECT_EQ(g.degree(4), 5);  // bridge endpoint
+  EXPECT_TRUE(g.has_edge(4, 5));
+}
+
+TEST(ShapesTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(path_graph(0), Error);
+  EXPECT_THROW(star_graph(1), Error);
+  EXPECT_THROW(balanced_tree(0, 2), Error);
+  EXPECT_THROW(grid_graph(0, 5), Error);
+  EXPECT_THROW(star_of_cliques(0, 3), Error);
+  EXPECT_THROW(barbell_graph(1), Error);
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,99 @@
+#include "stream/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(SlidingWindowTest, EdgesExpire) {
+  SlidingWindowGraph w(10, 100);
+  w.observe(0, 1, 0);
+  w.observe(1, 2, 50);
+  EXPECT_EQ(w.live().graph().num_edges(), 2);
+  w.advance(100);  // t=0 edge expires when now > 100
+  EXPECT_EQ(w.live().graph().num_edges(), 2);
+  w.advance(101);
+  EXPECT_EQ(w.live().graph().num_edges(), 1);
+  EXPECT_FALSE(w.live().graph().has_edge(0, 1));
+  EXPECT_TRUE(w.live().graph().has_edge(1, 2));
+  w.advance(151);
+  EXPECT_EQ(w.live().graph().num_edges(), 0);
+}
+
+TEST(SlidingWindowTest, RepeatObservationExtendsLife) {
+  SlidingWindowGraph w(5, 100);
+  w.observe(0, 1, 0);
+  w.observe(0, 1, 80);  // re-observed: refcount 2
+  w.advance(120);       // first observation expired, second alive
+  EXPECT_TRUE(w.live().graph().has_edge(0, 1));
+  w.advance(181);
+  EXPECT_FALSE(w.live().graph().has_edge(0, 1));
+}
+
+TEST(SlidingWindowTest, TrianglesTrackWindow) {
+  SlidingWindowGraph w(5, 100);
+  w.observe(0, 1, 0);
+  w.observe(1, 2, 10);
+  w.observe(0, 2, 20);
+  EXPECT_EQ(w.live().total_triangles(), 1);
+  w.advance(101);  // the 0-1 edge expires, breaking the triangle
+  EXPECT_EQ(w.live().total_triangles(), 0);
+  // Re-close it.
+  w.observe(0, 1, 105);
+  EXPECT_EQ(w.live().total_triangles(), 1);
+}
+
+TEST(SlidingWindowTest, SelfLoopsIgnored) {
+  SlidingWindowGraph w(5, 100);
+  w.observe(2, 2, 0);
+  EXPECT_EQ(w.live().graph().num_edges(), 0);
+  EXPECT_EQ(w.active_observations(), 0);
+}
+
+TEST(SlidingWindowTest, OutOfOrderThrows) {
+  SlidingWindowGraph w(5, 100);
+  w.observe(0, 1, 50);
+  EXPECT_THROW(w.observe(1, 2, 40), Error);
+  EXPECT_THROW(w.advance(10), Error);
+}
+
+TEST(SlidingWindowTest, BadWindowThrows) {
+  EXPECT_THROW(SlidingWindowGraph(5, 0), Error);
+}
+
+TEST(SlidingWindowTest, ActiveObservationCounts) {
+  SlidingWindowGraph w(5, 10);
+  w.observe(0, 1, 0);
+  w.observe(0, 1, 5);
+  w.observe(2, 3, 5);
+  EXPECT_EQ(w.active_observations(), 3);
+  EXPECT_EQ(w.live().graph().num_edges(), 2);
+  w.advance(11);
+  EXPECT_EQ(w.active_observations(), 2);
+  w.advance(16);
+  EXPECT_EQ(w.active_observations(), 0);
+}
+
+TEST(SlidingWindowTest, LongChurnStaysConsistent) {
+  SlidingWindowGraph w(20, 50);
+  for (std::int64_t t = 0; t < 1000; ++t) {
+    w.observe(static_cast<vid>(t % 20), static_cast<vid>((t * 7 + 3) % 20), t);
+  }
+  // Window holds at most 51 timestamps' observations.
+  EXPECT_LE(w.active_observations(), 51);
+  // Live structure equals a from-scratch rebuild of the window.
+  StreamingClustering rebuilt(20);
+  for (std::int64_t t = 1000 - 51; t < 1000; ++t) {
+    if (t < 0) continue;
+    const vid u = static_cast<vid>(t % 20);
+    const vid v = static_cast<vid>((t * 7 + 3) % 20);
+    if (u != v) rebuilt.insert_edge(u, v);
+  }
+  EXPECT_EQ(w.live().graph().snapshot(), rebuilt.graph().snapshot());
+  EXPECT_EQ(w.live().total_triangles(), rebuilt.total_triangles());
+}
+
+}  // namespace
+}  // namespace graphct

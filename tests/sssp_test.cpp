@@ -1,0 +1,214 @@
+#include "algs/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "algs/bfs.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+// Serial Dijkstra reference.
+std::vector<double> dijkstra(const CsrGraph& g, const EdgeWeights& w,
+                             vid source) {
+  std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()),
+                           kInfDistance);
+  using Item = std::pair<double, vid>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    const auto nbrs = g.neighbors(u);
+    const eid base = g.offsets()[static_cast<std::size_t>(u)];
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const double cand = d + w[base + static_cast<eid>(j)];
+      if (cand < dist[static_cast<std::size_t>(nbrs[j])]) {
+        dist[static_cast<std::size_t>(nbrs[j])] = cand;
+        pq.push({cand, nbrs[j]});
+      }
+    }
+  }
+  return dist;
+}
+
+void expect_distances_near(const std::vector<double>& got,
+                           const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    if (want[v] == kInfDistance) {
+      EXPECT_EQ(got[v], kInfDistance) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(got[v], want[v], 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+TEST(WeightsTest, UnitWeightsAreOnes) {
+  const auto g = cycle_graph(5);
+  const auto w = unit_weights(g);
+  ASSERT_EQ(static_cast<eid>(w.value.size()), g.num_adjacency_entries());
+  for (double x : w.value) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(WeightsTest, RandomWeightsInRangeAndSymmetric) {
+  const auto g = erdos_renyi(100, 400, 3);
+  const auto w = random_weights(g, 2.0, 5.0, 7);
+  const vid n = g.num_vertices();
+  for (vid u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const eid base = g.offsets()[static_cast<std::size_t>(u)];
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const double wt = w[base + static_cast<eid>(j)];
+      ASSERT_GE(wt, 2.0);
+      ASSERT_LT(wt, 5.0);
+      // Symmetry: find the reverse slot and compare.
+      const vid v = nbrs[j];
+      const auto vn = g.neighbors(v);
+      const eid vbase = g.offsets()[static_cast<std::size_t>(v)];
+      for (std::size_t k = 0; k < vn.size(); ++k) {
+        if (vn[k] == u) {
+          ASSERT_DOUBLE_EQ(wt, w[vbase + static_cast<eid>(k)]);
+        }
+      }
+    }
+  }
+}
+
+TEST(WeightsTest, DeterministicPerSeed) {
+  const auto g = erdos_renyi(50, 150, 5);
+  EXPECT_EQ(random_weights(g, 0.0, 1.0, 9).value,
+            random_weights(g, 0.0, 1.0, 9).value);
+  EXPECT_NE(random_weights(g, 0.0, 1.0, 9).value,
+            random_weights(g, 0.0, 1.0, 10).value);
+}
+
+TEST(DeltaSteppingTest, UnitWeightsMatchBfs) {
+  const auto g = erdos_renyi(300, 1200, 11);
+  const auto w = unit_weights(g);
+  const auto sssp = delta_stepping(g, w, 0, 1.0);
+  const auto b = bfs(g, 0);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (b.distance[static_cast<std::size_t>(v)] == kNoVertex) {
+      EXPECT_EQ(sssp.distance[static_cast<std::size_t>(v)], kInfDistance);
+    } else {
+      EXPECT_DOUBLE_EQ(sssp.distance[static_cast<std::size_t>(v)],
+                       static_cast<double>(
+                           b.distance[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(DeltaSteppingTest, KnownTinyGraph) {
+  // 0 -2-> 1 -2-> 2, plus direct 0 -5-> 2: shortest 0->2 is 4 via 1.
+  const auto g = make_directed(3, {{0, 1}, {1, 2}, {0, 2}});
+  EdgeWeights w;
+  w.value = {2.0, 5.0, 2.0};  // slots: 0->1, 0->2, 1->2 (sorted adjacency)
+  const auto r = delta_stepping(g, w, 0, 1.5);
+  EXPECT_DOUBLE_EQ(r.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.distance[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.distance[2], 4.0);
+}
+
+TEST(DeltaSteppingTest, UnreachableStaysInfinite) {
+  const auto g = make_undirected(4, {{0, 1}});
+  const auto r = delta_stepping(g, unit_weights(g), 0, 1.0);
+  EXPECT_EQ(r.distance[2], kInfDistance);
+  EXPECT_EQ(r.distance[3], kInfDistance);
+}
+
+TEST(DeltaSteppingTest, ZeroWeightEdgesTerminate) {
+  const auto g = cycle_graph(6);
+  EdgeWeights w;
+  w.value.assign(static_cast<std::size_t>(g.num_adjacency_entries()), 0.0);
+  const auto r = delta_stepping(g, w, 0, 1.0);
+  for (double d : r.distance) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(DeltaSteppingTest, InvalidArgsThrow) {
+  const auto g = path_graph(3);
+  const auto w = unit_weights(g);
+  EXPECT_THROW(delta_stepping(g, w, 5, 1.0), Error);
+  EXPECT_THROW(delta_stepping(g, w, 0, 0.0), Error);
+  EdgeWeights bad;
+  bad.value = {1.0};
+  EXPECT_THROW(delta_stepping(g, bad, 0, 1.0), Error);
+  EdgeWeights neg = unit_weights(g);
+  neg.value[0] = -1.0;
+  EXPECT_THROW(delta_stepping(g, neg, 0, 1.0), Error);
+}
+
+TEST(DeltaSteppingTest, DefaultDeltaOverloadWorks) {
+  const auto g = erdos_renyi(100, 400, 13);
+  const auto w = random_weights(g, 0.5, 3.0, 13);
+  expect_distances_near(delta_stepping(g, w, 0).distance, dijkstra(g, w, 0));
+}
+
+struct DeltaCase {
+  std::uint64_t seed;
+  double delta;
+};
+
+// Property: delta-stepping equals Dijkstra for every delta, from
+// Bellman-Ford-like (huge delta) to Dijkstra-like (tiny delta).
+class DeltaSteppingPropertyTest : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(DeltaSteppingPropertyTest, MatchesDijkstra) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  const vid n = 20 + static_cast<vid>(rng.next_below(150));
+  const auto m = static_cast<std::int64_t>(n * (1 + rng.next_below(5)));
+  const auto g = erdos_renyi(n, m, p.seed * 31 + 7);
+  const auto w = random_weights(g, 0.1, 4.0, p.seed);
+  const vid src = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+  expect_distances_near(delta_stepping(g, w, src, p.delta).distance,
+                        dijkstra(g, w, src));
+}
+
+std::vector<DeltaCase> delta_cases() {
+  std::vector<DeltaCase> cases;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (double delta : {0.05, 1.0, 100.0}) cases.push_back({seed, delta});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWeightedGraphs, DeltaSteppingPropertyTest,
+                         ::testing::ValuesIn(delta_cases()));
+
+TEST(DeltaSteppingTest, DirectedGraphsSupported) {
+  Rng rng(77);
+  EdgeList el(60);
+  for (int i = 0; i < 300; ++i) {
+    el.add(static_cast<vid>(rng.next_below(60)),
+           static_cast<vid>(rng.next_below(60)));
+  }
+  BuildOptions b;
+  b.symmetrize = false;
+  const auto g = build_csr(el, b);
+  const auto w = random_weights(g, 0.5, 2.0, 3);
+  expect_distances_near(delta_stepping(g, w, 0, 0.7).distance,
+                        dijkstra(g, w, 0));
+}
+
+TEST(DeltaSteppingTest, FewerPhasesWithLargerDelta) {
+  const auto g = erdos_renyi(500, 3000, 17);
+  const auto w = random_weights(g, 0.5, 1.5, 17);
+  const auto fine = delta_stepping(g, w, 0, 0.05);
+  const auto coarse = delta_stepping(g, w, 0, 50.0);
+  EXPECT_GT(fine.phases, coarse.phases);
+  expect_distances_near(fine.distance, coarse.distance);
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,138 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(SummaryTest, Empty) {
+  std::vector<double> v;
+  const auto s = summarize(std::span<const double>(v.data(), 0));
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  std::vector<std::int64_t> v{7};
+  const auto s = summarize(std::span<const std::int64_t>(v.data(), 1));
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const auto s = summarize(std::span<const double>(v.data(), v.size()));
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sum of squared deviations = 32; sample variance = 32/7.
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(std::span<const double>(v.data(), v.size()), 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(std::span<const double>(v.data(), v.size()), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(std::span<const double>(v.data(), v.size()), 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(std::span<const double>(v.data(), v.size()), 0.25), 2.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(std::span<const double>(v.data(), 2), 0.3), 3.0);
+}
+
+TEST(QuantileTest, RejectsBadArgs) {
+  std::vector<double> v{1.0};
+  std::vector<double> empty;
+  EXPECT_THROW(quantile(std::span<const double>(empty.data(), 0), 0.5), Error);
+  EXPECT_THROW(quantile(std::span<const double>(v.data(), 1), 1.5), Error);
+}
+
+TEST(ConfidenceTest, ZeroForTinySamples) {
+  Summary s;
+  s.count = 1;
+  s.stddev = 5.0;
+  EXPECT_DOUBLE_EQ(confidence_half_width(s), 0.0);
+}
+
+TEST(ConfidenceTest, KnownT90ForTenSamples) {
+  // The paper averages over 10 realizations at 90% confidence; df=9 t=1.8331.
+  Summary s;
+  s.count = 10;
+  s.stddev = 2.0;
+  EXPECT_NEAR(confidence_half_width(s, 0.90), 1.8331 * 2.0 / std::sqrt(10.0),
+              1e-9);
+}
+
+TEST(ConfidenceTest, WiderAt95) {
+  Summary s;
+  s.count = 10;
+  s.stddev = 2.0;
+  EXPECT_GT(confidence_half_width(s, 0.95), confidence_half_width(s, 0.90));
+}
+
+TEST(ConfidenceTest, NormalApproxForLargeSamples) {
+  Summary s;
+  s.count = 1000;
+  s.stddev = 1.0;
+  EXPECT_NEAR(confidence_half_width(s, 0.90), 1.6449 / std::sqrt(1000.0), 1e-6);
+}
+
+TEST(PowerLawTest, RecoversExponent) {
+  // Sample a discrete power law with alpha = 2.5 by inverse CDF on a Pareto
+  // tail and check the MLE lands close.
+  Rng rng(99);
+  std::vector<std::int64_t> data;
+  const double alpha = 2.5;
+  for (int i = 0; i < 60000; ++i) {
+    const double u = rng.next_double();
+    const double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+    data.push_back(static_cast<std::int64_t>(x));
+  }
+  // The CSN xmin-0.5 discrete approximation is only accurate for xmin >~ 6
+  // (Clauset-Shalizi-Newman 2009, §3.5), so estimate on the tail.
+  const double est =
+      power_law_alpha(std::span<const std::int64_t>(data.data(), data.size()), 8);
+  EXPECT_NEAR(est, alpha, 0.2);
+}
+
+TEST(PowerLawTest, DegenerateInputsReturnZero) {
+  std::vector<std::int64_t> one{5};
+  EXPECT_EQ(power_law_alpha(std::span<const std::int64_t>(one.data(), 1)), 0.0);
+  std::vector<std::int64_t> below{0, 0, 0};
+  EXPECT_EQ(power_law_alpha(std::span<const std::int64_t>(below.data(), 3), 2),
+            0.0);
+}
+
+TEST(PearsonTest, PerfectAndInverseCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(std::span<const double>(x.data(), 5),
+                      std::span<const double>(y.data(), 5)),
+              1.0, 1e-12);
+  EXPECT_NEAR(pearson(std::span<const double>(x.data(), 5),
+                      std::span<const double>(z.data(), 5)),
+              -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateReturnsZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson(std::span<const double>(x.data(), 3),
+                    std::span<const double>(y.data(), 3)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace graphct

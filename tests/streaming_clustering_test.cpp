@@ -1,0 +1,121 @@
+#include "stream/streaming_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algs/clustering.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/shapes.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+// Assert streaming counts equal a fresh static recomputation.
+void expect_matches_static(const StreamingClustering& sc) {
+  const auto snap = sc.graph().snapshot();
+  const auto stat = clustering_coefficients(snap);
+  ASSERT_EQ(stat.triangles.size(),
+            static_cast<std::size_t>(sc.graph().num_vertices()));
+  for (vid v = 0; v < sc.graph().num_vertices(); ++v) {
+    EXPECT_EQ(sc.triangles(v), stat.triangles[static_cast<std::size_t>(v)])
+        << "vertex " << v;
+    EXPECT_NEAR(sc.coefficient(v),
+                stat.coefficient[static_cast<std::size_t>(v)], 1e-12);
+  }
+  EXPECT_EQ(sc.total_triangles(), stat.total_triangles);
+  EXPECT_NEAR(sc.global_clustering(), stat.global_clustering, 1e-12);
+}
+
+TEST(StreamingClusteringTest, TriangleForming) {
+  StreamingClustering sc(4);
+  sc.insert_edge(0, 1);
+  sc.insert_edge(1, 2);
+  EXPECT_EQ(sc.total_triangles(), 0);
+  sc.insert_edge(0, 2);  // closes the triangle
+  EXPECT_EQ(sc.total_triangles(), 1);
+  EXPECT_EQ(sc.triangles(0), 1);
+  EXPECT_EQ(sc.triangles(1), 1);
+  EXPECT_EQ(sc.triangles(2), 1);
+  EXPECT_EQ(sc.triangles(3), 0);
+  EXPECT_DOUBLE_EQ(sc.coefficient(0), 1.0);
+}
+
+TEST(StreamingClusteringTest, DeletionReverts) {
+  StreamingClustering sc(4);
+  sc.insert_edge(0, 1);
+  sc.insert_edge(1, 2);
+  sc.insert_edge(0, 2);
+  sc.insert_edge(2, 3);
+  sc.remove_edge(0, 2);
+  EXPECT_EQ(sc.total_triangles(), 0);
+  for (vid v = 0; v < 4; ++v) EXPECT_EQ(sc.triangles(v), 0);
+}
+
+TEST(StreamingClusteringTest, DuplicateOperationsAreNoops) {
+  StreamingClustering sc(3);
+  EXPECT_TRUE(sc.insert_edge(0, 1));
+  EXPECT_FALSE(sc.insert_edge(0, 1));
+  EXPECT_FALSE(sc.remove_edge(1, 2));
+  EXPECT_EQ(sc.total_triangles(), 0);
+}
+
+TEST(StreamingClusteringTest, SelfLoopsNeverCount) {
+  StreamingClustering sc(3);
+  sc.insert_edge(0, 0);
+  sc.insert_edge(0, 1);
+  sc.insert_edge(1, 2);
+  sc.insert_edge(0, 2);
+  EXPECT_EQ(sc.total_triangles(), 1);
+  // Coefficient of 0 ignores the self-loop in its degree.
+  EXPECT_DOUBLE_EQ(sc.coefficient(0), 1.0);
+  expect_matches_static(sc);
+}
+
+TEST(StreamingClusteringTest, SeededFromStaticGraph) {
+  const auto g = watts_strogatz(100, 3, 0.1, 5);
+  StreamingClustering sc(g);
+  expect_matches_static(sc);
+  // Continue streaming on top of the seed.
+  sc.insert_edge(0, 50);
+  sc.insert_edge(0, 51);
+  sc.remove_edge(0, 1);
+  expect_matches_static(sc);
+}
+
+TEST(StreamingClusteringTest, KiteGraphStepByStep) {
+  // Build K4 edge by edge; triangle count follows C(k,3) growth.
+  StreamingClustering sc(4);
+  const std::pair<vid, vid> edges[] = {{0, 1}, {0, 2}, {1, 2},
+                                       {0, 3}, {1, 3}, {2, 3}};
+  const std::int64_t expect_total[] = {0, 0, 1, 1, 2, 4};
+  for (int i = 0; i < 6; ++i) {
+    sc.insert_edge(edges[i].first, edges[i].second);
+    EXPECT_EQ(sc.total_triangles(), expect_total[i]) << "after edge " << i;
+  }
+}
+
+class StreamingChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingChurnTest, AlwaysMatchesStaticRecomputation) {
+  Rng rng(GetParam());
+  const vid n = 25;
+  StreamingClustering sc(n);
+  for (int step = 0; step < 600; ++step) {
+    const vid u = static_cast<vid>(rng.next_below(n));
+    const vid v = static_cast<vid>(rng.next_below(n));
+    if (rng.next_bool(0.65)) {
+      sc.insert_edge(u, v);
+    } else {
+      sc.remove_edge(u, v);
+    }
+    if (step % 100 == 99) expect_matches_static(sc);
+  }
+  expect_matches_static(sc);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChurn, StreamingChurnTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "10"});
+  t.add_row({"beta", "2000"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2000"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"x", "y"});
+  t.add_row({"short", "1"});
+  t.add_row({"much longer cell", "22"});
+  const std::string s = t.render();
+  // Every line should be equally wide up to trailing content; check that the
+  // numeric column's values right-align (the '1' is preceded by a space).
+  EXPECT_NE(s.find(" 1\n"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorAddsRule) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.render();
+  // Header rule plus the explicit separator.
+  std::size_t dashes = 0;
+  for (std::size_t p = s.find("-\n"); p != std::string::npos;
+       p = s.find("-\n", p + 1)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(StrfTest, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+}
+
+TEST(WithCommasTest, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(8599999), "8,599,999");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,62 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace graphct {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.millis(), t.seconds() * 1000.0, 50.0);
+}
+
+TEST(TimerTest, RestartResetsOrigin) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(StopWatchTest, AccumulatesIntervals) {
+  StopWatch w;
+  w.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  w.stop();
+  const double first = w.seconds();
+  EXPECT_GE(first, 0.008);
+  w.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  w.stop();
+  EXPECT_GE(w.seconds(), first + 0.008);
+}
+
+TEST(StopWatchTest, StopWithoutStartIsNoop) {
+  StopWatch w;
+  w.stop();
+  EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
+}
+
+TEST(StopWatchTest, ResetClears) {
+  StopWatch w;
+  w.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  w.stop();
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
+}
+
+TEST(FormatDurationTest, PicksSensibleUnits) {
+  EXPECT_NE(format_duration(0.0000005).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(0.005).find("ms"), std::string::npos);
+  EXPECT_NE(format_duration(4.9).find("s"), std::string::npos);
+  EXPECT_NE(format_duration(6303.0).find("min"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphct

@@ -1,0 +1,126 @@
+#include "core/toolkit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gen/shapes.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_undirected;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ToolkitTest, EstimatesDiameterOnLoad) {
+  Toolkit tk(path_graph(20));
+  const auto& d = tk.diameter();
+  EXPECT_EQ(d.longest_distance, 19);  // 256 samples cover all 20 vertices
+  EXPECT_EQ(d.estimate, 76);          // paper's 4x multiplier
+}
+
+TEST(ToolkitTest, LazyDiameterWhenSkipped) {
+  ToolkitOptions o;
+  o.estimate_diameter_on_load = false;
+  Toolkit tk(path_graph(10), o);
+  const auto& d = tk.diameter();  // computed on first request
+  EXPECT_EQ(d.longest_distance, 9);
+}
+
+TEST(ToolkitTest, CustomDiameterParameters) {
+  Toolkit tk(path_graph(10));
+  const auto& d = tk.estimate_diameter(10, 2);
+  EXPECT_EQ(d.estimate, d.longest_distance * 2);
+}
+
+TEST(ToolkitTest, ComponentKernelsAreCachedAndConsistent) {
+  Toolkit tk(make_undirected(7, {{0, 1}, {1, 2}, {3, 4}, {5, 6}}));
+  const auto& labels1 = tk.components();
+  const auto& labels2 = tk.components();
+  EXPECT_EQ(&labels1, &labels2);  // same cached object
+  EXPECT_EQ(tk.components_stats().num_components, 3);
+  EXPECT_EQ(tk.components_stats().largest_size(), 3);
+}
+
+TEST(ToolkitTest, DegreeAndClusteringKernels) {
+  Toolkit tk(complete_graph(5));
+  EXPECT_DOUBLE_EQ(tk.degree_stats().mean, 4.0);
+  EXPECT_EQ(tk.degree_histogram().total(), 5);
+  EXPECT_EQ(tk.clustering().total_triangles, 10);
+  EXPECT_EQ(tk.core_numbers()[0], 4);
+}
+
+TEST(ToolkitTest, BetweennessRuns) {
+  Toolkit tk(star_graph(6));
+  const auto bc = tk.betweenness();
+  EXPECT_DOUBLE_EQ(bc.score[0], 20.0);
+  KBetweennessOptions ko;
+  ko.k = 1;
+  const auto kbc = tk.k_betweenness(ko);
+  EXPECT_GT(kbc.score[0], 0.0);
+}
+
+TEST(ToolkitTest, PageRankAndClosenessKernels) {
+  Toolkit tk(star_graph(8));
+  const auto pr = tk.pagerank();
+  EXPECT_TRUE(pr.converged);
+  EXPECT_GT(pr.score[0], pr.score[1]);
+  const auto cl = tk.closeness();
+  EXPECT_DOUBLE_EQ(cl.score[0], 7.0);
+}
+
+TEST(ToolkitTest, CommunitiesCachedWithModularity) {
+  Toolkit tk(star_of_cliques(4, 6));
+  const auto& c1 = tk.communities();
+  const auto& c2 = tk.communities();
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_GE(c1.num_communities, 4);
+  EXPECT_GT(tk.community_modularity(), 0.4);
+}
+
+TEST(ToolkitTest, ExtractComponentReindexes) {
+  Toolkit tk(make_undirected(7, {{0, 1}, {1, 2}, {3, 4}, {5, 6}}));
+  Toolkit sub = tk.extract_component(0);
+  EXPECT_EQ(sub.graph().num_vertices(), 3);
+  Toolkit second = tk.extract_component(1);
+  EXPECT_EQ(second.graph().num_vertices(), 2);
+  EXPECT_THROW(tk.extract_component(9), Error);
+}
+
+TEST(ToolkitTest, InvalidateClearsCaches) {
+  Toolkit tk(path_graph(5));
+  const auto* before = &tk.components();
+  tk.invalidate();
+  const auto* after = &tk.components();
+  // A new vector is computed (address may coincide, but values must match).
+  EXPECT_EQ(*before == *after, true);
+}
+
+TEST(ToolkitTest, LoadDimacsFile) {
+  const auto g = path_graph(6);
+  const std::string path = temp_path("gct_toolkit.dimacs");
+  write_dimacs(g, path);
+  Toolkit tk = Toolkit::load_dimacs(path);
+  EXPECT_EQ(tk.graph(), g);
+  std::remove(path.c_str());
+}
+
+TEST(ToolkitTest, LoadBinaryFile) {
+  const auto g = star_graph(9);
+  const std::string path = temp_path("gct_toolkit.bin");
+  write_binary(g, path);
+  Toolkit tk = Toolkit::load_binary(path);
+  EXPECT_EQ(tk.graph(), g);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace graphct

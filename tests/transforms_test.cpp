@@ -1,0 +1,209 @@
+#include "graph/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+TEST(ReverseTest, FlipsArcs) {
+  const auto g = make_directed(3, {{0, 1}, {1, 2}});
+  const auto r = reverse(g);
+  EXPECT_TRUE(r.directed());
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_EQ(r.num_edges(), 2);
+}
+
+TEST(ReverseTest, UndirectedIsIdentity) {
+  const auto g = make_undirected(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(reverse(g), g);
+}
+
+TEST(ToUndirectedTest, MergesBothDirections) {
+  const auto g = make_directed(3, {{0, 1}, {1, 0}, {1, 2}});
+  const auto u = to_undirected(g);
+  EXPECT_FALSE(u.directed());
+  EXPECT_EQ(u.num_edges(), 2);  // {0,1} collapses
+  EXPECT_TRUE(u.has_edge(2, 1));
+}
+
+TEST(ToUndirectedTest, PreservesSelfLoops) {
+  const auto g = make_directed(2, {{0, 0}, {0, 1}});
+  const auto u = to_undirected(g);
+  EXPECT_EQ(u.num_self_loops(), 1);
+  EXPECT_EQ(u.num_edges(), 2);
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  const auto g = make_undirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  std::vector<char> mask{1, 1, 1, 0, 0};
+  const auto sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 2);  // 0-1, 1-2
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{0, 1, 2}));
+}
+
+TEST(InducedSubgraphTest, RelabelsDensely) {
+  const auto g = make_undirected(6, {{1, 4}, {4, 5}});
+  std::vector<char> mask{0, 1, 0, 0, 1, 1};
+  const auto sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{1, 4, 5}));
+  // 1->0, 4->1, 5->2: edges (0,1) and (1,2)
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_FALSE(sub.graph.has_edge(0, 2));
+}
+
+TEST(InducedSubgraphTest, DirectedPreservesDirection) {
+  const auto g = make_directed(4, {{0, 1}, {1, 0}, {2, 3}});
+  std::vector<char> mask{1, 1, 0, 0};
+  const auto sub = induced_subgraph(g, mask);
+  EXPECT_TRUE(sub.graph.directed());
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 0));
+}
+
+TEST(InducedSubgraphTest, KeepsSelfLoops) {
+  const auto g = make_undirected(3, {{0, 0}, {0, 1}});
+  std::vector<char> mask{1, 0, 0};
+  const auto sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.num_self_loops(), 1);
+}
+
+TEST(InducedSubgraphTest, MaskSizeMismatchThrows) {
+  const auto g = make_undirected(3, {{0, 1}});
+  std::vector<char> mask{1, 1};
+  EXPECT_THROW(induced_subgraph(g, mask), Error);
+}
+
+TEST(ExtractByLabelTest, PullsOneColor) {
+  const auto g = make_undirected(6, {{0, 1}, {2, 3}, {4, 5}});
+  std::vector<vid> labels{7, 7, 9, 9, 7, 7};
+  const auto sub = extract_by_label(g, labels, 7);
+  EXPECT_EQ(sub.graph.num_vertices(), 4);
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{0, 1, 4, 5}));
+}
+
+TEST(MutualSubgraphTest, KeepsOnlyReciprocatedPairs) {
+  // 0<->1 mutual; 0->2 one-way; 3<->4 mutual; 5 self-loop.
+  const auto g = make_directed(
+      6, {{0, 1}, {1, 0}, {0, 2}, {3, 4}, {4, 3}, {5, 5}});
+  const auto m = mutual_subgraph(g);
+  EXPECT_FALSE(m.directed());
+  EXPECT_EQ(m.num_vertices(), 6);  // vertex set preserved
+  EXPECT_EQ(m.num_edges(), 2);
+  EXPECT_TRUE(m.has_edge(0, 1));
+  EXPECT_TRUE(m.has_edge(3, 4));
+  EXPECT_FALSE(m.has_edge(0, 2));
+  EXPECT_FALSE(m.has_edge(5, 5));  // self-reference is not a conversation
+}
+
+TEST(MutualSubgraphTest, RequiresDirectedInput) {
+  const auto g = make_undirected(2, {{0, 1}});
+  EXPECT_THROW(mutual_subgraph(g), Error);
+}
+
+TEST(MutualSubgraphTest, EmptyWhenNoReciprocation) {
+  const auto g = make_directed(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto m = mutual_subgraph(g);
+  EXPECT_EQ(m.num_edges(), 0);
+}
+
+TEST(DropIsolatedTest, RemovesZeroDegreeVertices) {
+  const auto g = make_undirected(6, {{1, 2}, {4, 5}});
+  const auto sub = drop_isolated(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 4);
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{1, 2, 4, 5}));
+  EXPECT_EQ(sub.graph.num_edges(), 2);
+}
+
+TEST(DropIsolatedTest, DirectedInOnlyVerticesSurvive) {
+  // 2 has only an incoming arc; it must survive.
+  const auto g = make_directed(4, {{0, 2}});
+  const auto sub = drop_isolated(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 2);
+  EXPECT_EQ(sub.orig_ids, (std::vector<vid>{0, 2}));
+}
+
+TEST(RelabelByDegreeTest, HubGetsIdZero) {
+  const auto g = make_undirected(5, {{2, 0}, {2, 1}, {2, 3}, {2, 4}, {0, 1}});
+  const auto r = relabel_by_degree(g);
+  EXPECT_EQ(r.orig_ids[0], 2);  // the hub
+  EXPECT_EQ(r.graph.degree(0), 4);
+  // Degrees are nonincreasing along the new ids.
+  for (vid v = 1; v < r.graph.num_vertices(); ++v) {
+    EXPECT_LE(r.graph.degree(v), r.graph.degree(v - 1));
+  }
+}
+
+TEST(RelabelByDegreeTest, PreservesStructure) {
+  Rng rng(777);
+  EdgeList el(40);
+  for (int i = 0; i < 150; ++i) {
+    el.add(static_cast<vid>(rng.next_below(40)),
+           static_cast<vid>(rng.next_below(40)));
+  }
+  const auto g = build_csr(el);
+  const auto r = relabel_by_degree(g);
+  ASSERT_EQ(r.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+  // Every relabeled edge maps to an original edge and vice versa.
+  for (vid u = 0; u < r.graph.num_vertices(); ++u) {
+    for (vid v : r.graph.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(r.orig_ids[static_cast<std::size_t>(u)],
+                             r.orig_ids[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(RelabelByDegreeTest, DirectedKeepsArcDirection) {
+  const auto g = make_directed(3, {{0, 1}, {0, 2}});
+  const auto r = relabel_by_degree(g);
+  EXPECT_TRUE(r.graph.directed());
+  EXPECT_EQ(r.orig_ids[0], 0);  // out-degree 2 hub first
+  EXPECT_TRUE(r.graph.has_edge(0, 1));
+  EXPECT_FALSE(r.graph.has_edge(1, 0));
+}
+
+// Property: induced subgraph on a random mask never contains an edge whose
+// endpoint was masked out, and degrees never exceed the originals.
+class InducedSubgraphProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InducedSubgraphProperty, SoundUnderRandomMasks) {
+  Rng rng(GetParam());
+  const vid n = 10 + static_cast<vid>(rng.next_below(50));
+  EdgeList el(n);
+  for (int i = 0; i < 200; ++i) {
+    el.add(static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n))),
+           static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  const auto g = build_csr(el);
+  std::vector<char> mask(static_cast<std::size_t>(n));
+  for (auto& c : mask) c = rng.next_bool(0.5) ? 1 : 0;
+  const auto sub = induced_subgraph(g, mask);
+
+  for (vid v = 0; v < sub.graph.num_vertices(); ++v) {
+    const vid orig = sub.orig_ids[static_cast<std::size_t>(v)];
+    EXPECT_TRUE(mask[static_cast<std::size_t>(orig)]);
+    EXPECT_LE(sub.graph.degree(v), g.degree(orig));
+    for (vid w : sub.graph.neighbors(v)) {
+      const vid worig = sub.orig_ids[static_cast<std::size_t>(w)];
+      EXPECT_TRUE(g.has_edge(orig, worig));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMasks, InducedSubgraphProperty,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace graphct

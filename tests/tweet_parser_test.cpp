@@ -1,0 +1,120 @@
+#include "twitter/tweet_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphct::twitter {
+namespace {
+
+Tweet tw(const std::string& author, const std::string& text) {
+  return Tweet{1, author, text, 0};
+}
+
+TEST(TweetParserTest, SimpleMention) {
+  const auto p = parse_tweet(tw("alice", "hello @bob how are you"));
+  EXPECT_EQ(p.author, "alice");
+  ASSERT_EQ(p.mentions.size(), 1u);
+  EXPECT_EQ(p.mentions[0], "bob");
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(TweetParserTest, MultipleMentionsInOrder) {
+  const auto p = parse_tweet(tw("a", "@zed then @amy then @bob"));
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"zed", "amy", "bob"}));
+}
+
+TEST(TweetParserTest, DuplicateMentionsCollapse) {
+  const auto p = parse_tweet(tw("a", "@bob and @bob again @BOB"));
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"bob"}));
+}
+
+TEST(TweetParserTest, NormalizesCase) {
+  const auto p = parse_tweet(tw("ALICE", "cc @JakeTapper"));
+  EXPECT_EQ(p.author, "alice");
+  EXPECT_EQ(p.mentions[0], "jaketapper");
+}
+
+TEST(TweetParserTest, Hashtags) {
+  const auto p = parse_tweet(tw("a", "flood pics #atlflood more #ATLflood #rain"));
+  EXPECT_EQ(p.hashtags, (std::vector<std::string>{"atlflood", "rain"}));
+}
+
+TEST(TweetParserTest, RetweetDetection) {
+  const auto p = parse_tweet(tw("dancharles", "RT @jaketapper @Slate: Sanjay Gupta has swine flu"));
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of, "jaketapper");
+  // Both the retweeted source and the nested mention count as mentions.
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"jaketapper", "slate"}));
+}
+
+TEST(TweetParserTest, RetweetWithLeadingSpaces) {
+  const auto p = parse_tweet(tw("a", "  RT @hub breaking"));
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of, "hub");
+}
+
+TEST(TweetParserTest, RtWithoutAtIsNotRetweet) {
+  const auto p = parse_tweet(tw("a", "RT this if you agree"));
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(TweetParserTest, BareSymbolsIgnored) {
+  const auto p = parse_tweet(tw("a", "email me @ home # yes"));
+  EXPECT_TRUE(p.mentions.empty());
+  EXPECT_TRUE(p.hashtags.empty());
+}
+
+TEST(TweetParserTest, EmbeddedAtIsNotAMention) {
+  const auto p = parse_tweet(tw("a", "mail me at bob@example.com"));
+  EXPECT_TRUE(p.mentions.empty());
+}
+
+TEST(TweetParserTest, MentionWithUnderscoreAndDigits) {
+  const auto p = parse_tweet(tw("a", "props to @CDC_eHealth and @user123"));
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"cdc_ehealth", "user123"}));
+}
+
+TEST(TweetParserTest, PunctuationTerminatesNames) {
+  const auto p = parse_tweet(tw("a", "thanks @bob, @carol! and (@dave)"));
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"bob", "carol", "dave"}));
+}
+
+TEST(TweetParserTest, SelfMention) {
+  const auto p = parse_tweet(tw("echo", "I quote myself @echo all day"));
+  ASSERT_EQ(p.mentions.size(), 1u);
+  EXPECT_EQ(p.mentions[0], p.author);
+}
+
+TEST(TweetParserTest, EmptyText) {
+  const auto p = parse_tweet(tw("a", ""));
+  EXPECT_TRUE(p.mentions.empty());
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(TweetParserTest, PaperExampleConversation) {
+  // From Fig. 1 of the paper.
+  const auto p = parse_tweet(tw(
+      "jaketapper",
+      "@EdMorrissey Asserting that all thats being done to prevent the "
+      "spread of H1N1 is offering that hand-washing advice is just not true."));
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"edmorrissey"}));
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(NormalizeUsernameTest, Lowercases) {
+  EXPECT_EQ(normalize_username("JakeTapper"), "jaketapper");
+  EXPECT_EQ(normalize_username("CDC_eHealth"), "cdc_ehealth");
+  EXPECT_EQ(normalize_username(""), "");
+}
+
+TEST(IsUsernameCharTest, Alphabet) {
+  EXPECT_TRUE(is_username_char('a'));
+  EXPECT_TRUE(is_username_char('Z'));
+  EXPECT_TRUE(is_username_char('5'));
+  EXPECT_TRUE(is_username_char('_'));
+  EXPECT_FALSE(is_username_char(' '));
+  EXPECT_FALSE(is_username_char('-'));
+  EXPECT_FALSE(is_username_char('@'));
+}
+
+}  // namespace
+}  // namespace graphct::twitter

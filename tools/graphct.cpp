@@ -1,0 +1,273 @@
+/// \file graphct.cpp
+/// The `graphct` command-line tool: the toolkit's kernels, generators, and
+/// format converters behind one binary, for analysts who want the paper's
+/// §IV workflow without writing C++.
+///
+///   graphct info <graph>                     # counts, diameter estimate
+///   graphct characterize <graph>             # every cached kernel
+///   graphct bc <graph> [--sources N] [--k K] [--out scores.txt]
+///   graphct components <graph> [--out labels.txt]
+///   graphct convert <in> <out>               # formats by extension
+///   graphct generate rmat <scale> <edge factor> <out>
+///   graphct script <file.gct>                # run an analyst script
+///
+/// Graph files are selected by extension: .dimacs/.gr (DIMACS), .bin
+/// (GraphCT binary), .el/.txt (edge list), .metis/.graph (METIS).
+
+#include <fstream>
+#include <iostream>
+
+#include "algs/assortativity.hpp"
+#include "algs/bridges.hpp"
+#include "algs/degree.hpp"
+#include "algs/kcore.hpp"
+#include "algs/ranking.hpp"
+#include "algs/scc.hpp"
+#include "core/toolkit.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/io_metis.hpp"
+#include "script/interpreter.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace graphct;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+CsrGraph load_graph(const std::string& path) {
+  if (ends_with(path, ".bin")) return read_binary(path);
+  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
+    return read_metis(path);
+  }
+  if (ends_with(path, ".el") || ends_with(path, ".txt")) {
+    return build_csr(read_edge_list(path));
+  }
+  // Default: DIMACS (.dimacs, .gr, anything else).
+  return build_csr(read_dimacs(path));
+}
+
+void save_graph(const CsrGraph& g, const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    write_binary(g, path);
+  } else if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
+    write_metis(g, path);
+  } else if (ends_with(path, ".el") || ends_with(path, ".txt")) {
+    write_edge_list(g, path);
+  } else {
+    write_dimacs(g, path);
+  }
+}
+
+template <typename T>
+void write_scores(const std::string& path, const std::vector<T>& values) {
+  std::ofstream f(path);
+  GCT_CHECK(f.good(), "cannot open output file: " + path);
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    f << v << ' ' << values[v] << '\n';
+  }
+}
+
+int usage() {
+  std::cerr
+      << "usage: graphct <command> ...\n"
+         "  info <graph>                         counts + diameter estimate\n"
+         "  characterize <graph>                 run every kernel\n"
+         "  bc <graph> [--sources N] [--k K] [--out f]   (k-)betweenness\n"
+         "  components <graph> [--out f]         connected components\n"
+         "  convert <in> <out>                   convert between formats\n"
+         "  generate rmat <scale> <ef> <out>     synthesize an R-MAT graph\n"
+         "  script <file.gct>                    run an analyst script\n";
+  return 2;
+}
+
+int cmd_info(const std::string& path) {
+  Timer t;
+  Toolkit tk(load_graph(path));
+  const auto& g = tk.graph();
+  const auto& d = tk.diameter();
+  TextTable table({"property", "value"});
+  table.add_row({"file", path});
+  table.add_row({"vertices", with_commas(g.num_vertices())});
+  table.add_row({"edges", with_commas(g.num_edges())});
+  table.add_row({"self-loops", with_commas(g.num_self_loops())});
+  table.add_row({"directed", g.directed() ? "yes" : "no"});
+  table.add_row({"memory", strf("%.1f MiB", static_cast<double>(g.memory_bytes()) / 1048576.0)});
+  table.add_row({"diameter estimate",
+                 strf("%lld (longest observed %lld)",
+                      static_cast<long long>(d.estimate),
+                      static_cast<long long>(d.longest_distance))});
+  table.add_row({"load+estimate time", format_duration(t.seconds())});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_characterize(const std::string& path) {
+  Toolkit tk(load_graph(path));
+  TextTable table({"kernel", "result"});
+  const auto& ds = tk.degree_stats();
+  table.add_row({"degrees", strf("mean %.2f, variance %.1f, max %lld",
+                                 ds.mean, ds.variance,
+                                 static_cast<long long>(ds.max))});
+  const auto& cs = tk.components_stats();
+  table.add_row({"components",
+                 strf("%s (largest %s)", with_commas(cs.num_components).c_str(),
+                      with_commas(cs.largest_size()).c_str())});
+  if (!tk.graph().directed()) {
+    const auto& cl = tk.clustering();
+    table.add_row({"clustering", strf("%s triangles, global %.4f",
+                                      with_commas(cl.total_triangles).c_str(),
+                                      cl.global_clustering)});
+    table.add_row({"degeneracy",
+                   std::to_string(degeneracy(tk.core_numbers()))});
+    const auto& comm = tk.communities();
+    table.add_row({"communities",
+                   strf("%s (modularity %.3f)",
+                        with_commas(comm.num_communities).c_str(),
+                        tk.community_modularity())});
+    const auto pr = tk.pagerank();
+    table.add_row({"pagerank", strf("%lld iterations%s",
+                                    static_cast<long long>(pr.iterations),
+                                    pr.converged ? "" : " (not converged)")});
+    table.add_row({"assortativity",
+                   strf("%.3f", degree_assortativity(tk.graph()))});
+    const auto cut = find_cut_structure(tk.graph());
+    table.add_row({"cut structure",
+                   strf("%s bridges, %s articulation points",
+                        with_commas(static_cast<long long>(
+                            cut.bridges.size())).c_str(),
+                        with_commas(cut.num_articulation_points()).c_str())});
+  } else {
+    const auto scc = strongly_connected_components(tk.graph());
+    table.add_row({"strongly connected",
+                   strf("%s SCCs (%s of size >= 2)",
+                        with_commas(count_components(
+                            std::span<const vid>(scc.data(), scc.size())))
+                            .c_str(),
+                        with_commas(count_components(
+                            std::span<const vid>(scc.data(), scc.size()), 2))
+                            .c_str())});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_bc(const Cli& cli) {
+  GCT_CHECK(!cli.positional().empty(), "bc: missing graph file");
+  Toolkit tk(load_graph(cli.positional()[0]));
+  const auto k = cli.get("k", std::int64_t{0});
+  const auto sources = cli.get("sources", std::int64_t{kNoVertex});
+  std::vector<double> scores;
+  double seconds;
+  if (k == 0) {
+    BetweennessOptions o;
+    o.num_sources = sources;
+    auto r = tk.betweenness(o);
+    scores = std::move(r.score);
+    seconds = r.seconds;
+  } else {
+    KBetweennessOptions o;
+    o.k = k;
+    o.num_sources = sources;
+    auto r = tk.k_betweenness(o);
+    scores = std::move(r.score);
+    seconds = r.seconds;
+  }
+  std::cout << "computed k=" << k << " betweenness in "
+            << format_duration(seconds) << "\n";
+  if (cli.has("out")) {
+    write_scores(cli.get("out", std::string()), scores);
+  } else {
+    const auto top =
+        top_k(std::span<const double>(scores.data(), scores.size()), 10);
+    TextTable table({"vertex", "score"});
+    for (vid v : top) {
+      table.add_row({std::to_string(v),
+                     strf("%.6g", scores[static_cast<std::size_t>(v)])});
+    }
+    std::cout << table.render();
+  }
+  return 0;
+}
+
+int cmd_components(const Cli& cli) {
+  GCT_CHECK(!cli.positional().empty(), "components: missing graph file");
+  Toolkit tk(load_graph(cli.positional()[0]));
+  const auto& stats = tk.components_stats();
+  std::cout << "components: " << with_commas(stats.num_components)
+            << " (largest " << with_commas(stats.largest_size()) << ")\n";
+  if (cli.has("out")) {
+    write_scores(cli.get("out", std::string()), tk.components());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    Cli cli(argc - 1, argv + 1,
+            {{"sources", "BC source sample"},
+             {"k", "k-betweenness slack"},
+             {"out", "per-vertex output file"},
+             {"timings", "script timings!"}});
+
+    if (command == "info") {
+      GCT_CHECK(!cli.positional().empty(), "info: missing graph file");
+      return cmd_info(cli.positional()[0]);
+    }
+    if (command == "characterize") {
+      GCT_CHECK(!cli.positional().empty(),
+                "characterize: missing graph file");
+      return cmd_characterize(cli.positional()[0]);
+    }
+    if (command == "bc") return cmd_bc(cli);
+    if (command == "components") return cmd_components(cli);
+    if (command == "convert") {
+      GCT_CHECK(cli.positional().size() >= 2, "convert: need <in> <out>");
+      const auto g = load_graph(cli.positional()[0]);
+      save_graph(g, cli.positional()[1]);
+      std::cout << "wrote " << cli.positional()[1] << " ("
+                << with_commas(g.num_vertices()) << " vertices, "
+                << with_commas(g.num_edges()) << " edges)\n";
+      return 0;
+    }
+    if (command == "generate") {
+      GCT_CHECK(cli.positional().size() >= 4 && cli.positional()[0] == "rmat",
+                "generate: need 'rmat <scale> <edge factor> <out>'");
+      graphct::RmatOptions r;
+      r.scale = std::stoll(cli.positional()[1]);
+      r.edge_factor = std::stoll(cli.positional()[2]);
+      const auto g = graphct::rmat_graph(r);
+      save_graph(g, cli.positional()[3]);
+      std::cout << "generated scale-" << r.scale << " R-MAT: "
+                << graphct::with_commas(g.num_vertices()) << " vertices, "
+                << graphct::with_commas(g.num_edges()) << " edges\n";
+      return 0;
+    }
+    if (command == "script") {
+      GCT_CHECK(!cli.positional().empty(), "script: missing script file");
+      graphct::script::InterpreterOptions opts;
+      opts.timings = cli.has("timings");
+      graphct::script::Interpreter interp(std::cout, opts);
+      interp.run_file(cli.positional()[0]);
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "graphct: " << e.what() << "\n";
+    return 1;
+  }
+}
