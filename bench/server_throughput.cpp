@@ -1,0 +1,147 @@
+/// \file server_throughput.cpp
+/// graphctd query throughput: cached vs uncached, across session counts.
+///
+/// Measures the server's end-to-end query path (protocol line -> job queue
+/// -> kernel -> response) on an R-MAT graph at 1, 4, and 16 concurrent
+/// in-process sessions. Each session drives its own registry graph so the
+/// per-graph serialization never blocks another session; "cached" sessions
+/// are warmed first and every timed query is a cache hit, "uncached"
+/// sessions invalidate their kernel cache before every query, so each one
+/// pays full recomputation. The gap between the two modes is the value of
+/// the shared kernel-result cache.
+///
+/// Output is one JSON object per line (machine-readable, as the other
+/// bench binaries print paper-style rows):
+///
+///   {"bench":"server_throughput","scale":18,"sessions":4,"mode":"cached",
+///    "queries":24,"seconds":0.0031,"qps":7741.9}
+///
+///   ./server_throughput [--scale 18] [--queries 6] [--workers 16] [--quick]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/rmat.hpp"
+#include "server/server.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace graphct;
+
+/// The analyst query mix cycled by every session.
+const std::vector<std::string> kQueries = {
+    "print components",
+    "print degrees",
+    "print kcores",
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  std::int64_t queries = 0;
+};
+
+std::string graph_name(int i) {
+  std::string s = "g";
+  s += std::to_string(i);
+  return s;
+}
+
+/// Drive `num_sessions` sessions for `rounds` passes over the query mix.
+/// Each session uses its own registry graph named g<i>; `cached` controls
+/// whether the kernel cache survives between queries.
+RunResult run_mode(server::Server& srv, int num_sessions, int rounds,
+                   bool cached) {
+  std::vector<std::shared_ptr<server::Session>> sessions;
+  for (int i = 0; i < num_sessions; ++i) {
+    auto s = srv.open_session("bench" + std::to_string(i));
+    s->handle_line("use graph " + graph_name(i));
+    if (cached) {
+      for (const auto& q : kQueries) s->handle_line(q);  // warm the cache
+    } else {
+      s->interpreter().current().invalidate();
+    }
+    sessions.push_back(std::move(s));
+  }
+
+  Timer timer;
+  std::vector<std::thread> drivers;
+  for (auto& s : sessions) {
+    drivers.emplace_back([&s, rounds, cached] {
+      for (int r = 0; r < rounds; ++r) {
+        for (const auto& q : kQueries) {
+          if (!cached) s->interpreter().current().invalidate();
+          s->handle_line(q);
+        }
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+
+  RunResult res;
+  res.seconds = timer.seconds();
+  res.queries = static_cast<std::int64_t>(num_sessions) * rounds *
+                static_cast<std::int64_t>(kQueries.size());
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv,
+            {{"scale", "R-MAT scale (default 18)"},
+             {"queries", "rounds of the 3-query mix per session (default 6)"},
+             {"workers", "job-queue worker threads (default 16)"},
+             {"quick", "scale 12, 2 rounds, for CI!"}});
+    const auto scale = cli.has("quick") ? std::int64_t{12}
+                                        : cli.get("scale", std::int64_t{18});
+    const auto rounds = static_cast<int>(
+        cli.has("quick") ? 2 : cli.get("queries", std::int64_t{6}));
+    const auto workers =
+        static_cast<int>(cli.get("workers", std::int64_t{16}));
+
+    RmatOptions r;
+    r.scale = scale;
+    r.edge_factor = 16;
+    r.seed = 42;
+    const CsrGraph graph = rmat_graph(r);
+
+    server::ServerOptions sopts;
+    sopts.workers = workers;
+    sopts.interpreter.toolkit.estimate_diameter_on_load = false;
+    server::Server srv(sopts);
+
+    for (const int sessions : {1, 4, 16}) {
+      // One registry graph per session so per-graph serialization does not
+      // couple sessions; dropped after the run to bound peak memory.
+      for (int i = 0; i < sessions; ++i) {
+        srv.registry().add(graph_name(i), graph);
+      }
+      for (const bool cached : {false, true}) {
+        const RunResult res = run_mode(srv, sessions, rounds, cached);
+        std::printf(
+            "{\"bench\":\"server_throughput\",\"scale\":%lld,"
+            "\"sessions\":%d,\"mode\":\"%s\",\"queries\":%lld,"
+            "\"seconds\":%.6f,\"qps\":%.1f}\n",
+            static_cast<long long>(scale), sessions,
+            cached ? "cached" : "uncached",
+            static_cast<long long>(res.queries), res.seconds,
+            res.seconds > 0 ? static_cast<double>(res.queries) / res.seconds
+                            : 0.0);
+        std::fflush(stdout);
+      }
+      for (int i = 0; i < sessions; ++i) {
+        srv.registry().drop(graph_name(i));
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "server_throughput: %s\n", e.what());
+    return 1;
+  }
+}

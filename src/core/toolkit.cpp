@@ -9,14 +9,33 @@
 
 namespace graphct {
 
+namespace {
+
+std::string diameter_key(std::int64_t samples, std::int64_t multiplier,
+                         std::uint64_t seed) {
+  return "diameter|samples=" + std::to_string(samples) +
+         "|mult=" + std::to_string(multiplier) +
+         "|seed=" + std::to_string(seed);
+}
+
+std::string bc_key(const char* kernel, const BetweennessOptions& o) {
+  return std::string(kernel) + "|sources=" + std::to_string(o.num_sources) +
+         "|frac=" + std::to_string(o.sample_fraction) +
+         "|seed=" + std::to_string(o.seed) +
+         "|par=" + std::to_string(static_cast<int>(o.parallelism)) +
+         "|samp=" + std::to_string(static_cast<int>(o.sampling)) +
+         "|rescale=" + std::to_string(o.rescale);
+}
+
+}  // namespace
+
 Toolkit::Toolkit(CsrGraph graph, const ToolkitOptions& opts)
-    : graph_(std::move(graph)), opts_(opts) {
+    : graph_(std::move(graph)),
+      opts_(opts),
+      cache_(std::make_unique<ResultCache>()),
+      diameter_mu_(std::make_unique<std::mutex>()) {
   if (opts_.estimate_diameter_on_load) {
-    DiameterOptions d;
-    d.num_samples = opts_.diameter_samples;
-    d.multiplier = opts_.diameter_multiplier;
-    d.seed = opts_.seed;
-    diameter_ = graphct::estimate_diameter(graph_, d);
+    estimate_diameter(opts_.diameter_samples, opts_.diameter_multiplier);
   }
 }
 
@@ -33,102 +52,127 @@ Toolkit Toolkit::load_binary(const std::string& path,
 }
 
 const DiameterEstimate& Toolkit::diameter() {
-  if (!diameter_) {
-    return estimate_diameter(opts_.diameter_samples, opts_.diameter_multiplier);
+  {
+    std::lock_guard<std::mutex> lock(*diameter_mu_);
+    if (current_diameter_) return *current_diameter_;
   }
-  return *diameter_;
+  return estimate_diameter(opts_.diameter_samples, opts_.diameter_multiplier);
 }
 
 const DiameterEstimate& Toolkit::estimate_diameter(std::int64_t num_samples,
                                                    std::int64_t multiplier) {
-  DiameterOptions d;
-  d.num_samples = num_samples;
-  d.multiplier = multiplier;
-  d.seed = opts_.seed;
-  diameter_ = graphct::estimate_diameter(graph_, d);
-  return *diameter_;
+  auto estimate = cache_->get_or_compute<DiameterEstimate>(
+      diameter_key(num_samples, multiplier, opts_.seed), [&] {
+        DiameterOptions d;
+        d.num_samples = num_samples;
+        d.multiplier = multiplier;
+        d.seed = opts_.seed;
+        return graphct::estimate_diameter(graph_, d);
+      });
+  std::lock_guard<std::mutex> lock(*diameter_mu_);
+  current_diameter_ = std::move(estimate);
+  return *current_diameter_;
 }
 
 const std::vector<vid>& Toolkit::components() {
-  if (!components_) components_ = weak_components(graph_);
-  return *components_;
+  return *cache_->get_or_compute<std::vector<vid>>(
+      "components", [&] { return weak_components(graph_); });
 }
 
 const ComponentStats& Toolkit::components_stats() {
-  if (!component_stats_) component_stats_ = component_stats(components());
-  return *component_stats_;
+  return *cache_->get_or_compute<ComponentStats>(
+      "component_stats", [&] { return component_stats(components()); });
 }
 
 const Summary& Toolkit::degree_stats() {
-  if (!degree_stats_) degree_stats_ = degree_summary(graph_);
-  return *degree_stats_;
+  return *cache_->get_or_compute<Summary>(
+      "degree_stats", [&] { return degree_summary(graph_); });
 }
 
 const LogHistogram& Toolkit::degree_histogram() {
-  if (!degree_histogram_) degree_histogram_ = graphct::degree_histogram(graph_);
-  return *degree_histogram_;
+  return *cache_->get_or_compute<LogHistogram>(
+      "degree_histogram", [&] { return graphct::degree_histogram(graph_); });
 }
 
 const ClusteringResult& Toolkit::clustering() {
-  if (!clustering_) clustering_ = clustering_coefficients(graph_);
-  return *clustering_;
+  return *cache_->get_or_compute<ClusteringResult>(
+      "clustering", [&] { return clustering_coefficients(graph_); });
 }
 
 const std::vector<std::int64_t>& Toolkit::core_numbers() {
-  if (!core_numbers_) core_numbers_ = graphct::core_numbers(graph_);
-  return *core_numbers_;
+  return *cache_->get_or_compute<std::vector<std::int64_t>>(
+      "kcores", [&] { return graphct::core_numbers(graph_); });
 }
 
-BetweennessResult Toolkit::betweenness(const BetweennessOptions& opts) {
-  return betweenness_centrality(graph_, opts);
+const BetweennessResult& Toolkit::betweenness(const BetweennessOptions& opts) {
+  return *cache_->get_or_compute<BetweennessResult>(
+      bc_key("bc", opts), [&] { return betweenness_centrality(graph_, opts); });
 }
 
-KBetweennessResult Toolkit::k_betweenness(const KBetweennessOptions& opts) {
-  return k_betweenness_centrality(graph_, opts);
+const KBetweennessResult& Toolkit::k_betweenness(
+    const KBetweennessOptions& opts) {
+  const std::string key = "kbc|k=" + std::to_string(opts.k) +
+                          "|sources=" + std::to_string(opts.num_sources) +
+                          "|seed=" + std::to_string(opts.seed);
+  return *cache_->get_or_compute<KBetweennessResult>(
+      key, [&] { return k_betweenness_centrality(graph_, opts); });
 }
 
-PageRankResult Toolkit::pagerank(const PageRankOptions& opts) {
-  return graphct::pagerank(graph_, opts);
+const PageRankResult& Toolkit::pagerank(const PageRankOptions& opts) {
+  const std::string key = "pagerank|d=" + std::to_string(opts.damping) +
+                          "|tol=" + std::to_string(opts.tolerance) +
+                          "|iters=" + std::to_string(opts.max_iterations);
+  return *cache_->get_or_compute<PageRankResult>(
+      key, [&] { return graphct::pagerank(graph_, opts); });
 }
 
-ClosenessResult Toolkit::closeness(const ClosenessOptions& opts) {
-  return closeness_centrality(graph_, opts);
+const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {
+  const std::string key = "closeness|sources=" +
+                          std::to_string(opts.num_sources) +
+                          "|seed=" + std::to_string(opts.seed) +
+                          "|rescale=" + std::to_string(opts.rescale);
+  return *cache_->get_or_compute<ClosenessResult>(
+      key, [&] { return closeness_centrality(graph_, opts); });
 }
 
 const CommunityResult& Toolkit::communities() {
-  if (!communities_) {
+  return *cache_->get_or_compute<CommunityResult>("communities", [&] {
     LabelPropagationOptions o;
     o.seed = opts_.seed;
-    communities_ = label_propagation(graph_, o);
-  }
-  return *communities_;
+    return label_propagation(graph_, o);
+  });
 }
 
 double Toolkit::community_modularity() {
   const auto& c = communities();
-  return modularity(graph_,
-                    std::span<const vid>(c.labels.data(), c.labels.size()));
+  return *cache_->get_or_compute<double>("modularity", [&] {
+    return modularity(graph_,
+                      std::span<const vid>(c.labels.data(), c.labels.size()));
+  });
 }
 
-Toolkit Toolkit::extract_component(std::int64_t i) {
+CsrGraph Toolkit::component_graph(std::int64_t i) {
   const auto& stats = components_stats();
   GCT_CHECK(i >= 0 && i < stats.num_components,
             "extract_component: index out of range");
   Subgraph sub = extract_by_label(graph_, components(),
                                   stats.sizes[static_cast<std::size_t>(i)].first);
-  ToolkitOptions opts = opts_;
-  return Toolkit(std::move(sub.graph), opts);
+  return std::move(sub.graph);
+}
+
+Toolkit Toolkit::extract_component(std::int64_t i) {
+  return Toolkit(component_graph(i), opts_);
+}
+
+void Toolkit::replace_graph(CsrGraph g) {
+  graph_ = std::move(g);
+  invalidate();
 }
 
 void Toolkit::invalidate() {
-  diameter_.reset();
-  components_.reset();
-  component_stats_.reset();
-  degree_stats_.reset();
-  degree_histogram_.reset();
-  clustering_.reset();
-  core_numbers_.reset();
-  communities_.reset();
+  cache_->invalidate();
+  std::lock_guard<std::mutex> lock(*diameter_mu_);
+  current_diameter_.reset();
 }
 
 }  // namespace graphct

@@ -12,9 +12,17 @@
 /// by later kernel functions" — here, kernels cache their outputs so a
 /// script like components -> extract -> degrees -> kcentrality never
 /// recomputes shared state.
+///
+/// Results live in a thread-safe ResultCache keyed by (kernel, params), so
+/// one Toolkit can be shared read-only by many concurrent analyst sessions
+/// (the graphctd server's registry does exactly this): concurrent requests
+/// for the same kernel compute it once and share the result. The only
+/// mutating operations are replace_graph() and invalidate(); both are the
+/// caller's responsibility to serialize against in-flight kernels (the
+/// server never mutates registry-shared graphs).
 
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +37,7 @@
 #include "core/kbetweenness.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/histogram.hpp"
+#include "util/result_cache.hpp"
 #include "util/stats.hpp"
 
 namespace graphct {
@@ -49,6 +58,9 @@ class Toolkit {
  public:
   explicit Toolkit(CsrGraph graph, const ToolkitOptions& opts = {});
 
+  Toolkit(Toolkit&&) = default;
+  Toolkit& operator=(Toolkit&&) = default;
+
   /// Load a DIMACS text file (parsed in parallel, §IV-C), building an
   /// undirected deduplicated graph per GraphCT's defaults.
   static Toolkit load_dimacs(const std::string& path,
@@ -64,7 +76,8 @@ class Toolkit {
   const DiameterEstimate& diameter();
 
   /// Re-estimate the diameter with explicit parameters and update the
-  /// stored value (the script's `print diameter <percent>` path).
+  /// stored value (the script's `print diameter <percent>` path). Repeating
+  /// the same parameters is served from cache.
   const DiameterEstimate& estimate_diameter(std::int64_t num_samples,
                                             std::int64_t multiplier);
 
@@ -86,19 +99,19 @@ class Toolkit {
   /// Coreness values (cached).
   const std::vector<std::int64_t>& core_numbers();
 
-  /// Betweenness centrality. Results are cached per distinct option set is
-  /// NOT attempted — centrality runs dominate cost and callers vary options
-  /// deliberately, so each call computes fresh.
-  BetweennessResult betweenness(const BetweennessOptions& opts = {});
+  /// Betweenness centrality, cached per distinct option set — centrality
+  /// runs dominate cost, so a server session repeating an earlier query's
+  /// parameters is served the resident result.
+  const BetweennessResult& betweenness(const BetweennessOptions& opts = {});
 
-  /// k-betweenness centrality (uncached, as above).
-  KBetweennessResult k_betweenness(const KBetweennessOptions& opts = {});
+  /// k-betweenness centrality (cached per option set, as above).
+  const KBetweennessResult& k_betweenness(const KBetweennessOptions& opts = {});
 
-  /// PageRank (uncached: parameterized kernel).
-  PageRankResult pagerank(const PageRankOptions& opts = {});
+  /// PageRank (cached per option set).
+  const PageRankResult& pagerank(const PageRankOptions& opts = {});
 
-  /// Harmonic closeness (uncached: parameterized kernel).
-  ClosenessResult closeness(const ClosenessOptions& opts = {});
+  /// Harmonic closeness (cached per option set).
+  const ClosenessResult& closeness(const ClosenessOptions& opts = {});
 
   /// Label-propagation communities (cached).
   const CommunityResult& communities();
@@ -106,24 +119,39 @@ class Toolkit {
   /// Modularity of the cached community labeling.
   double community_modularity();
 
-  /// Extract the i-th largest weakly connected component (0 = largest) as a
-  /// new Toolkit, reusing this one's cached component labels.
+  /// The i-th largest weakly connected component (0 = largest) as a
+  /// reindexed graph, reusing cached component labels.
+  CsrGraph component_graph(std::int64_t i);
+
+  /// Extract the i-th largest component as a new Toolkit.
   Toolkit extract_component(std::int64_t i);
+
+  /// Swap in a new graph and invalidate every cached result. This is the
+  /// single invalidation path for all graph surgery (extract component,
+  /// extract kcore, ego drill-down): results computed for the old graph can
+  /// never be served against the new one.
+  void replace_graph(CsrGraph g);
 
   /// Invalidate every cached result (after external graph surgery).
   void invalidate();
 
+  /// Cache traffic counters; the server's per-job accounting reports the
+  /// delta across each command.
+  [[nodiscard]] ResultCache::Stats cache_stats() const {
+    return cache_->stats();
+  }
+
  private:
   CsrGraph graph_;
   ToolkitOptions opts_;
-  std::optional<DiameterEstimate> diameter_;
-  std::optional<std::vector<vid>> components_;
-  std::optional<ComponentStats> component_stats_;
-  std::optional<Summary> degree_stats_;
-  std::optional<LogHistogram> degree_histogram_;
-  std::optional<ClusteringResult> clustering_;
-  std::optional<std::vector<std::int64_t>> core_numbers_;
-  std::optional<CommunityResult> communities_;
+  /// Kernel results keyed by (kernel, params); behind unique_ptr so the
+  /// Toolkit stays movable.
+  std::unique_ptr<ResultCache> cache_;
+  /// The most recent diameter estimate (default- or explicitly-
+  /// parameterized); the mutex makes the "latest estimate wins" update safe
+  /// under concurrent sessions.
+  std::unique_ptr<std::mutex> diameter_mu_;
+  std::shared_ptr<const DiameterEstimate> current_diameter_;
 };
 
 }  // namespace graphct

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file graph_provider.hpp
+/// Named-graph resolution interface for the script interpreter.
+///
+/// The interpreter's `load graph <name> <path>` and `use graph <name>`
+/// commands resolve through this interface rather than a concrete registry,
+/// keeping the script layer independent of the server subsystem that
+/// implements sharing (src/server/graph_registry.hpp). A provider returns
+/// shared, read-only Toolkits: many sessions may hold the same instance
+/// concurrently, so callers must never mutate a provider-owned Toolkit.
+
+#include <memory>
+#include <string>
+
+#include "core/toolkit.hpp"
+
+namespace graphct::script {
+
+/// Resolves graph names to shared Toolkits (implemented by the server's
+/// GraphRegistry). Implementations must be thread-safe.
+class GraphProvider {
+ public:
+  virtual ~GraphProvider() = default;
+
+  /// Load `path` under `name`, or return the already-resident graph when
+  /// the name is taken (load-once semantics). Throws graphct::Error on I/O
+  /// failure.
+  virtual std::shared_ptr<Toolkit> load_graph(const std::string& name,
+                                              const std::string& path) = 0;
+
+  /// The resident graph named `name`, or nullptr when absent.
+  virtual std::shared_ptr<Toolkit> get_graph(const std::string& name) = 0;
+};
+
+}  // namespace graphct::script

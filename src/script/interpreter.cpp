@@ -1,6 +1,7 @@
 #include "script/interpreter.hpp"
 
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -17,6 +18,7 @@
 #include "twitter/mention_graph.hpp"
 #include "twitter/tweet_io.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace graphct::script {
@@ -27,8 +29,22 @@ using graphct::Toolkit;
 struct Interpreter::Impl {
   std::ostream& out;
   InterpreterOptions opts;
+
+  /// One graph-stack entry. Provider-resolved graphs carry their registry
+  /// name and are shared read-only with other sessions; entries created by
+  /// read/generate/save are private to this interpreter.
+  struct Slot {
+    std::shared_ptr<Toolkit> tk;
+    std::string registry_name;  // empty => session-private
+
+    [[nodiscard]] bool shared() const { return !registry_name.empty(); }
+  };
+
   // Stack "memory": back() is the current graph.
-  std::vector<Toolkit> stack;
+  std::vector<Slot> stack;
+
+  /// Last `threads N` request (0 = runtime default).
+  int requested_threads = 0;
 
   Impl(std::ostream& o, InterpreterOptions op) : out(o), opts(std::move(op)) {}
 
@@ -37,7 +53,30 @@ struct Interpreter::Impl {
       throw Error("script line " + std::to_string(line) +
                   ": no graph loaded (use 'read' or 'generate' first)");
     }
-    return stack.back();
+    return *stack.back().tk;
+  }
+
+  void push_private(Toolkit tk) {
+    stack.push_back({std::make_shared<Toolkit>(std::move(tk)), ""});
+  }
+
+  /// Replace the current graph with `g` — the script's `extract`/`ego`
+  /// surgery. A private, exclusively-held toolkit is mutated through
+  /// Toolkit::replace_graph(), the single invalidation path that drops
+  /// every cached result; a provider-shared (or otherwise aliased) toolkit
+  /// is never touched — the slot is rebound to a fresh private Toolkit so
+  /// other sessions keep their resident graph and caches.
+  void replace_current_graph(CsrGraph g, int line) {
+    GCT_ASSERT(!stack.empty());
+    (void)line;
+    Slot& slot = stack.back();
+    if (!slot.shared() && slot.tk.use_count() == 1) {
+      slot.tk->replace_graph(std::move(g));
+      return;
+    }
+    ToolkitOptions topts = opts.toolkit;
+    topts.estimate_diameter_on_load = false;  // computed lazily on demand
+    slot = Slot{std::make_shared<Toolkit>(std::move(g), topts), ""};
   }
 };
 
@@ -92,6 +131,17 @@ Interpreter::~Interpreter() = default;
 std::size_t Interpreter::stack_depth() const { return impl_->stack.size(); }
 
 Toolkit& Interpreter::current() { return impl_->current(0); }
+
+Toolkit* Interpreter::current_or_null() {
+  return impl_->stack.empty() ? nullptr : impl_->stack.back().tk.get();
+}
+
+std::string Interpreter::current_graph_key() const {
+  if (impl_->stack.empty() || !impl_->stack.back().shared()) return "";
+  return "graph:" + impl_->stack.back().registry_name;
+}
+
+int Interpreter::requested_threads() const { return impl_->requested_threads; }
 
 void Interpreter::run(std::string_view script_text) {
   const std::vector<Command> cmds = parse_script(script_text);
@@ -173,14 +223,14 @@ void Interpreter::execute(const Command& cmd) {
     const std::string& path = cmd.tokens[2];
     if (fmt == "dimacs") {
       im.stack.clear();
-      im.stack.push_back(Toolkit::load_dimacs(path, im.opts.toolkit));
+      im.push_private(Toolkit::load_dimacs(path, im.opts.toolkit));
     } else if (fmt == "binary") {
       im.stack.clear();
-      im.stack.push_back(Toolkit::load_binary(path, im.opts.toolkit));
+      im.push_private(Toolkit::load_binary(path, im.opts.toolkit));
     } else if (fmt == "edgelist") {
       graphct::EdgeList el = graphct::read_edge_list(path);
       im.stack.clear();
-      im.stack.emplace_back(graphct::build_csr(el), im.opts.toolkit);
+      im.push_private(Toolkit(graphct::build_csr(el), im.opts.toolkit));
     } else if (fmt == "tweets") {
       // Build the undirected user-to-user mention graph from a TSV tweet
       // stream — the §III-B ingest, scriptable.
@@ -189,7 +239,7 @@ void Interpreter::execute(const Command& cmd) {
       for (const auto& t : tweets) builder.add(t);
       const auto mg = std::move(builder).build();
       im.stack.clear();
-      im.stack.emplace_back(mg.undirected(), im.opts.toolkit);
+      im.push_private(Toolkit(mg.undirected(), im.opts.toolkit));
       out << "mention graph: " << mg.num_users << " users, "
           << mg.unique_interactions << " unique interactions, "
           << mg.tweets_with_responses << " tweets with responses\n";
@@ -197,7 +247,7 @@ void Interpreter::execute(const Command& cmd) {
       throw Error("script line " + std::to_string(cmd.line) +
                   ": unknown read format '" + fmt + "'");
     }
-    const auto& g = im.stack.back().graph();
+    const auto& g = im.stack.back().tk->graph();
     out << "read " << fmt << " " << path << ": " << g.num_vertices()
         << " vertices, " << g.num_edges() << " edges\n";
   } else if (verb == "generate") {
@@ -212,10 +262,59 @@ void Interpreter::execute(const Command& cmd) {
       r.seed = static_cast<std::uint64_t>(parse_i64(cmd.tokens[4], cmd));
     }
     im.stack.clear();
-    im.stack.emplace_back(graphct::rmat_graph(r), im.opts.toolkit);
-    const auto& g = im.stack.back().graph();
+    im.push_private(Toolkit(graphct::rmat_graph(r), im.opts.toolkit));
+    const auto& g = im.stack.back().tk->graph();
     out << "generated rmat scale " << r.scale << ": " << g.num_vertices()
         << " vertices, " << g.num_edges() << " edges\n";
+  } else if (verb == "load") {
+    // load graph <name> <path>: load once into the shared registry and make
+    // it the current graph; a taken name resolves to the resident graph.
+    require_arity(cmd, 4, 4);
+    GCT_CHECK(cmd.tokens[1] == "graph",
+              "script line " + std::to_string(cmd.line) +
+                  ": expected 'load graph <name> <path>'");
+    GCT_CHECK(im.opts.provider != nullptr,
+              "script line " + std::to_string(cmd.line) +
+                  ": 'load graph' needs a graph registry (server mode)");
+    const std::string& name = cmd.tokens[2];
+    auto tk = im.opts.provider->load_graph(name, cmd.tokens[3]);
+    im.stack.clear();
+    im.stack.push_back({tk, name});
+    const auto& g = tk->graph();
+    out << "loaded graph '" << name << "': " << g.num_vertices()
+        << " vertices, " << g.num_edges() << " edges\n";
+  } else if (verb == "use") {
+    // use graph <name>: switch to a registry-resident graph (shared
+    // read-only with every other session using it).
+    require_arity(cmd, 3, 3);
+    GCT_CHECK(cmd.tokens[1] == "graph",
+              "script line " + std::to_string(cmd.line) +
+                  ": expected 'use graph <name>'");
+    GCT_CHECK(im.opts.provider != nullptr,
+              "script line " + std::to_string(cmd.line) +
+                  ": 'use graph' needs a graph registry (server mode)");
+    const std::string& name = cmd.tokens[2];
+    auto tk = im.opts.provider->get_graph(name);
+    if (!tk) {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": no graph named '" + name + "' (see 'load graph')");
+    }
+    im.stack.clear();
+    im.stack.push_back({tk, name});
+    const auto& g = tk->graph();
+    out << "using graph '" << name << "': " << g.num_vertices()
+        << " vertices, " << g.num_edges() << " edges\n";
+  } else if (verb == "threads") {
+    require_arity(cmd, 2, 2);
+    const std::int64_t n = parse_i64(cmd.tokens[1], cmd);
+    GCT_CHECK(n >= 0, "script line " + std::to_string(cmd.line) +
+                          ": thread count must be >= 0 (0 = default)");
+    im.requested_threads = static_cast<int>(n);
+    graphct::set_num_threads(im.requested_threads);
+    out << "threads set to "
+        << (n == 0 ? "default (" + std::to_string(graphct::num_threads()) + ")"
+                   : std::to_string(n))
+        << "\n";
   } else if (verb == "print") {
     require_arity(cmd, 2, 3);
     Toolkit& tk = im.current(cmd.line);
@@ -286,7 +385,7 @@ void Interpreter::execute(const Command& cmd) {
     // the copy and 'restore graph' pops back to the original.
     graphct::ToolkitOptions topts = im.opts.toolkit;
     topts.estimate_diameter_on_load = false;  // identical graph; skip rework
-    im.stack.emplace_back(tk.graph(), topts);
+    im.push_private(Toolkit(tk.graph(), topts));
     out << "graph saved (stack depth " << im.stack.size() << ")\n";
   } else if (verb == "restore") {
     require_arity(cmd, 2, 2);
@@ -295,6 +394,9 @@ void Interpreter::execute(const Command& cmd) {
                   ": expected 'restore graph'");
     GCT_CHECK(im.stack.size() >= 2, "script line " + std::to_string(cmd.line) +
                                         ": nothing to restore");
+    // Popping destroys the (possibly extracted-over) top-of-stack toolkit
+    // and its caches wholesale; the restored toolkit's caches were computed
+    // for exactly the graph it still holds, so nothing stale survives.
     im.stack.pop_back();
     out << "graph restored (stack depth " << im.stack.size() << ")\n";
   } else if (verb == "extract") {
@@ -305,14 +407,13 @@ void Interpreter::execute(const Command& cmd) {
       const std::int64_t idx = parse_i64(cmd.tokens[2], cmd);
       GCT_CHECK(idx >= 1, "script line " + std::to_string(cmd.line) +
                               ": component index is 1-based");
-      Toolkit sub = tk.extract_component(idx - 1);
+      graphct::CsrGraph sub = tk.component_graph(idx - 1);
       if (cmd.has_redirect()) {
-        graphct::write_binary(sub.graph(), cmd.redirect);
+        graphct::write_binary(sub, cmd.redirect);
       }
-      const auto& g = sub.graph();
-      out << "extracted component " << idx << ": " << g.num_vertices()
-          << " vertices, " << g.num_edges() << " edges\n";
-      im.stack.back() = std::move(sub);
+      out << "extracted component " << idx << ": " << sub.num_vertices()
+          << " vertices, " << sub.num_edges() << " edges\n";
+      im.replace_current_graph(std::move(sub), cmd.line);
     } else if (what == "kcore") {
       const std::int64_t k = parse_i64(cmd.tokens[2], cmd);
       graphct::Subgraph sub = graphct::kcore_subgraph(tk.graph(), k);
@@ -321,8 +422,7 @@ void Interpreter::execute(const Command& cmd) {
       }
       out << "extracted " << k << "-core: " << sub.graph.num_vertices()
           << " vertices, " << sub.graph.num_edges() << " edges\n";
-      graphct::ToolkitOptions topts = im.opts.toolkit;
-      im.stack.back() = Toolkit(std::move(sub.graph), topts);
+      im.replace_current_graph(std::move(sub.graph), cmd.line);
     } else {
       throw Error("script line " + std::to_string(cmd.line) +
                   ": unknown extract target '" + what + "'");
@@ -333,7 +433,7 @@ void Interpreter::execute(const Command& cmd) {
     graphct::KBetweennessOptions ko;
     ko.k = parse_i64(cmd.tokens[1], cmd);
     ko.num_sources = parse_i64(cmd.tokens[2], cmd);
-    const auto res = tk.k_betweenness(ko);
+    const auto& res = tk.k_betweenness(ko);
     out << "kcentrality k=" << ko.k << " sources=" << res.sources_used
         << ": done in " << graphct::format_duration(res.seconds) << "\n";
     if (cmd.has_redirect()) {
@@ -350,7 +450,7 @@ void Interpreter::execute(const Command& cmd) {
   } else if (verb == "pagerank") {
     require_arity(cmd, 1, 1);
     Toolkit& tk = im.current(cmd.line);
-    const auto res = tk.pagerank();
+    const auto& res = tk.pagerank();
     out << "pagerank: " << res.iterations << " iterations, residual "
         << res.residual << (res.converged ? "" : " (not converged)") << "\n";
     if (cmd.has_redirect()) {
@@ -368,7 +468,7 @@ void Interpreter::execute(const Command& cmd) {
     Toolkit& tk = im.current(cmd.line);
     graphct::ClosenessOptions co;
     co.num_sources = parse_i64(cmd.tokens[1], cmd);
-    const auto res = tk.closeness(co);
+    const auto& res = tk.closeness(co);
     out << "closeness: " << res.sources_used << " sources in "
         << graphct::format_duration(res.seconds) << "\n";
     if (cmd.has_redirect()) {
@@ -417,8 +517,7 @@ void Interpreter::execute(const Command& cmd) {
     out << "ego network of " << center << " radius " << radius << ": "
         << sub.graph.num_vertices() << " vertices, "
         << sub.graph.num_edges() << " edges\n";
-    graphct::ToolkitOptions topts = im.opts.toolkit;
-    im.stack.back() = Toolkit(std::move(sub.graph), topts);
+    im.replace_current_graph(std::move(sub.graph), cmd.line);
   } else if (verb == "write") {
     require_arity(cmd, 3, 3);
     Toolkit& tk = im.current(cmd.line);

@@ -33,6 +33,9 @@
 ///   + bfs <source> <depth>
 ///   + write binary <path> | write dimacs <path>
 ///   + echo <words...>
+///   + threads <n>           (pin OpenMP parallelism; 0 = default)
+///   + load graph <name> <path>   (load into the shared registry)
+///   + use graph <name>           (switch to a registry-resident graph)
 ///   + repeat <n> ... end    (the paper's "simple loop structures ... a
 ///     topic for future consideration"; nestable, script-level only)
 
@@ -41,6 +44,7 @@
 #include <vector>
 
 #include "core/toolkit.hpp"
+#include "script/graph_provider.hpp"
 #include "script/script_parser.hpp"
 
 namespace graphct::script {
@@ -51,6 +55,10 @@ struct InterpreterOptions {
 
   /// Print kernel wall times after each command.
   bool timings = false;
+
+  /// Resolves `load graph` / `use graph` names; those commands error when
+  /// null. Not owned; must outlive the interpreter.
+  GraphProvider* provider = nullptr;
 };
 
 /// Executes parsed commands against a graph stack.
@@ -78,6 +86,19 @@ class Interpreter {
 
   /// The current toolkit (throws if no graph is loaded).
   graphct::Toolkit& current();
+
+  /// The current toolkit, or nullptr before any read (the server's job
+  /// accounting samples cache stats around each command with this).
+  [[nodiscard]] graphct::Toolkit* current_or_null();
+
+  /// Serialization key for the current graph: "graph:<name>" when the
+  /// current graph is provider-shared, "" for session-private graphs. The
+  /// server's job queue runs jobs with equal non-empty keys one at a time.
+  [[nodiscard]] std::string current_graph_key() const;
+
+  /// Thread count requested by the last `threads N` command (0 = runtime
+  /// default); the server applies it per job.
+  [[nodiscard]] int requested_threads() const;
 
  private:
   struct Impl;

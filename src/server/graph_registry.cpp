@@ -1,0 +1,111 @@
+#include "server/graph_registry.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_dimacs.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/io_metis.hpp"
+#include "util/error.hpp"
+
+namespace graphct::server {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+CsrGraph GraphRegistry::load_graph_file(const std::string& path) {
+  if (ends_with(path, ".bin")) return read_binary(path);
+  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
+    return read_metis(path);
+  }
+  if (ends_with(path, ".el") || ends_with(path, ".txt")) {
+    return build_csr(read_edge_list(path));
+  }
+  // Default: DIMACS (.dimacs, .gr, anything else).
+  return build_csr(read_dimacs(path));
+}
+
+GraphRegistry::GraphRegistry(ToolkitOptions opts) : opts_(opts) {}
+
+std::shared_ptr<Toolkit> GraphRegistry::load_graph(const std::string& name,
+                                                   const std::string& path) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = graphs_.find(name);
+      if (it == graphs_.end()) break;
+      if (it->second->toolkit) return it->second->toolkit;  // load-once
+      // Another session is loading this name; wait for the outcome.
+      std::shared_ptr<Entry> pending = it->second;
+      loaded_cv_.wait(lock,
+                      [&] { return pending->toolkit || pending->failed; });
+      if (pending->toolkit) return pending->toolkit;
+      // The loader failed and removed the entry — retry as the loader.
+    }
+    entry = std::make_shared<Entry>();
+    graphs_.emplace(name, entry);
+  }
+  // Parse outside the lock so other names stay resolvable during long I/O.
+  try {
+    auto tk = std::make_shared<Toolkit>(load_graph_file(path), opts_);
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->toolkit = tk;
+    loaded_cv_.notify_all();
+    return tk;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->failed = true;
+    auto it = graphs_.find(name);
+    if (it != graphs_.end() && it->second == entry) graphs_.erase(it);
+    loaded_cv_.notify_all();
+    throw;
+  }
+}
+
+std::shared_ptr<Toolkit> GraphRegistry::add(const std::string& name,
+                                            CsrGraph graph) {
+  auto entry = std::make_shared<Entry>();
+  entry->toolkit = std::make_shared<Toolkit>(std::move(graph), opts_);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted = graphs_.emplace(name, entry).second;
+  GCT_CHECK(inserted, "registry: graph name '" + name + "' is already taken");
+  return entry->toolkit;
+}
+
+std::shared_ptr<Toolkit> GraphRegistry::get_graph(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return nullptr;
+  std::shared_ptr<Entry> entry = it->second;
+  loaded_cv_.wait(lock, [&] { return entry->toolkit || entry->failed; });
+  return entry->toolkit;  // null when the pending load failed
+}
+
+bool GraphRegistry::drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.erase(name) > 0;
+}
+
+std::vector<GraphRegistry::Info> GraphRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) {
+    if (!entry->toolkit) continue;  // still loading
+    Info info;
+    info.name = name;
+    info.vertices = entry->toolkit->graph().num_vertices();
+    info.edges = entry->toolkit->graph().num_edges();
+    info.sessions = entry->toolkit.use_count() - 1;  // minus the registry's
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace graphct::server

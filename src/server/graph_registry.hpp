@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file graph_registry.hpp
+/// Named, shared, refcounted graph residency for graphctd.
+///
+/// The paper's workflow amortizes one expensive load over many kernels
+/// (§IV-A); a long-running server amortizes it over many *sessions*. The
+/// registry loads each named graph exactly once — concurrent loaders of the
+/// same name block on the first load — and hands out shared_ptr<Toolkit>
+/// aliases. Sessions hold the pointer for as long as they use the graph, so
+/// dropping a name from the registry frees the memory only after the last
+/// session lets go (refcounted lifetime). Registry-owned Toolkits are
+/// shared read-only: their ResultCache makes concurrent kernel requests
+/// safe, and sessions that mutate (extract/ego) do so on private copies.
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "script/graph_provider.hpp"
+
+namespace graphct::server {
+
+/// Thread-safe name -> resident Toolkit map.
+class GraphRegistry : public script::GraphProvider {
+ public:
+  /// One registry row for `graphs` listings.
+  struct Info {
+    std::string name;
+    vid vertices = 0;
+    eid edges = 0;
+    /// Sessions currently holding the graph (registry's own ref excluded).
+    long sessions = 0;
+  };
+
+  explicit GraphRegistry(ToolkitOptions opts = {});
+
+  /// Load `path` (format by extension, as the CLI does) under `name`, or
+  /// return the resident graph when the name is already taken. Concurrent
+  /// calls for one name perform a single load; other names load in
+  /// parallel. Throws graphct::Error on I/O failure.
+  std::shared_ptr<Toolkit> load_graph(const std::string& name,
+                                      const std::string& path) override;
+
+  /// Register an already-built graph under `name` (used by tests and
+  /// embedders). Throws when the name is taken.
+  std::shared_ptr<Toolkit> add(const std::string& name, CsrGraph graph);
+
+  /// The resident graph named `name`, or nullptr. Blocks if the graph is
+  /// mid-load until the load completes.
+  std::shared_ptr<Toolkit> get_graph(const std::string& name) override;
+
+  /// Drop `name` from the registry. Sessions still holding the graph keep
+  /// it alive; new sessions can no longer resolve it. Returns false when
+  /// the name is unknown.
+  bool drop(const std::string& name);
+
+  /// All resident graphs, sorted by name. Skips entries still loading.
+  [[nodiscard]] std::vector<Info> list() const;
+
+  /// Load a graph file choosing the parser by extension: .bin (GraphCT
+  /// binary), .metis/.graph (METIS), .el/.txt (edge list), anything else
+  /// DIMACS. Shared with the CLI's one-shot commands.
+  static CsrGraph load_graph_file(const std::string& path);
+
+ private:
+  struct Entry {
+    std::shared_ptr<Toolkit> toolkit;  // null while loading
+    bool failed = false;
+  };
+
+  ToolkitOptions opts_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable loaded_cv_;
+  std::map<std::string, std::shared_ptr<Entry>> graphs_;
+};
+
+}  // namespace graphct::server

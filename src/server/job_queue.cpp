@@ -1,0 +1,202 @@
+#include "server/job_queue.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace graphct::server {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+struct JobQueue::Internal {
+  JobRecord record;
+  Work work;
+  int threads = 0;
+  Timer queued_at;  // measures queue wait
+};
+
+JobQueue::JobQueue(int num_workers) {
+  const int n = std::max(1, num_workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobQueue::~JobQueue() { shutdown(); }
+
+std::uint64_t JobQueue::submit(std::string session, std::string graph_key,
+                               std::string command, Work work, int threads) {
+  auto job = std::make_shared<Internal>();
+  job->work = std::move(work);
+  job->threads = threads;
+  job->record.session = std::move(session);
+  job->record.graph_key = std::move(graph_key);
+  job->record.command = std::move(command);
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    job->record.id = id;
+    if (shutdown_) {
+      job->record.state = JobState::kCancelled;
+      job->record.error = "server shutting down";
+      jobs_.emplace(id, std::move(job));
+      return id;
+    }
+    jobs_.emplace(id, job);
+    pending_.push_back(id);
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+std::deque<std::uint64_t>::iterator JobQueue::next_runnable() {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    const auto& job = jobs_.at(*it);
+    if (job->record.graph_key.empty() ||
+        busy_graphs_.count(job->record.graph_key) == 0) {
+      return it;
+    }
+  }
+  return pending_.end();
+}
+
+void JobQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = next_runnable();
+    if (it == pending_.end()) {
+      if (shutdown_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t id = *it;
+    pending_.erase(it);
+    std::shared_ptr<Internal> job = jobs_.at(id);
+    job->record.state = JobState::kRunning;
+    job->record.wait_seconds = job->queued_at.seconds();
+    if (!job->record.graph_key.empty()) {
+      busy_graphs_.insert(job->record.graph_key);
+    }
+    lock.unlock();
+
+    // Pin this worker's OpenMP parallelism for the job, then restore the
+    // default — omp_set_num_threads is per calling thread, so concurrent
+    // jobs on other workers are unaffected.
+    if (job->threads > 0) set_num_threads(job->threads);
+    std::string output;
+    std::string error;
+    bool failed = false;
+    JobCounters counters;
+    Timer run_timer;
+    const int threads_used = num_threads();
+    try {
+      output = job->work(counters);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+    const double run_seconds = run_timer.seconds();
+    // Always restore this worker's default — the work itself may have
+    // called set_num_threads (the script's `threads N`), and a worker must
+    // not carry one session's pinning into another session's job.
+    set_num_threads(0);
+
+    lock.lock();
+    job->record.state = failed ? JobState::kFailed : JobState::kDone;
+    job->record.output = std::move(output);
+    job->record.error = std::move(error);
+    job->record.run_seconds = run_seconds;
+    job->record.threads = threads_used;
+    job->record.counters = counters;
+    if (!job->record.graph_key.empty()) {
+      busy_graphs_.erase(job->record.graph_key);
+    }
+    terminal_cv_.notify_all();
+    // The freed graph may unblock a queued job another worker skipped.
+    work_cv_.notify_all();
+  }
+}
+
+JobRecord JobQueue::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    JobRecord missing;
+    missing.id = id;
+    missing.state = JobState::kFailed;
+    missing.error = "unknown job id";
+    return missing;
+  }
+  std::shared_ptr<Internal> job = it->second;
+  terminal_cv_.wait(lock, [&] { return job->record.terminal(); });
+  return job->record;
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second->record.state != JobState::kQueued) {
+    return false;
+  }
+  auto pending_it = std::find(pending_.begin(), pending_.end(), id);
+  if (pending_it == pending_.end()) return false;
+  pending_.erase(pending_it);
+  it->second->record.state = JobState::kCancelled;
+  it->second->record.wait_seconds = it->second->queued_at.seconds();
+  terminal_cv_.notify_all();
+  return true;
+}
+
+std::optional<JobRecord> JobQueue::get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->record;
+}
+
+std::vector<JobRecord> JobQueue::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job->record);
+  return out;
+}
+
+void JobQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+    for (std::uint64_t id : pending_) {
+      auto& job = jobs_.at(id);
+      job->record.state = JobState::kCancelled;
+      job->record.error = "server shutting down";
+    }
+    pending_.clear();
+    terminal_cv_.notify_all();
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace graphct::server

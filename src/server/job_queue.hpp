@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file job_queue.hpp
+/// Worker pool executing analyst commands, serialized per graph.
+///
+/// graphctd's concurrency model: every protocol command becomes a job.
+/// Jobs against the *same* graph run one at a time in submission order —
+/// kernels share the graph's ResultCache, so running them back-to-back
+/// maximizes hits and bounds peak memory — while jobs against *different*
+/// graphs run concurrently on the worker pool, which is how two analyst
+/// sessions on two graphs both make progress. Each job records queue wait,
+/// run wall-clock, the OpenMP thread count it ran with, and the cache
+/// hit/miss delta it caused; the protocol's terminating "ok" line reports
+/// these so an analyst can see a repeated query being served from cache.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace graphct::server {
+
+/// Lifecycle of a job.
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(JobState s);
+
+/// Per-job accounting, filled in by the work function.
+struct JobCounters {
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+};
+
+/// Everything known about one job; snapshot semantics (a copy).
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::string session;    ///< submitting session's name
+  std::string graph_key;  ///< serialization key ("" = never serialized)
+  std::string command;    ///< display text of the command
+  JobState state = JobState::kQueued;
+  std::string output;     ///< command output (valid when done)
+  std::string error;      ///< failure message (valid when failed)
+  double wait_seconds = 0.0;  ///< time spent queued
+  double run_seconds = 0.0;   ///< execution wall-clock
+  int threads = 0;            ///< OpenMP threads the job ran with
+  JobCounters counters;       ///< kernel-cache traffic caused by the job
+
+  [[nodiscard]] bool terminal() const {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  }
+};
+
+/// Fixed worker pool with per-graph serialization.
+class JobQueue {
+ public:
+  /// A job: runs on a worker thread, returns the command's output text,
+  /// throws graphct::Error (or any std::exception) to fail the job.
+  using Work = std::function<std::string(JobCounters&)>;
+
+  /// Start `num_workers` worker threads (minimum 1).
+  explicit JobQueue(int num_workers);
+
+  /// Drains nothing: shuts down immediately; queued jobs are cancelled and
+  /// running jobs are joined.
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue a job. Jobs with the same non-empty `graph_key` execute one at
+  /// a time in submission order; jobs with distinct (or empty) keys run
+  /// concurrently, pool permitting. `threads` > 0 pins the job's OpenMP
+  /// parallelism. Returns the job id.
+  std::uint64_t submit(std::string session, std::string graph_key,
+                       std::string command, Work work, int threads = 0);
+
+  /// Block until the job reaches a terminal state; returns its record.
+  JobRecord wait(std::uint64_t id);
+
+  /// Cancel a job that is still queued. Running jobs are not interrupted
+  /// (kernels are not preemptible); returns false for running/terminal/
+  /// unknown jobs.
+  bool cancel(std::uint64_t id);
+
+  /// Snapshot one job, or nullopt for an unknown id.
+  [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const;
+
+  /// Snapshot every job, id order (terminal jobs are retained as history).
+  [[nodiscard]] std::vector<JobRecord> snapshot() const;
+
+  [[nodiscard]] int num_workers() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Stop accepting work, cancel queued jobs, join workers (idempotent).
+  void shutdown();
+
+ private:
+  struct Internal;
+
+  void worker_loop();
+  /// Find the first pending job whose graph is idle; requires mu_ held.
+  std::deque<std::uint64_t>::iterator next_runnable();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;      // workers: new runnable work
+  std::condition_variable terminal_cv_;  // waiters: a job finished
+  std::map<std::uint64_t, std::shared_ptr<Internal>> jobs_;
+  std::deque<std::uint64_t> pending_;  // submission order
+  std::set<std::string> busy_graphs_;
+  std::uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace graphct::server

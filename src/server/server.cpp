@@ -1,0 +1,142 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace graphct::server {
+
+namespace {
+
+constexpr const char* kBanner = "graphctd ready\n";
+
+bool is_quit(const std::string& line) {
+  return line == "quit" || line == "exit";
+}
+
+/// Strip a trailing '\r' (telnet/CRLF clients).
+std::string strip_cr(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts), registry_(opts.interpreter.toolkit), queue_(opts.workers) {}
+
+Server::~Server() {
+  request_stop();
+  for (auto& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  queue_.shutdown();
+}
+
+std::shared_ptr<Session> Server::open_session(std::string name) {
+  if (name.empty()) {
+    name = "s" + std::to_string(next_session_.fetch_add(1));
+  }
+  return std::make_shared<Session>(std::move(name), registry_, queue_,
+                                   opts_.interpreter);
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  auto session = open_session();
+  out << kBanner << std::flush;
+  std::string line;
+  while (std::getline(in, line)) {
+    line = strip_cr(line);
+    if (is_quit(line)) break;
+    out << session->handle_line(line) << std::flush;
+  }
+}
+
+int Server::serve_tcp(int port, const std::function<void()>& on_listening) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GCT_CHECK(fd >= 0, "serve: cannot create socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw Error("serve: cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  listen_fd_.store(fd);
+  if (on_listening) on_listening();
+
+  while (!stopping_.load()) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load()) break;
+      continue;  // transient accept failure
+    }
+    connections_.emplace_back([this, conn] {
+      auto session = open_session();
+      write_all(conn, kBanner);
+      std::string buffer;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        bool closed = false;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+          const std::string line = strip_cr(buffer.substr(0, nl));
+          buffer.erase(0, nl + 1);
+          if (is_quit(line)) {
+            closed = true;
+            break;
+          }
+          if (!write_all(conn, session->handle_line(line))) {
+            closed = true;
+            break;
+          }
+        }
+        if (closed) break;
+      }
+      ::close(conn);
+    });
+  }
+
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) ::close(lfd);
+  return 0;
+}
+
+void Server::request_stop() {
+  stopping_.store(true);
+  // Closing the listening socket unblocks accept().
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace graphct::server

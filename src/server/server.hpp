@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file server.hpp
+/// graphctd — the long-running analysis server.
+///
+/// Owns the shared pieces (graph registry, job queue) and manufactures
+/// sessions over three transports:
+///
+///   * in-process:  open_session() — tests and embedding applications
+///     drive sessions directly, no I/O;
+///   * stdio:       serve_stream(in, out) — one session over a pair of
+///     streams (`graphct serve --stdio`), trivially scriptable;
+///   * TCP:         serve_tcp(port) — a localhost line-oriented socket
+///     (`graphct serve <port>`), one thread + session per connection.
+///
+/// All transports speak the same protocol (see session.hpp): script
+/// commands in, output + "ok"/"error" terminator out. The registry and job
+/// queue are shared across every session, so graphs load once, repeated
+/// queries hit the shared kernel cache, and jobs on different graphs run
+/// concurrently while jobs on one graph are serialized.
+
+#include <atomic>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "script/interpreter.hpp"
+#include "server/graph_registry.hpp"
+#include "server/job_queue.hpp"
+#include "server/session.hpp"
+
+namespace graphct::server {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Worker threads executing jobs (also the bound on concurrently running
+  /// graphs).
+  int workers = 4;
+
+  /// Options every session's interpreter starts from (toolkit defaults,
+  /// timings flag). The provider field is overwritten per session.
+  script::InterpreterOptions interpreter;
+};
+
+/// The graphctd daemon, embeddable in-process.
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] GraphRegistry& registry() { return registry_; }
+  [[nodiscard]] JobQueue& jobs() { return queue_; }
+
+  /// Open an in-process session. `name` defaults to "s<counter>". The
+  /// session holds references into this server; drop it before the server.
+  std::shared_ptr<Session> open_session(std::string name = "");
+
+  /// Run one session over a stream pair until EOF or `quit`. This is the
+  /// `graphct serve --stdio` entry point and what tests drive.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Listen on 127.0.0.1:`port` and serve each connection on its own
+  /// thread until request_stop(). Returns 0 on clean shutdown. Throws
+  /// graphct::Error when the socket cannot be bound. `on_listening`, when
+  /// set, runs once the socket is accepting (the CLI's startup banner).
+  int serve_tcp(int port, const std::function<void()>& on_listening = {});
+
+  /// Unblock serve_tcp()'s accept loop (callable from any thread or a
+  /// signal-adjacent context).
+  void request_stop();
+
+ private:
+  ServerOptions opts_;
+  GraphRegistry registry_;
+  JobQueue queue_;
+  std::atomic<int> next_session_{1};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace graphct::server

@@ -1,0 +1,133 @@
+#include "server/session.hpp"
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace graphct::server {
+
+namespace {
+
+script::InterpreterOptions with_registry(script::InterpreterOptions opts,
+                                         GraphRegistry& registry) {
+  opts.provider = &registry;
+  return opts;
+}
+
+/// First whitespace-delimited token of a protocol line.
+std::string first_token(const std::string& line) {
+  std::size_t b = line.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = line.find_first_of(" \t", b);
+  return line.substr(b, e == std::string::npos ? std::string::npos : e - b);
+}
+
+}  // namespace
+
+Session::Session(std::string name, GraphRegistry& registry, JobQueue& queue,
+                 script::InterpreterOptions opts)
+    : name_(std::move(name)),
+      registry_(registry),
+      queue_(queue),
+      interp_(out_, with_registry(std::move(opts), registry)) {}
+
+std::string Session::handle_line(const std::string& line) {
+  try {
+    const std::string verb = first_token(line);
+    if (verb.empty() || verb[0] == '#') return "ok\n";
+    if (verb == "graphs") return list_graphs() + "ok\n";
+    if (verb == "jobs") return list_jobs() + "ok\n";
+    if (verb == "session") {
+      std::ostringstream s;
+      const std::string key = interp_.current_graph_key();
+      s << "session " << name_ << ": stack depth " << interp_.stack_depth()
+        << ", graph " << (key.empty() ? "(private)" : key) << ", threads "
+        << (interp_.requested_threads() == 0
+                ? "default"
+                : std::to_string(interp_.requested_threads()))
+        << "\n";
+      return s.str() + "ok\n";
+    }
+    if (verb == "cancel") {
+      const std::string arg = first_token(line.substr(line.find(verb) + 6));
+      const std::uint64_t id = std::stoull(arg);
+      if (queue_.cancel(id)) {
+        return "job " + arg + " cancelled\nok\n";
+      }
+      return "error job " + arg + " is not cancellable (not queued)\n";
+    }
+    return run_command(line);
+  } catch (const std::exception& e) {
+    return std::string("error ") + e.what() + "\n";
+  }
+}
+
+std::string Session::run_command(const std::string& line) {
+  // Serialize on the registry graph when one is current; otherwise on the
+  // session itself, so a session's private-graph jobs never interleave.
+  std::string key = interp_.current_graph_key();
+  if (key.empty()) key = "session:" + name_;
+
+  const std::uint64_t id = queue_.submit(
+      name_, key, line,
+      [this, line](JobCounters& counters) -> std::string {
+        out_.str("");
+        out_.clear();
+        Toolkit* before_tk = interp_.current_or_null();
+        const ResultCache::Stats before =
+            before_tk ? before_tk->cache_stats() : ResultCache::Stats{};
+        interp_.run(line);
+        // Cache accounting: meaningful when the command ran kernels on the
+        // graph that is still current. Commands that switch graphs
+        // (read/load/use/...) report zero traffic.
+        Toolkit* after_tk = interp_.current_or_null();
+        if (after_tk != nullptr && after_tk == before_tk) {
+          const ResultCache::Stats after = after_tk->cache_stats();
+          counters.cache_hits = after.hits - before.hits;
+          counters.cache_misses = after.misses - before.misses;
+        }
+        return out_.str();
+      },
+      interp_.requested_threads());
+
+  const JobRecord record = queue_.wait(id);
+  if (record.state == JobState::kFailed) {
+    return record.output + "error " + record.error + "\n";
+  }
+  if (record.state == JobState::kCancelled) {
+    return "error job " + std::to_string(id) + " cancelled: " + record.error +
+           "\n";
+  }
+  std::ostringstream ok;
+  ok << record.output << "ok job=" << record.id << " graph=" << record.graph_key
+     << " wall=" << format_duration(record.run_seconds)
+     << " queue=" << format_duration(record.wait_seconds)
+     << " threads=" << record.threads << " cache=" << record.counters.cache_hits
+     << "/" << record.counters.cache_misses << "\n";
+  return ok.str();
+}
+
+std::string Session::list_graphs() const {
+  const auto graphs = registry_.list();
+  if (graphs.empty()) return "no graphs resident (see 'load graph')\n";
+  TextTable t({"name", "vertices", "edges", "sessions"});
+  for (const auto& g : graphs) {
+    t.add_row({g.name, with_commas(g.vertices), with_commas(g.edges),
+               std::to_string(g.sessions)});
+  }
+  return t.render();
+}
+
+std::string Session::list_jobs() const {
+  const auto jobs = queue_.snapshot();
+  if (jobs.empty()) return "no jobs\n";
+  TextTable t({"id", "session", "graph", "state", "command", "wall", "cache"});
+  for (const auto& j : jobs) {
+    t.add_row({std::to_string(j.id), j.session, j.graph_key,
+               to_string(j.state), j.command, format_duration(j.run_seconds),
+               std::to_string(j.counters.cache_hits) + "/" +
+                   std::to_string(j.counters.cache_misses)});
+  }
+  return t.render();
+}
+
+}  // namespace graphct::server

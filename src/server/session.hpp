@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file session.hpp
+/// One analyst session: interpreter state plus protocol handling.
+///
+/// A session owns a script interpreter (graph stack, thread pinning) and
+/// turns protocol lines into jobs. The wire protocol is the scripting
+/// language itself (paper §IV-B) — one command per line — plus a few
+/// server verbs answered inline without queueing:
+///
+///   graphs           list registry-resident graphs
+///   jobs             list the job table (state, timings, cache traffic)
+///   session          this session's name, stack depth, pinned threads
+///   cancel <id>      cancel a still-queued job
+///
+/// Every response is zero or more output lines followed by exactly one
+/// terminator line:
+///
+///   ok [job=<id> graph=<key> wall=<t> queue=<t> threads=<n> cache=<h>/<m>]
+///   error <message>
+///
+/// so clients frame responses by reading until a line starting "ok" or
+/// "error". The cache=<hits>/<misses> field is the kernel-cache delta the
+/// command caused — a repeated query shows hits and zero misses.
+///
+/// handle_line() is synchronous (submit, wait, respond) and a session must
+/// be driven from one thread at a time; concurrency comes from many
+/// sessions sharing the queue and registry.
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "script/interpreter.hpp"
+#include "server/graph_registry.hpp"
+#include "server/job_queue.hpp"
+
+namespace graphct::server {
+
+/// One connected analyst.
+class Session {
+ public:
+  Session(std::string name, GraphRegistry& registry, JobQueue& queue,
+          script::InterpreterOptions opts);
+
+  /// Execute one protocol line and return the full response text (output
+  /// lines + terminator line, each '\n'-terminated). Never throws: command
+  /// failures become "error ..." responses.
+  std::string handle_line(const std::string& line);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The underlying interpreter, for in-process embedders and tests.
+  [[nodiscard]] script::Interpreter& interpreter() { return interp_; }
+
+ private:
+  std::string run_command(const std::string& line);
+  std::string list_graphs() const;
+  std::string list_jobs() const;
+
+  std::string name_;
+  GraphRegistry& registry_;
+  JobQueue& queue_;
+  std::ostringstream out_;
+  script::Interpreter interp_;
+};
+
+}  // namespace graphct::server

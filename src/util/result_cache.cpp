@@ -1,0 +1,81 @@
+#include "util/result_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+std::pair<std::shared_ptr<ResultCache::Entry>, bool> ResultCache::acquire(
+    const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      auto entry = std::make_shared<Entry>();
+      entries_.emplace(key, entry);
+      ++misses_;
+      return {entry, true};
+    }
+    std::shared_ptr<Entry> entry = it->second;
+    if (entry->ready) {
+      ++hits_;
+      return {entry, false};
+    }
+    // Another thread is computing this key; wait for it to publish or
+    // abandon. Hold our own shared_ptr so invalidate() racing with the
+    // computation cannot free the entry under us.
+    ready_cv_.wait(lock, [&] { return entry->ready || entry->failed; });
+    if (entry->failed) {
+      throw Error("cached computation of '" + key +
+                  "' failed in a concurrent caller");
+    }
+    // The entry may have been detached by invalidate() while we waited, in
+    // which case the map now lacks (or re-bound) the key; loop to re-check
+    // rather than serve a value that was invalidated mid-wait.
+    auto again = entries_.find(key);
+    if (again != entries_.end() && again->second == entry) {
+      ++hits_;
+      return {entry, false};
+    }
+  }
+}
+
+void ResultCache::publish(const std::shared_ptr<Entry>& entry,
+                          std::shared_ptr<const void> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->value = std::move(value);
+  entry->ready = true;
+  ready_cv_.notify_all();
+}
+
+void ResultCache::abandon(const std::string& key,
+                          const std::shared_ptr<Entry>& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->failed = true;
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second == entry) {
+    entries_.erase(it);
+  }
+  ready_cv_.notify_all();
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second->ready;
+}
+
+void ResultCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = static_cast<std::int64_t>(entries_.size());
+  return s;
+}
+
+}  // namespace graphct

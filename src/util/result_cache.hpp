@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Thread-safe compute-once result cache.
+///
+/// Maps string keys ("components", "bc|sources=256|seed=1", ...) to
+/// type-erased immutable values. The first caller of a key computes the
+/// value outside the lock; concurrent callers of the same key block until
+/// it is published and then share the same object. This is the paper's
+/// "kernels accumulate results in structures accessible by later kernel
+/// functions" made safe for many analyst sessions sharing one resident
+/// graph (§IV-A), and it is what the server's job accounting reads to show
+/// whether a query hit or recomputed.
+///
+/// Values are held as shared_ptr<const T>, so a result stays valid for
+/// callers that obtained it even after invalidate() drops the table.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace graphct {
+
+/// Thread-safe map from key to immutable, lazily computed value.
+class ResultCache {
+ public:
+  /// Hit/miss counters since construction (or the last reset via
+  /// invalidate(), which preserves them — they describe traffic, not
+  /// contents) plus the live entry count.
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t entries = 0;
+  };
+
+  ResultCache() = default;
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Return the cached value for `key`, computing it with `fn` on first
+  /// use. Concurrent callers with the same key block until the first
+  /// caller's computation publishes; exactly one computation runs per key.
+  /// If the computing caller throws, the entry is removed (waiters receive
+  /// the error) and a later call recomputes.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const std::string& key, Fn&& fn) {
+    auto [entry, is_owner] = acquire(key);
+    if (!is_owner) {
+      return std::static_pointer_cast<const T>(entry->value);
+    }
+    try {
+      std::shared_ptr<const T> value =
+          std::make_shared<const T>(std::forward<Fn>(fn)());
+      publish(entry, value);
+      return value;
+    } catch (...) {
+      abandon(key, entry);
+      throw;
+    }
+  }
+
+  /// True when `key` holds a published value (no blocking).
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Drop every entry. Outstanding shared_ptrs stay valid; in-flight
+  /// computations publish into their (now detached) entries, which are
+  /// simply discarded. Traffic counters are preserved.
+  void invalidate();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    bool ready = false;
+    bool failed = false;
+  };
+
+  /// Look up or insert `key`. Returns the entry plus true when the caller
+  /// must compute the value ("owner"); blocks when another thread owns an
+  /// unpublished entry. Throws graphct::Error if the owning computation
+  /// failed (waiters do not retry on the owner's behalf).
+  std::pair<std::shared_ptr<Entry>, bool> acquire(const std::string& key);
+
+  /// Publish an owned entry's value and wake waiters.
+  void publish(const std::shared_ptr<Entry>& entry,
+               std::shared_ptr<const void> value);
+
+  /// Remove a failed owned entry so a later call can retry.
+  void abandon(const std::string& key, const std::shared_ptr<Entry>& entry);
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace graphct

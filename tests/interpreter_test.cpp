@@ -10,7 +10,9 @@
 #include "gen/shapes.hpp"
 #include "graph/io_binary.hpp"
 #include "graph/io_dimacs.hpp"
+#include "server/graph_registry.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace graphct::script {
 namespace {
@@ -312,6 +314,104 @@ TEST(InterpreterLoopTest, NegativeCountThrows) {
   std::ostringstream out;
   Interpreter in(out, fast_opts());
   EXPECT_THROW(in.run("repeat -1\necho x\nend\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, ThreadsCommandPinsOpenMp) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("threads 2\n");
+  EXPECT_NE(out.str().find("threads set to 2"), std::string::npos);
+  EXPECT_EQ(in.requested_threads(), 2);
+  EXPECT_EQ(graphct::num_threads(), 2);
+  in.run("threads 0\n");  // back to the hardware default
+  EXPECT_EQ(in.requested_threads(), 0);
+  EXPECT_GE(graphct::num_threads(), 1);
+}
+
+TEST(InterpreterTest, ThreadsNegativeThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("threads -3\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, LoadAndUseGraphViaProvider) {
+  const std::string path = temp_path("gct_interp_prov.dimacs");
+  graphct::write_dimacs(graphct::path_graph(12), path);
+  graphct::server::GraphRegistry registry;
+  InterpreterOptions o = fast_opts();
+  o.provider = &registry;
+
+  std::ostringstream out;
+  Interpreter in(out, o);
+  in.run("load graph twelve " + path + "\n");
+  EXPECT_NE(out.str().find("loaded graph 'twelve'"), std::string::npos);
+  EXPECT_EQ(in.current_graph_key(), "graph:twelve");
+  EXPECT_EQ(in.current().graph().num_vertices(), 12);
+
+  // A second interpreter resolves the resident graph by name — same object.
+  std::ostringstream out2;
+  Interpreter other(out2, o);
+  other.run("use graph twelve\n");
+  EXPECT_EQ(&other.current(), &in.current());
+  std::remove(path.c_str());
+}
+
+TEST(InterpreterTest, UseUnknownGraphThrows) {
+  graphct::server::GraphRegistry registry;
+  InterpreterOptions o = fast_opts();
+  o.provider = &registry;
+  std::ostringstream out;
+  Interpreter in(out, o);
+  EXPECT_THROW(in.run("use graph nope\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, LoadGraphWithoutProviderThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("load graph g /tmp/x.dimacs\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, ExtractNeverServesStaleKernelResults) {
+  // Regression for the cache-invalidation satellite: kernels computed for
+  // the pre-surgery graph must not survive `extract`.
+  const std::string el = temp_path("gct_interp_stale.el");
+  {
+    std::ofstream f(el);
+    f << "0 1\n1 2\n2 3\n8 9\n";  // components of size 4 and 2
+  }
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("read edgelist " + el + "\n");
+  EXPECT_EQ(in.current().diameter().longest_distance, 3);
+  EXPECT_EQ(in.current().components_stats().num_components, 6);  // 4 singletons
+  in.run("extract component 2\n");
+  EXPECT_EQ(in.current().graph().num_vertices(), 2);
+  EXPECT_EQ(in.current().diameter().longest_distance, 1);  // recomputed
+  EXPECT_EQ(in.current().components_stats().num_components, 1);
+  std::remove(el.c_str());
+}
+
+TEST(InterpreterTest, ExtractOnSharedGraphLeavesRegistryUntouched) {
+  // Surgery on a provider-shared graph must rebind the session to a private
+  // copy instead of mutating the toolkit other sessions share.
+  const std::string path = temp_path("gct_interp_shared.dimacs");
+  graphct::write_dimacs(graphct::star_of_cliques(3, 5), path);
+  graphct::server::GraphRegistry registry;
+  InterpreterOptions o = fast_opts();
+  o.provider = &registry;
+
+  std::ostringstream out;
+  Interpreter in(out, o);
+  in.run("load graph shared " + path + "\n");
+  const auto resident = registry.get_graph("shared");
+  const auto n = resident->graph().num_vertices();
+
+  in.run("extract kcore 4\n");  // drops the degree-3 hub
+  EXPECT_LT(in.current().graph().num_vertices(), n);
+  EXPECT_EQ(in.current_graph_key(), "");  // now session-private
+  EXPECT_EQ(resident->graph().num_vertices(), n);
+  EXPECT_EQ(registry.get_graph("shared").get(), resident.get());
+  std::remove(path.c_str());
 }
 
 TEST(InterpreterTest, TimingsOptionPrintsDurations) {

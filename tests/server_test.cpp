@@ -1,0 +1,486 @@
+/// \file server_test.cpp
+/// graphctd subsystem tests: the thread-safe result cache, the graph
+/// registry's load-once/refcounted sharing, the job queue's per-graph
+/// serialization and accounting, and whole sessions over the stdio
+/// transport. The concurrency tests use rendezvous flags rather than
+/// sleeps, so they are deterministic under sanitizers; the cache-hammer
+/// test is the one intended for -fsanitize=thread CI runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gen/rmat.hpp"
+#include "gen/shapes.hpp"
+#include "graph/io_dimacs.hpp"
+#include "server/server.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace graphct::server {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+script::InterpreterOptions fast_opts() {
+  script::InterpreterOptions o;
+  o.toolkit.diameter_samples = 16;
+  return o;
+}
+
+ServerOptions fast_server_opts(int workers = 4) {
+  ServerOptions o;
+  o.workers = workers;
+  o.interpreter = fast_opts();
+  return o;
+}
+
+// ---------------------------------------------------------------- cache --
+
+TEST(ResultCacheTest, ComputesOnceAndCountsTraffic) {
+  ResultCache cache;
+  int computed = 0;
+  auto a = cache.get_or_compute<int>("answer", [&] {
+    ++computed;
+    return 42;
+  });
+  auto b = cache.get_or_compute<int>("answer", [&] {
+    ++computed;
+    return 0;  // must not run
+  });
+  EXPECT_EQ(*a, 42);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(computed, 1);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.entries, 1);
+}
+
+TEST(ResultCacheTest, FailedComputationRetries) {
+  ResultCache cache;
+  EXPECT_THROW(cache.get_or_compute<int>(
+                   "k", []() -> int { throw Error("boom"); }),
+               Error);
+  auto v = cache.get_or_compute<int>("k", [] { return 7; });
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultCacheTest, InvalidatePreservesOutstandingValues) {
+  ResultCache cache;
+  auto v = cache.get_or_compute<std::vector<int>>(
+      "v", [] { return std::vector<int>{1, 2, 3}; });
+  cache.invalidate();
+  EXPECT_EQ(v->size(), 3u);  // our shared_ptr keeps the value alive
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(ResultCacheTest, ConcurrentFirstCallersComputeOnce) {
+  ResultCache cache;
+  std::atomic<int> computed{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const int>> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      results[static_cast<std::size_t>(t)] =
+          cache.get_or_compute<int>("shared", [&] {
+            std::this_thread::sleep_for(10ms);  // widen the race window
+            return computed.fetch_add(1) + 100;
+          });
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computed.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());  // everyone shares one object
+  }
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(GraphRegistryTest, LoadOnceAndShare) {
+  const std::string path = temp_path("gct_registry.dimacs");
+  write_dimacs(path_graph(12), path);
+  GraphRegistry reg;
+  auto first = reg.load_graph("p", path);
+  auto second = reg.load_graph("p", "/nonexistent/ignored");  // name is taken
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(reg.get_graph("p").get(), first.get());
+  EXPECT_EQ(reg.get_graph("missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(GraphRegistryTest, DropRespectsOutstandingReferences) {
+  GraphRegistry reg;
+  auto held = reg.add("g", path_graph(6));
+  EXPECT_EQ(reg.list().size(), 1u);
+  EXPECT_TRUE(reg.drop("g"));
+  EXPECT_FALSE(reg.drop("g"));
+  EXPECT_EQ(reg.get_graph("g"), nullptr);
+  // The session's reference keeps the toolkit alive after the drop.
+  EXPECT_EQ(held->graph().num_vertices(), 6);
+}
+
+TEST(GraphRegistryTest, ListReportsSessionsHoldingTheGraph) {
+  GraphRegistry reg;
+  auto a = reg.add("g", path_graph(4));
+  auto b = reg.get_graph("g");
+  const auto rows = reg.list();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "g");
+  EXPECT_EQ(rows[0].vertices, 4);
+  EXPECT_EQ(rows[0].sessions, 2);  // a and b, minus the registry's own ref
+}
+
+// ------------------------------------------------------------ job queue --
+
+TEST(JobQueueTest, RunsJobAndRecordsAccounting) {
+  JobQueue q(2);
+  const auto id = q.submit("s1", "graph:g", "print graph",
+                           [](JobCounters& c) -> std::string {
+                             c.cache_hits = 3;
+                             return "out\n";
+                           });
+  const JobRecord r = q.wait(id);
+  EXPECT_EQ(r.state, JobState::kDone);
+  EXPECT_EQ(r.output, "out\n");
+  EXPECT_EQ(r.counters.cache_hits, 3);
+  EXPECT_GT(r.threads, 0);
+  EXPECT_GE(r.run_seconds, 0.0);
+}
+
+TEST(JobQueueTest, FailureIsCapturedNotThrown) {
+  JobQueue q(1);
+  const auto id = q.submit("s1", "", "bad", [](JobCounters&) -> std::string {
+    throw Error("kernel exploded");
+  });
+  const JobRecord r = q.wait(id);
+  EXPECT_EQ(r.state, JobState::kFailed);
+  EXPECT_NE(r.error.find("kernel exploded"), std::string::npos);
+}
+
+TEST(JobQueueTest, CancelQueuedJob) {
+  JobQueue q(1);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  const auto blocker =
+      q.submit("s1", "graph:a", "slow", [released](JobCounters&) {
+        released.wait();
+        return std::string("done\n");
+      });
+  const auto victim = q.submit("s1", "graph:b", "never",
+                               [](JobCounters&) { return std::string(); });
+  EXPECT_TRUE(q.cancel(victim));
+  EXPECT_FALSE(q.cancel(victim));  // already terminal
+  release.set_value();
+  EXPECT_EQ(q.wait(blocker).state, JobState::kDone);
+  EXPECT_EQ(q.wait(victim).state, JobState::kCancelled);
+  EXPECT_FALSE(q.cancel(blocker));  // running/terminal jobs not cancellable
+}
+
+TEST(JobQueueTest, SameGraphJobsNeverOverlap) {
+  JobQueue q(4);
+  std::atomic<int> running{0};
+  std::atomic<int> max_running{0};
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.submit("s1", "graph:same", "job", [&](JobCounters&) {
+      const int now = running.fetch_add(1) + 1;
+      int prev = max_running.load();
+      while (now > prev && !max_running.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(2ms);
+      running.fetch_sub(1);
+      return std::string();
+    }));
+  }
+  for (const auto id : ids) {
+    EXPECT_EQ(q.wait(id).state, JobState::kDone);
+  }
+  EXPECT_EQ(max_running.load(), 1);  // serialized per graph
+}
+
+TEST(JobQueueTest, DifferentGraphJobsRunConcurrently) {
+  JobQueue q(2);
+  // Deterministic rendezvous: each job waits for the other to start, so
+  // both can only finish if they run at the same time.
+  std::promise<void> a_started, b_started;
+  auto a_fut = a_started.get_future().share();
+  auto b_fut = b_started.get_future().share();
+  const auto a = q.submit("s1", "graph:a", "a", [&](JobCounters&) {
+    a_started.set_value();
+    EXPECT_EQ(b_fut.wait_for(5s), std::future_status::ready);
+    return std::string();
+  });
+  const auto b = q.submit("s2", "graph:b", "b", [&](JobCounters&) {
+    b_started.set_value();
+    EXPECT_EQ(a_fut.wait_for(5s), std::future_status::ready);
+    return std::string();
+  });
+  EXPECT_EQ(q.wait(a).state, JobState::kDone);
+  EXPECT_EQ(q.wait(b).state, JobState::kDone);
+}
+
+// ------------------------------------------------------------- sessions --
+
+/// Split a protocol response into lines.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) out.push_back(line);
+  return out;
+}
+
+/// The "ok job=..." terminator lines of a transcript, in order.
+std::vector<std::string> ok_lines(const std::string& transcript) {
+  std::vector<std::string> out;
+  for (const auto& line : lines_of(transcript)) {
+    if (line.rfind("ok job=", 0) == 0) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(ServerTest, StdioSessionServesRepeatedQueryFromCache) {
+  const std::string path = temp_path("gct_server.dimacs");
+  write_dimacs(star_of_cliques(4, 8), path);
+
+  Server srv(fast_server_opts());
+  std::istringstream in("load graph g1 " + path +
+                        "\n"
+                        "print components\n"
+                        "print components\n"
+                        "quit\n");
+  std::ostringstream out;
+  srv.serve_stream(in, out);
+  const std::string transcript = out.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(transcript.find("graphctd ready"), std::string::npos);
+  EXPECT_NE(transcript.find("loaded graph 'g1'"), std::string::npos);
+  EXPECT_NE(transcript.find("components: "), std::string::npos);
+
+  const auto oks = ok_lines(transcript);
+  ASSERT_EQ(oks.size(), 3u);  // load + print + print
+  // First `print components` computes (misses, no hits)...
+  EXPECT_NE(oks[1].find("graph=graph:g1"), std::string::npos);
+  EXPECT_NE(oks[1].find("cache=0/"), std::string::npos);
+  EXPECT_EQ(oks[1].find("cache=0/0"), std::string::npos);
+  // ...and the repeat is served from cache: hits, zero misses.
+  EXPECT_NE(oks[2].find("/0"), std::string::npos);
+  EXPECT_EQ(oks[2].find("cache=0/"), std::string::npos);
+}
+
+TEST(ServerTest, ErrorsAreReportedNotFatal) {
+  Server srv(fast_server_opts());
+  std::istringstream in(
+      "print components\n"   // no graph loaded
+      "frobnicate\n"         // unknown command
+      "generate rmat 5 4\n"  // still works afterwards
+      "quit\n");
+  std::ostringstream out;
+  srv.serve_stream(in, out);
+  const std::string t = out.str();
+  EXPECT_NE(t.find("error script line 1: no graph loaded"), std::string::npos);
+  EXPECT_NE(t.find("error script line 1: unknown command"), std::string::npos);
+  EXPECT_NE(t.find("generated rmat scale 5"), std::string::npos);
+}
+
+TEST(ServerTest, ServerVerbsListGraphsAndJobs) {
+  Server srv(fast_server_opts());
+  srv.registry().add("resident", path_graph(9));
+  auto session = srv.open_session("analyst");
+  EXPECT_NE(session->handle_line("graphs").find("resident"),
+            std::string::npos);
+  session->handle_line("use graph resident");
+  session->handle_line("print degrees");
+  const std::string jobs = session->handle_line("jobs");
+  EXPECT_NE(jobs.find("print degrees"), std::string::npos);
+  EXPECT_NE(jobs.find("done"), std::string::npos);
+  const std::string info = session->handle_line("session");
+  EXPECT_NE(info.find("analyst"), std::string::npos);
+  EXPECT_NE(info.find("graph:resident"), std::string::npos);
+}
+
+TEST(ServerTest, ThreadsCommandPinsJobParallelism) {
+  Server srv(fast_server_opts(2));
+  auto session = srv.open_session();
+  session->handle_line("generate rmat 6 4");
+  EXPECT_NE(session->handle_line("threads 2").find("threads set to 2"),
+            std::string::npos);
+  const std::string resp = session->handle_line("print degrees");
+  EXPECT_NE(resp.find("threads=2"), std::string::npos);
+}
+
+TEST(ServerTest, ConcurrentSessionsOnDifferentGraphsMakeProgress) {
+  Server srv(fast_server_opts(2));
+  srv.registry().add("g1", path_graph(64));
+  srv.registry().add("g2", star_graph(64));
+
+  auto s1 = srv.open_session("s1");
+  auto s2 = srv.open_session("s2");
+  EXPECT_NE(s1->handle_line("use graph g1").find("ok"), std::string::npos);
+  EXPECT_NE(s2->handle_line("use graph g2").find("ok"), std::string::npos);
+
+  // Deterministically occupy g1: a direct job on s1's graph key blocks
+  // until released, so s1's next command must queue behind it...
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> blocker_running{false};
+  srv.jobs().submit("test", "graph:g1", "blocker", [&](JobCounters&) {
+    blocker_running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+
+  std::thread s1_thread([&] {
+    // Queues behind the blocker; completes only after release.
+    EXPECT_NE(s1->handle_line("print components").find("ok job="),
+              std::string::npos);
+  });
+
+  // ...while s2, on a different graph, makes progress immediately even
+  // though g1 is wedged.
+  const std::string s2_resp = s2->handle_line("print components");
+  EXPECT_NE(s2_resp.find("components: 1"), std::string::npos);
+  EXPECT_NE(s2_resp.find("ok job="), std::string::npos);
+
+  // s1's job is still waiting on the busy graph.
+  bool s1_job_waiting = false;
+  for (const auto& job : srv.jobs().snapshot()) {
+    if (job.command == "print components" && job.session == "s1") {
+      s1_job_waiting = !job.terminal();
+    }
+  }
+  EXPECT_TRUE(s1_job_waiting);
+
+  release.set_value();
+  s1_thread.join();
+}
+
+TEST(ServerTest, SharedGraphExtractionStaysPrivateToTheSession) {
+  Server srv(fast_server_opts(2));
+  srv.registry().add("shared", star_of_cliques(3, 5));
+  auto s1 = srv.open_session("s1");
+  auto s2 = srv.open_session("s2");
+  s1->handle_line("use graph shared");
+  s2->handle_line("use graph shared");
+  const auto n = srv.registry().get_graph("shared")->graph().num_vertices();
+
+  s1->handle_line("extract kcore 4");  // drops the degree-3 hub
+  // s1 now sees a private subgraph; s2 and the registry are untouched.
+  EXPECT_LT(s1->interpreter().current().graph().num_vertices(), n);
+  EXPECT_EQ(s2->interpreter().current().graph().num_vertices(), n);
+  EXPECT_EQ(srv.registry().get_graph("shared")->graph().num_vertices(), n);
+  EXPECT_EQ(s1->interpreter().current_graph_key(), "");  // private now
+}
+
+// The satellite stress test: ≥8 threads hammer one registry-shared graph
+// with mixed kernels; every result must match a single-threaded run on an
+// identical private graph. Run under -fsanitize=thread in CI.
+TEST(ServerTest, ConcurrentMixedKernelsMatchSingleThreadedRun) {
+  RmatOptions r;
+  r.scale = 8;
+  r.edge_factor = 8;
+  r.seed = 99;
+  const CsrGraph graph = rmat_graph(r);
+
+  // Single-threaded reference on a private, identical graph.
+  ToolkitOptions topts;
+  topts.diameter_samples = 16;
+  topts.estimate_diameter_on_load = false;
+  Toolkit reference(graph, topts);
+  const auto ref_components = reference.components_stats().num_components;
+  const auto ref_largest = reference.components_stats().largest_size();
+  const double ref_mean_degree = reference.degree_stats().mean;
+  const auto ref_triangles = reference.clustering().total_triangles;
+  const auto ref_diameter = reference.diameter().estimate;
+  BetweennessOptions bo;
+  bo.num_sources = 32;
+  bo.seed = 5;
+  const double ref_bc_sum = [&] {
+    double s = 0;
+    for (double x : reference.betweenness(bo).score) s += x;
+    return s;
+  }();
+
+  GraphRegistry reg(topts);
+  auto shared = reg.add("hammer", graph);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      auto tk = reg.get_graph("hammer");
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread starts at a different kernel so first-computations
+        // race from every direction.
+        switch ((t + round) % 5) {
+          case 0:
+            if (tk->components_stats().num_components != ref_components ||
+                tk->components_stats().largest_size() != ref_largest) {
+              failures.fetch_add(1);
+            }
+            break;
+          case 1:
+            if (std::abs(tk->degree_stats().mean - ref_mean_degree) > 1e-9) {
+              failures.fetch_add(1);
+            }
+            break;
+          case 2:
+            if (tk->clustering().total_triangles != ref_triangles) {
+              failures.fetch_add(1);
+            }
+            break;
+          case 3:
+            if (tk->diameter().estimate != ref_diameter) {
+              failures.fetch_add(1);
+            }
+            break;
+          case 4: {
+            double s = 0;
+            for (double x : tk->betweenness(bo).score) s += x;
+            if (std::abs(s - ref_bc_sum) >
+                1e-6 * std::max(1.0, std::abs(ref_bc_sum))) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every kernel computed exactly once: traffic shows at most one miss per
+  // distinct cache key (5 kernels + component_stats' nested components).
+  const auto stats = shared->cache_stats();
+  EXPECT_LE(stats.misses, 6);
+  EXPECT_GE(stats.hits, kThreads * kRounds - stats.misses);
+}
+
+}  // namespace
+}  // namespace graphct::server

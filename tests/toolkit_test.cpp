@@ -97,11 +97,54 @@ TEST(ToolkitTest, ExtractComponentReindexes) {
 
 TEST(ToolkitTest, InvalidateClearsCaches) {
   Toolkit tk(path_graph(5));
-  const auto* before = &tk.components();
+  // invalidate() frees cached storage, so copy values out before calling it.
+  const auto before = tk.components();
   tk.invalidate();
-  const auto* after = &tk.components();
-  // A new vector is computed (address may coincide, but values must match).
-  EXPECT_EQ(*before == *after, true);
+  EXPECT_EQ(tk.cache_stats().entries, 0);
+  const auto& after = tk.components();
+  EXPECT_EQ(before, after);  // recomputed, identical labeling
+}
+
+TEST(ToolkitTest, BetweennessCachedPerOptionSet) {
+  Toolkit tk(star_graph(6));
+  BetweennessOptions o;
+  o.seed = 7;
+  const auto& first = tk.betweenness(o);
+  const auto& again = tk.betweenness(o);
+  EXPECT_EQ(&first, &again);  // identical params hit the cache
+  o.seed = 8;
+  const auto& other = tk.betweenness(o);
+  EXPECT_NE(&first, &other);  // distinct params compute fresh
+}
+
+TEST(ToolkitTest, ReplaceGraphNeverServesStaleResults) {
+  // The regression guarded here: graph surgery must go through the single
+  // replace_graph() invalidation path, so diameter/BC/components computed
+  // for the old graph are never served against the new one.
+  Toolkit tk(path_graph(50));
+  EXPECT_EQ(tk.diameter().longest_distance, 49);
+  EXPECT_GT(tk.betweenness().score[25], 0.0);
+  EXPECT_EQ(tk.components_stats().num_components, 1);
+
+  tk.replace_graph(star_graph(6));
+  EXPECT_EQ(tk.graph().num_vertices(), 6);
+  EXPECT_EQ(tk.diameter().longest_distance, 2);          // star, not path
+  EXPECT_EQ(tk.betweenness().score.size(), 6u);          // sized to new graph
+  EXPECT_DOUBLE_EQ(tk.betweenness().score[0], 20.0);     // hub of the star
+  EXPECT_EQ(tk.components_stats().largest_size(), 6);
+}
+
+TEST(ToolkitTest, CacheStatsCountTraffic) {
+  ToolkitOptions o;
+  o.estimate_diameter_on_load = false;
+  Toolkit tk(path_graph(8), o);
+  EXPECT_EQ(tk.cache_stats().hits, 0);
+  tk.components();  // miss
+  tk.components();  // hit
+  tk.components();  // hit
+  const auto s = tk.cache_stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 2);
 }
 
 TEST(ToolkitTest, LoadDimacsFile) {

@@ -10,10 +10,19 @@
 ///   graphct convert <in> <out>               # formats by extension
 ///   graphct generate rmat <scale> <edge factor> <out>
 ///   graphct script <file.gct>                # run an analyst script
+///   graphct serve <port> | serve --stdio     # run the graphctd server
+///   graphct client <port>                    # line client for a server
 ///
+/// The global --threads N flag pins OpenMP parallelism for any command.
 /// Graph files are selected by extension: .dimacs/.gr (DIMACS), .bin
 /// (GraphCT binary), .el/.txt (edge list), .metis/.graph (METIS).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -31,8 +40,10 @@
 #include "graph/io_edgelist.hpp"
 #include "graph/io_metis.hpp"
 #include "script/interpreter.hpp"
+#include "server/server.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -46,15 +57,7 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }
 
 CsrGraph load_graph(const std::string& path) {
-  if (ends_with(path, ".bin")) return read_binary(path);
-  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
-    return read_metis(path);
-  }
-  if (ends_with(path, ".el") || ends_with(path, ".txt")) {
-    return build_csr(read_edge_list(path));
-  }
-  // Default: DIMACS (.dimacs, .gr, anything else).
-  return build_csr(read_dimacs(path));
+  return server::GraphRegistry::load_graph_file(path);
 }
 
 void save_graph(const CsrGraph& g, const std::string& path) {
@@ -80,15 +83,94 @@ void write_scores(const std::string& path, const std::vector<T>& values) {
 
 int usage() {
   std::cerr
-      << "usage: graphct <command> ...\n"
+      << "usage: graphct [--threads N] <command> ...\n"
          "  info <graph>                         counts + diameter estimate\n"
          "  characterize <graph>                 run every kernel\n"
          "  bc <graph> [--sources N] [--k K] [--out f]   (k-)betweenness\n"
          "  components <graph> [--out f]         connected components\n"
          "  convert <in> <out>                   convert between formats\n"
          "  generate rmat <scale> <ef> <out>     synthesize an R-MAT graph\n"
-         "  script <file.gct>                    run an analyst script\n";
+         "  script <file.gct>                    run an analyst script\n"
+         "  serve <port> | serve --stdio [--workers N]   run graphctd\n"
+         "  client <port>                        connect to a graphctd\n";
   return 2;
+}
+
+int cmd_serve(const Cli& cli) {
+  server::ServerOptions opts;
+  opts.workers = static_cast<int>(cli.get("workers", std::int64_t{4}));
+  opts.interpreter.timings = cli.has("timings");
+  server::Server srv(opts);
+  if (cli.has("stdio")) {
+    srv.serve_stream(std::cin, std::cout);
+    return 0;
+  }
+  GCT_CHECK(!cli.positional().empty(), "serve: need a port or --stdio");
+  const int port = static_cast<int>(std::stoll(cli.positional()[0]));
+  return srv.serve_tcp(port, [port, &opts] {
+    std::cerr << "graphctd listening on 127.0.0.1:" << port << " ("
+              << opts.workers << " workers)\n";
+  });
+}
+
+int cmd_client(const Cli& cli) {
+  GCT_CHECK(!cli.positional().empty(), "client: need a port");
+  const int port = static_cast<int>(std::stoll(cli.positional()[0]));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GCT_CHECK(fd >= 0, "client: cannot create socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw Error("client: cannot connect to 127.0.0.1:" + std::to_string(port));
+  }
+
+  // Pump: print server lines as they arrive; forward stdin lines. Response
+  // framing is line-oriented, so interleaving a dumb pump is fine for an
+  // interactive client.
+  std::string buffer;
+  char chunk[4096];
+  auto drain = [&](bool wait_for_terminator) {
+    for (;;) {
+      std::size_t nl;
+      while ((nl = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        std::cout << line << "\n" << std::flush;
+        if (line.rfind("ok", 0) == 0 || line.rfind("error", 0) == 0 ||
+            line.rfind("graphctd", 0) == 0) {
+          return true;
+        }
+      }
+      if (!wait_for_terminator) return true;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  };
+
+  if (!drain(true)) {  // banner
+    ::close(fd);
+    return 1;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    line += '\n';
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    if (line == "quit\n" || line == "exit\n") break;
+    if (!drain(true)) break;  // echo one full response
+  }
+  ::close(fd);
+  return 0;
 }
 
 int cmd_info(const std::string& path) {
@@ -172,15 +254,15 @@ int cmd_bc(const Cli& cli) {
   if (k == 0) {
     BetweennessOptions o;
     o.num_sources = sources;
-    auto r = tk.betweenness(o);
-    scores = std::move(r.score);
+    const auto& r = tk.betweenness(o);
+    scores = r.score;
     seconds = r.seconds;
   } else {
     KBetweennessOptions o;
     o.k = k;
     o.num_sources = sources;
-    auto r = tk.k_betweenness(o);
-    scores = std::move(r.score);
+    const auto& r = tk.k_betweenness(o);
+    scores = r.score;
     seconds = r.seconds;
   }
   std::cout << "computed k=" << k << " betweenness in "
@@ -216,13 +298,43 @@ int cmd_components(const Cli& cli) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 2) return usage();
-    const std::string command = argv[1];
-    Cli cli(argc - 1, argv + 1,
+    // Accept --threads both before the command (`graphct --threads 4 bc g`)
+    // and after it; the leading form is consumed here.
+    const auto parse_threads = [](const std::string& value) {
+      try {
+        return std::stoi(value);
+      } catch (const std::exception&) {
+        throw graphct::Error("--threads: expected a number, got '" + value +
+                             "'");
+      }
+    };
+    int argi = 1;
+    while (argi < argc) {
+      const std::string arg = argv[argi];
+      if (arg == "--threads" && argi + 1 < argc) {
+        graphct::set_num_threads(parse_threads(argv[argi + 1]));
+        argi += 2;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        graphct::set_num_threads(parse_threads(arg.substr(10)));
+        argi += 1;
+      } else {
+        break;
+      }
+    }
+    if (argi >= argc) return usage();
+    const std::string command = argv[argi];
+    Cli cli(argc - argi, argv + argi,
             {{"sources", "BC source sample"},
              {"k", "k-betweenness slack"},
              {"out", "per-vertex output file"},
-             {"timings", "script timings!"}});
+             {"timings", "script timings!"},
+             {"threads", "OpenMP thread count (0 = default)"},
+             {"workers", "server worker threads"},
+             {"stdio", "serve one session over stdin/stdout!"}});
+    if (cli.has("threads")) {
+      graphct::set_num_threads(
+          static_cast<int>(cli.get("threads", std::int64_t{0})));
+    }
 
     if (command == "info") {
       GCT_CHECK(!cli.positional().empty(), "info: missing graph file");
@@ -261,10 +373,16 @@ int main(int argc, char** argv) {
       GCT_CHECK(!cli.positional().empty(), "script: missing script file");
       graphct::script::InterpreterOptions opts;
       opts.timings = cli.has("timings");
+      // A local registry so `load graph` / `use graph` scripts also run in
+      // one-shot mode (graphs are simply not shared with anyone).
+      server::GraphRegistry registry(opts.toolkit);
+      opts.provider = &registry;
       graphct::script::Interpreter interp(std::cout, opts);
       interp.run_file(cli.positional()[0]);
       return 0;
     }
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "client") return cmd_client(cli);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "graphct: " << e.what() << "\n";
