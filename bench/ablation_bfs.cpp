@@ -11,6 +11,7 @@
 
 #include "algs/bfs.hpp"
 #include "gen/rmat.hpp"
+#include "obs/trace.hpp"
 #include "graph/transforms.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -45,12 +46,11 @@ int main(int argc, char** argv) {
     }
 
     TextTable t({"strategy", "total time", "Medges/s", "mismatches"});
-    double td_time = 0;
     std::vector<std::vector<vid>> td_dists;
-    {
-      Timer timer;
+    const double td_time = obs::timed("bench.bfs_topdown", [&] {
       for (vid s : sources) td_dists.push_back(bfs(g, s).distance);
-      td_time = timer.seconds();
+    });
+    {
       t.add_row({"top-down (GraphCT)", format_duration(td_time),
                  strf("%.0f", static_cast<double>(trials) *
                                   static_cast<double>(g.num_adjacency_entries()) /
@@ -60,13 +60,13 @@ int main(int argc, char** argv) {
     {
       BfsOptions o;
       o.strategy = BfsStrategy::kDirectionOptimizing;
-      Timer timer;
       std::int64_t mismatches = 0;
-      for (std::size_t i = 0; i < sources.size(); ++i) {
-        const auto d = bfs(g, sources[i], o).distance;
-        if (d != td_dists[i]) ++mismatches;
-      }
-      const double dt = timer.seconds();
+      const double dt = obs::timed("bench.bfs_diropt", [&] {
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          const auto d = bfs(g, sources[i], o).distance;
+          if (d != td_dists[i]) ++mismatches;
+        }
+      });
       t.add_row({"direction-optimizing", format_duration(dt),
                  strf("%.0f", static_cast<double>(trials) *
                                   static_cast<double>(g.num_adjacency_entries()) /
@@ -85,11 +85,12 @@ int main(int argc, char** argv) {
     // XMT hashed addresses on purpose; here locality pays).
     {
       const auto rl = relabel_by_degree(g);
-      Timer timer;
-      for (vid s : sources) {
-        (void)bfs(rl.graph, rl.graph.num_vertices() > s ? s : 0).num_reached();
-      }
-      const double rt = timer.seconds();
+      const double rt = obs::timed("bench.bfs_relabeled", [&] {
+        for (vid s : sources) {
+          (void)bfs(rl.graph, rl.graph.num_vertices() > s ? s : 0)
+              .num_reached();
+        }
+      });
       std::cout << strf("\ndegree-relabeled top-down BFS: %s total "
                         "(%.2fx vs original labels)\n",
                         format_duration(rt).c_str(), td_time / rt);

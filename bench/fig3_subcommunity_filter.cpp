@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "twitter/conversation.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -31,9 +32,11 @@ int main(int argc, char** argv) {
                  "mutual subgraph", "largest conversation", "reduction"});
     for (const auto& name : {"h1n1", "atlflood", "sep1"}) {
       const auto preset = tw::dataset_preset(name, scale);
-      Timer timer;
-      const auto mg = bench::build_preset_graph(preset);
-      const auto r = tw::subcommunity_filter(mg);
+      tw::SubcommunityResult r;
+      const double filter_s = obs::timed("bench.subcommunity_filter", [&] {
+        const auto mg = bench::build_preset_graph(preset);
+        r = tw::subcommunity_filter(mg);
+      });
 
       t.add_row({preset.name, with_commas(r.original_vertices),
                  bench::vs_paper(r.lwcc_vertices,
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
                  with_commas(r.mutual_lwcc_vertices),
                  strf("%.0fx", r.reduction_factor)});
       std::cerr << preset.name << ": filtered in "
-                << format_duration(timer.seconds()) << "\n";
+                << format_duration(filter_s) << "\n";
     }
     std::cout << t.render()
               << "\n(vertex counts; cells show measured (paper) where the "

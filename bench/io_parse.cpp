@@ -16,6 +16,7 @@
 #include "graph/builder.hpp"
 #include "graph/io_binary.hpp"
 #include "graph/io_dimacs.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -39,23 +40,24 @@ int main(int argc, char** argv) {
 
     TextTable t({"stage", "time", "rate"});
 
-    Timer timer;
-    const std::string text = to_dimacs(g);
-    t.add_row({"serialize DIMACS text", format_duration(timer.seconds()),
-               strf("%.1f MB/s", static_cast<double>(text.size()) / 1e6 /
-                                     timer.seconds())});
+    std::string text;
+    const double ser_s =
+        obs::timed("bench.dimacs_serialize", [&] { text = to_dimacs(g); });
+    t.add_row({"serialize DIMACS text", format_duration(ser_s),
+               strf("%.1f MB/s",
+                    static_cast<double>(text.size()) / 1e6 / ser_s)});
 
-    timer.restart();
-    const EdgeList el = parse_dimacs(text);
-    const double parse_s = timer.seconds();
+    EdgeList el;
+    const double parse_s =
+        obs::timed("bench.dimacs_parse", [&] { el = parse_dimacs(text); });
     t.add_row({"parallel DIMACS parse", format_duration(parse_s),
                strf("%.1f MB/s, %.1f Medges/s",
                     static_cast<double>(text.size()) / 1e6 / parse_s,
                     static_cast<double>(el.size()) / 1e6 / parse_s)});
 
-    timer.restart();
-    const CsrGraph built = build_csr(el);
-    const double build_s = timer.seconds();
+    CsrGraph built;
+    const double build_s =
+        obs::timed("bench.csr_build", [&] { built = build_csr(el); });
     t.add_row({"CSR build (count/scan/scatter/sort/dedup)",
                format_duration(build_s),
                strf("%.1f Medges/s",
@@ -63,21 +65,22 @@ int main(int argc, char** argv) {
 
     const std::string bin =
         (std::filesystem::temp_directory_path() / "gct_io_parse.bin").string();
-    timer.restart();
-    write_binary(built, bin);
-    t.add_row({"binary save", format_duration(timer.seconds()),
+    const double save_s =
+        obs::timed("bench.binary_save", [&] { write_binary(built, bin); });
+    t.add_row({"binary save", format_duration(save_s),
                strf("%.0f MB/s", static_cast<double>(built.memory_bytes()) /
-                                     1e6 / timer.seconds())});
-    timer.restart();
-    const CsrGraph restored = read_binary(bin);
-    t.add_row({"binary restore", format_duration(timer.seconds()),
+                                     1e6 / save_s)});
+    CsrGraph restored;
+    const double restore_s =
+        obs::timed("bench.binary_restore", [&] { restored = read_binary(bin); });
+    t.add_row({"binary restore", format_duration(restore_s),
                strf("%.0f MB/s", static_cast<double>(restored.memory_bytes()) /
-                                     1e6 / timer.seconds())});
+                                     1e6 / restore_s)});
     std::remove(bin.c_str());
 
-    timer.restart();
-    const auto labels = connected_components(built);
-    const double cc_s = timer.seconds();
+    std::vector<vid> labels;
+    const double cc_s = obs::timed(
+        "bench.components", [&] { labels = connected_components(built); });
     t.add_row({"connected components (for comparison)", format_duration(cc_s),
                strf("%.1f Medges/s",
                     static_cast<double>(built.num_adjacency_entries()) / 1e6 /

@@ -11,6 +11,7 @@
 
 #include "algs/clustering.hpp"
 #include "gen/rmat.hpp"
+#include "obs/trace.hpp"
 #include "stream/streaming_clustering.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -52,24 +53,26 @@ int main(int argc, char** argv) {
               << with_commas(updates) << " updates\n\n";
 
     Rng rng(99);
-    Timer timer;
     std::int64_t ins = 0, del = 0;
     const auto& es = stream_edges.edges();
-    for (std::int64_t i = 0; i < updates; ++i) {
-      const auto& e = es[static_cast<std::size_t>(i) % es.size()];
-      if (rng.next_bool(0.75)) {
-        if (sc.insert_edge(e.src, e.dst)) ++ins;
-      } else {
-        if (sc.remove_edge(e.src, e.dst)) ++del;
+    const double stream_s = obs::timed("bench.stream_updates", [&] {
+      for (std::int64_t i = 0; i < updates; ++i) {
+        const auto& e = es[static_cast<std::size_t>(i) % es.size()];
+        if (rng.next_bool(0.75)) {
+          if (sc.insert_edge(e.src, e.dst)) ++ins;
+        } else {
+          if (sc.remove_edge(e.src, e.dst)) ++del;
+        }
       }
-    }
-    const double stream_s = timer.seconds();
+    });
 
     // One static recomputation of the final state, for the cost ratio.
-    timer.restart();
-    const auto snap = sc.graph().snapshot();
-    const auto stat = clustering_coefficients(snap);
-    const double static_s = timer.seconds();
+    CsrGraph snap;
+    ClusteringResult stat;
+    const double static_s = obs::timed("bench.static_recompute", [&] {
+      snap = sc.graph().snapshot();
+      stat = clustering_coefficients(snap);
+    });
     GCT_CHECK(stat.total_triangles == sc.total_triangles(),
               "streaming count diverged from static recomputation");
 

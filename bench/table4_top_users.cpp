@@ -11,6 +11,7 @@
 #include <set>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "twitter/conversation.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -54,9 +55,10 @@ int main(int argc, char** argv) {
       }
       o.seed = 17;
 
-      Timer t;
-      const auto ranked = tw::rank_users_by_betweenness(mg, 15, o);
-      const double secs = t.seconds();
+      std::vector<tw::RankedUser> ranked;
+      const double secs = obs::timed("bench.rank_users", [&] {
+        ranked = tw::rank_users_by_betweenness(mg, 15, o);
+      });
 
       std::set<std::string> hubs;
       for (const auto& h : preset.corpus.hub_names) hubs.insert(h);

@@ -16,6 +16,7 @@
 #include "algs/connected_components.hpp"
 #include "core/betweenness.hpp"
 #include "gen/rmat.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -49,19 +50,18 @@ int main(int argc, char** argv) {
     for (int nt = 1; nt <= max_threads; nt *= 2) {
       set_num_threads(nt);
 
-      Timer timer;
       BfsResult buf;
       BfsOptions bo;
       bo.compute_parents = false;
       bo.deterministic_order = false;
-      for (vid s = 0; s < 32; ++s) {
-        bfs_into(g, s % g.num_vertices(), bo, buf);
-      }
-      const double bfs_s = timer.seconds();
+      const double bfs_s = obs::timed("bench.bfs_sweep", [&] {
+        for (vid s = 0; s < 32; ++s) {
+          bfs_into(g, s % g.num_vertices(), bo, buf);
+        }
+      });
 
-      timer.restart();
-      (void)connected_components(g);
-      const double cc_s = timer.seconds();
+      const double cc_s =
+          obs::timed("bench.components", [&] { (void)connected_components(g); });
 
       BetweennessOptions o;
       o.num_sources = sources;

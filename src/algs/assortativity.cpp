@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace graphct {
@@ -9,6 +10,7 @@ namespace graphct {
 double degree_assortativity(const CsrGraph& g) {
   GCT_CHECK(!g.directed(), "degree_assortativity: graph must be undirected");
   const vid n = g.num_vertices();
+  obs::KernelScope scope("assortativity");
 
   // Newman's formulation over edge endpoint pairs (j_i, k_i), both
   // directions of each edge included (equivalently, symmetric sums):

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -58,6 +59,10 @@ eid expand_bottom_up(const CsrGraph& g, std::vector<vid>& distance,
 }  // namespace
 
 BfsResult bfs(const CsrGraph& g, vid source, const BfsOptions& opts) {
+  // Kernel root lives on the wrapper, not bfs_into(): kernels that run one
+  // search per source (bc, closeness, diameter) call bfs_into() directly and
+  // attribute it to their own phases instead of logging thousands of runs.
+  obs::KernelScope scope("bfs");
   BfsResult r;
   bfs_into(g, source, opts, r);
   return r;
@@ -73,14 +78,17 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
               "graph (bottom-up sweeps use out-neighbors as in-neighbors)");
   }
 
-  r.distance.assign(static_cast<std::size_t>(n), kNoVertex);
-  if (opts.compute_parents) {
-    r.parent.assign(static_cast<std::size_t>(n), kNoVertex);
-  } else {
-    r.parent.clear();
+  {
+    GCT_SPAN("bfs.init");
+    r.distance.assign(static_cast<std::size_t>(n), kNoVertex);
+    if (opts.compute_parents) {
+      r.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+    } else {
+      r.parent.clear();
+    }
+    r.order.resize(static_cast<std::size_t>(n));
+    r.level_offsets.assign({0, 1});
   }
-  r.order.resize(static_cast<std::size_t>(n));
-  r.level_offsets.assign({0, 1});
 
   r.distance[static_cast<std::size_t>(source)] = 0;
   if (opts.compute_parents) {
@@ -115,6 +123,7 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
 
     eid tail;
     if (bottom_up) {
+      GCT_SPAN("bfs.bottom_up");
       if (in_frontier.empty()) {
         in_frontier.assign(static_cast<std::size_t>(n), 0);
       } else {
@@ -128,6 +137,7 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
       tail = expand_bottom_up(g, r.distance, r.parent, r.order, in_frontier,
                               hi, depth, opts.compute_parents);
     } else {
+      GCT_SPAN("bfs.top_down");
       tail = expand_top_down(g, r.distance, r.parent, r.order, lo, hi, hi,
                              depth, opts.compute_parents);
     }
@@ -150,12 +160,24 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
   // Sort each level by vertex id so `order` is deterministic regardless of
   // the OpenMP schedule; kernels that sweep levels rely on reproducibility.
   if (opts.deterministic_order) {
+    GCT_SPAN("bfs.sort_levels");
     for (std::size_t d = 0; d + 1 < r.level_offsets.size(); ++d) {
       std::sort(
           r.order.begin() + static_cast<std::ptrdiff_t>(r.level_offsets[d]),
           r.order.begin() +
               static_cast<std::ptrdiff_t>(r.level_offsets[d + 1]));
     }
+  }
+
+  if (obs::profile_active()) {
+    // Graph500-style work count: edges traversed = Σ deg(v) over reached
+    // vertices. Only computed while profiling — it is an O(reached) sweep.
+    std::int64_t traversed = 0;
+#pragma omp parallel for reduction(+ : traversed) schedule(static)
+    for (eid i = 0; i < hi; ++i) {
+      traversed += g.degree(r.order[static_cast<std::size_t>(i)]);
+    }
+    obs::add_work(static_cast<std::int64_t>(hi), traversed);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace graphct {
@@ -9,6 +10,7 @@ namespace graphct {
 CutStructure find_cut_structure(const CsrGraph& g) {
   GCT_CHECK(!g.directed(), "find_cut_structure: graph must be undirected");
   const vid n = g.num_vertices();
+  obs::KernelScope scope("cut_structure");
   CutStructure out;
   out.is_articulation.assign(static_cast<std::size_t>(n), 0);
 

@@ -3,10 +3,10 @@
 #include <omp.h>
 
 #include "algs/bfs.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace graphct {
 
@@ -14,60 +14,80 @@ ClosenessResult closeness_centrality(const CsrGraph& g,
                                      const ClosenessOptions& opts) {
   GCT_CHECK(!g.directed(), "closeness_centrality: graph must be undirected");
   const vid n = g.num_vertices();
+  obs::KernelScope scope("closeness");
   ClosenessResult result;
   result.score.assign(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return result;
 
   std::vector<vid> sources;
-  if (opts.num_sources == kNoVertex || opts.num_sources >= n) {
-    sources.resize(static_cast<std::size_t>(n));
-    for (vid v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
-  } else {
-    GCT_CHECK(opts.num_sources > 0,
-              "closeness_centrality: num_sources must be positive");
-    Rng rng(opts.seed);
-    sources = rng.sample_without_replacement(n, opts.num_sources);
+  {
+    GCT_SPAN("closeness.sources");
+    if (opts.num_sources == kNoVertex || opts.num_sources >= n) {
+      sources.resize(static_cast<std::size_t>(n));
+      for (vid v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+    } else {
+      GCT_CHECK(opts.num_sources > 0,
+                "closeness_centrality: num_sources must be positive");
+      Rng rng(opts.seed);
+      sources = rng.sample_without_replacement(n, opts.num_sources);
+    }
   }
   result.sources_used = static_cast<std::int64_t>(sources.size());
 
-  Timer timer;
   const int nt = num_threads();
   std::vector<std::vector<double>> buffers(
       static_cast<std::size_t>(nt),
       std::vector<double>(static_cast<std::size_t>(n), 0.0));
-#pragma omp parallel num_threads(nt)
   {
-    const int t = omp_get_thread_num();
-    auto& mine = buffers[static_cast<std::size_t>(t)];
-    BfsOptions bopts;
-    bopts.deterministic_order = false;
-    bopts.compute_parents = false;
-    BfsResult b;
+    GCT_SPAN("closeness.bfs");
+    {
+    obs::SuspendCollection pause;  // region work is accounted in bulk below
+#pragma omp parallel num_threads(nt)
+    {
+      const int t = omp_get_thread_num();
+      auto& mine = buffers[static_cast<std::size_t>(t)];
+      BfsOptions bopts;
+      bopts.deterministic_order = false;
+      bopts.compute_parents = false;
+      BfsResult b;
 #pragma omp for schedule(dynamic, 1)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
-         ++i) {
-      bfs_into(g, sources[static_cast<std::size_t>(i)], bopts, b);
-      // Harmonic contribution of this pivot to every reached vertex;
-      // level_offsets give the distance without a per-vertex lookup.
-      for (std::size_t d = 1; d + 1 < b.level_offsets.size(); ++d) {
-        const double w = 1.0 / static_cast<double>(d);
-        const auto lo = static_cast<std::size_t>(b.level_offsets[d]);
-        const auto hi = static_cast<std::size_t>(b.level_offsets[d + 1]);
-        for (std::size_t j = lo; j < hi; ++j) {
-          mine[static_cast<std::size_t>(b.order[j])] += w;
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
+           ++i) {
+        bfs_into(g, sources[static_cast<std::size_t>(i)], bopts, b);
+        // Harmonic contribution of this pivot to every reached vertex;
+        // level_offsets give the distance without a per-vertex lookup.
+        for (std::size_t d = 1; d + 1 < b.level_offsets.size(); ++d) {
+          const double w = 1.0 / static_cast<double>(d);
+          const auto lo = static_cast<std::size_t>(b.level_offsets[d]);
+          const auto hi = static_cast<std::size_t>(b.level_offsets[d + 1]);
+          for (std::size_t j = lo; j < hi; ++j) {
+            mine[static_cast<std::size_t>(b.order[j])] += w;
+          }
         }
       }
     }
+    }
+    // Per-source BFS work inside the region is invisible to the profile
+    // (collection is suspended; worker threads have no sink anyway), so
+    // account for the sampled searches in bulk: one full-adjacency traversal
+    // per source, the same BFS-equivalent convention the paper's TEPS
+    // numbers use.
+    obs::add_work(result.sources_used * static_cast<std::int64_t>(n),
+                  result.sources_used * g.num_adjacency_entries());
   }
-  for (const auto& buf : buffers) {
+  {
+    GCT_SPAN("closeness.reduce");
+    for (const auto& buf : buffers) {
 #pragma omp parallel for schedule(static)
-    for (vid v = 0; v < n; ++v) {
-      result.score[static_cast<std::size_t>(v)] +=
-          buf[static_cast<std::size_t>(v)];
+      for (vid v = 0; v < n; ++v) {
+        result.score[static_cast<std::size_t>(v)] +=
+            buf[static_cast<std::size_t>(v)];
+      }
     }
   }
 
   if (opts.rescale && result.sources_used < n) {
+    GCT_SPAN("closeness.rescale");
     const double scale =
         static_cast<double>(n) / static_cast<double>(result.sources_used);
 #pragma omp parallel for schedule(static)
@@ -75,7 +95,7 @@ ClosenessResult closeness_centrality(const CsrGraph& g,
       result.score[static_cast<std::size_t>(v)] *= scale;
     }
   }
-  result.seconds = timer.seconds();
+  result.seconds = scope.seconds();
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -12,40 +13,48 @@ ClusteringResult clustering_coefficients(const CsrGraph& g) {
   GCT_CHECK(g.sorted_adjacency(),
             "clustering_coefficients: adjacency must be sorted");
   const vid n = g.num_vertices();
+  obs::KernelScope scope("clustering");
 
   ClusteringResult r;
   r.triangles.assign(static_cast<std::size_t>(n), 0);
   r.coefficient.assign(static_cast<std::size_t>(n), 0.0);
 
-  // Enumerate each triangle once as u < v < w: for every edge (u,v) with
-  // u < v, merge-intersect N(u) and N(v) keeping only common neighbors
-  // w > v. Credit all three corners with atomic adds.
+  {
+    GCT_SPAN("clustering.triangles");
+    // Enumerate each triangle once as u < v < w: for every edge (u,v) with
+    // u < v, merge-intersect N(u) and N(v) keeping only common neighbors
+    // w > v. Credit all three corners with atomic adds.
 #pragma omp parallel for schedule(dynamic, 64)
-  for (vid u = 0; u < n; ++u) {
-    const auto nu = g.neighbors(u);
-    for (vid v : nu) {
-      if (v <= u) continue;
-      const auto nv = g.neighbors(v);
-      // Advance both sorted lists; only w > v can close a canonical triangle.
-      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
-      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
-      while (iu != nu.end() && iv != nv.end()) {
-        if (*iu < *iv) {
-          ++iu;
-        } else if (*iv < *iu) {
-          ++iv;
-        } else {
-          const vid w = *iu;
-          fetch_add(r.triangles[static_cast<std::size_t>(u)], 1);
-          fetch_add(r.triangles[static_cast<std::size_t>(v)], 1);
-          fetch_add(r.triangles[static_cast<std::size_t>(w)], 1);
-          ++iu;
-          ++iv;
+    for (vid u = 0; u < n; ++u) {
+      const auto nu = g.neighbors(u);
+      for (vid v : nu) {
+        if (v <= u) continue;
+        const auto nv = g.neighbors(v);
+        // Advance both sorted lists; only w > v can close a canonical
+        // triangle.
+        auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+        auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+        while (iu != nu.end() && iv != nv.end()) {
+          if (*iu < *iv) {
+            ++iu;
+          } else if (*iv < *iu) {
+            ++iv;
+          } else {
+            const vid w = *iu;
+            fetch_add(r.triangles[static_cast<std::size_t>(u)], 1);
+            fetch_add(r.triangles[static_cast<std::size_t>(v)], 1);
+            fetch_add(r.triangles[static_cast<std::size_t>(w)], 1);
+            ++iu;
+            ++iv;
+          }
         }
       }
     }
+    // Intersection scans touch every adjacency entry at least once.
+    obs::add_work(n, g.num_adjacency_entries());
   }
 
+  GCT_SPAN("clustering.stats");
   std::int64_t total = 0;
   std::int64_t wedges = 0;
   double coeff_sum = 0.0;

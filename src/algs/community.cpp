@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -14,6 +15,7 @@ CommunityResult label_propagation(const CsrGraph& g,
   GCT_CHECK(!g.directed(), "label_propagation: graph must be undirected");
   GCT_CHECK(opts.max_iterations >= 1, "label_propagation: need >= 1 iteration");
   const vid n = g.num_vertices();
+  obs::KernelScope scope("communities");
 
   CommunityResult r;
   r.labels.resize(static_cast<std::size_t>(n));
@@ -27,6 +29,7 @@ CommunityResult label_propagation(const CsrGraph& g,
   // and parallel.
   std::vector<char> parity(static_cast<std::size_t>(n));
   {
+    GCT_SPAN("lp.init");
     Rng rng(opts.seed);
     for (vid v = 0; v < n; ++v) {
       parity[static_cast<std::size_t>(v)] = rng.next_bool(0.5) ? 1 : 0;
@@ -39,6 +42,8 @@ CommunityResult label_propagation(const CsrGraph& g,
     changed = false;
     for (int phase = 0; phase < 2; ++phase) {
       bool phase_changed = false;
+      {
+      GCT_SPAN("lp.propagate");
 #pragma omp parallel for reduction(|| : phase_changed) schedule(dynamic, 256)
       for (vid v = 0; v < n; ++v) {
         if (parity[static_cast<std::size_t>(v)] != phase) continue;
@@ -69,12 +74,18 @@ CommunityResult label_propagation(const CsrGraph& g,
           next[static_cast<std::size_t>(v)] = best;
         }
       }
+      // Each half-step reads roughly half the adjacency.
+      obs::add_work(n / 2, g.num_adjacency_entries() / 2);
+      }
       // Commit the half-step.
+      {
+        GCT_SPAN("lp.commit");
 #pragma omp parallel for schedule(static)
-      for (vid v = 0; v < n; ++v) {
-        if (parity[static_cast<std::size_t>(v)] == phase) {
-          r.labels[static_cast<std::size_t>(v)] =
-              next[static_cast<std::size_t>(v)];
+        for (vid v = 0; v < n; ++v) {
+          if (parity[static_cast<std::size_t>(v)] == phase) {
+            r.labels[static_cast<std::size_t>(v)] =
+                next[static_cast<std::size_t>(v)];
+          }
         }
       }
       changed = changed || phase_changed;
@@ -83,6 +94,7 @@ CommunityResult label_propagation(const CsrGraph& g,
   }
   r.converged = !changed;
 
+  GCT_SPAN("lp.canonicalize");
   // Canonicalize: community id = min vertex id carrying that label.
   std::unordered_map<vid, vid> canon;
   for (vid v = 0; v < n; ++v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -12,10 +13,14 @@ std::vector<vid> connected_components(const CsrGraph& g) {
   GCT_CHECK(!g.directed(),
             "connected_components: input must be undirected "
             "(use weak_components for directed graphs)");
+  obs::KernelScope scope("components");
   const vid n = g.num_vertices();
   std::vector<vid> label(static_cast<std::size_t>(n));
+  {
+    GCT_SPAN("cc.init");
 #pragma omp parallel for schedule(static)
-  for (vid v = 0; v < n; ++v) label[static_cast<std::size_t>(v)] = v;
+    for (vid v = 0; v < n; ++v) label[static_cast<std::size_t>(v)] = v;
+  }
 
   // Alternate hooking (absorb the higher color into the lower across every
   // edge) with pointer-jumping compression until a fixed point. Each phase
@@ -24,27 +29,33 @@ std::vector<vid> connected_components(const CsrGraph& g) {
   while (changed) {
     changed = false;
     bool local_changed = false;
+    {
+      GCT_SPAN("cc.hook");
 #pragma omp parallel for reduction(|| : local_changed) schedule(dynamic, 256)
-    for (vid u = 0; u < n; ++u) {
-      const vid lu = label[static_cast<std::size_t>(u)];
-      for (vid v : g.neighbors(u)) {
-        const vid lv = label[static_cast<std::size_t>(v)];
-        if (lu < lv) {
-          if (atomic_min(label[static_cast<std::size_t>(lv)], lu)) {
-            local_changed = true;
-          }
-        } else if (lv < lu) {
-          if (atomic_min(label[static_cast<std::size_t>(lu)], lv)) {
-            local_changed = true;
+      for (vid u = 0; u < n; ++u) {
+        const vid lu = label[static_cast<std::size_t>(u)];
+        for (vid v : g.neighbors(u)) {
+          const vid lv = label[static_cast<std::size_t>(v)];
+          if (lu < lv) {
+            if (atomic_min(label[static_cast<std::size_t>(lv)], lu)) {
+              local_changed = true;
+            }
+          } else if (lv < lu) {
+            if (atomic_min(label[static_cast<std::size_t>(lu)], lv)) {
+              local_changed = true;
+            }
           }
         }
       }
+      // Every hooking round touches the full adjacency.
+      obs::add_work(n, g.num_adjacency_entries());
     }
     changed = local_changed;
 
     // Compress: chase labels to their root (label[x] == x). Pointer-jumping
     // converges in O(log n) rounds; the serial-looking inner loop is fine
     // because chains are short after the first few iterations.
+    GCT_SPAN("cc.compress");
 #pragma omp parallel for schedule(static)
     for (vid v = 0; v < n; ++v) {
       vid l = label[static_cast<std::size_t>(v)];

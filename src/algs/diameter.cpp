@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algs/bfs.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace graphct {
@@ -12,6 +13,7 @@ DiameterEstimate estimate_diameter(const CsrGraph& g,
   DiameterEstimate est;
   const vid n = g.num_vertices();
   if (n == 0) return est;
+  obs::KernelScope scope("diameter");
 
   Rng rng(opts.seed);
   const std::int64_t k = std::min<std::int64_t>(opts.num_samples, n);
@@ -27,6 +29,7 @@ DiameterEstimate estimate_diameter(const CsrGraph& g,
   bopts.compute_parents = false;
   BfsResult buffer;
   for (vid s : sources) {
+    GCT_SPAN("diameter.bfs");
     bfs_into(g, s, bopts, buffer);
     longest = std::max(longest, buffer.max_distance());
   }

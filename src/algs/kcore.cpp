@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -10,14 +11,18 @@ namespace graphct {
 std::vector<std::int64_t> core_numbers(const CsrGraph& g) {
   GCT_CHECK(!g.directed(), "core_numbers: graph must be undirected");
   const vid n = g.num_vertices();
+  obs::KernelScope scope("kcore");
 
   // Effective degree ignores self-loops (one slot each in the adjacency).
   std::vector<std::int64_t> deg(static_cast<std::size_t>(n));
+  {
+    GCT_SPAN("kcore.init");
 #pragma omp parallel for schedule(static)
-  for (vid v = 0; v < n; ++v) {
-    std::int64_t d = g.degree(v);
-    if (g.has_edge(v, v)) --d;
-    deg[static_cast<std::size_t>(v)] = d;
+    for (vid v = 0; v < n; ++v) {
+      std::int64_t d = g.degree(v);
+      if (g.has_edge(v, v)) --d;
+      deg[static_cast<std::size_t>(v)] = d;
+    }
   }
 
   std::vector<std::int64_t> core(static_cast<std::size_t>(n), 0);
@@ -30,14 +35,19 @@ std::vector<std::int64_t> core_numbers(const CsrGraph& g) {
   std::int64_t k = 0;
   while (remaining > 0) {
     // Peel everything of degree <= k, cascading, then increment k.
-    frontier.clear();
-    for (vid v = 0; v < n; ++v) {
-      if (!removed[static_cast<std::size_t>(v)] &&
-          deg[static_cast<std::size_t>(v)] <= k) {
-        frontier.push_back(v);
+    {
+      GCT_SPAN("kcore.scan");
+      frontier.clear();
+      for (vid v = 0; v < n; ++v) {
+        if (!removed[static_cast<std::size_t>(v)] &&
+            deg[static_cast<std::size_t>(v)] <= k) {
+          frontier.push_back(v);
+        }
       }
+      obs::add_work(n, 0);
     }
     while (!frontier.empty()) {
+      GCT_SPAN("kcore.peel");
       std::int64_t next_tail = 0;
       const std::int64_t fsz = static_cast<std::int64_t>(frontier.size());
 #pragma omp parallel for schedule(dynamic, 64)
@@ -61,6 +71,14 @@ std::vector<std::int64_t> core_numbers(const CsrGraph& g) {
         }
       }
       remaining -= fsz;
+      if (obs::profile_active()) {
+        std::int64_t scanned = 0;
+#pragma omp parallel for reduction(+ : scanned) schedule(static)
+        for (std::int64_t i = 0; i < fsz; ++i) {
+          scanned += g.degree(frontier[static_cast<std::size_t>(i)]);
+        }
+        obs::add_work(fsz, scanned);
+      }
       // A vertex can be enqueued by the fetch-add rule even though a thread
       // in the same wave also peels it (it was in `frontier` already with a
       // stale degree); filter those, then sort for determinism.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/transforms.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -15,10 +16,15 @@ PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts) {
   const vid n = g.num_vertices();
   PageRankResult r;
   if (n == 0) return r;
+  obs::KernelScope scope("pagerank");
 
   // Pull formulation needs in-neighbors; for directed graphs build the
   // reverse once. Undirected adjacency is its own reverse.
-  const CsrGraph rev_storage = g.directed() ? reverse(g) : CsrGraph();
+  CsrGraph rev_storage;
+  if (g.directed()) {
+    GCT_SPAN("pagerank.reverse");
+    rev_storage = reverse(g);
+  }
   const CsrGraph& in = g.directed() ? rev_storage : g;
 
   const double inv_n = 1.0 / static_cast<double>(n);
@@ -29,30 +35,38 @@ PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts) {
   for (std::int64_t it = 0; it < opts.max_iterations; ++it) {
     // Per-vertex outgoing contribution, and the dangling mass.
     double dangling = 0.0;
+    {
+      GCT_SPAN("pagerank.contrib");
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
-    for (vid v = 0; v < n; ++v) {
-      const vid d = g.degree(v);
-      if (d == 0) {
-        dangling += rank[static_cast<std::size_t>(v)];
-        contrib[static_cast<std::size_t>(v)] = 0.0;
-      } else {
-        contrib[static_cast<std::size_t>(v)] =
-            rank[static_cast<std::size_t>(v)] / static_cast<double>(d);
+      for (vid v = 0; v < n; ++v) {
+        const vid d = g.degree(v);
+        if (d == 0) {
+          dangling += rank[static_cast<std::size_t>(v)];
+          contrib[static_cast<std::size_t>(v)] = 0.0;
+        } else {
+          contrib[static_cast<std::size_t>(v)] =
+              rank[static_cast<std::size_t>(v)] / static_cast<double>(d);
+        }
       }
     }
 
     const double base =
         (1.0 - opts.damping) * inv_n + opts.damping * dangling * inv_n;
     double delta = 0.0;
+    {
+      GCT_SPAN("pagerank.pull");
 #pragma omp parallel for reduction(+ : delta) schedule(dynamic, 256)
-    for (vid v = 0; v < n; ++v) {
-      double acc = 0.0;
-      for (vid u : in.neighbors(v)) {
-        acc += contrib[static_cast<std::size_t>(u)];
+      for (vid v = 0; v < n; ++v) {
+        double acc = 0.0;
+        for (vid u : in.neighbors(v)) {
+          acc += contrib[static_cast<std::size_t>(u)];
+        }
+        const double nv = base + opts.damping * acc;
+        next[static_cast<std::size_t>(v)] = nv;
+        delta += std::abs(nv - rank[static_cast<std::size_t>(v)]);
       }
-      const double nv = base + opts.damping * acc;
-      next[static_cast<std::size_t>(v)] = nv;
-      delta += std::abs(nv - rank[static_cast<std::size_t>(v)]);
+      // Each pull iteration reads every in-edge once.
+      obs::add_work(n, in.num_adjacency_entries());
     }
     rank.swap(next);
     r.iterations = it + 1;

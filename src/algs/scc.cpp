@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "algs/connected_components.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace graphct {
@@ -14,6 +15,7 @@ std::vector<vid> strongly_connected_components(const CsrGraph& g) {
   const vid n = g.num_vertices();
   std::vector<vid> labels(static_cast<std::size_t>(n), kNoVertex);
   if (n == 0) return labels;
+  obs::KernelScope scope("scc");
 
   // Pass 1: iterative DFS over g recording finish order.
   std::vector<vid> finish_order;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -77,6 +78,7 @@ SsspResult delta_stepping(const CsrGraph& g, const EdgeWeights& w, vid source,
     GCT_CHECK(x >= 0.0, "delta_stepping: weights must be nonnegative");
   }
 
+  obs::KernelScope scope("sssp");
   SsspResult r;
   r.distance.assign(static_cast<std::size_t>(n), kInfDistance);
   r.distance[static_cast<std::size_t>(source)] = 0.0;

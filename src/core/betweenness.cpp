@@ -8,10 +8,10 @@
 
 #include "algs/bfs.hpp"
 #include "algs/connected_components.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace graphct {
 
@@ -39,7 +39,12 @@ void accumulate_source(const CsrGraph& g, vid s, BcWorkspace& ws,
   bopts.deterministic_order = false;  // sigma/delta sums are order-invariant
   bopts.compute_parents = false;      // predecessors come from distances
   BfsResult& b = ws.bfs_buffer;
-  bfs_into(g, s, bopts, b);
+  {
+    // Spans here record only in fine mode, where this runs on the
+    // orchestrating thread; coarse-mode workers have no sink.
+    GCT_SPAN("bc.bfs");
+    bfs_into(g, s, bopts, b);
+  }
   const auto& dist = b.distance;
   auto& sigma = ws.sigma;
   auto& delta = ws.delta;
@@ -55,25 +60,29 @@ void accumulate_source(const CsrGraph& g, vid s, BcWorkspace& ws,
   const std::int64_t num_levels =
       static_cast<std::int64_t>(b.level_offsets.size()) - 1;
 
-  // Forward sweep: shortest-path counts, level by level. sigma of level d+1
-  // vertices accumulates from level-d neighbors; vertices within a level are
-  // independent, so each level is a parallel loop.
-  for (std::int64_t d = 0; d + 1 < num_levels; ++d) {
-    const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
-    const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
+  {
+    GCT_SPAN("bc.forward");
+    // Forward sweep: shortest-path counts, level by level. sigma of level
+    // d+1 vertices accumulates from level-d neighbors; vertices within a
+    // level are independent, so each level is a parallel loop.
+    for (std::int64_t d = 0; d + 1 < num_levels; ++d) {
+      const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
+      const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
 #pragma omp parallel for schedule(dynamic, 64)
-    for (eid i = lo; i < hi; ++i) {
-      const vid u = b.order[static_cast<std::size_t>(i)];
-      const double su = sigma[static_cast<std::size_t>(u)];
-      for (vid v : g.neighbors(u)) {
-        if (dist[static_cast<std::size_t>(v)] ==
-            dist[static_cast<std::size_t>(u)] + 1) {
-          fetch_add(sigma[static_cast<std::size_t>(v)], su);
+      for (eid i = lo; i < hi; ++i) {
+        const vid u = b.order[static_cast<std::size_t>(i)];
+        const double su = sigma[static_cast<std::size_t>(u)];
+        for (vid v : g.neighbors(u)) {
+          if (dist[static_cast<std::size_t>(v)] ==
+              dist[static_cast<std::size_t>(u)] + 1) {
+            fetch_add(sigma[static_cast<std::size_t>(v)], su);
+          }
         }
       }
     }
   }
 
+  GCT_SPAN("bc.backward");
   // Backward sweep: dependencies, deepest level first. delta[v] reads only
   // values one level deeper, so again each level is parallel.
   for (std::int64_t d = num_levels - 1; d >= 0; --d) {
@@ -200,13 +209,20 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
   BetweennessResult result;
   result.score.assign(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return result;
+  obs::KernelScope scope("bc");
 
-  const auto sources = choose_sources(g, opts);
+  std::vector<vid> sources;
+  {
+    GCT_SPAN("bc.choose_sources");
+    sources = choose_sources(g, opts);
+  }
   result.sources_used = static_cast<std::int64_t>(sources.size());
 
-  Timer timer;
   if (opts.parallelism == BcParallelism::kFine) {
-    // Sources serial; each sweep is level-parallel with atomic adds.
+    // Sources serial; each sweep is level-parallel with atomic adds. The
+    // per-source BFS records exact work counters into bc.bfs (fine mode
+    // runs on the profiling thread).
+    GCT_SPAN("bc.accumulate");
     BcWorkspace ws(n);
     for (vid s : sources) {
       accumulate_source(g, s, ws, result.score, /*atomic_scores=*/true);
@@ -217,18 +233,29 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
     std::vector<std::vector<double>> buffers(
         static_cast<std::size_t>(nt),
         std::vector<double>(static_cast<std::size_t>(n), 0.0));
-#pragma omp parallel num_threads(nt)
     {
-      const int t = omp_get_thread_num();
-      BcWorkspace ws(n);
+      GCT_SPAN("bc.accumulate");
+      {
+        obs::SuspendCollection pause;  // accounted in bulk below
+#pragma omp parallel num_threads(nt)
+        {
+          const int t = omp_get_thread_num();
+          BcWorkspace ws(n);
 #pragma omp for schedule(dynamic, 1)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
-           ++i) {
-        accumulate_source(g, sources[static_cast<std::size_t>(i)], ws,
-                          buffers[static_cast<std::size_t>(t)],
-                          /*atomic_scores=*/false);
+          for (std::int64_t i = 0;
+               i < static_cast<std::int64_t>(sources.size()); ++i) {
+            accumulate_source(g, sources[static_cast<std::size_t>(i)], ws,
+                              buffers[static_cast<std::size_t>(t)],
+                              /*atomic_scores=*/false);
+          }
+        }
       }
+      // BFS-equivalent convention: one full-adjacency traversal per source
+      // (see docs/OBSERVABILITY.md on TEPS for sampled kernels).
+      obs::add_work(result.sources_used * static_cast<std::int64_t>(n),
+                    result.sources_used * g.num_adjacency_entries());
     }
+    GCT_SPAN("bc.reduce");
     for (const auto& buf : buffers) {
 #pragma omp parallel for schedule(static)
       for (vid v = 0; v < n; ++v) {
@@ -240,6 +267,7 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
 
   if (opts.rescale && result.sources_used > 0 &&
       result.sources_used < n) {
+    GCT_SPAN("bc.rescale");
     const double scale = static_cast<double>(n) /
                          static_cast<double>(result.sources_used);
 #pragma omp parallel for schedule(static)
@@ -247,7 +275,7 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
       result.score[static_cast<std::size_t>(v)] *= scale;
     }
   }
-  result.seconds = timer.seconds();
+  result.seconds = scope.seconds();
   return result;
 }
 

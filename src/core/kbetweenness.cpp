@@ -5,10 +5,10 @@
 #include <algorithm>
 
 #include "algs/bfs.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace graphct {
 
@@ -145,43 +145,60 @@ KBetweennessResult k_betweenness_centrality(const CsrGraph& g,
   KBetweennessResult result;
   result.score.assign(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return result;
+  obs::KernelScope scope("kbc");
 
   std::vector<vid> sources;
-  if (opts.num_sources == kNoVertex || opts.num_sources >= n) {
-    sources.resize(static_cast<std::size_t>(n));
-    for (vid v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
-  } else {
-    GCT_CHECK(opts.num_sources > 0,
-              "k_betweenness_centrality: num_sources must be positive");
-    Rng rng(opts.seed);
-    sources = rng.sample_without_replacement(n, opts.num_sources);
+  {
+    GCT_SPAN("kbc.sources");
+    if (opts.num_sources == kNoVertex || opts.num_sources >= n) {
+      sources.resize(static_cast<std::size_t>(n));
+      for (vid v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+    } else {
+      GCT_CHECK(opts.num_sources > 0,
+                "k_betweenness_centrality: num_sources must be positive");
+      Rng rng(opts.seed);
+      sources = rng.sample_without_replacement(n, opts.num_sources);
+    }
   }
   result.sources_used = static_cast<std::int64_t>(sources.size());
 
-  Timer timer;
   const int nt = num_threads();
   std::vector<std::vector<double>> buffers(
       static_cast<std::size_t>(nt),
       std::vector<double>(static_cast<std::size_t>(n), 0.0));
-#pragma omp parallel num_threads(nt)
   {
-    const int t = omp_get_thread_num();
-    KbcWorkspace ws(opts.k, n);
+    GCT_SPAN("kbc.accumulate");
+    {
+      obs::SuspendCollection pause;  // accounted in bulk below
+#pragma omp parallel num_threads(nt)
+      {
+        const int t = omp_get_thread_num();
+        KbcWorkspace ws(opts.k, n);
 #pragma omp for schedule(dynamic, 1)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
-         ++i) {
-      accumulate_source_kbc(g, sources[static_cast<std::size_t>(i)], ws,
-                            buffers[static_cast<std::size_t>(t)]);
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(sources.size()); ++i) {
+          accumulate_source_kbc(g, sources[static_cast<std::size_t>(i)], ws,
+                                buffers[static_cast<std::size_t>(t)]);
+        }
+      }
     }
+    // Each source sweeps the adjacency once per slack value 0..k, forward
+    // and backward (BFS-equivalent TEPS convention for sampled kernels).
+    obs::add_work(
+        result.sources_used * static_cast<std::int64_t>(n),
+        result.sources_used * 2 * (opts.k + 1) * g.num_adjacency_entries());
   }
-  for (const auto& buf : buffers) {
+  {
+    GCT_SPAN("kbc.reduce");
+    for (const auto& buf : buffers) {
 #pragma omp parallel for schedule(static)
-    for (vid v = 0; v < n; ++v) {
-      result.score[static_cast<std::size_t>(v)] +=
-          buf[static_cast<std::size_t>(v)];
+      for (vid v = 0; v < n; ++v) {
+        result.score[static_cast<std::size_t>(v)] +=
+            buf[static_cast<std::size_t>(v)];
+      }
     }
   }
-  result.seconds = timer.seconds();
+  result.seconds = scope.seconds();
   return result;
 }
 

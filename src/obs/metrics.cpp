@@ -1,0 +1,284 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace graphct::obs {
+
+namespace {
+
+/// Escape a string for use as a JSON key/value (metric names embed quotes
+/// when they carry Prometheus-style labels).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // Integral values print plainly (le="10", not le="1e+01"); everything
+  // else gets the shortest representation that round-trips, so bucket
+  // bounds like 0.1 expose as "0.1", not "0.10000000000000001".
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Split "name{label=\"x\"}" into ("name", "{label=\"x\"}"); labels may be
+/// absent. Prometheus histograms need the split to splice _bucket/_sum/
+/// _count between the base name and the label set.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// Merge an extra label into a (possibly empty) label suffix.
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Counter
+
+Counter::Counter() : shards_(new Shard[kShards]) {}
+
+int Counter::shard_index() {
+  // Each OS thread (OpenMP pool threads included — they are plain pthreads)
+  // grabs a distinct slot on first use; collisions after 64 threads are
+  // correct, just contended.
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+void Counter::add(std::int64_t delta) {
+  shards_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < kShards; ++i) {
+    total += shards_[i].v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (int i = 0; i < kShards; ++i) {
+    shards_[i].v.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------------ Gauge
+
+void Gauge::add(double delta) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+// -------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::int64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> Histogram::seconds_buckets() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0};
+}
+
+// --------------------------------------------------------------- Registry
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::seconds_buckets();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c->value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0.0);
+  histograms_.clear();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+// ----------------------------------------------------------- exposition
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << format_double(v);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << format_double(h.sum) << ",\"buckets\":[";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      if (i > 0) out << ',';
+      const std::string le =
+          i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      out << "[\"" << le << "\"," << cumulative << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream out;
+  std::string last_family;
+  const auto type_line = [&](const std::string& name, const char* type) {
+    const auto [base, labels] = split_labels(name);
+    (void)labels;
+    if (base != last_family) {
+      out << "# TYPE " << base << ' ' << type << '\n';
+      last_family = base;
+    }
+  };
+  for (const auto& [name, v] : counters) {
+    type_line(name, "counter");
+    out << name << ' ' << v << '\n';
+  }
+  last_family.clear();
+  for (const auto& [name, v] : gauges) {
+    type_line(name, "gauge");
+    out << name << ' ' << format_double(v) << '\n';
+  }
+  last_family.clear();
+  for (const auto& [name, h] : histograms) {
+    type_line(name, "histogram");
+    const auto [base, labels] = split_labels(name);
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      out << base << "_bucket"
+          << with_label(labels, "le=\"" + le + "\"") << ' ' << cumulative
+          << '\n';
+    }
+    out << base << "_sum" << labels << ' ' << format_double(h.sum) << '\n';
+    out << base << "_count" << labels << ' ' << h.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace graphct::obs

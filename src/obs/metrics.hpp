@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Thread-safe metrics registry: counters, gauges, histograms.
+///
+/// The paper's contribution is performance numbers (approximate BC over
+/// 8.6 B edges in 55 minutes); a reproduction that cannot measure itself
+/// cannot reproduce them. This registry is the single place every subsystem
+/// reports into: kernels record run counts and latency histograms, the
+/// ResultCache reports hits/misses, the server's job queue reports
+/// queue-wait and run time, and the OpenMP layer reports the effective
+/// thread count. Exposition is pull-based — `snapshot()` renders to JSON or
+/// Prometheus text — so reading metrics never blocks writers.
+///
+/// Design constraints, in order:
+///   1. Writes happen on OpenMP hot paths, so counters are sharded across
+///      cache-line-padded slots indexed by a per-thread id and merged on
+///      read: increments are one relaxed atomic add with no sharing between
+///      threads in the common case.
+///   2. `obs` sits *below* util in the link order (graphct_obs has no
+///      in-project dependencies), so even the lowest layers (ResultCache,
+///      parallel.cpp) can report without cycles.
+///   3. Metric references returned by the registry are stable for the
+///      registry's lifetime; callers may cache them.
+///
+/// Naming scheme (see docs/OBSERVABILITY.md): `gct_<noun>_<unit>` with
+/// Prometheus-style `{label="value"}` suffixes spelled directly in the
+/// metric name, e.g. `gct_kernel_seconds{kernel="bc"}`.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphct::obs {
+
+/// Monotonic counter, sharded per thread to stay off the OpenMP hot path.
+/// add() is one relaxed atomic increment on a (usually) thread-private
+/// cache line; value() merges the shards.
+class Counter {
+ public:
+  Counter();
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::int64_t delta = 1);
+  [[nodiscard]] std::int64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  static constexpr int kShards = 64;  // power of two; see shard_index()
+  static int shard_index();
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Last-writer-wins instantaneous value (thread counts, resident graphs).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (inclusive upper bound)
+/// semantics. observe() is two relaxed atomic adds plus a CAS loop for the
+/// sum; bucket counts are non-cumulative internally and cumulated at
+/// exposition time.
+class Histogram {
+ public:
+  /// `bounds` must be sorted ascending; an implicit +Inf bucket is added.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;        ///< finite upper bounds
+    std::vector<std::int64_t> counts;  ///< per-bucket (bounds.size() + 1)
+    std::int64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Default bucket boundaries for durations in seconds (1 ms .. 10 min).
+  static std::vector<double> seconds_buckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every metric, renderable as JSON or Prometheus
+/// text exposition. Taking a snapshot never blocks metric writers.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  /// One JSON object on a single line:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (# TYPE comments, _bucket/_sum/
+  /// _count for histograms, labels passed through from metric names).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// Thread-safe name -> metric registry. Lookup takes a mutex; the returned
+/// references are stable for the registry's lifetime, so hot paths resolve
+/// once and cache the pointer.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creates with `bounds` on first use (Histogram::seconds_buckets() when
+  /// empty); later calls ignore `bounds` and return the existing histogram.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every counter and gauge and drop histograms (testing only; not
+  /// safe concurrently with writers holding cached references to
+  /// histograms).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry every subsystem reports into. Multiple
+/// Toolkits, servers, and sessions share it: metrics describe the process,
+/// not one object (per-object accounting, like ResultCache::stats(), stays
+/// on the object).
+Registry& registry();
+
+}  // namespace graphct::obs

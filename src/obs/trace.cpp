@@ -1,0 +1,326 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace graphct::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-thread profile under construction. Owned (installed / torn down) by
+/// the root KernelScope; spans and nested scopes only append to it.
+struct Sink {
+  const char* kernel = nullptr;
+  std::vector<PhaseStats> phases;
+  std::vector<int> open;  ///< stack of phase indices currently entered
+  int depth = 0;
+  std::int64_t vertices = 0;
+  std::int64_t edges = 0;
+
+  void reset(const char* name) {
+    kernel = name;
+    phases.clear();
+    open.clear();
+    depth = 0;
+    vertices = 0;
+    edges = 0;
+  }
+
+  /// Phases are keyed by (name, depth) so a span re-entered in a loop (or
+  /// per BFS source) accumulates into one row. Kernels have a handful of
+  /// phases, so a linear scan beats a map here.
+  int find_or_add(const char* name, int at_depth) {
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (phases[i].depth == at_depth && phases[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    PhaseStats p;
+    p.name = name;
+    p.depth = at_depth;
+    phases.push_back(std::move(p));
+    return static_cast<int>(phases.size() - 1);
+  }
+};
+
+thread_local Sink tl_sink_storage;
+thread_local Sink* tl_sink = nullptr;
+thread_local int tl_suspend_depth = 0;
+thread_local std::vector<KernelProfile> tl_done;
+
+std::atomic<bool> g_profiling{false};
+
+int enter_phase(const char* name) {
+  Sink* sink = tl_sink;
+  if (!sink) return -1;
+  sink->depth++;
+  const int index = sink->find_or_add(name, sink->depth);
+  sink->phases[static_cast<std::size_t>(index)].calls++;
+  sink->open.push_back(index);
+  return index;
+}
+
+void exit_phase(int index, Clock::time_point start) {
+  Sink* sink = tl_sink;
+  if (!sink || index < 0) return;
+  sink->phases[static_cast<std::size_t>(index)].seconds +=
+      elapsed_seconds(start);
+  sink->open.pop_back();
+  sink->depth--;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no Inf/NaN
+  char buf[64];
+  // Integral values print plainly; everything else gets the shortest
+  // representation that round-trips (seconds fields would otherwise render
+  // as 0.020000000000000004 and the like).
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- switches
+
+bool profiling_enabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void set_profiling_enabled(bool on) {
+  g_profiling.store(on, std::memory_order_relaxed);
+}
+
+bool profile_active() { return tl_sink != nullptr; }
+
+void add_work(std::int64_t vertices, std::int64_t edges) {
+  Sink* sink = tl_sink;
+  if (!sink) return;
+  if (!sink->open.empty()) {
+    PhaseStats& p =
+        sink->phases[static_cast<std::size_t>(sink->open.back())];
+    p.vertices += vertices;
+    p.edges += edges;
+  }
+  sink->vertices += vertices;
+  sink->edges += edges;
+}
+
+int effective_threads() {
+#ifdef _OPENMP
+  int n = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    n = omp_get_num_threads();
+  }
+  return n;
+#else
+  return 1;
+#endif
+}
+
+// ----------------------------------------------------------------- Span
+
+Span::Span(const char* name) {
+  index_ = enter_phase(name);
+  // Clock read only when recording: the disabled path stays one
+  // thread_local load and a branch.
+  if (index_ >= 0) start_ = Clock::now();
+}
+
+Span::~Span() { exit_phase(index_, start_); }
+
+// ---------------------------------------------------------- KernelScope
+
+KernelScope::KernelScope(const char* kernel)
+    : name_(kernel), start_(Clock::now()) {
+  if (tl_sink) {
+    // Composed kernels (bfs inside diameter, components inside bc source
+    // sampling) become phases of the outer profile rather than profiles
+    // of their own.
+    index_ = enter_phase(kernel);
+    return;
+  }
+  owner_ = true;
+  // Inside a SuspendCollection stretch tl_sink_storage still belongs to the
+  // suspended profile; starting a new collection would clobber it.
+  if (profiling_enabled() && tl_suspend_depth == 0) {
+    collecting_ = true;
+    tl_sink_storage.reset(kernel);
+    tl_sink = &tl_sink_storage;
+  }
+}
+
+KernelScope::~KernelScope() {
+  const double secs = seconds();
+  if (!owner_) {
+    exit_phase(index_, start_);
+    return;
+  }
+  if (collecting_) {
+    Sink* sink = tl_sink;
+    tl_sink = nullptr;  // detach before effective_threads()' parallel region
+    KernelProfile profile;
+    profile.kernel = name_;
+    profile.seconds = secs;
+    profile.threads = effective_threads();
+    profile.vertices = sink->vertices;
+    profile.edges = sink->edges;
+    profile.phases = std::move(sink->phases);
+    tl_done.push_back(std::move(profile));
+  }
+  const std::string label = std::string("{kernel=\"") + name_ + "\"}";
+  registry().counter("gct_kernel_runs_total" + label).add();
+  registry().histogram("gct_kernel_seconds" + label).observe(secs);
+}
+
+double KernelScope::seconds() const { return elapsed_seconds(start_); }
+
+// ---------------------------------------------------- SuspendCollection
+
+SuspendCollection::SuspendCollection() : saved_(tl_sink) {
+  tl_sink = nullptr;
+  ++tl_suspend_depth;
+}
+
+SuspendCollection::~SuspendCollection() {
+  --tl_suspend_depth;
+  tl_sink = static_cast<Sink*>(saved_);
+}
+
+// ------------------------------------------------------------- profiles
+
+std::vector<KernelProfile> drain_profiles() {
+  std::vector<KernelProfile> out;
+  out.swap(tl_done);
+  return out;
+}
+
+void clear_profiles() { tl_done.clear(); }
+
+double KernelProfile::phase_seconds(int depth) const {
+  double total = 0.0;
+  for (const PhaseStats& p : phases) {
+    if (p.depth == depth) total += p.seconds;
+  }
+  return total;
+}
+
+std::string KernelProfile::to_json() const {
+  std::ostringstream out;
+  out << "{\"kernel\":\"" << json_escape(kernel) << '"'
+      << ",\"seconds\":" << json_double(seconds)
+      << ",\"threads\":" << threads << ",\"vertices\":" << vertices
+      << ",\"edges\":" << edges << ",\"teps\":" << json_double(teps())
+      << ",\"phases\":[";
+  bool first = true;
+  for (const PhaseStats& p : phases) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(p.name) << '"'
+        << ",\"depth\":" << p.depth << ",\"calls\":" << p.calls
+        << ",\"seconds\":" << json_double(p.seconds)
+        << ",\"vertices\":" << p.vertices << ",\"edges\":" << p.edges
+        << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string format_profile(const KernelProfile& profile) {
+  std::ostringstream out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "profile %s: %.4f s, %d threads, %lld vertices, %lld edges",
+                profile.kernel.c_str(), profile.seconds, profile.threads,
+                static_cast<long long>(profile.vertices),
+                static_cast<long long>(profile.edges));
+  out << buf;
+  if (profile.edges > 0) {
+    std::snprintf(buf, sizeof(buf), ", %.3e TEPS", profile.teps());
+    out << buf;
+  }
+  out << '\n';
+  if (profile.phases.empty()) return out.str();
+
+  std::size_t name_width = 5;  // "phase"
+  for (const PhaseStats& p : profile.phases) {
+    const std::size_t w =
+        p.name.size() + 2 * static_cast<std::size_t>(p.depth - 1);
+    name_width = std::max(name_width, w);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  %-*s %8s %12s %7s %12s %14s\n",(int)name_width, "phase",
+                "calls", "seconds", "%", "vertices", "edges");
+  out << buf;
+  for (const PhaseStats& p : profile.phases) {
+    const std::string indent(2 * static_cast<std::size_t>(p.depth - 1), ' ');
+    const std::string name = indent + p.name;
+    const double pct =
+        profile.seconds > 0 ? 100.0 * p.seconds / profile.seconds : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-*s %8lld %12.4f %6.1f%% %12lld %14lld\n",
+                  (int)name_width, name.c_str(),
+                  static_cast<long long>(p.calls), p.seconds, pct,
+                  static_cast<long long>(p.vertices),
+                  static_cast<long long>(p.edges));
+    out << buf;
+  }
+  const double accounted = profile.phase_seconds(1);
+  const double rest = profile.seconds - accounted;
+  if (rest > 0.0005 * std::max(1.0, profile.seconds)) {
+    const double pct =
+        profile.seconds > 0 ? 100.0 * rest / profile.seconds : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-*s %8s %12.4f %6.1f%%\n",
+                  (int)name_width, "(unattributed)", "", rest, pct);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace graphct::obs

@@ -15,6 +15,8 @@
 #include "graph/io_edgelist.hpp"
 #include "graph/builder.hpp"
 #include "graph/transforms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "twitter/mention_graph.hpp"
 #include "twitter/tweet_io.hpp"
 #include "util/error.hpp"
@@ -311,10 +313,39 @@ void Interpreter::execute(const Command& cmd) {
                           ": thread count must be >= 0 (0 = default)");
     im.requested_threads = static_cast<int>(n);
     graphct::set_num_threads(im.requested_threads);
+    // Echo what the runtime will actually deliver, not the request — the
+    // two differ when the request exceeds the machine or a thread limit.
+    const int effective = graphct::effective_num_threads();
     out << "threads set to "
-        << (n == 0 ? "default (" + std::to_string(graphct::num_threads()) + ")"
-                   : std::to_string(n))
-        << "\n";
+        << (n == 0 ? "default" : std::to_string(n)) << " (effective "
+        << effective << ")\n";
+  } else if (verb == "profile") {
+    // profile on|off: toggle per-kernel phase profiling. While on, every
+    // command that runs kernels prints a phase-breakdown table per kernel.
+    require_arity(cmd, 2, 2);
+    const std::string& arg = cmd.tokens[1];
+    if (arg == "on") {
+      obs::set_profiling_enabled(true);
+    } else if (arg == "off") {
+      obs::set_profiling_enabled(false);
+    } else {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": expected 'profile on' or 'profile off'");
+    }
+    out << "profiling " << arg << "\n";
+  } else if (verb == "stats") {
+    // stats [prom|json]: dump the process-wide metrics registry (kernel
+    // runs and latencies, cache hits/misses, job queue, thread gauges).
+    require_arity(cmd, 1, 2);
+    const auto snap = obs::registry().snapshot();
+    if (cmd.tokens.size() > 1 && cmd.tokens[1] == "json") {
+      out << snap.to_json() << "\n";
+    } else if (cmd.tokens.size() == 1 || cmd.tokens[1] == "prom") {
+      out << snap.to_prometheus();
+    } else {
+      throw Error("script line " + std::to_string(cmd.line) +
+                  ": expected 'stats', 'stats prom', or 'stats json'");
+    }
   } else if (verb == "print") {
     require_arity(cmd, 2, 3);
     Toolkit& tk = im.current(cmd.line);
@@ -540,6 +571,17 @@ void Interpreter::execute(const Command& cmd) {
   } else {
     throw Error("script line " + std::to_string(cmd.line) +
                 ": unknown command '" + verb + "'");
+  }
+
+  // Profiles collected on this thread by the command's kernels: print them
+  // while profiling is on, discard otherwise (a toggle mid-script must not
+  // leak earlier profiles into a later command's output).
+  if (obs::profiling_enabled()) {
+    for (const auto& p : obs::drain_profiles()) {
+      out << obs::format_profile(p);
+    }
+  } else {
+    obs::clear_profiles();
   }
 
   if (im.opts.timings) {

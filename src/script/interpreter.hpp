@@ -33,7 +33,11 @@
 ///   + bfs <source> <depth>
 ///   + write binary <path> | write dimacs <path>
 ///   + echo <words...>
-///   + threads <n>           (pin OpenMP parallelism; 0 = default)
+///   + threads <n>           (pin OpenMP parallelism; 0 = default; echoes
+///     the count the runtime actually delivers)
+///   + profile on|off        (per-kernel phase profiling; while on, each
+///     command prints a phase table per kernel it ran)
+///   + stats [prom|json]     (dump the process-wide metrics registry)
 ///   + load graph <name> <path>   (load into the shared registry)
 ///   + use graph <name>           (switch to a registry-resident graph)
 ///   + repeat <n> ... end    (the paper's "simple loop structures ... a

@@ -5,6 +5,7 @@
 #include "graph/io_dimacs.hpp"
 #include "graph/io_edgelist.hpp"
 #include "graph/io_metis.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace graphct::server {
@@ -14,6 +15,18 @@ namespace {
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Caller must hold mu_. Counts only fully-loaded graphs, like list().
+// Template so the private Entry type never needs naming.
+template <typename Map>
+void set_resident_gauge(const Map& graphs) {
+  std::int64_t resident = 0;
+  for (const auto& [name, entry] : graphs) {
+    if (entry->toolkit) ++resident;
+  }
+  obs::registry().gauge("gct_graphs_resident").set(
+      static_cast<double>(resident));
 }
 
 }  // namespace
@@ -56,6 +69,7 @@ std::shared_ptr<Toolkit> GraphRegistry::load_graph(const std::string& name,
     auto tk = std::make_shared<Toolkit>(load_graph_file(path), opts_);
     std::lock_guard<std::mutex> lock(mu_);
     entry->toolkit = tk;
+    set_resident_gauge(graphs_);
     loaded_cv_.notify_all();
     return tk;
   } catch (...) {
@@ -75,6 +89,7 @@ std::shared_ptr<Toolkit> GraphRegistry::add(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   const bool inserted = graphs_.emplace(name, entry).second;
   GCT_CHECK(inserted, "registry: graph name '" + name + "' is already taken");
+  set_resident_gauge(graphs_);
   return entry->toolkit;
 }
 
@@ -89,7 +104,9 @@ std::shared_ptr<Toolkit> GraphRegistry::get_graph(const std::string& name) {
 
 bool GraphRegistry::drop(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return graphs_.erase(name) > 0;
+  const bool dropped = graphs_.erase(name) > 0;
+  if (dropped) set_resident_gauge(graphs_);
+  return dropped;
 }
 
 std::vector<GraphRegistry::Info> GraphRegistry::list() const {

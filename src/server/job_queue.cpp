@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -105,7 +106,10 @@ void JobQueue::worker_loop() {
     bool failed = false;
     JobCounters counters;
     Timer run_timer;
-    const int threads_used = num_threads();
+    // Record what the OpenMP runtime will actually deliver, not what the
+    // session requested — the two differ under OMP_THREAD_LIMIT or when the
+    // request exceeds the machine.
+    const int threads_used = effective_num_threads();
     try {
       output = job->work(counters);
     } catch (const std::exception& e) {
@@ -113,6 +117,13 @@ void JobQueue::worker_loop() {
       error = e.what();
     }
     const double run_seconds = run_timer.seconds();
+    obs::registry().histogram("gct_job_queue_wait_seconds")
+        .observe(job->record.wait_seconds);
+    obs::registry().histogram("gct_job_run_seconds").observe(run_seconds);
+    obs::registry()
+        .counter(failed ? "gct_job_runs_total{state=\"failed\"}"
+                        : "gct_job_runs_total{state=\"done\"}")
+        .add();
     // Always restore this worker's default — the work itself may have
     // called set_num_threads (the script's `threads N`), and a worker must
     // not carry one session's pinning into another session's job.
@@ -160,6 +171,7 @@ bool JobQueue::cancel(std::uint64_t id) {
   pending_.erase(pending_it);
   it->second->record.state = JobState::kCancelled;
   it->second->record.wait_seconds = it->second->queued_at.seconds();
+  obs::registry().counter("gct_job_runs_total{state=\"cancelled\"}").add();
   terminal_cv_.notify_all();
   return true;
 }

@@ -1,5 +1,6 @@
 #include "server/session.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -46,6 +47,18 @@ std::string Session::handle_line(const std::string& line) {
                 : std::to_string(interp_.requested_threads()))
         << "\n";
       return s.str() + "ok\n";
+    }
+    if (verb == "metrics") {
+      // Read-only and cheap: answered inline, never queued behind jobs.
+      // `metrics` / `metrics prom` -> Prometheus text exposition;
+      // `metrics json` -> a single JSON line. Neither format emits lines
+      // starting with "ok"/"error", so the line protocol stays parseable.
+      const auto snap = obs::registry().snapshot();
+      const std::size_t pos = line.find("json");
+      if (pos != std::string::npos) {
+        return snap.to_json() + "\nok\n";
+      }
+      return snap.to_prometheus() + "ok\n";
     }
     if (verb == "cancel") {
       const std::string arg = first_token(line.substr(line.find(verb) + 6));

@@ -4,11 +4,15 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace graphct {
 
 int num_threads() { return omp_get_max_threads(); }
+
+int effective_num_threads() { return obs::effective_threads(); }
 
 void set_num_threads(int n) {
   if (n <= 0) {
@@ -16,6 +20,12 @@ void set_num_threads(int n) {
   } else {
     omp_set_num_threads(n);
   }
+  obs::registry()
+      .gauge("gct_omp_threads_requested")
+      .set(static_cast<double>(num_threads()));
+  obs::registry()
+      .gauge("gct_omp_threads_effective")
+      .set(static_cast<double>(effective_num_threads()));
 }
 
 std::int64_t fetch_add(std::int64_t& target, std::int64_t delta) {

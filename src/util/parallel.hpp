@@ -15,11 +15,19 @@
 
 namespace graphct {
 
-/// Number of OpenMP threads a parallel region will use.
+/// Number of OpenMP threads a parallel region will use. This is the
+/// *requested* count (omp_get_max_threads); the runtime may deliver fewer.
 int num_threads();
 
+/// Number of threads a parallel region actually materializes right now —
+/// measured, not requested (OMP_THREAD_LIMIT, nesting, or the runtime can
+/// cap the request). Spawns a trivial parallel region, so don't call it on
+/// a hot path; profiles and job records use this.
+int effective_num_threads();
+
 /// Override the number of threads for subsequent parallel regions
-/// (0 restores the runtime default).
+/// (0 restores the runtime default). Records the requested and effective
+/// counts as gauges (gct_omp_threads_{requested,effective}).
 void set_num_threads(int n);
 
 /// Atomic fetch-and-add on a 64-bit integer; returns the previous value.

@@ -1,8 +1,27 @@
 #include "util/result_cache.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace graphct {
+
+namespace {
+
+// Process-wide cache traffic, queryable via the server's `metrics` verb
+// without parsing per-job response trailers. Per-object counts stay in
+// ResultCache::stats(). Resolved once; registry references are stable.
+void record_hit() {
+  static obs::Counter& c = obs::registry().counter("gct_result_cache_hits_total");
+  c.add();
+}
+
+void record_miss() {
+  static obs::Counter& c =
+      obs::registry().counter("gct_result_cache_misses_total");
+  c.add();
+}
+
+}  // namespace
 
 std::pair<std::shared_ptr<ResultCache::Entry>, bool> ResultCache::acquire(
     const std::string& key) {
@@ -13,11 +32,13 @@ std::pair<std::shared_ptr<ResultCache::Entry>, bool> ResultCache::acquire(
       auto entry = std::make_shared<Entry>();
       entries_.emplace(key, entry);
       ++misses_;
+      record_miss();
       return {entry, true};
     }
     std::shared_ptr<Entry> entry = it->second;
     if (entry->ready) {
       ++hits_;
+      record_hit();
       return {entry, false};
     }
     // Another thread is computing this key; wait for it to publish or
@@ -34,6 +55,7 @@ std::pair<std::shared_ptr<ResultCache::Entry>, bool> ResultCache::acquire(
     auto again = entries_.find(key);
     if (again != entries_.end() && again->second == entry) {
       ++hits_;
+      record_hit();
       return {entry, false};
     }
   }

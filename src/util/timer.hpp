@@ -1,7 +1,9 @@
 #pragma once
 
 /// \file timer.hpp
-/// Wall-clock timing utilities used by kernels and benchmark harnesses.
+/// Raw wall-clock primitive. Phase/kernel timing belongs to obs/trace.hpp
+/// (spans); Timer is for infrastructure that needs a bare stopwatch (queue
+/// wait, deadlines) without profiler semantics.
 
 #include <chrono>
 #include <cstdint>
@@ -33,41 +35,10 @@ class Timer {
   clock::time_point start_;
 };
 
-/// Accumulates wall time across repeated start/stop intervals; used by the
-/// toolkit to attribute time to individual kernels (load vs. compute).
-class StopWatch {
- public:
-  /// Begin an interval. Calling start() twice without stop() restarts it.
-  void start() {
-    running_ = true;
-    timer_.restart();
-  }
-
-  /// End the current interval, folding it into the accumulated total.
-  void stop() {
-    if (running_) {
-      total_ += timer_.seconds();
-      running_ = false;
-    }
-  }
-
-  /// Total accumulated seconds over all completed intervals (plus the live
-  /// interval, if one is running).
-  [[nodiscard]] double seconds() const {
-    return total_ + (running_ ? timer_.seconds() : 0.0);
-  }
-
-  /// Discard all accumulated time.
-  void reset() {
-    total_ = 0.0;
-    running_ = false;
-  }
-
- private:
-  Timer timer_;
-  double total_ = 0.0;
-  bool running_ = false;
-};
+// Interval accumulation across start/stop pairs lives in obs/trace.hpp now
+// (GCT_SPAN / KernelScope): spans accumulate per-phase wall time by (name,
+// depth) and also feed the metrics registry, so there is exactly one timing
+// mechanism. Timer remains the raw clock primitive obs builds on.
 
 /// Format a duration in seconds as a short human-readable string
 /// ("339 ms", "4.9 s", "105 min") mirroring how the paper reports runtimes.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 
 #include "gen/shapes.hpp"
 #include "graph/io_binary.hpp"
+#include "obs/trace.hpp"
 #include "graph/io_dimacs.hpp"
 #include "server/graph_registry.hpp"
 #include "util/error.hpp"
@@ -421,6 +423,68 @@ TEST(InterpreterTest, TimingsOptionPrintsDurations) {
   Interpreter in(out, o);
   in.run("generate rmat 5 2\n");
   EXPECT_NE(out.str().find("["), std::string::npos);
+}
+
+// Restores the process-wide profiling switch so these tests can't leak
+// phase tables into unrelated ones.
+struct ProfilingGuard {
+  bool saved = obs::profiling_enabled();
+  ~ProfilingGuard() { obs::set_profiling_enabled(saved); }
+};
+
+TEST(InterpreterTest, ProfileOnPrintsPhaseTables) {
+  ProfilingGuard guard;
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nprofile on\nprint components\n");
+  EXPECT_NE(out.str().find("profiling on"), std::string::npos);
+  EXPECT_NE(out.str().find("profile components:"), std::string::npos);
+  EXPECT_NE(out.str().find("cc.hook"), std::string::npos);
+}
+
+TEST(InterpreterTest, ProfileOffSuppressesPhaseTables) {
+  ProfilingGuard guard;
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nprofile on\nprofile off\nprint components\n");
+  EXPECT_NE(out.str().find("profiling off"), std::string::npos);
+  EXPECT_EQ(out.str().find("profile components:"), std::string::npos);
+}
+
+TEST(InterpreterTest, ProfileBadArgThrows) {
+  ProfilingGuard guard;
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("profile maybe\n"), Error);
+}
+
+TEST(InterpreterTest, StatsDumpsPrometheusText) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nprint components\nstats\n");
+  EXPECT_NE(out.str().find("# TYPE"), std::string::npos);
+  EXPECT_NE(out.str().find("gct_kernel_runs_total{kernel=\"components\"}"),
+            std::string::npos);
+}
+
+TEST(InterpreterTest, StatsJsonIsOneLine) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("stats json\n");
+  const std::string s = out.str();
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 1);
+  EXPECT_THROW(in.run("stats yaml\n"), Error);
+}
+
+TEST(InterpreterTest, ThreadsEchoesEffectiveCount) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("threads 2\n");
+  EXPECT_NE(out.str().find("threads set to 2 (effective "),
+            std::string::npos);
+  in.run("threads 0\n");  // back to the hardware default
 }
 
 }  // namespace

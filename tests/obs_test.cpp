@@ -1,0 +1,360 @@
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "algs/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "test_support.hpp"
+
+namespace graphct::obs {
+namespace {
+
+/// Leaves profiling off and the thread-local profile log empty however the
+/// test exits, so tests cannot leak state into each other.
+struct ProfilingGuard {
+  ~ProfilingGuard() {
+    set_profiling_enabled(false);
+    clear_profiles();
+  }
+};
+
+void spin_for_ms(int ms) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+// ------------------------------------------------------------- counters
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  const std::int64_t per_thread = 200000;
+  int threads = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    threads = omp_get_num_threads();
+#pragma omp for
+    for (std::int64_t i = 0; i < threads * per_thread; ++i) {
+      c.add();
+    }
+  }
+  EXPECT_EQ(c.value(), threads * per_thread);
+}
+
+TEST(CounterTest, AddWithDeltaAndReset) {
+  Counter c;
+  c.add(5);
+  c.add(2);
+  EXPECT_EQ(c.value(), 7);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(4.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.5);
+}
+
+// ----------------------------------------------------------- histograms
+
+TEST(HistogramMetricTest, BucketBoundariesAreInclusive) {
+  Histogram h({1.0, 2.0, 5.0});
+  // `le` semantics: an observation equal to a bound lands in that bucket.
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(5.0);
+  h.observe(5.0001);  // +Inf bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 1);  // <= 1.0
+  EXPECT_EQ(s.counts[1], 2);  // (1.0, 2.0]
+  EXPECT_EQ(s.counts[2], 1);  // (2.0, 5.0]
+  EXPECT_EQ(s.counts[3], 1);  // +Inf
+  EXPECT_EQ(s.count, 5);
+  EXPECT_NEAR(s.sum, 1.0 + 1.5 + 2.0 + 5.0 + 5.0001, 1e-9);
+}
+
+TEST(HistogramMetricTest, ConcurrentObservationsSumExactly) {
+  Histogram h({0.5});
+  const std::int64_t n = 100000;
+#pragma omp parallel for
+  for (std::int64_t i = 0; i < n; ++i) {
+    h.observe(1.0);
+  }
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, n);
+  EXPECT_EQ(s.counts[1], n);
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(n));
+}
+
+TEST(HistogramMetricTest, DefaultSecondsBucketsAreSorted) {
+  const auto b = Histogram::seconds_buckets();
+  ASSERT_FALSE(b.empty());
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(RegistryTest, ReferencesAreStableAndShared) {
+  Registry r;
+  Counter& a = r.counter("x_total");
+  Counter& b = r.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "x_total");
+  EXPECT_EQ(snap.counters[0].second, 7);
+}
+
+TEST(RegistryTest, SnapshotWhileWriting) {
+  Registry r;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Counter& c = r.counter("w_total");
+    Histogram& h = r.histogram("w_seconds");
+    Gauge& g = r.gauge("w_gauge");
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.add();
+      h.observe(0.001 * static_cast<double>(i % 1000));
+      g.set(static_cast<double>(i));
+      ++i;
+    }
+  });
+  // On a single-core host the writer may not be scheduled at all before
+  // 200 snapshot iterations complete; wait for its first increment.
+  Counter& written = r.counter("w_total");
+  while (written.value() == 0) std::this_thread::yield();
+  // Concurrent snapshots must never crash or tear (this test runs under
+  // the TSan CI job; bucket counts and the total are updated by separate
+  // relaxed atomics, so they may transiently disagree by in-flight
+  // observations — only monotonicity and renderability are asserted).
+  std::int64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = r.snapshot();
+    for (const auto& [name, hist] : snap.histograms) {
+      EXPECT_GE(hist.count, last_count) << name;
+      last_count = hist.count;
+      EXPECT_GE(hist.sum, 0.0) << name;
+    }
+    (void)snap.to_json();
+    (void)snap.to_prometheus();
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(r.counter("w_total").value(), 0);
+}
+
+TEST(RegistryTest, PrometheusExposition) {
+  Registry r;
+  r.counter("gct_runs_total{kernel=\"bc\"}").add(3);
+  r.gauge("gct_threads").set(8);
+  r.histogram("gct_wait_seconds", {0.1, 1.0}).observe(0.05);
+  const std::string text = r.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE gct_runs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gct_runs_total{kernel=\"bc\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gct_threads gauge"), std::string::npos);
+  EXPECT_NE(text.find("gct_wait_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gct_wait_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gct_wait_seconds_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonIsOneLine) {
+  Registry r;
+  r.counter("a_total").add();
+  r.histogram("b_seconds", {1.0}).observe(0.5);
+  const std::string json = r.snapshot().to_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"a_total\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- profiles
+
+TEST(TraceTest, DisabledProfilingCollectsNothing) {
+  ProfilingGuard guard;
+  set_profiling_enabled(false);
+  {
+    KernelScope scope("noop");
+    GCT_SPAN("noop.phase");
+    EXPECT_FALSE(profile_active());
+  }
+  EXPECT_TRUE(drain_profiles().empty());
+}
+
+TEST(TraceTest, SpanNestingAndReentrancy) {
+  ProfilingGuard guard;
+  clear_profiles();
+  set_profiling_enabled(true);
+  {
+    KernelScope scope("k");
+    for (int i = 0; i < 3; ++i) {
+      GCT_SPAN("k.outer");
+      add_work(10, 100);
+      {
+        GCT_SPAN("k.inner");
+        add_work(1, 2);
+      }
+    }
+  }
+  auto profiles = drain_profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  const KernelProfile& p = profiles[0];
+  EXPECT_EQ(p.kernel, "k");
+  ASSERT_EQ(p.phases.size(), 2u);  // re-entries accumulate, not duplicate
+  EXPECT_EQ(p.phases[0].name, "k.outer");
+  EXPECT_EQ(p.phases[0].depth, 1);
+  EXPECT_EQ(p.phases[0].calls, 3);
+  EXPECT_EQ(p.phases[0].vertices, 30);
+  EXPECT_EQ(p.phases[0].edges, 300);
+  EXPECT_EQ(p.phases[1].name, "k.inner");
+  EXPECT_EQ(p.phases[1].depth, 2);
+  EXPECT_EQ(p.phases[1].calls, 3);
+  // Kernel totals include work attributed inside any phase.
+  EXPECT_EQ(p.vertices, 33);
+  EXPECT_EQ(p.edges, 306);
+}
+
+TEST(TraceTest, NestedKernelScopeDegradesToPhase) {
+  ProfilingGuard guard;
+  clear_profiles();
+  set_profiling_enabled(true);
+  {
+    KernelScope outer("outer");
+    KernelScope inner("inner");
+    (void)inner.seconds();
+  }
+  auto profiles = drain_profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].kernel, "outer");
+  ASSERT_EQ(profiles[0].phases.size(), 1u);
+  EXPECT_EQ(profiles[0].phases[0].name, "inner");
+  EXPECT_EQ(profiles[0].phases[0].depth, 1);
+}
+
+TEST(TraceTest, SuspendCollectionHidesWork) {
+  ProfilingGuard guard;
+  clear_profiles();
+  set_profiling_enabled(true);
+  {
+    KernelScope scope("s");
+    {
+      SuspendCollection pause;
+      EXPECT_FALSE(profile_active());
+      add_work(100, 1000);  // must not be recorded
+    }
+    EXPECT_TRUE(profile_active());
+    add_work(1, 2);
+  }
+  auto profiles = drain_profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].vertices, 1);
+  EXPECT_EQ(profiles[0].edges, 2);
+}
+
+TEST(TraceTest, PhaseTimesPartitionTheKernel) {
+  ProfilingGuard guard;
+  clear_profiles();
+  set_profiling_enabled(true);
+  {
+    KernelScope scope("p");
+    {
+      GCT_SPAN("p.a");
+      spin_for_ms(20);
+    }
+    {
+      GCT_SPAN("p.b");
+      spin_for_ms(20);
+    }
+  }
+  auto profiles = drain_profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  const KernelProfile& p = profiles[0];
+  // Depth-1 phases partition the kernel: their sum can't exceed the total
+  // and here covers nearly all of it (generous tolerance — CI machines).
+  EXPECT_LE(p.phase_seconds(1), p.seconds + 1e-6);
+  EXPECT_GE(p.phase_seconds(1), 0.5 * p.seconds);
+  EXPECT_GE(p.seconds, 0.03);
+}
+
+TEST(TraceTest, RealKernelProfileSumsWithinTolerance) {
+  ProfilingGuard guard;
+  clear_profiles();
+  set_profiling_enabled(true);
+  RmatOptions r;
+  r.scale = 10;
+  r.edge_factor = 8;
+  const auto g = rmat_graph(r);
+  const auto result = bfs(g, 0);
+  ASSERT_GT(result.num_reached(), 1);
+  auto profiles = drain_profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  const KernelProfile& p = profiles[0];
+  EXPECT_EQ(p.kernel, "bfs");
+  EXPECT_GE(p.threads, 1);
+  EXPECT_GT(p.edges, 0);  // exact traversed-edge accounting
+  EXPECT_FALSE(p.phases.empty());
+  EXPECT_LE(p.phase_seconds(1), p.seconds * 1.05 + 1e-6);
+  // JSON line renders and mentions the kernel and its phases.
+  const std::string json = p.to_json();
+  EXPECT_NE(json.find("\"kernel\":\"bfs\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":["), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  // The run also landed in the process registry.
+  EXPECT_GE(
+      registry().counter("gct_kernel_runs_total{kernel=\"bfs\"}").value(), 1);
+}
+
+TEST(TraceTest, FormatProfileRendersTable) {
+  KernelProfile p;
+  p.kernel = "demo";
+  p.seconds = 2.0;
+  p.threads = 4;
+  p.vertices = 10;
+  p.edges = 1000;
+  PhaseStats a;
+  a.name = "demo.a";
+  a.calls = 2;
+  a.seconds = 1.5;
+  p.phases.push_back(a);
+  const std::string text = format_profile(p);
+  EXPECT_NE(text.find("profile demo"), std::string::npos);
+  EXPECT_NE(text.find("demo.a"), std::string::npos);
+  EXPECT_NE(text.find("TEPS"), std::string::npos);
+  EXPECT_NE(text.find("(unattributed)"), std::string::npos);  // 0.5 s gap
+}
+
+TEST(TraceTest, TimedReturnsElapsedAndRecordsRun) {
+  const std::int64_t before =
+      registry().counter("gct_kernel_runs_total{kernel=\"timed.demo\"}")
+          .value();
+  const double s = timed("timed.demo", [] { spin_for_ms(5); });
+  EXPECT_GE(s, 0.004);
+  EXPECT_EQ(
+      registry().counter("gct_kernel_runs_total{kernel=\"timed.demo\"}")
+          .value(),
+      before + 1);
+}
+
+TEST(TraceTest, EffectiveThreadsIsPositive) {
+  EXPECT_GE(effective_threads(), 1);
+}
+
+}  // namespace
+}  // namespace graphct::obs

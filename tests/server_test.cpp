@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -316,6 +317,27 @@ TEST(ServerTest, ServerVerbsListGraphsAndJobs) {
   const std::string info = session->handle_line("session");
   EXPECT_NE(info.find("analyst"), std::string::npos);
   EXPECT_NE(info.find("graph:resident"), std::string::npos);
+}
+
+TEST(ServerTest, MetricsVerbExposesRegistry) {
+  Server srv(fast_server_opts());
+  auto session = srv.open_session("analyst");
+  session->handle_line("generate rmat 6 4");
+  session->handle_line("print components");
+
+  const std::string prom = session->handle_line("metrics");
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+  EXPECT_NE(prom.find("gct_kernel_runs_total{kernel=\"components\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gct_result_cache_"), std::string::npos);
+  EXPECT_EQ(prom.substr(prom.size() - 3), "ok\n");
+
+  const std::string json = session->handle_line("metrics json");
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  // One JSON line plus the ok terminator.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 2);
+  EXPECT_EQ(json.substr(json.size() - 3), "ok\n");
 }
 
 TEST(ServerTest, ThreadsCommandPinsJobParallelism) {

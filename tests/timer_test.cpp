@@ -23,34 +23,6 @@ TEST(TimerTest, RestartResetsOrigin) {
   EXPECT_LT(t.seconds(), 0.015);
 }
 
-TEST(StopWatchTest, AccumulatesIntervals) {
-  StopWatch w;
-  w.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  w.stop();
-  const double first = w.seconds();
-  EXPECT_GE(first, 0.008);
-  w.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  w.stop();
-  EXPECT_GE(w.seconds(), first + 0.008);
-}
-
-TEST(StopWatchTest, StopWithoutStartIsNoop) {
-  StopWatch w;
-  w.stop();
-  EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
-}
-
-TEST(StopWatchTest, ResetClears) {
-  StopWatch w;
-  w.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  w.stop();
-  w.reset();
-  EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
-}
-
 TEST(FormatDurationTest, PicksSensibleUnits) {
   EXPECT_NE(format_duration(0.0000005).find("us"), std::string::npos);
   EXPECT_NE(format_duration(0.005).find("ms"), std::string::npos);

@@ -13,7 +13,9 @@
 ///   graphct serve <port> | serve --stdio     # run the graphctd server
 ///   graphct client <port>                    # line client for a server
 ///
-/// The global --threads N flag pins OpenMP parallelism for any command.
+/// The global --threads N flag pins OpenMP parallelism for any command, and
+/// --profile prints a per-kernel phase-breakdown table (wall time, thread
+/// count, TEPS) after the command finishes.
 /// Graph files are selected by extension: .dimacs/.gr (DIMACS), .bin
 /// (GraphCT binary), .el/.txt (edge list), .metis/.graph (METIS).
 
@@ -39,6 +41,7 @@
 #include "graph/io_dimacs.hpp"
 #include "graph/io_edgelist.hpp"
 #include "graph/io_metis.hpp"
+#include "obs/trace.hpp"
 #include "script/interpreter.hpp"
 #include "server/server.hpp"
 #include "util/cli.hpp"
@@ -83,7 +86,7 @@ void write_scores(const std::string& path, const std::vector<T>& values) {
 
 int usage() {
   std::cerr
-      << "usage: graphct [--threads N] <command> ...\n"
+      << "usage: graphct [--threads N] [--profile] <command> ...\n"
          "  info <graph>                         counts + diameter estimate\n"
          "  characterize <graph>                 run every kernel\n"
          "  bc <graph> [--sources N] [--k K] [--out f]   (k-)betweenness\n"
@@ -317,6 +320,9 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--threads=", 0) == 0) {
         graphct::set_num_threads(parse_threads(arg.substr(10)));
         argi += 1;
+      } else if (arg == "--profile") {
+        graphct::obs::set_profiling_enabled(true);
+        argi += 1;
       } else {
         break;
       }
@@ -329,24 +335,38 @@ int main(int argc, char** argv) {
              {"out", "per-vertex output file"},
              {"timings", "script timings!"},
              {"threads", "OpenMP thread count (0 = default)"},
+             {"profile", "per-kernel phase profiling!"},
              {"workers", "server worker threads"},
              {"stdio", "serve one session over stdin/stdout!"}});
     if (cli.has("threads")) {
       graphct::set_num_threads(
           static_cast<int>(cli.get("threads", std::int64_t{0})));
     }
+    if (cli.has("profile")) graphct::obs::set_profiling_enabled(true);
+
+    // Print profiles collected on this thread once the command returns.
+    // (The script interpreter drains after every command itself, so script
+    // runs print profiles inline; this catches the direct kernel commands.)
+    const auto finish = [](int rc) {
+      if (graphct::obs::profiling_enabled()) {
+        for (const auto& p : graphct::obs::drain_profiles()) {
+          std::cout << graphct::obs::format_profile(p);
+        }
+      }
+      return rc;
+    };
 
     if (command == "info") {
       GCT_CHECK(!cli.positional().empty(), "info: missing graph file");
-      return cmd_info(cli.positional()[0]);
+      return finish(cmd_info(cli.positional()[0]));
     }
     if (command == "characterize") {
       GCT_CHECK(!cli.positional().empty(),
                 "characterize: missing graph file");
-      return cmd_characterize(cli.positional()[0]);
+      return finish(cmd_characterize(cli.positional()[0]));
     }
-    if (command == "bc") return cmd_bc(cli);
-    if (command == "components") return cmd_components(cli);
+    if (command == "bc") return finish(cmd_bc(cli));
+    if (command == "components") return finish(cmd_components(cli));
     if (command == "convert") {
       GCT_CHECK(cli.positional().size() >= 2, "convert: need <in> <out>");
       const auto g = load_graph(cli.positional()[0]);
@@ -379,7 +399,7 @@ int main(int argc, char** argv) {
       opts.provider = &registry;
       graphct::script::Interpreter interp(std::cout, opts);
       interp.run_file(cli.positional()[0]);
-      return 0;
+      return finish(0);
     }
     if (command == "serve") return cmd_serve(cli);
     if (command == "client") return cmd_client(cli);

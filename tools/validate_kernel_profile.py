@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate bench/kernel_profile output (one JSON object per line).
+
+Usage: validate_kernel_profile.py FILE [--require KERNEL ...]
+
+Checks, per line:
+  * parses as a single JSON object,
+  * carries the bench metadata (bench/scale/edge_factor) and the
+    KernelProfile fields (kernel, seconds, threads, vertices, edges, teps,
+    phases[]) with the right types,
+  * teps is consistent with edges/seconds,
+  * each phase has name/depth/calls/seconds/vertices/edges and depth-1
+    phase seconds do not exceed the kernel total (10% slack — the same
+    attribution bound the profiler guarantees).
+
+With --require, additionally checks that each named kernel appears at
+least once. Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+NUMERIC = (int, float)
+
+PROFILE_FIELDS = {
+    "bench": str,
+    "scale": int,
+    "edge_factor": int,
+    "kernel": str,
+    "seconds": NUMERIC,
+    "threads": int,
+    "vertices": int,
+    "edges": int,
+    "teps": NUMERIC,
+    "phases": list,
+}
+
+PHASE_FIELDS = {
+    "name": str,
+    "depth": int,
+    "calls": int,
+    "seconds": NUMERIC,
+    "vertices": int,
+    "edges": int,
+}
+
+
+def check_fields(obj, schema, where):
+    for key, typ in schema.items():
+        if key not in obj:
+            raise ValueError(f"{where}: missing field '{key}'")
+        if not isinstance(obj[key], typ) or isinstance(obj[key], bool):
+            raise ValueError(
+                f"{where}: field '{key}' has type "
+                f"{type(obj[key]).__name__}, expected {typ}")
+
+
+def validate_line(line, lineno):
+    where = f"line {lineno}"
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: not a JSON object")
+    check_fields(obj, PROFILE_FIELDS, where)
+    if obj["bench"] != "kernel_profile":
+        raise ValueError(f"{where}: bench is '{obj['bench']}'")
+    if obj["seconds"] < 0 or obj["threads"] < 1:
+        raise ValueError(f"{where}: nonsensical seconds/threads")
+    if obj["edges"] > 0 and obj["seconds"] > 0:
+        expect = obj["edges"] / obj["seconds"]
+        if abs(obj["teps"] - expect) > 0.01 * max(expect, 1.0):
+            raise ValueError(
+                f"{where}: teps {obj['teps']} inconsistent with "
+                f"edges/seconds {expect}")
+    depth1 = 0.0
+    for i, phase in enumerate(obj["phases"]):
+        check_fields(phase, PHASE_FIELDS, f"{where} phase {i}")
+        if phase["depth"] < 1 or phase["calls"] < 1 or phase["seconds"] < 0:
+            raise ValueError(f"{where} phase {i}: nonsensical stats")
+        if phase["depth"] == 1:
+            depth1 += phase["seconds"]
+    if depth1 > obj["seconds"] * 1.10 + 1e-6:
+        raise ValueError(
+            f"{where}: depth-1 phase seconds {depth1} exceed kernel "
+            f"total {obj['seconds']} by more than 10%")
+    return obj["kernel"]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("file")
+    parser.add_argument("--require", nargs="*", default=[],
+                        help="kernels that must each appear at least once")
+    args = parser.parse_args()
+
+    seen = []
+    with open(args.file, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                seen.append(validate_line(line, lineno))
+            except (ValueError, json.JSONDecodeError) as e:
+                sys.exit(f"validate_kernel_profile: {e}")
+    if not seen:
+        sys.exit("validate_kernel_profile: no profile lines found")
+    missing = [k for k in args.require if k not in seen]
+    if missing:
+        sys.exit(f"validate_kernel_profile: missing kernels: {missing} "
+                 f"(saw {seen})")
+    print(f"validate_kernel_profile: {len(seen)} profiles ok: {seen}")
+
+
+if __name__ == "__main__":
+    main()
