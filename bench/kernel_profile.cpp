@@ -6,7 +6,7 @@
 /// against tools/validate_kernel_profile.py and the checked-in
 /// BENCH_kernels.json holds a reference run.
 ///
-///   ./kernel_profile [--scale 16] [--sources 256] [--quick]
+///   ./kernel_profile [--scale 16] [--sources 256] [--threads N] [--quick]
 ///
 /// stdout carries only JSON lines; progress goes to stderr.
 
@@ -22,6 +22,7 @@
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -54,12 +55,15 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv,
             {{"scale", "R-MAT scale"},
              {"sources", "approximate-BC source sample"},
+             {"threads", "OpenMP thread count (0 = runtime default)"},
              {"quick", "small graph for CI!"}});
     const auto scale = cli.has("quick") ? std::int64_t{12}
                                         : cli.get("scale", std::int64_t{16});
     const auto sources = cli.has("quick")
                              ? std::int64_t{32}
                              : cli.get("sources", std::int64_t{256});
+    const auto threads = cli.get("threads", std::int64_t{0});
+    if (threads > 0) set_num_threads(static_cast<int>(threads));
 
     RmatOptions r;
     r.scale = scale;

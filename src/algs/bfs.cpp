@@ -1,8 +1,12 @@
 #include "algs/bfs.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
+#include <bit>
 
 #include "obs/trace.hpp"
+#include "util/bitmap.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -10,12 +14,92 @@ namespace graphct {
 
 namespace {
 
-// One top-down expansion of order[lo,hi) writing newly discovered vertices
-// at order[tail...]; returns the new tail.
-eid expand_top_down(const CsrGraph& g, std::vector<vid>& distance,
-                    std::vector<vid>& parent, std::vector<vid>& order, eid lo,
-                    eid hi, eid tail, vid depth, bool compute_parents) {
-  std::int64_t t = tail;
+/// Per-search scratch, thread_local so the sampled kernels (bc, closeness,
+/// diameter — thousands of bfs_into() calls per run) never reallocate
+/// frontier state. Bitmap storage grows monotonically; ensure() only touches
+/// sizes.
+struct BfsScratch {
+  Bitmap frontier;  // membership of the current level (bottom-up tests)
+  Bitmap next;      // vertices discovered this level
+  Bitmap visited;   // distance != kNoVertex; maintained across bottom-up runs
+  std::vector<std::int64_t> block_counts;   // bitmap compaction scratch
+  std::vector<std::int64_t> queue_offsets;  // per-thread queue prefix sums
+
+  void ensure_bitmaps(vid n) {
+    frontier.resize(n);
+    next.resize(n);
+    visited.resize(n);
+  }
+
+  void ensure_offsets(int maxt) {
+    if (static_cast<int>(queue_offsets.size()) < maxt + 1) {
+      queue_offsets.resize(static_cast<std::size_t>(maxt) + 1);
+    }
+  }
+};
+
+BfsScratch& scratch() {
+  static thread_local BfsScratch s;
+  return s;
+}
+
+// Non-deterministic top-down expansion of order[lo,hi): each thread collects
+// its discoveries in a private queue, then one exclusive prefix sum over the
+// per-thread counts assigns disjoint output ranges — no per-vertex fetch_add
+// on a shared tail. One parallel region end to end, so thread ids are stable
+// and each thread copies its own queue. Returns the new tail.
+eid expand_top_down_queued(const CsrGraph& g, std::vector<vid>& distance,
+                           std::vector<vid>& parent, std::vector<vid>& order,
+                           eid lo, eid hi, vid depth, bool compute_parents,
+                           std::vector<std::int64_t>& offsets) {
+  std::int64_t total = 0;
+#pragma omp parallel
+  {
+    const int t = omp_get_thread_num();
+    const int p = omp_get_num_threads();
+    static thread_local std::vector<vid> q;  // persists across searches
+    q.clear();
+#pragma omp for schedule(dynamic, 64) nowait
+    for (eid i = lo; i < hi; ++i) {
+      const vid u = order[static_cast<std::size_t>(i)];
+      for (vid v : g.neighbors(u)) {
+        if (distance[static_cast<std::size_t>(v)] != kNoVertex) continue;
+        if (compare_and_swap(distance[static_cast<std::size_t>(v)], kNoVertex,
+                             depth)) {
+          if (compute_parents) parent[static_cast<std::size_t>(v)] = u;
+          q.push_back(v);
+        }
+      }
+    }
+    offsets[static_cast<std::size_t>(t)] = static_cast<std::int64_t>(q.size());
+#pragma omp barrier
+#pragma omp single
+    {
+      std::int64_t run = 0;
+      for (int b = 0; b < p; ++b) {
+        const std::int64_t c = offsets[static_cast<std::size_t>(b)];
+        offsets[static_cast<std::size_t>(b)] = run;
+        run += c;
+      }
+      total = run;
+    }
+    // Implicit barrier after `single`: offsets are final for every thread.
+    std::copy(q.begin(), q.end(),
+              order.begin() + static_cast<std::ptrdiff_t>(
+                                  hi + offsets[static_cast<std::size_t>(t)]));
+  }
+  return hi + total;
+}
+
+// Deterministic top-down expansion: discoveries are marked in the `next`
+// bitmap instead of queued, and the caller compacts the bitmap into `order`.
+// Bit order is vertex order, so each level comes out ascending by
+// construction — no post-sort, and the result is identical for any thread
+// count.
+void expand_top_down_bitmap(const CsrGraph& g, std::vector<vid>& distance,
+                            std::vector<vid>& parent, const std::vector<vid>& order,
+                            eid lo, eid hi, vid depth, bool compute_parents,
+                            Bitmap& next) {
 #pragma omp parallel for schedule(dynamic, 64)
   for (eid i = lo; i < hi; ++i) {
     const vid u = order[static_cast<std::size_t>(i)];
@@ -24,36 +108,59 @@ eid expand_top_down(const CsrGraph& g, std::vector<vid>& distance,
       if (compare_and_swap(distance[static_cast<std::size_t>(v)], kNoVertex,
                            depth)) {
         if (compute_parents) parent[static_cast<std::size_t>(v)] = u;
-        const eid slot = fetch_add(t, 1);
-        order[static_cast<std::size_t>(slot)] = v;
+        next.set_atomic(v);
       }
     }
   }
-  return t;
 }
 
-// One bottom-up sweep: every undiscovered vertex scans its neighbors for a
-// member of the current frontier (marked in `in_frontier`). Returns new tail.
-eid expand_bottom_up(const CsrGraph& g, std::vector<vid>& distance,
-                     std::vector<vid>& parent, std::vector<vid>& order,
-                     const std::vector<char>& in_frontier, eid tail, vid depth,
-                     bool compute_parents) {
-  const vid n = g.num_vertices();
-  std::int64_t t = tail;
-#pragma omp parallel for schedule(dynamic, 256)
-  for (vid v = 0; v < n; ++v) {
-    if (distance[static_cast<std::size_t>(v)] != kNoVertex) continue;
-    for (vid u : g.neighbors(v)) {
-      if (in_frontier[static_cast<std::size_t>(u)]) {
-        distance[static_cast<std::size_t>(v)] = depth;
-        if (compute_parents) parent[static_cast<std::size_t>(v)] = u;
-        const eid slot = fetch_add(t, 1);
-        order[static_cast<std::size_t>(slot)] = v;
-        break;
+// Rebuild the visited bitmap from distances. Paid once per top-down →
+// bottom-up switch; consecutive bottom-up levels keep it incrementally.
+void rebuild_visited(Bitmap& visited, const std::vector<vid>& distance) {
+  const auto n = static_cast<std::int64_t>(distance.size());
+  const std::int64_t nw = visited.num_words();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t w = 0; w < nw; ++w) {
+    const std::int64_t base = w * Bitmap::kBitsPerWord;
+    const std::int64_t end = std::min(base + Bitmap::kBitsPerWord, n);
+    std::uint64_t bits = 0;
+    for (std::int64_t i = base; i < end; ++i) {
+      if (distance[static_cast<std::size_t>(i)] != kNoVertex) {
+        bits |= std::uint64_t{1} << (i - base);
+      }
+    }
+    visited.store_word(w, bits);
+  }
+}
+
+// One bottom-up sweep. Work is partitioned word-by-word, so every bit write
+// (visited and next) is owner-exclusive and needs no atomics, and a word
+// whose vertices are all visited is skipped with one load. Each undiscovered
+// vertex scans its neighbors for a frontier member (bitmap test) and stops at
+// the first hit.
+void expand_bottom_up(const CsrGraph& g, std::vector<vid>& distance,
+                      std::vector<vid>& parent, vid depth,
+                      bool compute_parents, const Bitmap& frontier,
+                      Bitmap& visited, Bitmap& next) {
+  const std::int64_t nw = visited.num_words();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::int64_t w = 0; w < nw; ++w) {
+    std::uint64_t todo = ~visited.word(w) & visited.live_mask(w);
+    while (todo != 0) {
+      const int bit = std::countr_zero(todo);
+      todo &= todo - 1;
+      const vid v = w * Bitmap::kBitsPerWord + bit;
+      for (vid u : g.neighbors(v)) {
+        if (frontier.test(u)) {
+          distance[static_cast<std::size_t>(v)] = depth;
+          if (compute_parents) parent[static_cast<std::size_t>(v)] = u;
+          visited.set_in_word(w, bit);
+          next.set_in_word(w, bit);
+          break;
+        }
       }
     }
   }
-  return t;
 }
 
 }  // namespace
@@ -96,9 +203,15 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
   }
   r.order[0] = source;
 
+  const bool dir_opt = opts.strategy == BfsStrategy::kDirectionOptimizing;
+  BfsScratch& sc = scratch();
+  if (dir_opt || opts.deterministic_order) sc.ensure_bitmaps(n);
+  if (!opts.deterministic_order) sc.ensure_offsets(num_threads());
+
   const eid total_entries = g.num_adjacency_entries();
-  std::vector<char> in_frontier;  // allocated lazily for bottom-up sweeps
   bool bottom_up = false;
+  bool frontier_bitmap_valid = false;  // sc.frontier holds level [lo,hi)
+  bool visited_valid = false;          // sc.visited matches r.distance
 
   eid lo = 0, hi = 1;
   vid depth = 0;
@@ -107,8 +220,7 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
     if (opts.max_depth != kNoVertex && depth >= opts.max_depth) break;
     ++depth;
 
-    if (opts.strategy == BfsStrategy::kDirectionOptimizing) {
-      const eid explored = hi;
+    if (dir_opt) {
       const eid remaining_edges = total_entries - frontier_edges;
       if (!bottom_up &&
           static_cast<double>(frontier_edges) >
@@ -118,35 +230,71 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
                                   static_cast<double>(n) / opts.beta) {
         bottom_up = false;
       }
-      (void)explored;
     }
 
     eid tail;
     if (bottom_up) {
       GCT_SPAN("bfs.bottom_up");
-      if (in_frontier.empty()) {
-        in_frontier.assign(static_cast<std::size_t>(n), 0);
-      } else {
-        std::fill(in_frontier.begin(), in_frontier.end(), 0);
+      if (!visited_valid) {
+        rebuild_visited(sc.visited, r.distance);
+        visited_valid = true;
       }
+      if (!frontier_bitmap_valid) {
+        sc.frontier.clear();
 #pragma omp parallel for schedule(static)
-      for (eid i = lo; i < hi; ++i) {
-        in_frontier[static_cast<std::size_t>(
-            r.order[static_cast<std::size_t>(i)])] = 1;
+        for (eid i = lo; i < hi; ++i) {
+          sc.frontier.set_atomic(r.order[static_cast<std::size_t>(i)]);
+        }
       }
-      tail = expand_bottom_up(g, r.distance, r.parent, r.order, in_frontier,
-                              hi, depth, opts.compute_parents);
+      sc.next.clear();
+      expand_bottom_up(g, r.distance, r.parent, depth, opts.compute_parents,
+                       sc.frontier, sc.visited, sc.next);
+      {
+        GCT_SPAN("bfs.compact");
+        tail = hi + compact_set_bits(
+                        sc.next,
+                        r.order.data() + static_cast<std::ptrdiff_t>(hi),
+                        sc.block_counts);
+      }
+      // This level's bits are the next level's frontier; swap instead of
+      // rebuilding from `order`.
+      std::swap(sc.frontier, sc.next);
+      frontier_bitmap_valid = true;
     } else {
       GCT_SPAN("bfs.top_down");
-      tail = expand_top_down(g, r.distance, r.parent, r.order, lo, hi, hi,
-                             depth, opts.compute_parents);
+      if (opts.deterministic_order) {
+        sc.next.clear();
+        expand_top_down_bitmap(g, r.distance, r.parent, r.order, lo, hi, depth,
+                               opts.compute_parents, sc.next);
+        {
+          GCT_SPAN("bfs.compact");
+          tail = hi + compact_set_bits(
+                          sc.next,
+                          r.order.data() + static_cast<std::ptrdiff_t>(hi),
+                          sc.block_counts);
+        }
+        if (dir_opt) {
+          std::swap(sc.frontier, sc.next);
+          frontier_bitmap_valid = true;
+        } else {
+          frontier_bitmap_valid = false;
+        }
+      } else {
+        tail = expand_top_down_queued(g, r.distance, r.parent, r.order, lo, hi,
+                                      depth, opts.compute_parents,
+                                      sc.queue_offsets);
+        frontier_bitmap_valid = false;
+      }
+      visited_valid = false;
     }
 
     lo = hi;
     hi = tail;
     if (hi > lo) r.level_offsets.push_back(hi);
 
-    if (opts.strategy == BfsStrategy::kDirectionOptimizing) {
+    // Refresh the frontier edge count only when the heuristic will read it
+    // again — the final (empty) level skips the sweep entirely.
+    if (dir_opt && hi > lo) {
       std::int64_t fe = 0;
 #pragma omp parallel for reduction(+ : fe) schedule(static)
       for (eid i = lo; i < hi; ++i) {
@@ -157,17 +305,8 @@ void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
   }
 
   r.order.resize(static_cast<std::size_t>(hi));
-  // Sort each level by vertex id so `order` is deterministic regardless of
-  // the OpenMP schedule; kernels that sweep levels rely on reproducibility.
-  if (opts.deterministic_order) {
-    GCT_SPAN("bfs.sort_levels");
-    for (std::size_t d = 0; d + 1 < r.level_offsets.size(); ++d) {
-      std::sort(
-          r.order.begin() + static_cast<std::ptrdiff_t>(r.level_offsets[d]),
-          r.order.begin() +
-              static_cast<std::ptrdiff_t>(r.level_offsets[d + 1]));
-    }
-  }
+  // deterministic_order needs no post-sort: every level is emitted by bitmap
+  // compaction, which yields ascending vertex ids for any thread count.
 
   if (obs::profile_active()) {
     // Graph500-style work count: edges traversed = Σ deg(v) over reached

@@ -6,9 +6,15 @@
 /// BFS is the traversal engine under most of GraphCT: connected components,
 /// diameter estimation (§IV-A), and the (k-)betweenness forward pass all run
 /// level-synchronous searches. The implementation exposes the fine-grained
-/// parallelism the paper describes (§II-B): every frontier expansion is a
-/// parallel loop whose only synchronization is atomic claim of the next
-/// frontier slot (fetch-and-add) plus a CAS on the distance word.
+/// parallelism the paper describes (§II-B), but frontier slots are assigned
+/// by prefix-sum compaction instead of a contended fetch-and-add tail:
+/// top-down expansions collect discoveries in per-thread queues (or a
+/// word-packed bitmap when deterministic order is requested) and one
+/// exclusive scan assigns disjoint output ranges; bottom-up sweeps test
+/// membership against a bitmap frontier, skip fully-visited vertices 64 at
+/// a time, and write owner-exclusive words with no atomics at all. The only
+/// remaining per-vertex synchronization is the CAS that claims the distance
+/// word.
 ///
 /// Two strategies are provided:
 ///  * kTopDown — the classic frontier-expansion search (what GraphCT ran on
@@ -46,10 +52,12 @@ struct BfsOptions {
   double alpha = 14.0;
   double beta = 24.0;
 
-  /// Sort each BFS level by vertex id so `order` is schedule-independent.
-  /// Centrality kernels disable this: their per-vertex accumulations are
-  /// order-invariant (integer path counts, per-vertex sequential sums), so
-  /// they skip the O(n log n) sorting cost.
+  /// Emit each BFS level in ascending vertex id so `order` is
+  /// schedule-independent. This costs no sort: deterministic levels are
+  /// produced by bitmap compaction, which is ordered by construction for any
+  /// thread count. Centrality kernels still disable it — their per-vertex
+  /// accumulations are order-invariant, and the per-thread discovery queues
+  /// skip the bitmap's O(n/64) per-level scan on high-diameter graphs.
   bool deterministic_order = true;
 
   /// Record shortest-path parents. Centrality kernels disable this — they

@@ -76,14 +76,9 @@ ClosenessResult closeness_centrality(const CsrGraph& g,
                   result.sources_used * g.num_adjacency_entries());
   }
   {
-    GCT_SPAN("closeness.reduce");
-    for (const auto& buf : buffers) {
-#pragma omp parallel for schedule(static)
-      for (vid v = 0; v < n; ++v) {
-        result.score[static_cast<std::size_t>(v)] +=
-            buf[static_cast<std::size_t>(v)];
-      }
-    }
+    GCT_SPAN("closeness.reduce_tree");
+    tree_reduce_buffers(
+        buffers, std::span<double>(result.score.data(), result.score.size()));
   }
 
   if (opts.rescale && result.sources_used < n) {

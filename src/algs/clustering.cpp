@@ -19,28 +19,71 @@ ClusteringResult clustering_coefficients(const CsrGraph& g) {
   r.triangles.assign(static_cast<std::size_t>(n), 0);
   r.coefficient.assign(static_cast<std::size_t>(n), 0.0);
 
+  // Degree-ordered direction: orient every edge from lower to higher
+  // (degree, id) rank and keep only the forward half of each adjacency list.
+  // Every triangle is enumerated exactly once at its lowest-rank corner, and
+  // hub vertices — whose full neighbor lists dominate intersection cost on
+  // power-law graphs — keep only their few higher-degree neighbors, so the
+  // wedge work a scan does is bounded by the forward degrees (~sqrt(m)
+  // amortized) instead of the raw degrees.
+  const auto rank_above = [&g](vid w, vid v) {
+    const vid dw = g.degree(w);
+    const vid dv = g.degree(v);
+    return dw > dv || (dw == dv && w > v);
+  };
+  std::vector<eid> foff(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<vid> fadj;
+  {
+    GCT_SPAN("clustering.orient");
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      eid c = 0;
+      for (vid w : g.neighbors(v)) {
+        if (rank_above(w, v)) ++c;
+      }
+      foff[static_cast<std::size_t>(v)] = c;
+    }
+    const std::int64_t total_fwd = exclusive_scan(
+        std::span<const std::int64_t>(foff.data(), static_cast<std::size_t>(n)),
+        std::span<std::int64_t>(foff.data(), static_cast<std::size_t>(n)));
+    foff[static_cast<std::size_t>(n)] = total_fwd;
+    fadj.resize(static_cast<std::size_t>(total_fwd));
+#pragma omp parallel for schedule(static)
+    for (vid v = 0; v < n; ++v) {
+      eid pos = foff[static_cast<std::size_t>(v)];
+      // Neighbors are id-sorted, so each forward list (a filtered
+      // subsequence) stays id-sorted and merge intersection applies.
+      for (vid w : g.neighbors(v)) {
+        if (rank_above(w, v)) fadj[static_cast<std::size_t>(pos++)] = w;
+      }
+    }
+    // Work is accounted once for the whole kernel, in the triangles phase,
+    // to keep the one-traversal TEPS convention comparable with the seed.
+  }
+
   {
     GCT_SPAN("clustering.triangles");
-    // Enumerate each triangle once as u < v < w: for every edge (u,v) with
-    // u < v, merge-intersect N(u) and N(v) keeping only common neighbors
-    // w > v. Credit all three corners with atomic adds.
+    // For every forward edge (u,v), merge-intersect fwd(u) and fwd(v): each
+    // common w closes the triangle u-v-w with rank(u) < rank(v) < rank(w).
+    // Credit all three corners with atomic adds.
 #pragma omp parallel for schedule(dynamic, 64)
     for (vid u = 0; u < n; ++u) {
-      const auto nu = g.neighbors(u);
-      for (vid v : nu) {
-        if (v <= u) continue;
-        const auto nv = g.neighbors(v);
-        // Advance both sorted lists; only w > v can close a canonical
-        // triangle.
-        auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
-        auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
-        while (iu != nu.end() && iv != nv.end()) {
-          if (*iu < *iv) {
+      const auto fu_lo = static_cast<std::size_t>(foff[static_cast<std::size_t>(u)]);
+      const auto fu_hi =
+          static_cast<std::size_t>(foff[static_cast<std::size_t>(u) + 1]);
+      for (std::size_t i = fu_lo; i < fu_hi; ++i) {
+        const vid v = fadj[i];
+        std::size_t iu = fu_lo;
+        std::size_t iv = static_cast<std::size_t>(foff[static_cast<std::size_t>(v)]);
+        const auto iv_hi =
+            static_cast<std::size_t>(foff[static_cast<std::size_t>(v) + 1]);
+        while (iu < fu_hi && iv < iv_hi) {
+          if (fadj[iu] < fadj[iv]) {
             ++iu;
-          } else if (*iv < *iu) {
+          } else if (fadj[iv] < fadj[iu]) {
             ++iv;
           } else {
-            const vid w = *iu;
+            const vid w = fadj[iu];
             fetch_add(r.triangles[static_cast<std::size_t>(u)], 1);
             fetch_add(r.triangles[static_cast<std::size_t>(v)], 1);
             fetch_add(r.triangles[static_cast<std::size_t>(w)], 1);
@@ -50,7 +93,7 @@ ClusteringResult clustering_coefficients(const CsrGraph& g) {
         }
       }
     }
-    // Intersection scans touch every adjacency entry at least once.
+    // Intersection scans touch every forward adjacency entry at least once.
     obs::add_work(n, g.num_adjacency_entries());
   }
 

@@ -74,9 +74,13 @@ SsspResult delta_stepping(const CsrGraph& g, const EdgeWeights& w, vid source,
   GCT_CHECK(delta > 0.0, "delta_stepping: delta must be positive");
   GCT_CHECK(static_cast<eid>(w.value.size()) == g.num_adjacency_entries(),
             "delta_stepping: weights must match adjacency size");
-  for (double x : w.value) {
-    GCT_CHECK(x >= 0.0, "delta_stepping: weights must be nonnegative");
+  const auto wn = static_cast<std::int64_t>(w.value.size());
+  bool nonneg = true;
+#pragma omp parallel for schedule(static) reduction(&& : nonneg)
+  for (std::int64_t i = 0; i < wn; ++i) {
+    nonneg = nonneg && w.value[static_cast<std::size_t>(i)] >= 0.0;
   }
+  GCT_CHECK(nonneg, "delta_stepping: weights must be nonnegative");
 
   obs::KernelScope scope("sssp");
   SsspResult r;

@@ -173,7 +173,55 @@ std::vector<vid> sample_component_aware(const CsrGraph& g, std::int64_t k,
   return sources;
 }
 
+// Sources per buffer-team slot in one auto-mode batch: large enough that
+// each tree reduction amortizes over several sources, small enough that a
+// tiny budget still exercises multi-batch execution.
+constexpr std::int64_t kBcSourcesPerSlot = 8;
+
 }  // namespace
+
+BcPlan plan_betweenness(vid n, std::int64_t num_sources, int threads,
+                        const BetweennessOptions& opts) {
+  BcPlan p;
+  if (threads < 1) threads = 1;
+  if (num_sources < 1) num_sources = 1;
+  const std::uint64_t per_buffer =
+      static_cast<std::uint64_t>(n) * sizeof(double);
+
+  if (opts.parallelism == BcParallelism::kFine) {
+    p.mode = BcParallelism::kFine;
+    return p;
+  }
+  if (opts.parallelism == BcParallelism::kCoarse) {
+    // Legacy coarse: one buffer per thread, all sources in a single batch,
+    // budget ignored.
+    p.mode = BcParallelism::kCoarse;
+    p.team = threads;
+    p.batch_sources = num_sources;
+    p.num_batches = 1;
+    p.buffer_bytes = static_cast<std::uint64_t>(threads) * per_buffer;
+    return p;
+  }
+
+  // kAuto: fit the buffer team inside the budget. Fine mode keeps threads
+  // busy on level-parallel sweeps with O(1) score buffers, so it is the
+  // right fallback when n is large relative to threads x budget.
+  const std::int64_t affordable =
+      per_buffer == 0 ? threads
+                      : static_cast<std::int64_t>(
+                            opts.score_memory_budget_bytes / per_buffer);
+  if (affordable < 1 || (threads > 1 && affordable < 2)) {
+    p.mode = BcParallelism::kFine;
+    return p;
+  }
+  p.mode = BcParallelism::kCoarse;
+  p.team = static_cast<int>(std::min<std::int64_t>(
+      {threads, affordable, num_sources}));
+  p.batch_sources = std::min(num_sources, p.team * kBcSourcesPerSlot);
+  p.num_batches = (num_sources + p.batch_sources - 1) / p.batch_sources;
+  p.buffer_bytes = static_cast<std::uint64_t>(p.team) * per_buffer;
+  return p;
+}
 
 std::vector<vid> choose_sources(const CsrGraph& g,
                                 const BetweennessOptions& opts) {
@@ -218,7 +266,11 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
   }
   result.sources_used = static_cast<std::int64_t>(sources.size());
 
-  if (opts.parallelism == BcParallelism::kFine) {
+  const BcPlan plan =
+      plan_betweenness(n, result.sources_used, num_threads(), opts);
+  result.parallelism_used = plan.mode;
+
+  if (plan.mode == BcParallelism::kFine) {
     // Sources serial; each sweep is level-parallel with atomic adds. The
     // per-source BFS records exact work counters into bc.bfs (fine mode
     // runs on the profiling thread).
@@ -228,40 +280,49 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
       accumulate_source(g, s, ws, result.score, /*atomic_scores=*/true);
     }
   } else {
-    // Coarse: sources in parallel, per-thread buffers, tree-free reduction.
-    const int nt = num_threads();
+    // Coarse: sources in parallel across a buffer team, batch by batch; each
+    // batch ends with a parallel tree reduction that folds the buffers into
+    // the global scores and re-zeroes them for the next batch, so peak
+    // score-buffer memory stays at plan.buffer_bytes for the whole run.
+    result.batches = plan.num_batches;
+    result.peak_buffer_bytes = plan.buffer_bytes;
+    const int team = plan.team;
     std::vector<std::vector<double>> buffers(
-        static_cast<std::size_t>(nt),
+        static_cast<std::size_t>(team),
         std::vector<double>(static_cast<std::size_t>(n), 0.0));
-    {
-      GCT_SPAN("bc.accumulate");
+    std::vector<BcWorkspace> workspaces;
+    workspaces.reserve(static_cast<std::size_t>(team));
+    for (int t = 0; t < team; ++t) workspaces.emplace_back(n);
+
+    const auto num_sources = static_cast<std::int64_t>(sources.size());
+    for (std::int64_t b0 = 0; b0 < num_sources; b0 += plan.batch_sources) {
+      const std::int64_t b1 = std::min(num_sources, b0 + plan.batch_sources);
       {
-        obs::SuspendCollection pause;  // accounted in bulk below
-#pragma omp parallel num_threads(nt)
+        GCT_SPAN("bc.accumulate");
         {
-          const int t = omp_get_thread_num();
-          BcWorkspace ws(n);
+          obs::SuspendCollection pause;  // accounted in bulk below
+#pragma omp parallel num_threads(team)
+          {
+            const int t = omp_get_thread_num();
 #pragma omp for schedule(dynamic, 1)
-          for (std::int64_t i = 0;
-               i < static_cast<std::int64_t>(sources.size()); ++i) {
-            accumulate_source(g, sources[static_cast<std::size_t>(i)], ws,
-                              buffers[static_cast<std::size_t>(t)],
-                              /*atomic_scores=*/false);
+            for (std::int64_t i = b0; i < b1; ++i) {
+              accumulate_source(g, sources[static_cast<std::size_t>(i)],
+                                workspaces[static_cast<std::size_t>(t)],
+                                buffers[static_cast<std::size_t>(t)],
+                                /*atomic_scores=*/false);
+            }
           }
         }
+        // BFS-equivalent convention: one full-adjacency traversal per source
+        // (see docs/OBSERVABILITY.md on TEPS for sampled kernels).
+        obs::add_work((b1 - b0) * static_cast<std::int64_t>(n),
+                      (b1 - b0) * g.num_adjacency_entries());
       }
-      // BFS-equivalent convention: one full-adjacency traversal per source
-      // (see docs/OBSERVABILITY.md on TEPS for sampled kernels).
-      obs::add_work(result.sources_used * static_cast<std::int64_t>(n),
-                    result.sources_used * g.num_adjacency_entries());
-    }
-    GCT_SPAN("bc.reduce");
-    for (const auto& buf : buffers) {
-#pragma omp parallel for schedule(static)
-      for (vid v = 0; v < n; ++v) {
-        result.score[static_cast<std::size_t>(v)] +=
-            buf[static_cast<std::size_t>(v)];
-      }
+      GCT_SPAN("bc.reduce_tree");
+      tree_reduce_buffers(buffers,
+                          std::span<double>(result.score.data(),
+                                            result.score.size()),
+                          /*clear_buffers=*/b1 < num_sources);
     }
   }
 

@@ -30,6 +30,10 @@ namespace graphct {
 enum class BcParallelism {
   kCoarse,  ///< parallel over sources, per-thread buffers
   kFine,    ///< sources serial, level-parallel sweeps with atomics
+  kAuto,    ///< memory-bounded coarse: buffer team sized to the score
+            ///< memory budget, sources in batches with a parallel tree
+            ///< reduction per batch; falls back to kFine when even two
+            ///< buffers exceed the budget
 };
 
 /// How sampled sources are chosen.
@@ -58,6 +62,14 @@ struct BetweennessOptions {
   /// Scale sampled scores by n/num_sources so magnitudes estimate exact BC
   /// (rankings are unaffected; off by default to match GraphCT's raw sums).
   bool rescale = false;
+
+  /// kAuto only: cap on the total bytes of per-thread score buffers the
+  /// coarse engine may hold live at once (default 1 GiB). The buffer team is
+  /// sized to fit (budget / (n * 8) buffers, at most one per thread) and
+  /// sources run in batches of 8 x team so each tree reduction amortizes
+  /// over several sources. When the budget cannot fit two buffers the engine
+  /// falls back to fine-grained mode, whose score memory is O(1) buffers.
+  std::uint64_t score_memory_budget_bytes = std::uint64_t{1} << 30;
 };
 
 /// Result of a betweenness run.
@@ -65,7 +77,29 @@ struct BetweennessResult {
   std::vector<double> score;       ///< per-vertex centrality
   std::int64_t sources_used = 0;   ///< how many sources were accumulated
   double seconds = 0.0;            ///< kernel wall time (excludes setup)
+
+  /// Mode the engine actually ran (kAuto resolves to kCoarse or kFine).
+  BcParallelism parallelism_used = BcParallelism::kCoarse;
+  std::int64_t batches = 0;             ///< coarse source batches (0 = fine)
+  std::uint64_t peak_buffer_bytes = 0;  ///< high-water score-buffer memory
 };
+
+/// Execution plan the coarse/auto engine derives from the vertex count,
+/// source count, thread count, and memory budget — exposed so tests can
+/// assert the budget arithmetic without running a kernel.
+struct BcPlan {
+  BcParallelism mode = BcParallelism::kCoarse;  ///< kCoarse or kFine
+  int team = 1;                    ///< concurrent score buffers (coarse)
+  std::int64_t batch_sources = 0;  ///< sources per batch (coarse)
+  std::int64_t num_batches = 0;
+  std::uint64_t buffer_bytes = 0;  ///< team * n * sizeof(double)
+};
+
+/// Resolve BetweennessOptions::parallelism against a graph size and thread
+/// count. kCoarse and kFine pass through (kCoarse = one batch, one buffer
+/// per thread, budget ignored); kAuto applies the score memory budget.
+BcPlan plan_betweenness(vid n, std::int64_t num_sources, int threads,
+                        const BetweennessOptions& opts);
 
 /// Compute (approximate) betweenness centrality of an undirected graph.
 /// Self-loops never lie on shortest paths and are ignored.

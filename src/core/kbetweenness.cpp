@@ -162,41 +162,58 @@ KBetweennessResult k_betweenness_centrality(const CsrGraph& g,
   }
   result.sources_used = static_cast<std::int64_t>(sources.size());
 
+  // Memory-bounded team (same engine as BcParallelism::kAuto): one slot
+  // costs a score buffer plus the two (k+1) x n slack tables and the total
+  // array, so size the team to the budget with a floor of one worker.
+  const std::uint64_t slot_bytes =
+      static_cast<std::uint64_t>(2 * (opts.k + 1) + 2) *
+      static_cast<std::uint64_t>(n) * sizeof(double);
   const int nt = num_threads();
+  int team = nt;
+  if (slot_bytes > 0) {
+    const auto affordable = static_cast<std::int64_t>(
+        opts.score_memory_budget_bytes / slot_bytes);
+    team = static_cast<int>(std::clamp<std::int64_t>(affordable, 1, nt));
+  }
+  const auto num_sources = static_cast<std::int64_t>(sources.size());
+  const std::int64_t batch_sources =
+      std::min<std::int64_t>(num_sources, static_cast<std::int64_t>(team) * 8);
+  result.peak_buffer_bytes = static_cast<std::uint64_t>(team) * slot_bytes;
+
   std::vector<std::vector<double>> buffers(
-      static_cast<std::size_t>(nt),
+      static_cast<std::size_t>(team),
       std::vector<double>(static_cast<std::size_t>(n), 0.0));
-  {
-    GCT_SPAN("kbc.accumulate");
+  std::vector<KbcWorkspace> workspaces;
+  workspaces.reserve(static_cast<std::size_t>(team));
+  for (int t = 0; t < team; ++t) workspaces.emplace_back(opts.k, n);
+
+  for (std::int64_t b0 = 0; b0 < num_sources; b0 += batch_sources) {
+    const std::int64_t b1 = std::min(num_sources, b0 + batch_sources);
+    ++result.batches;
     {
-      obs::SuspendCollection pause;  // accounted in bulk below
-#pragma omp parallel num_threads(nt)
+      GCT_SPAN("kbc.accumulate");
       {
-        const int t = omp_get_thread_num();
-        KbcWorkspace ws(opts.k, n);
+        obs::SuspendCollection pause;  // accounted in bulk below
+#pragma omp parallel num_threads(team)
+        {
+          const int t = omp_get_thread_num();
 #pragma omp for schedule(dynamic, 1)
-        for (std::int64_t i = 0;
-             i < static_cast<std::int64_t>(sources.size()); ++i) {
-          accumulate_source_kbc(g, sources[static_cast<std::size_t>(i)], ws,
-                                buffers[static_cast<std::size_t>(t)]);
+          for (std::int64_t i = b0; i < b1; ++i) {
+            accumulate_source_kbc(g, sources[static_cast<std::size_t>(i)],
+                                  workspaces[static_cast<std::size_t>(t)],
+                                  buffers[static_cast<std::size_t>(t)]);
+          }
         }
       }
+      // Each source sweeps the adjacency once per slack value 0..k, forward
+      // and backward (BFS-equivalent TEPS convention for sampled kernels).
+      obs::add_work((b1 - b0) * static_cast<std::int64_t>(n),
+                    (b1 - b0) * 2 * (opts.k + 1) * g.num_adjacency_entries());
     }
-    // Each source sweeps the adjacency once per slack value 0..k, forward
-    // and backward (BFS-equivalent TEPS convention for sampled kernels).
-    obs::add_work(
-        result.sources_used * static_cast<std::int64_t>(n),
-        result.sources_used * 2 * (opts.k + 1) * g.num_adjacency_entries());
-  }
-  {
-    GCT_SPAN("kbc.reduce");
-    for (const auto& buf : buffers) {
-#pragma omp parallel for schedule(static)
-      for (vid v = 0; v < n; ++v) {
-        result.score[static_cast<std::size_t>(v)] +=
-            buf[static_cast<std::size_t>(v)];
-      }
-    }
+    GCT_SPAN("kbc.reduce_tree");
+    tree_reduce_buffers(
+        buffers, std::span<double>(result.score.data(), result.score.size()),
+        /*clear_buffers=*/b1 < num_sources);
   }
   result.seconds = scope.seconds();
   return result;

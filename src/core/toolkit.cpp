@@ -24,7 +24,8 @@ std::string bc_key(const char* kernel, const BetweennessOptions& o) {
          "|seed=" + std::to_string(o.seed) +
          "|par=" + std::to_string(static_cast<int>(o.parallelism)) +
          "|samp=" + std::to_string(static_cast<int>(o.sampling)) +
-         "|rescale=" + std::to_string(o.rescale);
+         "|rescale=" + std::to_string(o.rescale) +
+         "|budget=" + std::to_string(o.score_memory_budget_bytes);
 }
 
 }  // namespace
@@ -34,6 +35,10 @@ Toolkit::Toolkit(CsrGraph graph, const ToolkitOptions& opts)
       opts_(opts),
       cache_(std::make_unique<ResultCache>()),
       diameter_mu_(std::make_unique<std::mutex>()) {
+  // One-time preprocessing while we still hold the graph exclusively:
+  // sorted adjacency makes neighbor scans cache-ordered and is required by
+  // the sorted-merge clustering kernel. No-op for already-sorted loads.
+  graph_.sort_adjacency();
   if (opts_.estimate_diameter_on_load) {
     estimate_diameter(opts_.diameter_samples, opts_.diameter_multiplier);
   }
@@ -111,9 +116,11 @@ const BetweennessResult& Toolkit::betweenness(const BetweennessOptions& opts) {
 
 const KBetweennessResult& Toolkit::k_betweenness(
     const KBetweennessOptions& opts) {
-  const std::string key = "kbc|k=" + std::to_string(opts.k) +
-                          "|sources=" + std::to_string(opts.num_sources) +
-                          "|seed=" + std::to_string(opts.seed);
+  const std::string key =
+      "kbc|k=" + std::to_string(opts.k) +
+      "|sources=" + std::to_string(opts.num_sources) +
+      "|seed=" + std::to_string(opts.seed) +
+      "|budget=" + std::to_string(opts.score_memory_budget_bytes);
   return *cache_->get_or_compute<KBetweennessResult>(
       key, [&] { return k_betweenness_centrality(graph_, opts); });
 }
@@ -166,6 +173,7 @@ Toolkit Toolkit::extract_component(std::int64_t i) {
 
 void Toolkit::replace_graph(CsrGraph g) {
   graph_ = std::move(g);
+  graph_.sort_adjacency();
   invalidate();
 }
 

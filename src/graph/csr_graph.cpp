@@ -27,6 +27,20 @@ CsrGraph::CsrGraph(std::vector<eid> offsets, std::vector<vid> adjacency,
   }
 }
 
+void CsrGraph::sort_adjacency() {
+  if (sorted_) return;
+  const vid n = num_vertices();
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid v = 0; v < n; ++v) {
+    const auto lo = static_cast<std::ptrdiff_t>(
+        offsets_[static_cast<std::size_t>(v)]);
+    const auto hi = static_cast<std::ptrdiff_t>(
+        offsets_[static_cast<std::size_t>(v) + 1]);
+    std::sort(adjacency_.begin() + lo, adjacency_.begin() + hi);
+  }
+  sorted_ = true;
+}
+
 bool CsrGraph::has_edge(vid u, vid v) const {
   GCT_ASSERT(u >= 0 && u < num_vertices());
   GCT_ASSERT(v >= 0 && v < num_vertices());

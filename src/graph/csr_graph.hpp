@@ -64,6 +64,14 @@ class CsrGraph {
   /// by binary search and linear-merge triangle counting).
   [[nodiscard]] bool sorted_adjacency() const { return sorted_; }
 
+  /// One-time preprocessing: sort every adjacency list ascending (parallel
+  /// over vertices) and record the property, so neighbor scans run in cache
+  /// order and clustering can use sorted-merge intersection. No-op when the
+  /// graph is already sorted. Mutates the adjacency array in place; callers
+  /// must hold exclusive ownership (Toolkit applies it at load time, before
+  /// any kernel can share the graph).
+  void sort_adjacency();
+
   /// Out-degree of v (== degree for undirected graphs).
   [[nodiscard]] vid degree(vid v) const {
     return static_cast<vid>(offsets_[static_cast<std::size_t>(v) + 1] -

@@ -458,6 +458,53 @@ void Interpreter::execute(const Command& cmd) {
       throw Error("script line " + std::to_string(cmd.line) +
                   ": unknown extract target '" + what + "'");
     }
+  } else if (verb == "bc") {
+    // bc <num sources> [fine|coarse|auto] [budget MiB]
+    // Plain Brandes betweenness (kcentrality's k=0 fast path) with the
+    // parallelism mode and kAuto score-memory budget exposed.
+    require_arity(cmd, 2, 4);
+    Toolkit& tk = im.current(cmd.line);
+    graphct::BetweennessOptions bo;
+    bo.num_sources = parse_i64(cmd.tokens[1], cmd);
+    bo.parallelism = graphct::BcParallelism::kAuto;
+    if (cmd.tokens.size() >= 3) {
+      const std::string& mode = cmd.tokens[2];
+      if (mode == "fine") {
+        bo.parallelism = graphct::BcParallelism::kFine;
+      } else if (mode == "coarse") {
+        bo.parallelism = graphct::BcParallelism::kCoarse;
+      } else if (mode == "auto") {
+        bo.parallelism = graphct::BcParallelism::kAuto;
+      } else {
+        throw Error("script line " + std::to_string(cmd.line) +
+                    ": bc mode must be fine, coarse, or auto (got '" + mode +
+                    "')");
+      }
+    }
+    if (cmd.tokens.size() >= 4) {
+      const std::int64_t mib = parse_i64(cmd.tokens[3], cmd);
+      if (mib <= 0) {
+        throw Error("script line " + std::to_string(cmd.line) +
+                    ": bc budget must be a positive MiB count");
+      }
+      bo.score_memory_budget_bytes = static_cast<std::uint64_t>(mib) << 20;
+    }
+    const auto& res = tk.betweenness(bo);
+    out << "bc sources=" << res.sources_used << " mode="
+        << (res.parallelism_used == graphct::BcParallelism::kFine ? "fine"
+                                                                  : "coarse")
+        << " batches=" << res.batches << ": done in "
+        << graphct::format_duration(res.seconds) << "\n";
+    if (cmd.has_redirect()) {
+      write_per_vertex(cmd.redirect, res.score);
+    } else {
+      auto top = graphct::top_k(
+          std::span<const double>(res.score.data(), res.score.size()), 10);
+      for (auto v : top) {
+        out << "  vertex " << v << "  score "
+            << res.score[static_cast<std::size_t>(v)] << "\n";
+      }
+    }
   } else if (verb == "kcentrality") {
     require_arity(cmd, 3, 3);
     Toolkit& tk = im.current(cmd.line);

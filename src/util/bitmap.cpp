@@ -1,0 +1,75 @@
+#include "util/bitmap.hpp"
+
+#include <bit>
+
+#include "util/parallel.hpp"
+
+namespace graphct {
+
+namespace {
+
+// Words per compaction block: 64 words = 4096 bits per block keeps the
+// per-block counts array tiny while giving schedulers enough chunks.
+constexpr std::int64_t kBlockWords = 64;
+
+}  // namespace
+
+void Bitmap::clear() {
+  const std::int64_t nw = num_words();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t w = 0; w < nw; ++w) {
+    words_[static_cast<std::size_t>(w)] = 0;
+  }
+}
+
+std::int64_t Bitmap::count() const {
+  const std::int64_t nw = num_words();
+  std::int64_t total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t w = 0; w < nw; ++w) {
+    total += std::popcount(words_[static_cast<std::size_t>(w)] & live_mask(w));
+  }
+  return total;
+}
+
+std::int64_t compact_set_bits(const Bitmap& bm, std::int64_t* out,
+                              std::vector<std::int64_t>& block_counts) {
+  const std::int64_t nw = bm.num_words();
+  const std::int64_t nblocks = (nw + kBlockWords - 1) / kBlockWords;
+  if (static_cast<std::int64_t>(block_counts.size()) < nblocks) {
+    block_counts.resize(static_cast<std::size_t>(nblocks));
+  }
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const std::int64_t wend = std::min(nw, (b + 1) * kBlockWords);
+    std::int64_t c = 0;
+    for (std::int64_t w = b * kBlockWords; w < wend; ++w) {
+      c += std::popcount(bm.word(w) & bm.live_mask(w));
+    }
+    block_counts[static_cast<std::size_t>(b)] = c;
+  }
+
+  const std::int64_t total = exclusive_scan(
+      std::span<const std::int64_t>(block_counts.data(),
+                                    static_cast<std::size_t>(nblocks)),
+      std::span<std::int64_t>(block_counts.data(),
+                              static_cast<std::size_t>(nblocks)));
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    std::int64_t pos = block_counts[static_cast<std::size_t>(b)];
+    const std::int64_t wend = std::min(nw, (b + 1) * kBlockWords);
+    for (std::int64_t w = b * kBlockWords; w < wend; ++w) {
+      std::uint64_t bits = bm.word(w) & bm.live_mask(w);
+      const std::int64_t base = w * Bitmap::kBitsPerWord;
+      while (bits != 0) {
+        out[pos++] = base + std::countr_zero(bits);
+        bits &= bits - 1;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace graphct

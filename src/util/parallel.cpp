@@ -142,4 +142,37 @@ void parallel_fill(std::span<double> v, double value) {
   for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = value;
 }
 
+void tree_reduce_buffers(std::vector<std::vector<double>>& buffers,
+                         std::span<double> out, bool clear_buffers) {
+  const auto nb = static_cast<std::int64_t>(buffers.size());
+  const auto n = static_cast<std::int64_t>(out.size());
+  if (nb == 0) return;
+  for (const auto& b : buffers) {
+    GCT_ASSERT(static_cast<std::int64_t>(b.size()) >= n);
+  }
+  // Pairwise combine: after the last stage buffers[0] holds the full sum.
+  // Summation order is fixed by the tree shape, not the schedule, so results
+  // are reproducible for a given buffer count.
+  for (std::int64_t stride = 1; stride < nb; stride *= 2) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t b = 0; b + stride < nb; b += 2 * stride) {
+        buffers[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)] +=
+            buffers[static_cast<std::size_t>(b + stride)]
+                   [static_cast<std::size_t>(i)];
+      }
+    }
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] +=
+        buffers[0][static_cast<std::size_t>(i)];
+    if (clear_buffers) {
+      for (std::int64_t b = 0; b < nb; ++b) {
+        buffers[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)] = 0.0;
+      }
+    }
+  }
+}
+
 }  // namespace graphct

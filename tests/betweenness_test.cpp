@@ -92,6 +92,87 @@ TEST(BetweennessTest, FineAndCoarseAgree) {
                      betweenness_centrality(g, fine).score, 1e-7);
 }
 
+TEST(BetweennessTest, AutoAgreesWithFineAndCoarse) {
+  const auto g = erdos_renyi(120, 500, 3);
+  BetweennessOptions coarse;
+  BetweennessOptions fine;
+  fine.parallelism = BcParallelism::kFine;
+  BetweennessOptions aut;
+  aut.parallelism = BcParallelism::kAuto;
+  const auto rc = betweenness_centrality(g, coarse);
+  const auto rf = betweenness_centrality(g, fine);
+  const auto ra = betweenness_centrality(g, aut);
+  expect_scores_near(ra.score, rc.score, 1e-7);
+  expect_scores_near(ra.score, rf.score, 1e-7);
+}
+
+TEST(BetweennessTest, AutoTinyBudgetBatchesAndStaysUnderBudget) {
+  // n = 200 so one score buffer is 1600 bytes. A 4000-byte budget affords
+  // two buffers -> team <= 2, batches of <= 16 sources; 64 sources must run
+  // in at least 4 batches while peak buffer memory stays under the budget.
+  const auto g = erdos_renyi(200, 800, 21);
+  BetweennessOptions o;
+  o.parallelism = BcParallelism::kAuto;
+  o.num_sources = 64;
+  o.seed = 5;
+  o.score_memory_budget_bytes = 4000;
+  const auto r = betweenness_centrality(g, o);
+  EXPECT_EQ(r.parallelism_used, BcParallelism::kCoarse);
+  EXPECT_GE(r.batches, 2);
+  EXPECT_GT(r.peak_buffer_bytes, 0u);
+  EXPECT_LE(r.peak_buffer_bytes, o.score_memory_budget_bytes);
+
+  // Batched execution must not change the scores.
+  BetweennessOptions one_batch = o;
+  one_batch.parallelism = BcParallelism::kCoarse;
+  expect_scores_near(r.score, betweenness_centrality(g, one_batch).score,
+                     1e-7);
+}
+
+TEST(BetweennessTest, AutoFallsBackToFineWhenBudgetTooSmall) {
+  const auto g = erdos_renyi(100, 300, 9);
+  BetweennessOptions o;
+  o.parallelism = BcParallelism::kAuto;
+  o.score_memory_budget_bytes = 100;  // cannot fit even one 800-byte buffer
+  const auto r = betweenness_centrality(g, o);
+  EXPECT_EQ(r.parallelism_used, BcParallelism::kFine);
+  EXPECT_EQ(r.batches, 0);
+  expect_scores_near(r.score, betweenness_centrality(g).score, 1e-7);
+}
+
+TEST(BcPlanTest, BudgetArithmetic) {
+  BetweennessOptions o;
+  o.parallelism = BcParallelism::kAuto;
+
+  // Budget affords 2 buffers for n=200 (1600 B each): team = 2,
+  // batches of 16 over 64 sources = 4 batches.
+  o.score_memory_budget_bytes = 4000;
+  const auto p = plan_betweenness(/*n=*/200, /*num_sources=*/64,
+                                  /*threads=*/8, o);
+  EXPECT_EQ(p.mode, BcParallelism::kCoarse);
+  EXPECT_EQ(p.team, 2);
+  EXPECT_EQ(p.batch_sources, 16);
+  EXPECT_EQ(p.num_batches, 4);
+  EXPECT_LE(p.buffer_bytes, o.score_memory_budget_bytes);
+
+  // Plenty of budget: team capped by threads, sources in one batch when few.
+  o.score_memory_budget_bytes = std::uint64_t{1} << 30;
+  const auto wide = plan_betweenness(200, 10, 4, o);
+  EXPECT_EQ(wide.mode, BcParallelism::kCoarse);
+  EXPECT_LE(wide.team, 4);
+  EXPECT_EQ(wide.num_batches, 1);
+
+  // Budget below one buffer: fine fallback.
+  o.score_memory_budget_bytes = 100;
+  EXPECT_EQ(plan_betweenness(200, 64, 8, o).mode, BcParallelism::kFine);
+
+  // Explicit modes pass through regardless of budget.
+  o.parallelism = BcParallelism::kCoarse;
+  EXPECT_EQ(plan_betweenness(200, 64, 8, o).mode, BcParallelism::kCoarse);
+  o.parallelism = BcParallelism::kFine;
+  EXPECT_EQ(plan_betweenness(200, 64, 8, o).mode, BcParallelism::kFine);
+}
+
 TEST(BetweennessTest, SampledSubsetOfSourcesUnderestimates) {
   const auto g = erdos_renyi(150, 600, 5);
   BetweennessOptions o;

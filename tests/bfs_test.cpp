@@ -6,6 +6,7 @@
 #include "gen/shapes.hpp"
 #include "test_support.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace graphct {
 namespace {
@@ -186,6 +187,39 @@ TEST(BfsTest, UnsortedOrderStillGroupsLevels) {
          i < static_cast<std::size_t>(r.level_offsets[d + 1]); ++i) {
       EXPECT_EQ(r.distance[static_cast<std::size_t>(r.order[i])],
                 static_cast<vid>(d));
+    }
+  }
+}
+
+TEST(BfsTest, DeterministicAcrossThreadCounts) {
+  // With deterministic_order, the vertex order, level offsets, and
+  // distances must be byte-identical no matter how many threads ran the
+  // search — the prefix-sum compaction emits each level in ascending id
+  // order by construction.
+  const auto g = erdos_renyi(3000, 15000, 77);
+  BfsOptions o;
+  o.deterministic_order = true;
+  for (auto strategy :
+       {BfsStrategy::kTopDown, BfsStrategy::kDirectionOptimizing}) {
+    o.strategy = strategy;
+    set_num_threads(1);
+    const auto base = bfs(g, 0, o);
+    for (int t : {2, 8}) {
+      set_num_threads(t);
+      const auto r = bfs(g, 0, o);
+      EXPECT_EQ(r.order, base.order) << "threads=" << t;
+      EXPECT_EQ(r.level_offsets, base.level_offsets) << "threads=" << t;
+      EXPECT_EQ(r.distance, base.distance) << "threads=" << t;
+    }
+    set_num_threads(0);
+
+    // Each level must come out in ascending vertex id.
+    for (std::size_t lvl = 0; lvl + 1 < base.level_offsets.size(); ++lvl) {
+      for (auto i = base.level_offsets[lvl] + 1;
+           i < base.level_offsets[lvl + 1]; ++i) {
+        EXPECT_LT(base.order[static_cast<std::size_t>(i - 1)],
+                  base.order[static_cast<std::size_t>(i)]);
+      }
     }
   }
 }

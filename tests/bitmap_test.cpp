@@ -1,0 +1,138 @@
+#include "util/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace graphct {
+namespace {
+
+TEST(BitmapTest, EmptyBitmap) {
+  Bitmap bm;
+  EXPECT_EQ(bm.size(), 0);
+  EXPECT_EQ(bm.num_words(), 0);
+  EXPECT_EQ(bm.count(), 0);
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap bm(130);  // spans three words, last one partial
+  bm.clear();
+  EXPECT_EQ(bm.count(), 0);
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(129));
+  EXPECT_FALSE(bm.test(1));
+  EXPECT_FALSE(bm.test(128));
+  EXPECT_EQ(bm.count(), 4);
+  bm.clear();
+  EXPECT_EQ(bm.count(), 0);
+  EXPECT_FALSE(bm.test(63));
+}
+
+TEST(BitmapTest, ResizeGrowsAndKeepsCapacity) {
+  Bitmap bm(10);
+  bm.clear();
+  bm.set(3);
+  bm.resize(1000);  // content unspecified after resize — clear before use
+  bm.clear();
+  EXPECT_EQ(bm.size(), 1000);
+  EXPECT_EQ(bm.count(), 0);
+  bm.resize(5);  // shrink keeps storage, just narrows the live range
+  bm.clear();
+  bm.set(4);
+  EXPECT_EQ(bm.count(), 1);
+}
+
+TEST(BitmapTest, LiveMaskCoversPartialLastWord) {
+  Bitmap bm(70);  // word 0 full, word 1 has 6 live bits
+  EXPECT_EQ(bm.live_mask(0), ~std::uint64_t{0});
+  EXPECT_EQ(bm.live_mask(1), (std::uint64_t{1} << 6) - 1);
+  Bitmap exact(128);
+  EXPECT_EQ(exact.live_mask(1), ~std::uint64_t{0});
+}
+
+TEST(BitmapTest, WordAccessors) {
+  Bitmap bm(128);
+  bm.clear();
+  bm.set_in_word(1, 5);
+  EXPECT_TRUE(bm.test(64 + 5));
+  bm.store_word(0, 0xFFu);
+  EXPECT_EQ(bm.word(0), 0xFFu);
+  EXPECT_EQ(bm.count(), 9);
+}
+
+TEST(BitmapTest, SetAtomicMatchesSet) {
+  Bitmap bm(256);
+  bm.clear();
+  for (std::int64_t i = 0; i < 256; i += 3) bm.set_atomic(i);
+  for (std::int64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(bm.test(i), i % 3 == 0) << "bit " << i;
+  }
+}
+
+TEST(BitmapTest, CompactEmitsAscendingIndices) {
+  const std::int64_t n = 10'000;
+  Bitmap bm(n);
+  bm.clear();
+  std::vector<std::int64_t> expect;
+  Rng rng(42);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.next_below(7) == 0) {
+      bm.set(i);
+      expect.push_back(i);
+    }
+  }
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> scratch;
+  const std::int64_t cnt = compact_set_bits(bm, out.data(), scratch);
+  ASSERT_EQ(cnt, static_cast<std::int64_t>(expect.size()));
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(out[i], expect[i]) << "position " << i;
+  }
+}
+
+TEST(BitmapTest, CompactIsThreadCountInvariant) {
+  const std::int64_t n = 50'000;
+  Bitmap bm(n);
+  bm.clear();
+  for (std::int64_t i = 0; i < n; i += 11) bm.set(i);
+  std::vector<std::int64_t> scratch;
+
+  std::vector<std::int64_t> serial(static_cast<std::size_t>(n));
+  set_num_threads(1);
+  const std::int64_t c1 = compact_set_bits(bm, serial.data(), scratch);
+
+  std::vector<std::int64_t> parallel(static_cast<std::size_t>(n));
+  set_num_threads(8);
+  const std::int64_t c8 = compact_set_bits(bm, parallel.data(), scratch);
+  set_num_threads(0);
+
+  ASSERT_EQ(c1, c8);
+  for (std::int64_t i = 0; i < c1; ++i) {
+    EXPECT_EQ(serial[static_cast<std::size_t>(i)],
+              parallel[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(BitmapTest, CompactFullAndEmpty) {
+  Bitmap bm(77);
+  bm.clear();
+  std::vector<std::int64_t> out(77);
+  std::vector<std::int64_t> scratch;
+  EXPECT_EQ(compact_set_bits(bm, out.data(), scratch), 0);
+  for (std::int64_t i = 0; i < 77; ++i) bm.set(i);
+  ASSERT_EQ(compact_set_bits(bm, out.data(), scratch), 77);
+  for (std::int64_t i = 0; i < 77; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace graphct

@@ -6,6 +6,7 @@
 #include "gen/shapes.hpp"
 #include "test_support.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace graphct {
 namespace {
@@ -69,6 +70,45 @@ TEST(ClusteringTest, SelfLoopIgnored) {
 TEST(ClusteringTest, DirectedThrows) {
   const auto g = make_directed(3, {{0, 1}});
   EXPECT_THROW(clustering_coefficients(g), Error);
+}
+
+TEST(ClusteringTest, StarGraphDegreeSkew) {
+  // A star is the worst case for undirected wedge counting (the hub has
+  // O(n^2) wedges) and the best case for the degree-ordered direction: every
+  // edge points spoke -> hub, forward adjacency lists have length <= 1, and
+  // no intersection ever runs. Zero triangles either way.
+  const auto g = star_graph(500);
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, 0);
+  for (std::int64_t t : r.triangles) EXPECT_EQ(t, 0);
+  EXPECT_DOUBLE_EQ(r.coefficient[0], 0.0);
+}
+
+TEST(ClusteringTest, StarWithRimTriangles) {
+  // Star plus a rim edge between consecutive spokes: each rim edge closes
+  // exactly one triangle through the hub.
+  const vid spokes = 40;
+  EdgeList el(spokes + 1);
+  for (vid s = 1; s <= spokes; ++s) el.add(0, s);
+  for (vid s = 1; s < spokes; ++s) el.add(s, s + 1);
+  BuildOptions b;
+  b.symmetrize = true;
+  b.dedup = true;
+  const auto g = build_csr(el, b);
+  const auto r = clustering_coefficients(g);
+  EXPECT_EQ(r.total_triangles, spokes - 1);
+  EXPECT_EQ(r.triangles[0], spokes - 1);  // hub is in every triangle
+}
+
+TEST(ClusteringTest, ThreadCountInvariant) {
+  const auto g = erdos_renyi(800, 6000, 19);
+  set_num_threads(1);
+  const auto serial = clustering_coefficients(g);
+  set_num_threads(8);
+  const auto parallel = clustering_coefficients(g);
+  set_num_threads(0);
+  EXPECT_EQ(parallel.total_triangles, serial.total_triangles);
+  EXPECT_EQ(parallel.triangles, serial.triangles);
 }
 
 TEST(ClusteringTest, WattsStrogatzRingIsClustered) {

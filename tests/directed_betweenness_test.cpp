@@ -120,6 +120,35 @@ TEST(DirectedBcTest, SymmetricDigraphMatchesUndirected) {
   }
 }
 
+TEST(DirectedBcTest, FineCoarseAutoAgree) {
+  Rng rng(31);
+  const vid n = 80;
+  EdgeList el(n);
+  for (std::int64_t i = 0; i < 400; ++i) {
+    el.add(static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n))),
+           static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  BuildOptions b;
+  b.symmetrize = false;
+  const auto g = build_csr(el, b);
+
+  BetweennessOptions fine;
+  fine.parallelism = BcParallelism::kFine;
+  BetweennessOptions aut;
+  aut.parallelism = BcParallelism::kAuto;
+  aut.score_memory_budget_bytes = 2000;  // ~3 buffers of 640 B -> batched
+  const auto rc = directed_betweenness_centrality(g);
+  const auto rf = directed_betweenness_centrality(g, fine);
+  const auto ra = directed_betweenness_centrality(g, aut);
+  ASSERT_EQ(ra.score.size(), rc.score.size());
+  for (std::size_t v = 0; v < rc.score.size(); ++v) {
+    EXPECT_NEAR(ra.score[v], rc.score[v], 1e-7) << "vertex " << v;
+    EXPECT_NEAR(rf.score[v], rc.score[v], 1e-7) << "vertex " << v;
+  }
+  EXPECT_GE(ra.batches, 2);
+  EXPECT_LE(ra.peak_buffer_bytes, aut.score_memory_budget_bytes);
+}
+
 class DirectedBcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DirectedBcPropertyTest, MatchesSerialReference) {

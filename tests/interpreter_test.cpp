@@ -119,6 +119,33 @@ TEST(InterpreterTest, KcentralityToScreenShowsTopVertices) {
   EXPECT_NE(out.str().find("vertex"), std::string::npos);
 }
 
+TEST(InterpreterTest, BcVerbModesAndBudget) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\nbc 16\nbc 16 fine\nbc 16 auto 1\n");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("mode=coarse"), std::string::npos);  // auto resolves
+  EXPECT_NE(s.find("mode=fine"), std::string::npos);
+  EXPECT_NE(s.find("vertex"), std::string::npos);  // top-vertex table
+
+  EXPECT_THROW(in.run("bc 16 lazy\n"), Error);
+  EXPECT_THROW(in.run("bc 16 auto 0\n"), Error);
+}
+
+TEST(InterpreterTest, BcVerbToFile) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  const std::string scores = temp_path("gct_interp_bc_scores.txt");
+  in.run("generate rmat 6 4\nbc 16 coarse => " + scores + "\n");
+  std::ifstream f(scores);
+  ASSERT_TRUE(f.good());
+  std::int64_t lines = 0;
+  std::string line;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, in.current().graph().num_vertices());
+  std::remove(scores.c_str());
+}
+
 TEST(InterpreterTest, DiameterWithPercentArgument) {
   std::ostringstream out;
   Interpreter in(out, fast_opts());

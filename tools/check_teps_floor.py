@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail when a kernel's TEPS regresses against a checked-in baseline.
+
+Usage: check_teps_floor.py CURRENT BASELINE [--max-regression 0.30]
+                           [--threads 1]
+
+Both files are bench/kernel_profile output (one JSON object per line, the
+format validate_kernel_profile.py checks). Profiles are matched by
+(kernel, threads); kernels present in only one file are reported but do
+not fail the check (the baseline may predate a kernel, and CI may run a
+subset). By default only threads=1 rows are compared — single-thread TEPS
+is the schedule-independent number; oversubscribed multi-thread rows are
+too noisy for a hard floor. Pass --threads 0 to compare every row.
+
+A kernel fails when current_teps < baseline_teps * (1 - max_regression).
+Exits non-zero listing every failing kernel.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_profiles(path, threads_filter):
+    """Return {(kernel, threads): teps}, keeping the best row per key."""
+    out = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"check_teps_floor: {path} line {lineno}: {e}")
+            if obj.get("bench") != "kernel_profile":
+                continue
+            threads = obj.get("threads", 0)
+            if threads_filter and threads != threads_filter:
+                continue
+            key = (obj["kernel"], threads)
+            teps = float(obj.get("teps", 0.0))
+            if teps > out.get(key, 0.0):
+                out[key] = teps
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current", help="fresh kernel_profile output")
+    parser.add_argument("baseline", help="checked-in reference run")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional TEPS drop (default 0.30)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="compare only rows with this thread count "
+                             "(0 = all rows)")
+    args = parser.parse_args()
+
+    current = load_profiles(args.current, args.threads)
+    baseline = load_profiles(args.baseline, args.threads)
+    if not current:
+        sys.exit("check_teps_floor: no matching profiles in current file")
+    if not baseline:
+        sys.exit("check_teps_floor: no matching profiles in baseline file")
+
+    failures = []
+    for key in sorted(baseline):
+        kernel, threads = key
+        if key not in current:
+            print(f"  {kernel} (t={threads}): in baseline only — skipped")
+            continue
+        floor = baseline[key] * (1.0 - args.max_regression)
+        ratio = current[key] / baseline[key] if baseline[key] > 0 else 1.0
+        status = "ok" if current[key] >= floor else "FAIL"
+        print(f"  {kernel} (t={threads}): {current[key]:.3e} vs baseline "
+              f"{baseline[key]:.3e} ({ratio:.2f}x) {status}")
+        if current[key] < floor:
+            failures.append(f"{kernel} (t={threads})")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  {key[0]} (t={key[1]}): new kernel, no baseline — skipped")
+
+    if failures:
+        sys.exit(f"check_teps_floor: TEPS regressed more than "
+                 f"{args.max_regression:.0%}: {failures}")
+    print(f"check_teps_floor: {len(baseline)} kernels within "
+          f"{args.max_regression:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,8 @@
 ///
 ///   graphct info <graph>                     # counts, diameter estimate
 ///   graphct characterize <graph>             # every cached kernel
-///   graphct bc <graph> [--sources N] [--k K] [--out scores.txt]
+///   graphct bc <graph> [--sources N] [--k K] [--mode fine|coarse|auto]
+///              [--budget-mb M] [--out scores.txt]
 ///   graphct components <graph> [--out labels.txt]
 ///   graphct convert <in> <out>               # formats by extension
 ///   graphct generate rmat <scale> <edge factor> <out>
@@ -89,7 +90,8 @@ int usage() {
       << "usage: graphct [--threads N] [--profile] <command> ...\n"
          "  info <graph>                         counts + diameter estimate\n"
          "  characterize <graph>                 run every kernel\n"
-         "  bc <graph> [--sources N] [--k K] [--out f]   (k-)betweenness\n"
+         "  bc <graph> [--sources N] [--k K] [--mode fine|coarse|auto]\n"
+         "     [--budget-mb M] [--out f]          (k-)betweenness\n"
          "  components <graph> [--out f]         connected components\n"
          "  convert <in> <out>                   convert between formats\n"
          "  generate rmat <scale> <ef> <out>     synthesize an R-MAT graph\n"
@@ -252,11 +254,25 @@ int cmd_bc(const Cli& cli) {
   Toolkit tk(load_graph(cli.positional()[0]));
   const auto k = cli.get("k", std::int64_t{0});
   const auto sources = cli.get("sources", std::int64_t{kNoVertex});
+  const auto mode = cli.get("mode", std::string("auto"));
+  const auto budget_mb = cli.get("budget-mb", std::int64_t{1024});
+  GCT_CHECK(budget_mb > 0, "bc: --budget-mb must be positive");
   std::vector<double> scores;
   double seconds;
   if (k == 0) {
     BetweennessOptions o;
     o.num_sources = sources;
+    if (mode == "fine") {
+      o.parallelism = BcParallelism::kFine;
+    } else if (mode == "coarse") {
+      o.parallelism = BcParallelism::kCoarse;
+    } else if (mode == "auto") {
+      o.parallelism = BcParallelism::kAuto;
+    } else {
+      throw Error("bc: --mode must be fine, coarse, or auto (got '" + mode +
+                  "')");
+    }
+    o.score_memory_budget_bytes = static_cast<std::uint64_t>(budget_mb) << 20;
     const auto& r = tk.betweenness(o);
     scores = r.score;
     seconds = r.seconds;
@@ -264,6 +280,7 @@ int cmd_bc(const Cli& cli) {
     KBetweennessOptions o;
     o.k = k;
     o.num_sources = sources;
+    o.score_memory_budget_bytes = static_cast<std::uint64_t>(budget_mb) << 20;
     const auto& r = tk.k_betweenness(o);
     scores = r.score;
     seconds = r.seconds;
@@ -332,6 +349,8 @@ int main(int argc, char** argv) {
     Cli cli(argc - argi, argv + argi,
             {{"sources", "BC source sample"},
              {"k", "k-betweenness slack"},
+             {"mode", "BC parallelism: fine|coarse|auto"},
+             {"budget-mb", "BC score-memory budget in MiB (auto mode)"},
              {"out", "per-vertex output file"},
              {"timings", "script timings!"},
              {"threads", "OpenMP thread count (0 = default)"},
