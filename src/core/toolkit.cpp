@@ -18,6 +18,44 @@ std::string diameter_key(std::int64_t samples, std::int64_t multiplier,
          "|seed=" + std::to_string(seed);
 }
 
+/// Byte estimators for struct-of-vector kernel results, so the cache's
+/// budget accounting sees the heap behind them (the default estimator
+/// only handles bare vectors).
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t bytes_of(const ComponentStats& s) {
+  return sizeof(s) + vec_bytes(s.sizes);
+}
+std::size_t bytes_of(const ClusteringResult& c) {
+  return sizeof(c) + vec_bytes(c.triangles) + vec_bytes(c.coefficient);
+}
+std::size_t bytes_of(const BetweennessResult& b) {
+  return sizeof(b) + vec_bytes(b.score);
+}
+std::size_t bytes_of(const KBetweennessResult& b) {
+  return sizeof(b) + vec_bytes(b.score);
+}
+std::size_t bytes_of(const PageRankResult& p) {
+  return sizeof(p) + vec_bytes(p.score);
+}
+std::size_t bytes_of(const ClosenessResult& c) {
+  return sizeof(c) + vec_bytes(c.score);
+}
+std::size_t bytes_of(const CommunityResult& c) {
+  return sizeof(c) + vec_bytes(c.labels);
+}
+
+/// Adapter passing the overload set above as a cache size estimator.
+struct StructBytes {
+  template <typename T>
+  std::size_t operator()(const T& v) const {
+    return bytes_of(v);
+  }
+};
+
 std::string bc_key(const char* kernel, const BetweennessOptions& o) {
   return std::string(kernel) + "|sources=" + std::to_string(o.num_sources) +
          "|frac=" + std::to_string(o.sample_fraction) +
@@ -35,6 +73,7 @@ Toolkit::Toolkit(CsrGraph graph, const ToolkitOptions& opts)
       opts_(opts),
       cache_(std::make_unique<ResultCache>()),
       diameter_mu_(std::make_unique<std::mutex>()) {
+  cache_->set_budget_bytes(opts_.cache_budget_bytes);
   // One-time preprocessing while we still hold the graph exclusively:
   // sorted adjacency makes neighbor scans cache-ordered and is required by
   // the sorted-merge clustering kernel. No-op for already-sorted loads.
@@ -86,7 +125,8 @@ const std::vector<vid>& Toolkit::components() {
 
 const ComponentStats& Toolkit::components_stats() {
   return *cache_->get_or_compute<ComponentStats>(
-      "component_stats", [&] { return component_stats(components()); });
+      "component_stats", [&] { return component_stats(components()); },
+      StructBytes{});
 }
 
 const Summary& Toolkit::degree_stats() {
@@ -101,7 +141,7 @@ const LogHistogram& Toolkit::degree_histogram() {
 
 const ClusteringResult& Toolkit::clustering() {
   return *cache_->get_or_compute<ClusteringResult>(
-      "clustering", [&] { return clustering_coefficients(graph_); });
+      "clustering", [&] { return clustering_coefficients(graph_); }, StructBytes{});
 }
 
 const std::vector<std::int64_t>& Toolkit::core_numbers() {
@@ -111,7 +151,8 @@ const std::vector<std::int64_t>& Toolkit::core_numbers() {
 
 const BetweennessResult& Toolkit::betweenness(const BetweennessOptions& opts) {
   return *cache_->get_or_compute<BetweennessResult>(
-      bc_key("bc", opts), [&] { return betweenness_centrality(graph_, opts); });
+      bc_key("bc", opts), [&] { return betweenness_centrality(graph_, opts); },
+      StructBytes{});
 }
 
 const KBetweennessResult& Toolkit::k_betweenness(
@@ -122,7 +163,8 @@ const KBetweennessResult& Toolkit::k_betweenness(
       "|seed=" + std::to_string(opts.seed) +
       "|budget=" + std::to_string(opts.score_memory_budget_bytes);
   return *cache_->get_or_compute<KBetweennessResult>(
-      key, [&] { return k_betweenness_centrality(graph_, opts); });
+      key, [&] { return k_betweenness_centrality(graph_, opts); },
+      StructBytes{});
 }
 
 const PageRankResult& Toolkit::pagerank(const PageRankOptions& opts) {
@@ -130,7 +172,7 @@ const PageRankResult& Toolkit::pagerank(const PageRankOptions& opts) {
                           "|tol=" + std::to_string(opts.tolerance) +
                           "|iters=" + std::to_string(opts.max_iterations);
   return *cache_->get_or_compute<PageRankResult>(
-      key, [&] { return graphct::pagerank(graph_, opts); });
+      key, [&] { return graphct::pagerank(graph_, opts); }, StructBytes{});
 }
 
 const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {
@@ -139,7 +181,7 @@ const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {
                           "|seed=" + std::to_string(opts.seed) +
                           "|rescale=" + std::to_string(opts.rescale);
   return *cache_->get_or_compute<ClosenessResult>(
-      key, [&] { return closeness_centrality(graph_, opts); });
+      key, [&] { return closeness_centrality(graph_, opts); }, StructBytes{});
 }
 
 const CommunityResult& Toolkit::communities() {
@@ -147,7 +189,7 @@ const CommunityResult& Toolkit::communities() {
     LabelPropagationOptions o;
     o.seed = opts_.seed;
     return label_propagation(graph_, o);
-  });
+  }, StructBytes{});
 }
 
 double Toolkit::community_modularity() {

@@ -51,6 +51,12 @@ struct ToolkitOptions {
 
   /// Skip the load-time diameter pass (it is O(samples * (m+n))).
   bool estimate_diameter_on_load = true;
+
+  /// Byte budget for the kernel-result cache (0 = unbounded). When set,
+  /// the cache evicts least-recently-used results so its estimated
+  /// resident bytes never exceed the budget — what a long-running server
+  /// needs so distinct-parameter queries cannot grow memory without limit.
+  std::uint64_t cache_budget_bytes = 0;
 };
 
 /// One loaded graph plus cached kernel results.

@@ -1,9 +1,11 @@
 #include "server/job_queue.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/result_cache.hpp"
 #include "util/timer.hpp"
 
 namespace graphct::server {
@@ -24,14 +26,38 @@ const char* to_string(JobState s) {
   return "unknown";
 }
 
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted:
+      return "admitted";
+    case Admission::kShedQueueFull:
+      return "queue full";
+    case Admission::kShedSessionFull:
+      return "session backlog full";
+    case Admission::kShedShutdown:
+      return "server shutting down";
+  }
+  return "unknown";
+}
+
 struct JobQueue::Internal {
   JobRecord record;
   Work work;
+  OnTerminal on_terminal;
   int threads = 0;
   Timer queued_at;  // measures queue wait
 };
 
-JobQueue::JobQueue(int num_workers) {
+namespace {
+
+void note_queue_depth(std::size_t pending) {
+  static obs::Gauge& g = obs::registry().gauge("gct_job_queue_depth");
+  g.set(static_cast<double>(pending));
+}
+
+}  // namespace
+
+JobQueue::JobQueue(int num_workers, QueueLimits limits) : limits_(limits) {
   const int n = std::max(1, num_workers);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -41,15 +67,19 @@ JobQueue::JobQueue(int num_workers) {
 
 JobQueue::~JobQueue() { shutdown(); }
 
-std::uint64_t JobQueue::submit(std::string session, std::string graph_key,
-                               std::string command, Work work, int threads) {
+std::uint64_t JobQueue::enqueue(std::string session, std::string graph_key,
+                                std::string command, Work work, int threads,
+                                OnTerminal on_terminal) {
   auto job = std::make_shared<Internal>();
   job->work = std::move(work);
+  job->on_terminal = std::move(on_terminal);
   job->threads = threads;
   job->record.session = std::move(session);
   job->record.graph_key = std::move(graph_key);
   job->record.command = std::move(command);
   std::uint64_t id;
+  OnTerminal fire;  // shutdown path: cancelled immediately
+  JobRecord fired_record;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
@@ -57,41 +87,119 @@ std::uint64_t JobQueue::submit(std::string session, std::string graph_key,
     if (shutdown_) {
       job->record.state = JobState::kCancelled;
       job->record.error = "server shutting down";
+      fired_record = job->record;
+      fire = std::move(job->on_terminal);
       jobs_.emplace(id, std::move(job));
-      return id;
+    } else {
+      const std::string& s = job->record.session;
+      auto [it, fresh] = pending_by_session_.try_emplace(s);
+      if (fresh) rotation_.push_back(s);
+      it->second.push_back(id);
+      ++pending_total_;
+      note_queue_depth(pending_total_);
+      jobs_.emplace(id, job);
     }
-    jobs_.emplace(id, job);
-    pending_.push_back(id);
   }
+  if (fire) fire(fired_record);
   work_cv_.notify_one();
   return id;
 }
 
-std::deque<std::uint64_t>::iterator JobQueue::next_runnable() {
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-    const auto& job = jobs_.at(*it);
-    if (job->record.graph_key.empty() ||
-        busy_graphs_.count(job->record.graph_key) == 0) {
-      return it;
+std::uint64_t JobQueue::submit(std::string session, std::string graph_key,
+                               std::string command, Work work, int threads) {
+  return enqueue(std::move(session), std::move(graph_key), std::move(command),
+                 std::move(work), threads, {});
+}
+
+JobQueue::SubmitResult JobQueue::try_submit(std::string session,
+                                            std::string graph_key,
+                                            std::string command, Work work,
+                                            int threads,
+                                            OnTerminal on_terminal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return {Admission::kShedShutdown, 0};
+    if (limits_.max_queued > 0 &&
+        pending_total_ >= static_cast<std::size_t>(limits_.max_queued)) {
+      obs::registry()
+          .counter("gct_jobs_shed_total{reason=\"queue_full\"}")
+          .add();
+      return {Admission::kShedQueueFull, 0};
+    }
+    if (limits_.max_queued_per_session > 0) {
+      auto it = pending_by_session_.find(session);
+      if (it != pending_by_session_.end() &&
+          it->second.size() >=
+              static_cast<std::size_t>(limits_.max_queued_per_session)) {
+        obs::registry()
+            .counter("gct_jobs_shed_total{reason=\"session_full\"}")
+            .add();
+        return {Admission::kShedSessionFull, 0};
+      }
     }
   }
-  return pending_.end();
+  // Admission raced with other submitters between the check and the
+  // enqueue; the bound is approximate by one or two jobs under heavy
+  // contention, which is fine for shedding purposes.
+  const std::uint64_t id =
+      enqueue(std::move(session), std::move(graph_key), std::move(command),
+              std::move(work), threads, std::move(on_terminal));
+  return {Admission::kAdmitted, id};
+}
+
+std::uint64_t JobQueue::take_runnable_locked() {
+  for (std::size_t scanned = 0; scanned < rotation_.size(); ++scanned) {
+    const std::string session = rotation_.front();
+    rotation_.pop_front();
+    auto it = pending_by_session_.find(session);
+    if (it == pending_by_session_.end() || it->second.empty()) {
+      continue;  // emptied by cancel; drop from rotation
+    }
+    auto& dq = it->second;
+    bool taken = false;
+    std::uint64_t id = 0;
+    // First job in this session whose graph is idle. Scanning past a
+    // blocked head is safe: a later job on the *same* graph is equally
+    // blocked, so per-graph FIFO within the session is preserved.
+    for (auto jit = dq.begin(); jit != dq.end(); ++jit) {
+      const auto& job = jobs_.at(*jit);
+      if (job->record.graph_key.empty() ||
+          busy_graphs_.count(job->record.graph_key) == 0) {
+        id = *jit;
+        dq.erase(jit);
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) {
+      rotation_.push_back(session);  // nothing runnable; keep in rotation
+      continue;
+    }
+    --pending_total_;
+    note_queue_depth(pending_total_);
+    if (dq.empty()) {
+      pending_by_session_.erase(it);
+    } else {
+      rotation_.push_back(session);  // scheduled: go to the back (fairness)
+    }
+    return id;
+  }
+  return 0;
 }
 
 void JobQueue::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    auto it = next_runnable();
-    if (it == pending_.end()) {
+    const std::uint64_t id = take_runnable_locked();
+    if (id == 0) {
       if (shutdown_) return;
       work_cv_.wait(lock);
       continue;
     }
-    const std::uint64_t id = *it;
-    pending_.erase(it);
     std::shared_ptr<Internal> job = jobs_.at(id);
     job->record.state = JobState::kRunning;
     job->record.wait_seconds = job->queued_at.seconds();
+    ++running_;
     if (!job->record.graph_key.empty()) {
       busy_graphs_.insert(job->record.graph_key);
     }
@@ -128,6 +236,10 @@ void JobQueue::worker_loop() {
     // called set_num_threads (the script's `threads N`), and a worker must
     // not carry one session's pinning into another session's job.
     set_num_threads(0);
+    // Drop values a bounded ResultCache pinned for this job's references;
+    // the job is done with them, and a worker must not accumulate pins
+    // across jobs.
+    ResultCache::release_thread_pins();
 
     lock.lock();
     job->record.state = failed ? JobState::kFailed : JobState::kDone;
@@ -136,12 +248,20 @@ void JobQueue::worker_loop() {
     job->record.run_seconds = run_seconds;
     job->record.threads = threads_used;
     job->record.counters = counters;
+    --running_;
     if (!job->record.graph_key.empty()) {
       busy_graphs_.erase(job->record.graph_key);
     }
     terminal_cv_.notify_all();
     // The freed graph may unblock a queued job another worker skipped.
     work_cv_.notify_all();
+    if (job->on_terminal) {
+      OnTerminal fire = std::move(job->on_terminal);
+      const JobRecord record = job->record;
+      lock.unlock();
+      fire(record);
+      lock.lock();
+    }
   }
 }
 
@@ -160,20 +280,86 @@ JobRecord JobQueue::wait(std::uint64_t id) {
   return job->record;
 }
 
-bool JobQueue::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second->record.state != JobState::kQueued) {
-    return false;
+void JobQueue::unqueue_locked(const std::shared_ptr<Internal>& job) {
+  auto it = pending_by_session_.find(job->record.session);
+  if (it == pending_by_session_.end()) return;
+  auto& dq = it->second;
+  auto pos = std::find(dq.begin(), dq.end(), job->record.id);
+  if (pos == dq.end()) return;
+  dq.erase(pos);
+  --pending_total_;
+  note_queue_depth(pending_total_);
+  if (dq.empty()) {
+    pending_by_session_.erase(it);
+    // Keep the invariant "in rotation_ iff it has pending jobs" so a
+    // cancel/resubmit cycle cannot give one session duplicate turns.
+    auto rot = std::find(rotation_.begin(), rotation_.end(),
+                         job->record.session);
+    if (rot != rotation_.end()) rotation_.erase(rot);
   }
-  auto pending_it = std::find(pending_.begin(), pending_.end(), id);
-  if (pending_it == pending_.end()) return false;
-  pending_.erase(pending_it);
-  it->second->record.state = JobState::kCancelled;
-  it->second->record.wait_seconds = it->second->queued_at.seconds();
-  obs::registry().counter("gct_job_runs_total{state=\"cancelled\"}").add();
-  terminal_cv_.notify_all();
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  OnTerminal fire;
+  JobRecord record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->record.state != JobState::kQueued) {
+      return false;
+    }
+    auto& job = it->second;
+    unqueue_locked(job);
+    job->record.state = JobState::kCancelled;
+    job->record.wait_seconds = job->queued_at.seconds();
+    obs::registry().counter("gct_job_runs_total{state=\"cancelled\"}").add();
+    fire = std::move(job->on_terminal);
+    record = job->record;
+    terminal_cv_.notify_all();
+  }
+  if (fire) fire(record);
   return true;
+}
+
+int JobQueue::cancel_pending() {
+  std::vector<std::pair<OnTerminal, JobRecord>> fired;
+  int cancelled = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [session, dq] : pending_by_session_) {
+      for (const std::uint64_t id : dq) {
+        auto& job = jobs_.at(id);
+        job->record.state = JobState::kCancelled;
+        job->record.error = "server stopping";
+        job->record.wait_seconds = job->queued_at.seconds();
+        obs::registry()
+            .counter("gct_job_runs_total{state=\"cancelled\"}")
+            .add();
+        if (job->on_terminal) {
+          fired.emplace_back(std::move(job->on_terminal), job->record);
+        }
+        ++cancelled;
+      }
+    }
+    pending_by_session_.clear();
+    rotation_.clear();
+    pending_total_ = 0;
+    note_queue_depth(0);
+    terminal_cv_.notify_all();
+  }
+  for (auto& [fire, record] : fired) fire(record);
+  return cancelled;
+}
+
+bool JobQueue::drain(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  return terminal_cv_.wait_until(lock, deadline, [&] {
+    return pending_total_ == 0 && running_ == 0;
+  });
 }
 
 std::optional<JobRecord> JobQueue::get(std::uint64_t id) const {
@@ -191,19 +377,34 @@ std::vector<JobRecord> JobQueue::snapshot() const {
   return out;
 }
 
+int JobQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(pending_total_);
+}
+
 void JobQueue::shutdown() {
+  std::vector<std::pair<OnTerminal, JobRecord>> fired;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ && workers_.empty()) return;
     shutdown_ = true;
-    for (std::uint64_t id : pending_) {
-      auto& job = jobs_.at(id);
-      job->record.state = JobState::kCancelled;
-      job->record.error = "server shutting down";
+    for (auto& [session, dq] : pending_by_session_) {
+      for (const std::uint64_t id : dq) {
+        auto& job = jobs_.at(id);
+        job->record.state = JobState::kCancelled;
+        job->record.error = "server shutting down";
+        if (job->on_terminal) {
+          fired.emplace_back(std::move(job->on_terminal), job->record);
+        }
+      }
     }
-    pending_.clear();
+    pending_by_session_.clear();
+    rotation_.clear();
+    pending_total_ = 0;
+    note_queue_depth(0);
     terminal_cv_.notify_all();
   }
+  for (auto& [fire, record] : fired) fire(record);
   work_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();

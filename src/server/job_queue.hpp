@@ -1,17 +1,30 @@
 #pragma once
 
 /// \file job_queue.hpp
-/// Worker pool executing analyst commands, serialized per graph.
+/// Worker pool executing analyst commands: serialized per graph, fair per
+/// session, bounded per server.
 ///
 /// graphctd's concurrency model: every protocol command becomes a job.
-/// Jobs against the *same* graph run one at a time in submission order —
-/// kernels share the graph's ResultCache, so running them back-to-back
-/// maximizes hits and bounds peak memory — while jobs against *different*
-/// graphs run concurrently on the worker pool, which is how two analyst
-/// sessions on two graphs both make progress. Each job records queue wait,
-/// run wall-clock, the OpenMP thread count it ran with, and the cache
-/// hit/miss delta it caused; the protocol's terminating "ok" line reports
-/// these so an analyst can see a repeated query being served from cache.
+/// Jobs against the *same* graph run one at a time — kernels share the
+/// graph's ResultCache, so running them back-to-back maximizes hits and
+/// bounds peak memory — while jobs against *different* graphs run
+/// concurrently on the worker pool.
+///
+/// Scheduling is round-robin across sessions rather than FIFO arrival
+/// order: a session that bursts fifty commands cannot starve everyone
+/// else, because each scheduling decision takes the next runnable job from
+/// the next session in rotation (jobs within one session stay FIFO, which
+/// also preserves per-graph submission order inside a session).
+///
+/// Admission is bounded: QueueLimits caps the queued backlog globally and
+/// per session, and try_submit() *sheds* (returns a busy verdict without
+/// enqueueing) rather than queueing without limit — the transport turns
+/// that into an explicit `busy` response instead of unbounded latency.
+///
+/// Each job records queue wait, run wall-clock, the OpenMP thread count it
+/// ran with, and the cache hit/miss delta it caused; the protocol's
+/// terminating "ok" line reports these so an analyst can see a repeated
+/// query being served from cache.
 
 #include <condition_variable>
 #include <cstdint>
@@ -58,15 +71,46 @@ struct JobRecord {
   }
 };
 
-/// Fixed worker pool with per-graph serialization.
+/// Admission-control bounds (0 = unlimited, the embedder-friendly
+/// default; the server passes its ServerLimits values).
+struct QueueLimits {
+  int max_queued = 0;              ///< global queued-job bound
+  int max_queued_per_session = 0;  ///< per-session queued-job bound
+};
+
+/// Verdict of try_submit(): admitted, or shed with a reason.
+enum class Admission {
+  kAdmitted,
+  kShedQueueFull,    ///< global max_queued reached
+  kShedSessionFull,  ///< submitting session's backlog is full
+  kShedShutdown,     ///< queue is shutting down
+};
+
+[[nodiscard]] const char* to_string(Admission a);
+
+/// Fixed worker pool with per-graph serialization, per-session fairness,
+/// and bounded admission.
 class JobQueue {
  public:
   /// A job: runs on a worker thread, returns the command's output text,
   /// throws graphct::Error (or any std::exception) to fail the job.
   using Work = std::function<std::string(JobCounters&)>;
 
-  /// Start `num_workers` worker threads (minimum 1).
-  explicit JobQueue(int num_workers);
+  /// Completion hook: invoked exactly once with the terminal record, from
+  /// the worker that finished the job or the thread that cancelled it,
+  /// never while queue locks are held.
+  using OnTerminal = std::function<void(const JobRecord&)>;
+
+  struct SubmitResult {
+    Admission admission = Admission::kAdmitted;
+    std::uint64_t id = 0;  ///< valid when admitted
+  };
+
+  /// Start `num_workers` worker threads (minimum 1), unbounded admission.
+  explicit JobQueue(int num_workers) : JobQueue(num_workers, QueueLimits{}) {}
+
+  /// Start `num_workers` worker threads with admission bounds.
+  JobQueue(int num_workers, QueueLimits limits);
 
   /// Drains nothing: shuts down immediately; queued jobs are cancelled and
   /// running jobs are joined.
@@ -75,12 +119,22 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// Enqueue a job. Jobs with the same non-empty `graph_key` execute one at
-  /// a time in submission order; jobs with distinct (or empty) keys run
-  /// concurrently, pool permitting. `threads` > 0 pins the job's OpenMP
-  /// parallelism. Returns the job id.
+  /// Enqueue a job, bypassing admission limits (compat path; also used by
+  /// trusted in-process embedders). Jobs with the same non-empty
+  /// `graph_key` execute serially; within a session, FIFO. `threads` > 0
+  /// pins the job's OpenMP parallelism. Returns the job id.
   std::uint64_t submit(std::string session, std::string graph_key,
                        std::string command, Work work, int threads = 0);
+
+  /// Enqueue a job subject to admission limits. Sheds (without creating a
+  /// job record) when the global or per-session backlog is full or the
+  /// queue is shutting down; `on_terminal`, when set, fires exactly once
+  /// with the terminal record of an admitted job — including jobs
+  /// cancelled by shutdown — so event-driven transports never wait on a
+  /// job that cannot finish.
+  SubmitResult try_submit(std::string session, std::string graph_key,
+                          std::string command, Work work, int threads = 0,
+                          OnTerminal on_terminal = {});
 
   /// Block until the job reaches a terminal state; returns its record.
   JobRecord wait(std::uint64_t id);
@@ -90,15 +144,28 @@ class JobQueue {
   /// unknown jobs.
   bool cancel(std::uint64_t id);
 
+  /// Cancel every queued job ("server stopping"); returns how many were
+  /// cancelled. Running jobs keep running — pair with drain().
+  int cancel_pending();
+
+  /// Wait until no job is queued or running, or `timeout_seconds` elapses.
+  /// Returns true when the queue drained in time.
+  bool drain(double timeout_seconds);
+
   /// Snapshot one job, or nullopt for an unknown id.
   [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const;
 
   /// Snapshot every job, id order (terminal jobs are retained as history).
   [[nodiscard]] std::vector<JobRecord> snapshot() const;
 
+  /// Queued (not yet running) jobs right now.
+  [[nodiscard]] int queued() const;
+
   [[nodiscard]] int num_workers() const {
     return static_cast<int>(workers_.size());
   }
+
+  [[nodiscard]] const QueueLimits& limits() const { return limits_; }
 
   /// Stop accepting work, cancel queued jobs, join workers (idempotent).
   void shutdown();
@@ -107,14 +174,26 @@ class JobQueue {
   struct Internal;
 
   void worker_loop();
-  /// Find the first pending job whose graph is idle; requires mu_ held.
-  std::deque<std::uint64_t>::iterator next_runnable();
+  /// Pop the next runnable job id, rotating session order for fairness;
+  /// requires mu_ held. Returns 0 when nothing is runnable.
+  std::uint64_t take_runnable_locked();
+  /// Remove `id` from its session's pending deque; requires mu_ held.
+  void unqueue_locked(const std::shared_ptr<Internal>& job);
+  std::uint64_t enqueue(std::string session, std::string graph_key,
+                        std::string command, Work work, int threads,
+                        OnTerminal on_terminal);
 
+  QueueLimits limits_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;      // workers: new runnable work
   std::condition_variable terminal_cv_;  // waiters: a job finished
   std::map<std::uint64_t, std::shared_ptr<Internal>> jobs_;
-  std::deque<std::uint64_t> pending_;  // submission order
+  /// Queued jobs grouped by session (FIFO within a session)...
+  std::map<std::string, std::deque<std::uint64_t>> pending_by_session_;
+  /// ...scheduled round-robin in this rotation (front = next to inspect).
+  std::deque<std::string> rotation_;
+  std::size_t pending_total_ = 0;
+  int running_ = 0;
   std::set<std::string> busy_graphs_;
   std::uint64_t next_id_ = 1;
   bool shutdown_ = false;

@@ -1,5 +1,8 @@
 #include "server/session.hpp"
 
+#include <future>
+#include <utility>
+
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -22,6 +25,30 @@ std::string first_token(const std::string& line) {
   return line.substr(b, e == std::string::npos ? std::string::npos : e - b);
 }
 
+/// Split a leading `@<id>` request-id prefix off `line`. Returns the id
+/// ("" when absent) and leaves `rest` holding the command proper.
+std::string split_request_id(const std::string& line, std::string& rest) {
+  const std::size_t b = line.find_first_not_of(" \t");
+  if (b == std::string::npos || line[b] != '@') {
+    rest = line;
+    return "";
+  }
+  std::size_t e = line.find_first_of(" \t", b);
+  if (e == std::string::npos) e = line.size();
+  std::string id = line.substr(b + 1, e - b - 1);
+  const std::size_t r = line.find_first_not_of(" \t", e);
+  rest = r == std::string::npos ? "" : line.substr(r);
+  return id;
+}
+
+std::size_t count_lines(const std::string& payload) {
+  std::size_t n = 0;
+  for (const char c : payload) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
 }  // namespace
 
 Session::Session(std::string name, GraphRegistry& registry, JobQueue& queue,
@@ -31,12 +58,119 @@ Session::Session(std::string name, GraphRegistry& registry, JobQueue& queue,
       queue_(queue),
       interp_(out_, with_registry(std::move(opts), registry)) {}
 
+std::string Session::format_reply(const Reply& reply,
+                                  const std::string& request_id,
+                                  Protocol protocol) const {
+  const char* status = reply.status == Reply::Status::kOk      ? "ok"
+                       : reply.status == Reply::Status::kError ? "error"
+                                                               : "busy";
+  std::string payload = reply.payload;
+  if (!payload.empty() && payload.back() != '\n') payload += '\n';
+
+  if (protocol == Protocol::kCompat) {
+    // Original framing: payload lines, then one terminator line starting
+    // "ok" or "error". Shed requests render as errors so old clients keep
+    // framing correctly; the "busy:" prefix is the machine-readable hint.
+    std::string term;
+    if (reply.status == Reply::Status::kBusy) {
+      term = "error";
+      if (!request_id.empty()) term += " id=" + request_id;
+      term += " busy: " + reply.message;
+    } else if (reply.status == Reply::Status::kError) {
+      term = "error";
+      if (!request_id.empty()) term += " id=" + request_id;
+      term += " " + reply.message;
+    } else {
+      term = "ok";
+      if (!request_id.empty()) term += " id=" + request_id;
+      term += reply.accounting;
+    }
+    return payload + term + "\n";
+  }
+
+  // Framed v1: one header line with a payload line count, then exactly
+  // that many lines. Errors carry the message as the last payload line;
+  // busy responses carry the reason as their only payload line.
+  if (reply.status != Reply::Status::kOk && !reply.message.empty()) {
+    payload += reply.message + "\n";
+  }
+  std::string header = "gct/1 ";
+  header += status;
+  header += " lines=" + std::to_string(count_lines(payload));
+  if (!request_id.empty()) header += " id=" + request_id;
+  if (reply.status == Reply::Status::kOk) header += reply.accounting;
+  return header + "\n" + payload;
+}
+
 std::string Session::handle_line(const std::string& line) {
+  std::promise<std::string> done;
+  auto response = done.get_future();
+  dispatch(line,
+           [&done](std::string text) { done.set_value(std::move(text)); });
+  return response.get();
+}
+
+std::string Session::shed_reply(const std::string& line,
+                                const std::string& reason) const {
+  std::string command;
+  const std::string request_id = split_request_id(line, command);
+  Reply reply;
+  reply.status = Reply::Status::kBusy;
+  reply.message = reason;
+  return format_reply(reply, request_id, protocol_);
+}
+
+std::string Session::handle_proto(const std::string& args,
+                                  const std::string& request_id) {
+  // The response to `proto` is rendered in the framing that was active
+  // when the command arrived, so a client can always parse the ack with
+  // the parser it used to send the request.
+  const Protocol before = protocol_;
+  const std::string arg = first_token(args);
+  Reply reply;
+  if (arg.empty()) {
+    reply.payload = std::string("proto ") +
+                    (protocol_ == Protocol::kCompat ? "compat" : "v1") + "\n";
+  } else if (arg == "v1") {
+    protocol_ = Protocol::kFramedV1;
+    reply.payload = "protocol set to gct/1 framed\n";
+  } else if (arg == "compat") {
+    protocol_ = Protocol::kCompat;
+    reply.payload = "protocol set to compat\n";
+  } else {
+    reply.status = Reply::Status::kError;
+    reply.message = "proto: expected 'v1' or 'compat' (got '" + arg + "')";
+  }
+  return format_reply(reply, request_id, before);
+}
+
+void Session::dispatch(const std::string& line, Done done) {
+  std::string request_id;
+  std::string command;
+  Protocol protocol = protocol_;
   try {
-    const std::string verb = first_token(line);
-    if (verb.empty() || verb[0] == '#') return "ok\n";
-    if (verb == "graphs") return list_graphs() + "ok\n";
-    if (verb == "jobs") return list_jobs() + "ok\n";
+    request_id = split_request_id(line, command);
+    const std::string verb = first_token(command);
+    Reply reply;
+    if (verb.empty() || verb[0] == '#') {
+      done(format_reply(reply, request_id, protocol));
+      return;
+    }
+    if (verb == "proto") {
+      const std::size_t at = command.find(verb);
+      done(handle_proto(command.substr(at + verb.size()), request_id));
+      return;
+    }
+    if (verb == "graphs") {
+      reply.payload = list_graphs();
+      done(format_reply(reply, request_id, protocol));
+      return;
+    }
+    if (verb == "jobs") {
+      reply.payload = list_jobs();
+      done(format_reply(reply, request_id, protocol));
+      return;
+    }
     if (verb == "session") {
       std::ostringstream s;
       const std::string key = interp_.current_graph_key();
@@ -45,42 +179,58 @@ std::string Session::handle_line(const std::string& line) {
         << (interp_.requested_threads() == 0
                 ? "default"
                 : std::to_string(interp_.requested_threads()))
-        << "\n";
-      return s.str() + "ok\n";
+        << ", proto "
+        << (protocol_ == Protocol::kCompat ? "compat" : "v1") << "\n";
+      reply.payload = s.str();
+      done(format_reply(reply, request_id, protocol));
+      return;
     }
     if (verb == "metrics") {
       // Read-only and cheap: answered inline, never queued behind jobs.
       // `metrics` / `metrics prom` -> Prometheus text exposition;
       // `metrics json` -> a single JSON line. Neither format emits lines
-      // starting with "ok"/"error", so the line protocol stays parseable.
+      // starting with "ok"/"error", so the compat framing stays parseable.
       const auto snap = obs::registry().snapshot();
-      const std::size_t pos = line.find("json");
-      if (pos != std::string::npos) {
-        return snap.to_json() + "\nok\n";
+      if (command.find("json") != std::string::npos) {
+        reply.payload = snap.to_json() + "\n";
+      } else {
+        reply.payload = snap.to_prometheus();
       }
-      return snap.to_prometheus() + "ok\n";
+      done(format_reply(reply, request_id, protocol));
+      return;
     }
     if (verb == "cancel") {
-      const std::string arg = first_token(line.substr(line.find(verb) + 6));
+      const std::size_t at = command.find(verb);
+      const std::string arg = first_token(command.substr(at + verb.size()));
       const std::uint64_t id = std::stoull(arg);
       if (queue_.cancel(id)) {
-        return "job " + arg + " cancelled\nok\n";
+        reply.payload = "job " + arg + " cancelled\n";
+        done(format_reply(reply, request_id, protocol));
+      } else {
+        reply.status = Reply::Status::kError;
+        reply.message = "job " + arg + " is not cancellable (not queued)";
+        done(format_reply(reply, request_id, protocol));
       }
-      return "error job " + arg + " is not cancellable (not queued)\n";
+      return;
     }
-    return run_command(line);
+    run_command(command, request_id, protocol, done);
   } catch (const std::exception& e) {
-    return std::string("error ") + e.what() + "\n";
+    Reply reply;
+    reply.status = Reply::Status::kError;
+    reply.message = e.what();
+    done(format_reply(reply, request_id, protocol));
   }
 }
 
-std::string Session::run_command(const std::string& line) {
+void Session::run_command(const std::string& line,
+                          const std::string& request_id, Protocol protocol,
+                          const Done& done) {
   // Serialize on the registry graph when one is current; otherwise on the
   // session itself, so a session's private-graph jobs never interleave.
   std::string key = interp_.current_graph_key();
   if (key.empty()) key = "session:" + name_;
 
-  const std::uint64_t id = queue_.submit(
+  const auto result = queue_.try_submit(
       name_, key, line,
       [this, line](JobCounters& counters) -> std::string {
         out_.str("");
@@ -100,23 +250,39 @@ std::string Session::run_command(const std::string& line) {
         }
         return out_.str();
       },
-      interp_.requested_threads());
+      interp_.requested_threads(),
+      [this, request_id, protocol, done](const JobRecord& record) {
+        Reply reply;
+        if (record.state == JobState::kFailed) {
+          reply.status = Reply::Status::kError;
+          reply.payload = record.output;
+          reply.message = record.error;
+        } else if (record.state == JobState::kCancelled) {
+          reply.status = Reply::Status::kError;
+          reply.message = "job " + std::to_string(record.id) +
+                          " cancelled: " + record.error;
+        } else {
+          std::ostringstream acct;
+          acct << " job=" << record.id << " graph=" << record.graph_key
+               << " wall=" << format_duration(record.run_seconds)
+               << " queue=" << format_duration(record.wait_seconds)
+               << " threads=" << record.threads
+               << " cache=" << record.counters.cache_hits << "/"
+               << record.counters.cache_misses;
+          reply.payload = record.output;
+          reply.accounting = acct.str();
+        }
+        done(format_reply(reply, request_id, protocol));
+      });
 
-  const JobRecord record = queue_.wait(id);
-  if (record.state == JobState::kFailed) {
-    return record.output + "error " + record.error + "\n";
+  if (result.admission != Admission::kAdmitted) {
+    Reply reply;
+    reply.status = Reply::Status::kBusy;
+    reply.message = std::string(to_string(result.admission)) +
+                    ", retry later (queued=" +
+                    std::to_string(queue_.queued()) + ")";
+    done(format_reply(reply, request_id, protocol));
   }
-  if (record.state == JobState::kCancelled) {
-    return "error job " + std::to_string(id) + " cancelled: " + record.error +
-           "\n";
-  }
-  std::ostringstream ok;
-  ok << record.output << "ok job=" << record.id << " graph=" << record.graph_key
-     << " wall=" << format_duration(record.run_seconds)
-     << " queue=" << format_duration(record.wait_seconds)
-     << " threads=" << record.threads << " cache=" << record.counters.cache_hits
-     << "/" << record.counters.cache_misses << "\n";
-  return ok.str();
 }
 
 std::string Session::list_graphs() const {

@@ -12,21 +12,47 @@
 ///   jobs             list the job table (state, timings, cache traffic)
 ///   session          this session's name, stack depth, pinned threads
 ///   cancel <id>      cancel a still-queued job
+///   proto [v1|compat]  report or switch the response framing
 ///
-/// Every response is zero or more output lines followed by exactly one
-/// terminator line:
+/// Any command may carry a client request id: `@<id> <command>`. The id is
+/// echoed on the response (`id=<id>`), which is what lets a pipelining
+/// client match interleaved responses to requests.
 ///
-///   ok [job=<id> graph=<key> wall=<t> queue=<t> threads=<n> cache=<h>/<m>]
-///   error <message>
+/// ## Response framing
+///
+/// Two framings are supported per session. **Compat** (the default, the
+/// original protocol): zero or more output lines followed by exactly one
+/// terminator line —
+///
+///   ok [id=<rid>] [job=<id> graph=<key> wall=<t> queue=<t> threads=<n>
+///       cache=<h>/<m>]
+///   error [id=<rid>] <message>
 ///
 /// so clients frame responses by reading until a line starting "ok" or
-/// "error". The cache=<hits>/<misses> field is the kernel-cache delta the
-/// command caused — a repeated query shows hits and zero misses.
+/// "error". Requests shed by admission control render as
+/// `error [id=<rid>] busy: <reason>` to stay parseable by old clients.
 ///
-/// handle_line() is synchronous (submit, wait, respond) and a session must
-/// be driven from one thread at a time; concurrency comes from many
-/// sessions sharing the queue and registry.
+/// **Framed v1** (`proto v1`): every response starts with one stable
+/// header line —
+///
+///   gct/1 <ok|error|busy> lines=<n> [id=<rid>] [job=... graph=...
+///       wall=... queue=... threads=... cache=<h>/<m>]
+///
+/// followed by exactly `n` payload lines. Errors carry the message as the
+/// last payload line; `busy` responses carry the shed reason as their only
+/// payload line. Fixed-position tokens (magic, status, lines=) mean a
+/// client can frame without scanning payload content, which is what makes
+/// pipelining safe. The response to `proto ...` itself is rendered in the
+/// framing that was active when the command was received.
+///
+/// handle_line() is synchronous (submit, wait, respond); dispatch() is the
+/// asynchronous form the event-driven TCP transport uses — the completion
+/// callback fires from a worker thread when the job finishes (or inline
+/// for server verbs and shed requests). Either way a session must be
+/// driven one command at a time; concurrency comes from many sessions
+/// sharing the queue and registry.
 
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -40,27 +66,70 @@ namespace graphct::server {
 /// One connected analyst.
 class Session {
  public:
+  /// Response framing spoken by this session (see file comment).
+  enum class Protocol { kCompat, kFramedV1 };
+
+  /// Receives one complete response (all lines '\n'-terminated). May be
+  /// invoked inline from dispatch() (server verbs, shed/busy) or later
+  /// from a job-queue worker thread (queued commands).
+  using Done = std::function<void(std::string)>;
+
   Session(std::string name, GraphRegistry& registry, JobQueue& queue,
           script::InterpreterOptions opts);
 
-  /// Execute one protocol line and return the full response text (output
-  /// lines + terminator line, each '\n'-terminated). Never throws: command
-  /// failures become "error ..." responses.
+  /// Execute one protocol line and return the full response text. Never
+  /// throws: command failures become "error ..." responses. Synchronous
+  /// wrapper over dispatch() for the stdio transport, tests, and
+  /// embedders.
   std::string handle_line(const std::string& line);
 
+  /// Asynchronous form: parse the line, answer server verbs inline, and
+  /// submit script commands to the job queue with `done` as completion.
+  /// `done` is invoked exactly once — including when the job is cancelled
+  /// by shutdown or shed by admission control — so the event loop never
+  /// waits on a response that cannot arrive. At most one dispatch may be
+  /// outstanding per session.
+  void dispatch(const std::string& line, Done done);
+
+  /// Render a `busy` response for `line` — request id echoed, active
+  /// framing — without dispatching it. The TCP transport uses this to shed
+  /// pipelined input that overflows the per-connection backlog before it
+  /// ever reaches the job queue.
+  [[nodiscard]] std::string shed_reply(const std::string& line,
+                                       const std::string& reason) const;
+
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] Protocol protocol() const { return protocol_; }
+  void set_protocol(Protocol p) { protocol_ = p; }
 
   /// The underlying interpreter, for in-process embedders and tests.
   [[nodiscard]] script::Interpreter& interpreter() { return interp_; }
 
  private:
-  std::string run_command(const std::string& line);
+  /// One response, rendered by format_reply() per the active protocol.
+  struct Reply {
+    enum class Status { kOk, kError, kBusy };
+    Status status = Status::kOk;
+    std::string payload;     ///< '\n'-terminated output lines (may be empty)
+    std::string message;     ///< error/busy reason (single line, no '\n')
+    std::string accounting;  ///< job trailer tokens, leading space
+  };
+
+  [[nodiscard]] std::string format_reply(const Reply& reply,
+                                         const std::string& request_id,
+                                         Protocol protocol) const;
+  void run_command(const std::string& line, const std::string& request_id,
+                   Protocol protocol, const Done& done);
+  std::string handle_proto(const std::string& args,
+                           const std::string& request_id);
   std::string list_graphs() const;
   std::string list_jobs() const;
 
   std::string name_;
   GraphRegistry& registry_;
   JobQueue& queue_;
+  Protocol protocol_ = Protocol::kCompat;
   std::ostringstream out_;
   script::Interpreter interp_;
 };

@@ -8,12 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -111,6 +117,81 @@ TEST(ResultCacheTest, ConcurrentFirstCallersComputeOnce) {
     ASSERT_NE(r, nullptr);
     EXPECT_EQ(r.get(), results[0].get());  // everyone shares one object
   }
+}
+
+// ------------------------------------------------------- cache eviction --
+
+TEST(ResultCacheTest, BudgetEvictsLeastRecentlyUsed) {
+  ResultCache cache;
+  cache.set_budget_bytes(300);
+  const auto size100 = [](const int&) { return std::size_t{100}; };
+  cache.get_or_compute<int>("a", [] { return 1; }, size100);
+  cache.get_or_compute<int>("b", [] { return 2; }, size100);
+  cache.get_or_compute<int>("c", [] { return 3; }, size100);
+  EXPECT_EQ(cache.stats().entries, 3);
+  // Touch "a" so "b" becomes the coldest entry, then overflow the budget.
+  cache.get_or_compute<int>("a", [] { return -1; }, size100);
+  cache.get_or_compute<int>("d", [] { return 4; }, size100);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 3);
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_LE(s.resident_bytes, 300);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));  // the LRU victim
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+  ResultCache::release_thread_pins();
+}
+
+TEST(ResultCacheTest, EvictedEntryRecomputesIdenticalValue) {
+  ResultCache cache;
+  cache.set_budget_bytes(100);
+  const auto size80 = [](const std::vector<int>&) { return std::size_t{80}; };
+  int runs = 0;
+  const auto compute = [&runs] {
+    ++runs;
+    return std::vector<int>{9, 8, 7};
+  };
+  auto first = cache.get_or_compute<std::vector<int>>("v", compute, size80);
+  cache.get_or_compute<std::vector<int>>("w", compute, size80);  // evicts v
+  EXPECT_FALSE(cache.contains("v"));
+  auto again = cache.get_or_compute<std::vector<int>>("v", compute, size80);
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(*again, *first);            // identical contents...
+  EXPECT_NE(again.get(), first.get());  // ...from a genuine recompute
+  EXPECT_GE(cache.stats().evictions, 2);
+  ResultCache::release_thread_pins();
+}
+
+TEST(ResultCacheTest, ResidentBytesNeverExceedBudgetEvenTransiently) {
+  ResultCache cache;
+  cache.set_budget_bytes(64);
+  // An entry larger than the whole budget is evicted by its own publish.
+  auto huge = cache.get_or_compute<int>(
+      "huge", [] { return 5; }, [](const int&) { return std::size_t{1000}; });
+  EXPECT_EQ(*huge, 5);  // the caller's value stays usable...
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 0);  // ...but it was never left resident
+  EXPECT_EQ(s.resident_bytes, 0);
+  EXPECT_EQ(s.evictions, 1);
+  ResultCache::release_thread_pins();
+}
+
+TEST(ResultCacheTest, ShrinkingBudgetEvictsImmediately) {
+  ResultCache cache;
+  cache.set_budget_bytes(1000);
+  const auto size100 = [](const int&) { return std::size_t{100}; };
+  for (int i = 0; i < 5; ++i) {
+    cache.get_or_compute<int>("k" + std::to_string(i), [i] { return i; },
+                              size100);
+  }
+  EXPECT_EQ(cache.stats().entries, 5);
+  cache.set_budget_bytes(250);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_LE(s.resident_bytes, 250);
+  EXPECT_EQ(s.evictions, 3);
+  ResultCache::release_thread_pins();
 }
 
 // ------------------------------------------------------------- registry --
@@ -236,6 +317,161 @@ TEST(JobQueueTest, DifferentGraphJobsRunConcurrently) {
   });
   EXPECT_EQ(q.wait(a).state, JobState::kDone);
   EXPECT_EQ(q.wait(b).state, JobState::kDone);
+}
+
+// ------------------------------------- admission control and fairness --
+
+/// A job body that does nothing (for queued-but-never-inspected jobs).
+std::string noop_job(JobCounters&) { return std::string(); }
+
+TEST(JobQueueTest, TrySubmitShedsWhenGlobalQueueFull) {
+  QueueLimits lim;
+  lim.max_queued = 2;
+  JobQueue q(1, lim);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> running{false};
+  q.submit("a", "graph:block", "blocker", [&](JobCounters&) {
+    running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  const auto r1 = q.try_submit("a", "graph:block", "q1", noop_job);
+  const auto r2 = q.try_submit("b", "graph:block", "q2", noop_job);
+  const auto r3 = q.try_submit("c", "graph:block", "q3", noop_job);
+  EXPECT_EQ(r1.admission, Admission::kAdmitted);
+  EXPECT_EQ(r2.admission, Admission::kAdmitted);
+  EXPECT_EQ(r3.admission, Admission::kShedQueueFull);
+  EXPECT_EQ(r3.id, 0u);  // shed submissions never create a job record
+  EXPECT_EQ(q.queued(), 2);
+
+  release.set_value();
+  EXPECT_EQ(q.wait(r1.id).state, JobState::kDone);
+  EXPECT_EQ(q.wait(r2.id).state, JobState::kDone);
+}
+
+TEST(JobQueueTest, TrySubmitShedsPerSessionBeforeGlobal) {
+  QueueLimits lim;
+  lim.max_queued = 8;
+  lim.max_queued_per_session = 1;
+  JobQueue q(1, lim);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> running{false};
+  q.submit("x", "graph:block", "blocker", [&](JobCounters&) {
+    running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  const auto r1 = q.try_submit("greedy", "graph:block", "g1", noop_job);
+  const auto r2 = q.try_submit("greedy", "graph:block", "g2", noop_job);
+  const auto r3 = q.try_submit("other", "graph:block", "o1", noop_job);
+  EXPECT_EQ(r1.admission, Admission::kAdmitted);
+  EXPECT_EQ(r2.admission, Admission::kShedSessionFull);  // greedy is full...
+  EXPECT_EQ(r3.admission, Admission::kAdmitted);  // ...other sessions are not
+
+  release.set_value();
+  EXPECT_EQ(q.wait(r1.id).state, JobState::kDone);
+  EXPECT_EQ(q.wait(r3.id).state, JobState::kDone);
+}
+
+TEST(JobQueueTest, RoundRobinRunsSecondSessionBeforeBurstFinishes) {
+  JobQueue q(1);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> running{false};
+  q.submit("x", "graph:block", "blocker", [&](JobCounters&) {
+    running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  // While the single worker is busy, one session bursts three jobs and a
+  // second session submits one. Round-robin scheduling interleaves the
+  // sessions instead of draining the burst first.
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  const auto tagged = [&](const std::string& tag) {
+    return [&order_mu, &order, tag](JobCounters&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+      return std::string();
+    };
+  };
+  std::vector<std::uint64_t> ids;
+  ids.push_back(q.submit("burst", "graph:b1", "b1", tagged("burst1")));
+  ids.push_back(q.submit("burst", "graph:b2", "b2", tagged("burst2")));
+  ids.push_back(q.submit("burst", "graph:b3", "b3", tagged("burst3")));
+  ids.push_back(q.submit("late", "graph:l", "l1", tagged("late")));
+
+  release.set_value();
+  for (const auto id : ids) {
+    EXPECT_EQ(q.wait(id).state, JobState::kDone);
+  }
+  const auto pos = std::find(order.begin(), order.end(), "late");
+  ASSERT_NE(pos, order.end());
+  EXPECT_LE(pos - order.begin(), 1);  // FIFO would have run it last
+}
+
+TEST(JobQueueTest, CancelPendingFiresOnTerminalAndDrainCompletes) {
+  JobQueue q(1);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> running{false};
+  q.submit("x", "graph:block", "blocker", [&](JobCounters&) {
+    running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  std::promise<JobRecord> terminal;
+  const auto r = q.try_submit(
+      "s", "graph:v", "victim", noop_job, 0,
+      [&](const JobRecord& rec) { terminal.set_value(rec); });
+  ASSERT_EQ(r.admission, Admission::kAdmitted);
+
+  EXPECT_FALSE(q.drain(0.0));  // blocker still running
+  EXPECT_EQ(q.cancel_pending(), 1);
+  auto fut = terminal.get_future();
+  ASSERT_EQ(fut.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(fut.get().state, JobState::kCancelled);
+
+  release.set_value();
+  EXPECT_TRUE(q.drain(5.0));
+  EXPECT_EQ(q.queued(), 0);
+}
+
+TEST(JobQueueTest, OnTerminalFiresOnNormalCompletion) {
+  JobQueue q(2);
+  std::promise<JobRecord> terminal;
+  const auto r = q.try_submit(
+      "s", "graph:g", "cmd",
+      [](JobCounters& c) {
+        c.cache_hits = 2;
+        return std::string("body\n");
+      },
+      0, [&](const JobRecord& rec) { terminal.set_value(rec); });
+  ASSERT_EQ(r.admission, Admission::kAdmitted);
+  auto fut = terminal.get_future();
+  ASSERT_EQ(fut.wait_for(5s), std::future_status::ready);
+  const JobRecord rec = fut.get();
+  EXPECT_EQ(rec.state, JobState::kDone);
+  EXPECT_EQ(rec.output, "body\n");
+  EXPECT_EQ(rec.counters.cache_hits, 2);
+}
+
+TEST(JobQueueTest, TrySubmitAfterShutdownSheds) {
+  JobQueue q(1);
+  q.shutdown();
+  const auto r = q.try_submit("s", "", "cmd", noop_job);
+  EXPECT_EQ(r.admission, Admission::kShedShutdown);
+  EXPECT_EQ(r.id, 0u);
 }
 
 // ------------------------------------------------------------- sessions --
@@ -502,6 +738,305 @@ TEST(ServerTest, ConcurrentMixedKernelsMatchSingleThreadedRun) {
   const auto stats = shared->cache_stats();
   EXPECT_LE(stats.misses, 6);
   EXPECT_GE(stats.hits, kThreads * kRounds - stats.misses);
+}
+
+// ------------------------------------------------------------- framing --
+
+TEST(SessionFramingTest, CompatEchoesRequestIds) {
+  Server srv(fast_server_opts());
+  auto s = srv.open_session("f");
+  const std::string ok = s->handle_line("@7 generate rmat 5 4");
+  EXPECT_NE(ok.find("ok id=7 job="), std::string::npos);
+  const std::string err = s->handle_line("@9 frobnicate");
+  EXPECT_NE(err.find("error id=9 "), std::string::npos);
+  // Unadorned commands keep the exact historical terminator.
+  EXPECT_NE(s->handle_line("print degrees").find("\nok job="),
+            std::string::npos);
+}
+
+TEST(SessionFramingTest, FramedV1HeaderCountsPayloadLines) {
+  Server srv(fast_server_opts());
+  auto s = srv.open_session("f");
+  // The proto ack itself still arrives in the framing that was active
+  // when the command was received — compat here.
+  const std::string ack = s->handle_line("proto v1");
+  EXPECT_NE(ack.find("protocol set to gct/1 framed"), std::string::npos);
+  EXPECT_NE(ack.find("\nok"), std::string::npos);
+  EXPECT_NE(ack.rfind("gct/1 ", 0), 0u);  // no v1 header on the ack
+
+  const std::string resp = s->handle_line("@12 generate rmat 5 4");
+  const auto ls = lines_of(resp);
+  ASSERT_GE(ls.size(), 2u);
+  EXPECT_EQ(ls[0].rfind("gct/1 ok lines=", 0), 0u);
+  EXPECT_NE(ls[0].find(" id=12"), std::string::npos);
+  EXPECT_NE(ls[0].find(" job="), std::string::npos);
+  // lines=<n> matches the payload exactly.
+  const auto lpos = ls[0].find("lines=") + 6;
+  const int n = std::stoi(ls[0].substr(lpos));
+  EXPECT_EQ(static_cast<int>(ls.size()) - 1, n);
+
+  // Errors carry the message as the last payload line.
+  const std::string err = s->handle_line("@13 frobnicate");
+  const auto els = lines_of(err);
+  ASSERT_GE(els.size(), 2u);
+  EXPECT_EQ(els[0].rfind("gct/1 error lines=", 0), 0u);
+  EXPECT_NE(els[0].find(" id=13"), std::string::npos);
+  EXPECT_NE(els.back().find("unknown command"), std::string::npos);
+}
+
+TEST(SessionFramingTest, ProtoSwitchBackAcksInV1ThenSpeaksCompat) {
+  Server srv(fast_server_opts());
+  auto s = srv.open_session("f");
+  s->handle_line("proto v1");
+  const std::string ack = s->handle_line("proto compat");
+  EXPECT_EQ(ack.rfind("gct/1 ok lines=1", 0), 0u);  // rendered in v1
+  const std::string after = s->handle_line("generate rmat 5 4");
+  EXPECT_EQ(after.find("gct/1"), std::string::npos);
+  EXPECT_NE(after.find("\nok job="), std::string::npos);
+}
+
+TEST(SessionFramingTest, ShedRequestsReportBusyInBothFramings) {
+  // One worker wedged plus a full one-deep queue: the next command sheds.
+  ServerOptions opts = fast_server_opts(1);
+  opts.limits.max_queued_jobs = 1;
+  Server srv(opts);
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> running{false};
+  srv.jobs().submit("test", "graph:block", "blocker", [&](JobCounters&) {
+    running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!running.load()) std::this_thread::yield();
+  srv.jobs().submit("test", "graph:block", "filler",
+                    [](JobCounters&) { return std::string(); });
+
+  auto s = srv.open_session("shed");
+  const std::string compat = s->handle_line("@4 generate rmat 5 4");
+  EXPECT_NE(compat.find("error id=4 busy: queue full"), std::string::npos);
+
+  s->handle_line("proto v1");
+  const std::string framed = s->handle_line("@5 generate rmat 5 4");
+  const auto ls = lines_of(framed);
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_EQ(ls[0].rfind("gct/1 busy lines=1 id=5", 0), 0u);
+  EXPECT_NE(ls[1].find("queue full"), std::string::npos);
+
+  release.set_value();
+}
+
+// ---------------------------------------------------------- epoll / TCP --
+
+/// Minimal blocking test client for the TCP transport.
+struct TestClient {
+  int fd = -1;
+  std::string buf;
+
+  ~TestClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool connect_to(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool send_text(const std::string& text) {
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+      const ssize_t n =
+          ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool read_line(std::string& out) {
+    std::size_t nl;
+    while ((nl = buf.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    out = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    return true;
+  }
+
+  /// Lines of one compat-framed reply, terminator included.
+  std::vector<std::string> read_reply() {
+    std::vector<std::string> out;
+    std::string line;
+    while (read_line(line)) {
+      out.push_back(line);
+      if (line.rfind("ok", 0) == 0 || line.rfind("error", 0) == 0) break;
+    }
+    return out;
+  }
+};
+
+/// serve_tcp on a background thread, bound to an ephemeral port.
+struct TcpFixture {
+  Server srv;
+  std::thread loop;
+  int rc = -1;
+
+  explicit TcpFixture(ServerOptions opts) : srv(std::move(opts)) {
+    loop = std::thread([this] { rc = srv.serve_tcp(0); });
+    while (srv.port() == 0) std::this_thread::sleep_for(1ms);
+  }
+
+  ~TcpFixture() {
+    srv.request_stop();
+    if (loop.joinable()) loop.join();
+  }
+};
+
+TEST(ServerTcpTest, ServesManyConnectionsFromOneEventLoop) {
+  TcpFixture fx(fast_server_opts(2));
+  fx.srv.registry().add("g", star_of_cliques(3, 5));
+
+  constexpr int kClients = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      TestClient c;
+      std::string line;
+      if (!c.connect_to(fx.srv.port()) || !c.read_line(line) ||
+          line.rfind("graphctd ready", 0) != 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      c.send_text("use graph g\n");
+      if (c.read_reply().back().rfind("ok", 0) != 0) failures.fetch_add(1);
+      // Pipelined pair with request ids: responses come back in order,
+      // each tagged, so the client can match them without guessing.
+      c.send_text("@a print degrees\n@b print components\n");
+      const auto first = c.read_reply();
+      const auto second = c.read_reply();
+      if (first.empty() || first.back().rfind("ok id=a", 0) != 0 ||
+          second.empty() || second.back().rfind("ok id=b", 0) != 0) {
+        failures.fetch_add(1);
+      }
+      c.send_text("quit\n");
+      if (c.read_line(line)) failures.fetch_add(1);  // quit closes, silently
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServerTcpTest, ConnectionCapRefusesWithExplicitError) {
+  ServerOptions opts = fast_server_opts(1);
+  opts.limits.max_connections = 2;
+  TcpFixture fx(opts);
+
+  TestClient a, b, refused;
+  std::string line;
+  ASSERT_TRUE(a.connect_to(fx.srv.port()) && a.read_line(line));
+  EXPECT_EQ(line.rfind("graphctd ready", 0), 0u);
+  ASSERT_TRUE(b.connect_to(fx.srv.port()) && b.read_line(line));
+  EXPECT_EQ(line.rfind("graphctd ready", 0), 0u);
+
+  ASSERT_TRUE(refused.connect_to(fx.srv.port()));
+  ASSERT_TRUE(refused.read_line(line));
+  EXPECT_NE(line.find("connection capacity"), std::string::npos);
+  EXPECT_FALSE(refused.read_line(line));  // then the server closes it
+
+  // A held slot freed by quit becomes available again.
+  a.send_text("quit\n");
+  while (a.read_line(line)) {
+  }
+  TestClient again;
+  for (int tries = 0; tries < 100; ++tries) {
+    if (again.connect_to(fx.srv.port()) && again.read_line(line) &&
+        line.rfind("graphctd ready", 0) == 0) {
+      break;
+    }
+    ::close(again.fd);
+    again.fd = -1;
+    again.buf.clear();
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(line.rfind("graphctd ready", 0), 0u);
+}
+
+TEST(ServerTcpTest, PipeliningPastBacklogShedsWithBusy) {
+  ServerOptions opts = fast_server_opts(1);
+  opts.limits.max_queued_per_session = 2;
+  TcpFixture fx(opts);
+
+  TestClient c;
+  std::string line;
+  ASSERT_TRUE(c.connect_to(fx.srv.port()) && c.read_line(line));
+  // Fire 12 commands without reading: 1 dispatches, 2 buffer, the rest
+  // shed with explicit busy errors — and every one gets a response.
+  std::string burst;
+  for (int i = 0; i < 12; ++i) {
+    burst += "@" + std::to_string(i) + " generate rmat 5 4\n";
+  }
+  ASSERT_TRUE(c.send_text(burst));
+  int ok = 0, busy = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto reply = c.read_reply();
+    ASSERT_FALSE(reply.empty());
+    if (reply.back().rfind("ok", 0) == 0) {
+      ++ok;
+    } else if (reply.back().find("busy:") != std::string::npos) {
+      ++busy;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(busy, 0);
+  EXPECT_EQ(ok + busy, 12);
+}
+
+// Regression: stopping under load used to leave connection threads mid-job
+// and exit nondeterministically. The event loop must cancel queued jobs
+// (delivering explicit cancellations), finish the in-flight response, and
+// return cleanly within the drain window.
+TEST(ServerTcpTest, StopUnderLoadDrainsDeterministically) {
+  ServerOptions opts = fast_server_opts(1);
+  opts.limits.drain_timeout_seconds = 5.0;
+  auto fx = std::make_unique<TcpFixture>(opts);
+
+  // Wedge the single worker so client commands queue behind it.
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  std::atomic<bool> running{false};
+  fx->srv.jobs().submit("test", "graph:block", "blocker", [&](JobCounters&) {
+    running.store(true);
+    released.wait();
+    return std::string();
+  });
+  while (!running.load()) std::this_thread::yield();
+
+  TestClient c;
+  std::string line;
+  ASSERT_TRUE(c.connect_to(fx->srv.port()) && c.read_line(line));
+  ASSERT_TRUE(c.send_text("@1 generate rmat 5 4\n"));
+  while (fx->srv.jobs().queued() == 0) std::this_thread::yield();
+
+  fx->srv.request_stop();
+  // The queued job is cancelled and the client is told so before close.
+  const auto reply = c.read_reply();
+  ASSERT_FALSE(reply.empty());
+  EXPECT_NE(reply.back().find("error id=1"), std::string::npos);
+  EXPECT_NE(reply.back().find("cancelled"), std::string::npos);
+  EXPECT_FALSE(c.read_line(line));  // connection closed by the drain
+
+  release.set_value();  // only now does the blocker finish
+  fx.reset();           // joins serve_tcp; must not hang
 }
 
 }  // namespace

@@ -134,6 +134,55 @@ TEST(ToolkitTest, ReplaceGraphNeverServesStaleResults) {
   EXPECT_EQ(tk.components_stats().largest_size(), 6);
 }
 
+TEST(ToolkitTest, CacheBudgetEvictsAndRecomputesIdentically) {
+  ToolkitOptions o;
+  o.estimate_diameter_on_load = false;
+  // A few KiB: enough for one or two betweenness results on a 64-vertex
+  // graph (score vector ~512 bytes plus struct overhead), so a sweep of
+  // distinct parameter sets must cycle the cache.
+  o.cache_budget_bytes = 4 << 10;
+  Toolkit tk(star_graph(64), o);
+
+  BetweennessOptions bo;
+  bo.seed = 1;
+  const std::vector<double> reference = tk.betweenness(bo).score;
+  for (int seed = 2; seed <= 8; ++seed) {
+    BetweennessOptions other;
+    other.seed = seed;
+    tk.betweenness(other);
+  }
+  const auto mid = tk.cache_stats();
+  EXPECT_GT(mid.evictions, 0);
+  EXPECT_LE(mid.resident_bytes, mid.budget_bytes);
+
+  // The seed=1 entry was evicted along the way; recomputation must give
+  // the identical result.
+  EXPECT_EQ(tk.betweenness(bo).score, reference);
+  EXPECT_LE(tk.cache_stats().resident_bytes, mid.budget_bytes);
+  ResultCache::release_thread_pins();
+}
+
+TEST(ToolkitTest, ReplaceGraphInvalidationWinsOverLru) {
+  ToolkitOptions o;
+  o.estimate_diameter_on_load = false;
+  o.cache_budget_bytes = 64 << 10;  // roomy: nothing evicts on its own
+  Toolkit tk(path_graph(50), o);
+  EXPECT_EQ(tk.components_stats().num_components, 1);
+  EXPECT_EQ(tk.diameter().longest_distance, 49);
+  const auto before = tk.cache_stats();
+  EXPECT_GT(before.resident_bytes, 0);
+
+  // replace_graph() must clear everything at once — not rely on LRU
+  // pressure — and reset residency without counting evictions.
+  tk.replace_graph(star_graph(6));
+  const auto after = tk.cache_stats();
+  EXPECT_EQ(after.entries, 0);
+  EXPECT_EQ(after.resident_bytes, 0);
+  EXPECT_EQ(after.evictions, before.evictions);
+  EXPECT_EQ(tk.diameter().longest_distance, 2);  // the new graph's answer
+  ResultCache::release_thread_pins();
+}
+
 TEST(ToolkitTest, CacheStatsCountTraffic) {
   ToolkitOptions o;
   o.estimate_diameter_on_load = false;

@@ -25,6 +25,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -96,7 +97,10 @@ int usage() {
          "  convert <in> <out>                   convert between formats\n"
          "  generate rmat <scale> <ef> <out>     synthesize an R-MAT graph\n"
          "  script <file.gct>                    run an analyst script\n"
-         "  serve <port> | serve --stdio [--workers N]   run graphctd\n"
+         "  serve <port> | serve --stdio [--workers N]\n"
+         "     [--max-conns N] [--max-queued N] [--max-queued-per-session N]\n"
+         "     [--cache-budget-mb M] [--idle-timeout S] [--read-timeout S]\n"
+         "     [--drain-timeout S]                 run graphctd\n"
          "  client <port>                        connect to a graphctd\n";
   return 2;
 }
@@ -105,6 +109,20 @@ int cmd_serve(const Cli& cli) {
   server::ServerOptions opts;
   opts.workers = static_cast<int>(cli.get("workers", std::int64_t{4}));
   opts.interpreter.timings = cli.has("timings");
+  server::ServerLimits& lim = opts.limits;
+  lim.max_connections = static_cast<int>(
+      cli.get("max-conns", std::int64_t{lim.max_connections}));
+  lim.max_queued_jobs = static_cast<int>(
+      cli.get("max-queued", std::int64_t{lim.max_queued_jobs}));
+  lim.max_queued_per_session = static_cast<int>(cli.get(
+      "max-queued-per-session", std::int64_t{lim.max_queued_per_session}));
+  lim.cache_budget_bytes =
+      static_cast<std::uint64_t>(cli.get("cache-budget-mb", std::int64_t{0}))
+      << 20;
+  lim.read_timeout_seconds = cli.get("read-timeout", 0.0);
+  lim.idle_timeout_seconds = cli.get("idle-timeout", 0.0);
+  lim.drain_timeout_seconds =
+      cli.get("drain-timeout", lim.drain_timeout_seconds);
   server::Server srv(opts);
   if (cli.has("stdio")) {
     srv.serve_stream(std::cin, std::cout);
@@ -112,9 +130,10 @@ int cmd_serve(const Cli& cli) {
   }
   GCT_CHECK(!cli.positional().empty(), "serve: need a port or --stdio");
   const int port = static_cast<int>(std::stoll(cli.positional()[0]));
-  return srv.serve_tcp(port, [port, &opts] {
-    std::cerr << "graphctd listening on 127.0.0.1:" << port << " ("
-              << opts.workers << " workers)\n";
+  return srv.serve_tcp(port, [&srv, &opts] {
+    std::cerr << "graphctd listening on 127.0.0.1:" << srv.port() << " ("
+              << opts.workers << " workers, " << opts.limits.max_connections
+              << " connection cap)\n";
   });
 }
 
@@ -140,12 +159,27 @@ int cmd_client(const Cli& cli) {
   std::string buffer;
   char chunk[4096];
   auto drain = [&](bool wait_for_terminator) {
+    int pending_payload = -1;  // payload lines owed by a gct/1 header
     for (;;) {
       std::size_t nl;
       while ((nl = buffer.find('\n')) != std::string::npos) {
         const std::string line = buffer.substr(0, nl);
         buffer.erase(0, nl + 1);
         std::cout << line << "\n" << std::flush;
+        if (pending_payload >= 0) {
+          if (--pending_payload < 0) return true;
+          continue;
+        }
+        if (line.rfind("gct/1 ", 0) == 0) {
+          // Framed v1 reply: the header declares its payload length, so
+          // count lines instead of scanning for a terminator.
+          const std::size_t pos = line.find(" lines=");
+          const int n =
+              pos == std::string::npos ? 0 : std::atoi(line.c_str() + pos + 7);
+          if (n <= 0) return true;
+          pending_payload = n - 1;
+          continue;
+        }
         if (line.rfind("ok", 0) == 0 || line.rfind("error", 0) == 0 ||
             line.rfind("graphctd", 0) == 0) {
           return true;
@@ -356,7 +390,14 @@ int main(int argc, char** argv) {
              {"threads", "OpenMP thread count (0 = default)"},
              {"profile", "per-kernel phase profiling!"},
              {"workers", "server worker threads"},
-             {"stdio", "serve one session over stdin/stdout!"}});
+             {"stdio", "serve one session over stdin/stdout!"},
+             {"max-conns", "server: concurrent connection cap"},
+             {"max-queued", "server: global queued-job cap"},
+             {"max-queued-per-session", "server: per-session backlog cap"},
+             {"cache-budget-mb", "server: kernel-cache byte budget in MiB"},
+             {"read-timeout", "server: stalled partial-line timeout (s)"},
+             {"idle-timeout", "server: idle-connection timeout (s)"},
+             {"drain-timeout", "server: stop-time drain window (s)"}});
     if (cli.has("threads")) {
       graphct::set_num_threads(
           static_cast<int>(cli.get("threads", std::int64_t{0})));

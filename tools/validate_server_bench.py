@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate bench/server_throughput --sustained output (one JSON/line).
+
+Usage: validate_server_bench.py FILE [--min-sessions N]
+
+Checks the four sustained-mode row kinds:
+
+  * server_sustained (mode cached AND uncached): sessions >= N (default
+    200), dropped == 0, p50_ms <= p99_ms, qps > 0;
+  * server_sustained_admission: busy > 0 (pipelining past the backlog
+    must shed) and ok > 0 (admitted work still completes);
+  * server_sustained_capacity: refused > 0, accepted == cap (the cap is
+    enforced exactly, not approximately);
+  * server_sustained_cache: resident_max_bytes <= budget_bytes and
+    evictions > 0 (the cache actually cycled under budget).
+
+Exits non-zero with a message on the first violation — this is the CI
+gate for the epoll serving core's overload behavior.
+"""
+
+import argparse
+import json
+import sys
+
+NUMERIC = (int, float)
+
+
+def fail(msg):
+    print(f"validate_server_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def need(row, field, types=NUMERIC):
+    if field not in row:
+        fail(f"row {row.get('bench')!r} missing field {field!r}: {row}")
+    if not isinstance(row[field], types):
+        fail(f"field {field!r} has type {type(row[field]).__name__}: {row}")
+    return row[field]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file")
+    ap.add_argument("--min-sessions", type=int, default=200)
+    args = ap.parse_args()
+
+    rows = []
+    with open(args.file, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno} is not valid JSON: {e}")
+
+    sustained = [r for r in rows if r.get("bench") == "server_sustained"]
+    modes = {r.get("mode") for r in sustained}
+    if not {"cached", "uncached"} <= modes:
+        fail(f"need server_sustained rows for cached AND uncached, got {modes}")
+    for r in sustained:
+        sessions = need(r, "sessions", int)
+        if sessions < args.min_sessions:
+            fail(f"sessions={sessions} < required {args.min_sessions}: {r}")
+        if need(r, "dropped", int) != 0:
+            fail(f"dropped connections below the admission limit: {r}")
+        p50, p99 = need(r, "p50_ms"), need(r, "p99_ms")
+        if p50 > p99:
+            fail(f"p50_ms={p50} > p99_ms={p99}: {r}")
+        if need(r, "qps") <= 0:
+            fail(f"qps must be positive: {r}")
+        if need(r, "requests", int) <= 0:
+            fail(f"no requests completed: {r}")
+
+    adm = [r for r in rows if r.get("bench") == "server_sustained_admission"]
+    if not adm:
+        fail("missing server_sustained_admission row")
+    for r in adm:
+        if need(r, "busy", int) <= 0:
+            fail(f"pipelining past the backlog shed nothing: {r}")
+        if need(r, "ok", int) <= 0:
+            fail(f"no admitted request completed: {r}")
+
+    cap_rows = [r for r in rows if r.get("bench") == "server_sustained_capacity"]
+    if not cap_rows:
+        fail("missing server_sustained_capacity row")
+    for r in cap_rows:
+        if need(r, "refused", int) <= 0:
+            fail(f"no connection was refused above the cap: {r}")
+        if need(r, "accepted", int) != need(r, "cap", int):
+            fail(f"accepted != connection cap: {r}")
+
+    cache = [r for r in rows if r.get("bench") == "server_sustained_cache"]
+    if not cache:
+        fail("missing server_sustained_cache row")
+    for r in cache:
+        budget = need(r, "budget_bytes", int)
+        resident = need(r, "resident_max_bytes")
+        if resident > budget:
+            fail(f"resident {resident} exceeded budget {budget}: {r}")
+        if need(r, "evictions", int) <= 0:
+            fail(f"no evictions under a {budget}-byte budget: {r}")
+
+    print(
+        f"validate_server_bench: OK ({len(sustained)} sustained rows, "
+        f"{len(adm)} admission, {len(cap_rows)} capacity, {len(cache)} cache)"
+    )
+
+
+if __name__ == "__main__":
+    main()
