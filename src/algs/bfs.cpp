@@ -48,7 +48,7 @@ BfsScratch& scratch() {
 // per-thread counts assigns disjoint output ranges — no per-vertex fetch_add
 // on a shared tail. One parallel region end to end, so thread ids are stable
 // and each thread copies its own queue. Returns the new tail.
-eid expand_top_down_queued(const CsrGraph& g, std::vector<vid>& distance,
+eid expand_top_down_queued(const GraphView& g, std::vector<vid>& distance,
                            std::vector<vid>& parent, std::vector<vid>& order,
                            eid lo, eid hi, vid depth, bool compute_parents,
                            std::vector<std::int64_t>& offsets) {
@@ -96,7 +96,7 @@ eid expand_top_down_queued(const CsrGraph& g, std::vector<vid>& distance,
 // Bit order is vertex order, so each level comes out ascending by
 // construction — no post-sort, and the result is identical for any thread
 // count.
-void expand_top_down_bitmap(const CsrGraph& g, std::vector<vid>& distance,
+void expand_top_down_bitmap(const GraphView& g, std::vector<vid>& distance,
                             std::vector<vid>& parent, const std::vector<vid>& order,
                             eid lo, eid hi, vid depth, bool compute_parents,
                             Bitmap& next) {
@@ -138,7 +138,7 @@ void rebuild_visited(Bitmap& visited, const std::vector<vid>& distance) {
 // whose vertices are all visited is skipped with one load. Each undiscovered
 // vertex scans its neighbors for a frontier member (bitmap test) and stops at
 // the first hit.
-void expand_bottom_up(const CsrGraph& g, std::vector<vid>& distance,
+void expand_bottom_up(const GraphView& g, std::vector<vid>& distance,
                       std::vector<vid>& parent, vid depth,
                       bool compute_parents, const Bitmap& frontier,
                       Bitmap& visited, Bitmap& next) {
@@ -165,7 +165,19 @@ void expand_bottom_up(const CsrGraph& g, std::vector<vid>& distance,
 
 }  // namespace
 
-BfsResult bfs(const CsrGraph& g, vid source, const BfsOptions& opts) {
+void BfsResult::sort_levels() {
+  const auto num_levels =
+      static_cast<std::int64_t>(level_offsets.size()) - 1;
+  for (std::int64_t d = 0; d < num_levels; ++d) {
+    std::sort(
+        order.begin() + static_cast<std::ptrdiff_t>(
+                            level_offsets[static_cast<std::size_t>(d)]),
+        order.begin() + static_cast<std::ptrdiff_t>(
+                            level_offsets[static_cast<std::size_t>(d) + 1]));
+  }
+}
+
+BfsResult bfs(const GraphView& g, vid source, const BfsOptions& opts) {
   // Kernel root lives on the wrapper, not bfs_into(): kernels that run one
   // search per source (bc, closeness, diameter) call bfs_into() directly and
   // attribute it to their own phases instead of logging thousands of runs.
@@ -175,7 +187,7 @@ BfsResult bfs(const CsrGraph& g, vid source, const BfsOptions& opts) {
   return r;
 }
 
-void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
+void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
               BfsResult& r) {
   const vid n = g.num_vertices();
   GCT_CHECK(source >= 0 && source < n, "bfs: source out of range");

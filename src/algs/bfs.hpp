@@ -28,6 +28,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/transforms.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
@@ -92,16 +93,27 @@ struct BfsResult {
   [[nodiscard]] vid max_distance() const {
     return static_cast<vid>(level_offsets.size()) - 2;
   }
+
+  /// Rewrite each level's slice of `order` into ascending vertex id.
+  /// Callers whose per-level sweeps are order-invariant (the centrality
+  /// kernels — see BfsOptions::deterministic_order) use this to make
+  /// their adjacency reads sequential: over a packed GraphStore,
+  /// discovery-order iteration touches blocks near-randomly and thrashes
+  /// the decode cache, turning each sweep into hundreds of full-graph
+  /// decodes.
+  void sort_levels();
 };
 
-/// Run BFS from `source`. Throws if source is out of range.
-BfsResult bfs(const CsrGraph& g, vid source, const BfsOptions& opts = {});
+/// Run BFS from `source`. Throws if source is out of range. Takes a
+/// GraphView, so it traverses DRAM CSR and packed mmap stores alike;
+/// passing a CsrGraph converts implicitly.
+BfsResult bfs(const GraphView& g, vid source, const BfsOptions& opts = {});
 
 /// As bfs(), but reuses `result`'s buffers — no allocations when the same
 /// BfsResult is passed across many searches of one graph. This is the inner
 /// loop of every sampled kernel (diameter estimation runs 256 of these,
 /// betweenness one per source).
-void bfs_into(const CsrGraph& g, vid source, const BfsOptions& opts,
+void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
               BfsResult& result);
 
 /// Ego network: the subgraph induced by every vertex within `radius` hops

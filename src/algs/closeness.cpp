@@ -10,7 +10,7 @@
 
 namespace graphct {
 
-ClosenessResult closeness_centrality(const CsrGraph& g,
+ClosenessResult closeness_centrality(const GraphView& g,
                                      const ClosenessOptions& opts) {
   GCT_CHECK(!g.directed(), "closeness_centrality: graph must be undirected");
   const vid n = g.num_vertices();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
@@ -36,7 +37,7 @@ struct ClosenessResult {
 };
 
 /// Compute (approximate) harmonic closeness of an undirected graph.
-ClosenessResult closeness_centrality(const CsrGraph& g,
+ClosenessResult closeness_centrality(const GraphView& g,
                                      const ClosenessOptions& opts = {});
 
 }  // namespace graphct

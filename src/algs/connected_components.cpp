@@ -9,7 +9,7 @@
 
 namespace graphct {
 
-std::vector<vid> connected_components(const CsrGraph& g) {
+std::vector<vid> connected_components(const GraphView& g) {
   GCT_CHECK(!g.directed(),
             "connected_components: input must be undirected "
             "(use weak_components for directed graphs)");
@@ -68,9 +68,15 @@ std::vector<vid> connected_components(const CsrGraph& g) {
   return label;
 }
 
-std::vector<vid> weak_components(const CsrGraph& g) {
+std::vector<vid> weak_components(const GraphView& g) {
   if (!g.directed()) return connected_components(g);
-  return connected_components(to_undirected(g));
+  // Symmetrizing needs CSR surgery; a store-backed directed graph decodes
+  // to DRAM first (weak components of a >DRAM directed graph would need an
+  // out-of-core transpose — not provided).
+  if (const CsrGraph* csr = g.as_csr()) {
+    return connected_components(to_undirected(*csr));
+  }
+  return connected_components(to_undirected(g.materialize()));
 }
 
 ComponentStats component_stats(std::span<const vid> labels) {

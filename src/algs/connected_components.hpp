@@ -17,17 +17,19 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/transforms.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
 /// Per-vertex component labels for an undirected graph: labels[v] is the
 /// smallest vertex id in v's component. Throws for directed input (use
-/// weak_components).
-std::vector<vid> connected_components(const CsrGraph& g);
+/// weak_components). Runs over DRAM CSR or a packed store via GraphView.
+std::vector<vid> connected_components(const GraphView& g);
 
-/// Weakly connected components: symmetrizes a directed graph first,
-/// otherwise identical to connected_components.
-std::vector<vid> weak_components(const CsrGraph& g);
+/// Weakly connected components: symmetrizes a directed graph first
+/// (materializing a store-backed directed graph to do so), otherwise
+/// identical to connected_components.
+std::vector<vid> weak_components(const GraphView& g);
 
 /// Aggregate component statistics.
 struct ComponentStats {

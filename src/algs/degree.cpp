@@ -4,7 +4,7 @@
 
 namespace graphct {
 
-std::vector<std::int64_t> degrees(const CsrGraph& g) {
+std::vector<std::int64_t> degrees(const GraphView& g) {
   const vid n = g.num_vertices();
   std::vector<std::int64_t> d(static_cast<std::size_t>(n));
 #pragma omp parallel for schedule(static)
@@ -12,7 +12,7 @@ std::vector<std::int64_t> degrees(const CsrGraph& g) {
   return d;
 }
 
-std::vector<std::int64_t> in_degrees(const CsrGraph& g) {
+std::vector<std::int64_t> in_degrees(const GraphView& g) {
   const vid n = g.num_vertices();
   std::vector<std::int64_t> d(static_cast<std::size_t>(n), 0);
   if (!g.directed()) return degrees(g);
@@ -25,12 +25,12 @@ std::vector<std::int64_t> in_degrees(const CsrGraph& g) {
   return d;
 }
 
-Summary degree_summary(const CsrGraph& g) {
+Summary degree_summary(const GraphView& g) {
   const auto d = degrees(g);
   return summarize(std::span<const std::int64_t>(d.data(), d.size()));
 }
 
-LogHistogram degree_histogram(const CsrGraph& g) {
+LogHistogram degree_histogram(const GraphView& g) {
   LogHistogram h;
   const auto d = degrees(g);
   h.add_all(std::span<const std::int64_t>(d.data(), d.size()));
@@ -38,12 +38,12 @@ LogHistogram degree_histogram(const CsrGraph& g) {
 }
 
 std::vector<std::pair<std::int64_t, std::int64_t>> degree_frequency(
-    const CsrGraph& g) {
+    const GraphView& g) {
   const auto d = degrees(g);
   return frequency_table(std::span<const std::int64_t>(d.data(), d.size()));
 }
 
-double degree_power_law_alpha(const CsrGraph& g, std::int64_t xmin) {
+double degree_power_law_alpha(const GraphView& g, std::int64_t xmin) {
   const auto d = degrees(g);
   return power_law_alpha(std::span<const std::int64_t>(d.data(), d.size()),
                          xmin);

@@ -9,28 +9,29 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "storage/graph_view.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace graphct {
 
 /// Out-degrees of every vertex (== degrees for undirected graphs).
-std::vector<std::int64_t> degrees(const CsrGraph& g);
+std::vector<std::int64_t> degrees(const GraphView& g);
 
 /// In-degrees of every vertex (== degrees for undirected graphs).
-std::vector<std::int64_t> in_degrees(const CsrGraph& g);
+std::vector<std::int64_t> in_degrees(const GraphView& g);
 
 /// Mean/variance/min/max of the degree sequence.
-Summary degree_summary(const CsrGraph& g);
+Summary degree_summary(const GraphView& g);
 
 /// Power-of-two binned degree histogram (the Fig. 2 presentation).
-LogHistogram degree_histogram(const CsrGraph& g);
+LogHistogram degree_histogram(const GraphView& g);
 
 /// Exact (degree, #vertices) frequency pairs — the raw log-log series.
 std::vector<std::pair<std::int64_t, std::int64_t>> degree_frequency(
-    const CsrGraph& g);
+    const GraphView& g);
 
 /// MLE power-law exponent of the degree sequence for degrees >= xmin.
-double degree_power_law_alpha(const CsrGraph& g, std::int64_t xmin = 2);
+double degree_power_law_alpha(const GraphView& g, std::int64_t xmin = 2);
 
 }  // namespace graphct

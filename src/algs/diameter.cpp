@@ -8,7 +8,7 @@
 
 namespace graphct {
 
-DiameterEstimate estimate_diameter(const CsrGraph& g,
+DiameterEstimate estimate_diameter(const GraphView& g,
                                    const DiameterOptions& opts) {
   DiameterEstimate est;
   const vid n = g.num_vertices();
@@ -38,7 +38,7 @@ DiameterEstimate estimate_diameter(const CsrGraph& g,
   return est;
 }
 
-vid exact_diameter(const CsrGraph& g) {
+vid exact_diameter(const GraphView& g) {
   const vid n = g.num_vertices();
   vid diameter = 0;
   BfsOptions bopts;

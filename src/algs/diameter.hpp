@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "graph/csr_graph.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
@@ -34,12 +35,12 @@ struct DiameterEstimate {
 };
 
 /// Estimate the diameter by sampled BFS sweeps.
-DiameterEstimate estimate_diameter(const CsrGraph& g,
+DiameterEstimate estimate_diameter(const GraphView& g,
                                    const DiameterOptions& opts = {});
 
 /// Exact diameter: max eccentricity over all vertices, ignoring unreachable
 /// pairs (0 for an empty or edgeless graph). O(n·m) — tests and small graphs
 /// only.
-vid exact_diameter(const CsrGraph& g);
+vid exact_diameter(const GraphView& g);
 
 }  // namespace graphct

@@ -9,7 +9,7 @@
 
 namespace graphct {
 
-PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts) {
+PageRankResult pagerank(const GraphView& g, const PageRankOptions& opts) {
   GCT_CHECK(opts.damping > 0.0 && opts.damping < 1.0,
             "pagerank: damping must be in (0,1)");
   GCT_CHECK(opts.max_iterations >= 1, "pagerank: need >= 1 iteration");
@@ -19,13 +19,15 @@ PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts) {
   obs::KernelScope scope("pagerank");
 
   // Pull formulation needs in-neighbors; for directed graphs build the
-  // reverse once. Undirected adjacency is its own reverse.
+  // reverse once (decoding a store-backed graph to DRAM first — an
+  // out-of-core transpose is not provided). Undirected adjacency is its own
+  // reverse, so the undirected path pulls straight through the view.
   CsrGraph rev_storage;
   if (g.directed()) {
     GCT_SPAN("pagerank.reverse");
-    rev_storage = reverse(g);
+    rev_storage = g.as_csr() ? reverse(*g.as_csr()) : reverse(g.materialize());
   }
-  const CsrGraph& in = g.directed() ? rev_storage : g;
+  const GraphView in = g.directed() ? GraphView(rev_storage) : g;
 
   const double inv_n = 1.0 / static_cast<double>(n);
   std::vector<double> rank(static_cast<std::size_t>(n), inv_n);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
@@ -35,7 +36,9 @@ struct PageRankResult {
 };
 
 /// Compute PageRank. Works on directed and undirected graphs. Self-loops
-/// participate like any other arc.
-PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts = {});
+/// participate like any other arc. Runs over DRAM CSR or a packed store via
+/// GraphView (a store-backed *directed* graph materializes to build the
+/// reverse; undirected pulls straight from the store).
+PageRankResult pagerank(const GraphView& g, const PageRankOptions& opts = {});
 
 }  // namespace graphct

@@ -33,17 +33,27 @@ struct BcWorkspace {
 /// The inner loops carry OpenMP pragmas; under coarse mode they execute
 /// serially because the caller is already inside a parallel region and
 /// nested parallelism is disabled.
-void accumulate_source(const CsrGraph& g, vid s, BcWorkspace& ws,
+void accumulate_source(const GraphView& g, vid s, BcWorkspace& ws,
                        std::vector<double>& score, bool atomic_scores) {
   BfsOptions bopts;
-  bopts.deterministic_order = false;  // sigma/delta sums are order-invariant
-  bopts.compute_parents = false;      // predecessors come from distances
+  // sigma/delta sums are order-invariant, so DRAM graphs take the queued
+  // top-down path (no per-level bitmap scan). Packed stores take the
+  // deterministic bitmap path instead: its compaction emits levels in
+  // ascending vertex order, so the expansion's adjacency reads stream
+  // through blocks instead of thrashing the per-thread decode cache.
+  bopts.deterministic_order = g.store_backed();
+  bopts.compute_parents = false;  // predecessors come from distances
   BfsResult& b = ws.bfs_buffer;
   {
     // Spans here record only in fine mode, where this runs on the
     // orchestrating thread; coarse-mode workers have no sink.
     GCT_SPAN("bc.bfs");
     bfs_into(g, s, bopts, b);
+    // Ascending order within levels makes the sweeps' adjacency reads
+    // sequential (decisive on packed stores) and, because both backends
+    // end up with the identical order, keeps results bitwise equal
+    // across them. No-op for levels the bitmap path already sorted.
+    b.sort_levels();
   }
   const auto& dist = b.distance;
   auto& sigma = ws.sigma;
@@ -112,7 +122,7 @@ void accumulate_source(const CsrGraph& g, vid s, BcWorkspace& ws,
   }
 }
 
-std::vector<vid> sample_component_aware(const CsrGraph& g, std::int64_t k,
+std::vector<vid> sample_component_aware(const GraphView& g, std::int64_t k,
                                         Rng& rng) {
   const auto labels = connected_components(g);
   const auto stats = component_stats(labels);
@@ -223,7 +233,7 @@ BcPlan plan_betweenness(vid n, std::int64_t num_sources, int threads,
   return p;
 }
 
-std::vector<vid> choose_sources(const CsrGraph& g,
+std::vector<vid> choose_sources(const GraphView& g,
                                 const BetweennessOptions& opts) {
   const vid n = g.num_vertices();
   std::int64_t k = opts.num_sources;
@@ -251,7 +261,7 @@ namespace {
 // Shared implementation. Brandes' forward/backward sweeps read only
 // out-neighbors with dist == dist(v) + 1, which is correct for directed
 // and undirected CSR alike; only the pair-counting interpretation differs.
-BetweennessResult betweenness_impl(const CsrGraph& g,
+BetweennessResult betweenness_impl(const GraphView& g,
                                    const BetweennessOptions& opts) {
   const vid n = g.num_vertices();
   BetweennessResult result;
@@ -342,7 +352,7 @@ BetweennessResult betweenness_impl(const CsrGraph& g,
 
 }  // namespace
 
-BetweennessResult betweenness_centrality(const CsrGraph& g,
+BetweennessResult betweenness_centrality(const GraphView& g,
                                          const BetweennessOptions& opts) {
   GCT_CHECK(!g.directed(),
             "betweenness_centrality: graph must be undirected (the paper "
@@ -352,7 +362,7 @@ BetweennessResult betweenness_centrality(const CsrGraph& g,
 }
 
 BetweennessResult directed_betweenness_centrality(
-    const CsrGraph& g, const BetweennessOptions& opts) {
+    const GraphView& g, const BetweennessOptions& opts) {
   GCT_CHECK(g.directed(),
             "directed_betweenness_centrality: graph must be directed");
   BetweennessOptions o = opts;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
@@ -103,7 +104,7 @@ BcPlan plan_betweenness(vid n, std::int64_t num_sources, int threads,
 
 /// Compute (approximate) betweenness centrality of an undirected graph.
 /// Self-loops never lie on shortest paths and are ignored.
-BetweennessResult betweenness_centrality(const CsrGraph& g,
+BetweennessResult betweenness_centrality(const GraphView& g,
                                          const BetweennessOptions& opts = {});
 
 /// Directed betweenness centrality: shortest paths follow arc direction
@@ -112,11 +113,11 @@ BetweennessResult betweenness_centrality(const CsrGraph& g,
 /// Component-aware sampling falls back to uniform (weak components do not
 /// bound directed reachability).
 BetweennessResult directed_betweenness_centrality(
-    const CsrGraph& g, const BetweennessOptions& opts = {});
+    const GraphView& g, const BetweennessOptions& opts = {});
 
 /// Pick the BC source set for the given options — exposed for tests and for
 /// harnesses that must reuse one sample across kernels.
-std::vector<vid> choose_sources(const CsrGraph& g,
+std::vector<vid> choose_sources(const GraphView& g,
                                 const BetweennessOptions& opts);
 
 }  // namespace graphct

@@ -40,14 +40,18 @@ struct KbcWorkspace {
 
 /// Accumulate one source's k-BC dependencies into `score` (plain adds; the
 /// caller arranges exclusive buffers or serial source order).
-void accumulate_source_kbc(const CsrGraph& g, vid s, KbcWorkspace& ws,
+void accumulate_source_kbc(const GraphView& g, vid s, KbcWorkspace& ws,
                            std::vector<double>& score) {
   const std::int64_t k = ws.k;
   BfsOptions bopts;
-  bopts.deterministic_order = false;  // per-vertex sums are order-invariant
+  // Per-vertex sums are order-invariant; see the same choice in
+  // betweenness.cpp — bitmap (ascending) levels for packed stores,
+  // queued top-down for DRAM, sort_levels() making both identical.
+  bopts.deterministic_order = g.store_backed();
   bopts.compute_parents = false;
   BfsResult& b = ws.bfs_buffer;
   bfs_into(g, s, bopts, b);
+  b.sort_levels();
   const auto& dist = b.distance;
   const vid reached = b.num_reached();
   const std::int64_t num_levels =
@@ -137,7 +141,7 @@ void accumulate_source_kbc(const CsrGraph& g, vid s, KbcWorkspace& ws,
 
 }  // namespace
 
-KBetweennessResult k_betweenness_centrality(const CsrGraph& g,
+KBetweennessResult k_betweenness_centrality(const GraphView& g,
                                             const KBetweennessOptions& opts) {
   GCT_CHECK(!g.directed(), "k_betweenness_centrality: graph must be undirected");
   GCT_CHECK(opts.k >= 0, "k_betweenness_centrality: k must be >= 0");

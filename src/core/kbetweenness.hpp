@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "storage/graph_view.hpp"
 
 namespace graphct {
 
@@ -82,6 +83,6 @@ struct KBetweennessResult {
 
 /// Compute k-betweenness centrality of an undirected graph.
 KBetweennessResult k_betweenness_centrality(
-    const CsrGraph& g, const KBetweennessOptions& opts = {});
+    const GraphView& g, const KBetweennessOptions& opts = {});
 
 }  // namespace graphct

@@ -83,6 +83,29 @@ Toolkit::Toolkit(CsrGraph graph, const ToolkitOptions& opts)
   }
 }
 
+Toolkit::Toolkit(std::shared_ptr<const storage::GraphStore> store,
+                 const ToolkitOptions& opts)
+    : store_(std::move(store)),
+      opts_(opts),
+      cache_(std::make_unique<ResultCache>()),
+      diameter_mu_(std::make_unique<std::mutex>()) {
+  GCT_CHECK(store_ != nullptr, "Toolkit: null graph store");
+  cache_->set_budget_bytes(opts_.cache_budget_bytes);
+  // Adjacency is immutable on disk; the packer preserved sort order, so no
+  // load-time preprocessing is possible (or needed for the view kernels).
+  if (opts_.estimate_diameter_on_load) {
+    estimate_diameter(opts_.diameter_samples, opts_.diameter_multiplier);
+  }
+}
+
+const CsrGraph& Toolkit::graph() const {
+  GCT_CHECK(store_ == nullptr,
+            "this operation needs the in-memory CSR graph, but the graph is "
+            "backed by packed store '" + store_->path() +
+            "' — load it unpacked, or use a kernel that runs over GraphView");
+  return graph_;
+}
+
 Toolkit Toolkit::load_dimacs(const std::string& path,
                              const ToolkitOptions& opts) {
   EdgeList el = read_dimacs(path);
@@ -93,6 +116,13 @@ Toolkit Toolkit::load_dimacs(const std::string& path,
 Toolkit Toolkit::load_binary(const std::string& path,
                              const ToolkitOptions& opts) {
   return Toolkit(read_binary(path), opts);
+}
+
+Toolkit Toolkit::load_packed(const std::string& path,
+                             const ToolkitOptions& opts,
+                             const storage::StoreOptions& store_opts) {
+  return Toolkit(std::make_shared<const storage::GraphStore>(path, store_opts),
+                 opts);
 }
 
 const DiameterEstimate& Toolkit::diameter() {
@@ -111,7 +141,7 @@ const DiameterEstimate& Toolkit::estimate_diameter(std::int64_t num_samples,
         d.num_samples = num_samples;
         d.multiplier = multiplier;
         d.seed = opts_.seed;
-        return graphct::estimate_diameter(graph_, d);
+        return graphct::estimate_diameter(view(), d);
       });
   std::lock_guard<std::mutex> lock(*diameter_mu_);
   current_diameter_ = std::move(estimate);
@@ -120,7 +150,7 @@ const DiameterEstimate& Toolkit::estimate_diameter(std::int64_t num_samples,
 
 const std::vector<vid>& Toolkit::components() {
   return *cache_->get_or_compute<std::vector<vid>>(
-      "components", [&] { return weak_components(graph_); });
+      "components", [&] { return weak_components(view()); });
 }
 
 const ComponentStats& Toolkit::components_stats() {
@@ -131,27 +161,27 @@ const ComponentStats& Toolkit::components_stats() {
 
 const Summary& Toolkit::degree_stats() {
   return *cache_->get_or_compute<Summary>(
-      "degree_stats", [&] { return degree_summary(graph_); });
+      "degree_stats", [&] { return degree_summary(view()); });
 }
 
 const LogHistogram& Toolkit::degree_histogram() {
   return *cache_->get_or_compute<LogHistogram>(
-      "degree_histogram", [&] { return graphct::degree_histogram(graph_); });
+      "degree_histogram", [&] { return graphct::degree_histogram(view()); });
 }
 
 const ClusteringResult& Toolkit::clustering() {
   return *cache_->get_or_compute<ClusteringResult>(
-      "clustering", [&] { return clustering_coefficients(graph_); }, StructBytes{});
+      "clustering", [&] { return clustering_coefficients(graph()); }, StructBytes{});
 }
 
 const std::vector<std::int64_t>& Toolkit::core_numbers() {
   return *cache_->get_or_compute<std::vector<std::int64_t>>(
-      "kcores", [&] { return graphct::core_numbers(graph_); });
+      "kcores", [&] { return graphct::core_numbers(graph()); });
 }
 
 const BetweennessResult& Toolkit::betweenness(const BetweennessOptions& opts) {
   return *cache_->get_or_compute<BetweennessResult>(
-      bc_key("bc", opts), [&] { return betweenness_centrality(graph_, opts); },
+      bc_key("bc", opts), [&] { return betweenness_centrality(view(), opts); },
       StructBytes{});
 }
 
@@ -163,7 +193,7 @@ const KBetweennessResult& Toolkit::k_betweenness(
       "|seed=" + std::to_string(opts.seed) +
       "|budget=" + std::to_string(opts.score_memory_budget_bytes);
   return *cache_->get_or_compute<KBetweennessResult>(
-      key, [&] { return k_betweenness_centrality(graph_, opts); },
+      key, [&] { return k_betweenness_centrality(view(), opts); },
       StructBytes{});
 }
 
@@ -172,7 +202,7 @@ const PageRankResult& Toolkit::pagerank(const PageRankOptions& opts) {
                           "|tol=" + std::to_string(opts.tolerance) +
                           "|iters=" + std::to_string(opts.max_iterations);
   return *cache_->get_or_compute<PageRankResult>(
-      key, [&] { return graphct::pagerank(graph_, opts); }, StructBytes{});
+      key, [&] { return graphct::pagerank(view(), opts); }, StructBytes{});
 }
 
 const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {
@@ -181,21 +211,21 @@ const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {
                           "|seed=" + std::to_string(opts.seed) +
                           "|rescale=" + std::to_string(opts.rescale);
   return *cache_->get_or_compute<ClosenessResult>(
-      key, [&] { return closeness_centrality(graph_, opts); }, StructBytes{});
+      key, [&] { return closeness_centrality(view(), opts); }, StructBytes{});
 }
 
 const CommunityResult& Toolkit::communities() {
   return *cache_->get_or_compute<CommunityResult>("communities", [&] {
     LabelPropagationOptions o;
     o.seed = opts_.seed;
-    return label_propagation(graph_, o);
+    return label_propagation(graph(), o);
   }, StructBytes{});
 }
 
 double Toolkit::community_modularity() {
   const auto& c = communities();
   return *cache_->get_or_compute<double>("modularity", [&] {
-    return modularity(graph_,
+    return modularity(graph(),
                       std::span<const vid>(c.labels.data(), c.labels.size()));
   });
 }
@@ -204,7 +234,10 @@ CsrGraph Toolkit::component_graph(std::int64_t i) {
   const auto& stats = components_stats();
   GCT_CHECK(i >= 0 && i < stats.num_components,
             "extract_component: index out of range");
-  Subgraph sub = extract_by_label(graph_, components(),
+  // Subgraph surgery needs CSR internals; a store-backed graph decodes to
+  // DRAM here (the extracted component is in-memory either way).
+  CsrGraph decoded;
+  Subgraph sub = extract_by_label(view().as_csr_or(decoded), components(),
                                   stats.sizes[static_cast<std::size_t>(i)].first);
   return std::move(sub.graph);
 }
@@ -215,7 +248,15 @@ Toolkit Toolkit::extract_component(std::int64_t i) {
 
 void Toolkit::replace_graph(CsrGraph g) {
   graph_ = std::move(g);
+  store_.reset();
   graph_.sort_adjacency();
+  invalidate();
+}
+
+void Toolkit::replace_graph(std::shared_ptr<const storage::GraphStore> store) {
+  GCT_CHECK(store != nullptr, "replace_graph: null graph store");
+  store_ = std::move(store);
+  graph_ = CsrGraph();
   invalidate();
 }
 

@@ -36,6 +36,8 @@
 #include "core/betweenness.hpp"
 #include "core/kbetweenness.hpp"
 #include "graph/csr_graph.hpp"
+#include "storage/graph_store.hpp"
+#include "storage/graph_view.hpp"
 #include "util/histogram.hpp"
 #include "util/result_cache.hpp"
 #include "util/stats.hpp"
@@ -64,6 +66,13 @@ class Toolkit {
  public:
   explicit Toolkit(CsrGraph graph, const ToolkitOptions& opts = {});
 
+  /// Store-backed Toolkit: kernels traverse the packed mmap store through
+  /// view(); only kernels converted to GraphView are available (graph()
+  /// throws). The store is shared_ptr-held so extract/ego surgery can swap
+  /// the backend to in-memory without invalidating other references.
+  explicit Toolkit(std::shared_ptr<const storage::GraphStore> store,
+                   const ToolkitOptions& opts = {});
+
   Toolkit(Toolkit&&) = default;
   Toolkit& operator=(Toolkit&&) = default;
 
@@ -76,7 +85,35 @@ class Toolkit {
   static Toolkit load_binary(const std::string& path,
                              const ToolkitOptions& opts = {});
 
-  [[nodiscard]] const CsrGraph& graph() const { return graph_; }
+  /// Open a packed graph file (see docs/STORAGE.md) as a store-backed
+  /// Toolkit. The graph stays on disk; adjacency decodes per block under
+  /// store_opts.cache_budget_bytes per thread.
+  static Toolkit load_packed(const std::string& path,
+                             const ToolkitOptions& opts = {},
+                             const storage::StoreOptions& store_opts = {});
+
+  /// The in-memory graph. Throws when store-backed — callers that can
+  /// traverse either representation should use view() instead.
+  [[nodiscard]] const CsrGraph& graph() const;
+
+  /// Uniform traversal view over whichever backend this Toolkit holds.
+  [[nodiscard]] GraphView view() const {
+    return store_ ? GraphView(*store_) : GraphView(graph_);
+  }
+
+  /// The packed store behind this Toolkit, or nullptr if in-memory.
+  [[nodiscard]] const storage::GraphStore* store() const {
+    return store_.get();
+  }
+
+  /// Shared ownership of the packed store (null when in-memory) — lets
+  /// callers duplicate a store-backed Toolkit without reopening the file.
+  [[nodiscard]] std::shared_ptr<const storage::GraphStore> shared_store()
+      const {
+    return store_;
+  }
+
+  [[nodiscard]] bool store_backed() const { return store_ != nullptr; }
 
   /// The load-time diameter estimate (computed lazily if load skipped it).
   const DiameterEstimate& diameter();
@@ -135,8 +172,13 @@ class Toolkit {
   /// Swap in a new graph and invalidate every cached result. This is the
   /// single invalidation path for all graph surgery (extract component,
   /// extract kcore, ego drill-down): results computed for the old graph can
-  /// never be served against the new one.
+  /// never be served against the new one. Replacing an in-memory graph on a
+  /// store-backed Toolkit drops the store (and vice versa below), so
+  /// backend swaps ride the same path.
   void replace_graph(CsrGraph g);
+
+  /// As replace_graph(CsrGraph), but swapping in a packed store backend.
+  void replace_graph(std::shared_ptr<const storage::GraphStore> store);
 
   /// Invalidate every cached result (after external graph surgery).
   void invalidate();
@@ -148,7 +190,8 @@ class Toolkit {
   }
 
  private:
-  CsrGraph graph_;
+  CsrGraph graph_;  ///< empty when store-backed
+  std::shared_ptr<const storage::GraphStore> store_;  ///< null when in-memory
   ToolkitOptions opts_;
   /// Kernel results keyed by (kernel, params); behind unique_ptr so the
   /// Toolkit stays movable.

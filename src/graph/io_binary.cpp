@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "util/checksum.hpp"
 #include "util/error.hpp"
 
 namespace graphct {
@@ -11,7 +12,7 @@ namespace graphct {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4743544231ULL;  // "GCTB1"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
 struct Header {
   std::uint64_t magic = kMagic;
@@ -21,6 +22,21 @@ struct Header {
   std::int64_t num_entries = 0;
   std::int64_t num_self_loops = 0;
 };
+
+/// v2 files end with a checksum over everything before the trailer, so a
+/// partial write or bit rot is caught at load instead of surfacing later as
+/// a mysterious CsrGraph invariant failure (or worse, silently wrong
+/// adjacency that still happens to satisfy the invariants).
+struct Trailer {
+  std::uint64_t checksum = 0;
+  char end_magic[8] = {'G', 'C', 'T', 'B', 'E', 'N', 'D', '2'};
+};
+
+bool end_magic_ok(const Trailer& t) {
+  const Trailer expected;
+  return std::memcmp(t.end_magic, expected.end_magic,
+                     sizeof(t.end_magic)) == 0;
+}
 
 }  // namespace
 
@@ -33,29 +49,61 @@ void write_binary(const CsrGraph& g, const std::string& path) {
   h.num_vertices = g.num_vertices();
   h.num_entries = g.num_adjacency_entries();
   h.num_self_loops = g.num_self_loops();
-  out.write(reinterpret_cast<const char*>(&h), sizeof h);
 
   const auto off = g.offsets();
   const auto adj = g.adjacency();
+  Fnv1a64 sum;
+  sum.update(&h, sizeof h);
+  sum.update(off.data(), off.size() * sizeof(eid));
+  sum.update(adj.data(), adj.size() * sizeof(vid));
+  Trailer t;
+  t.checksum = sum.digest();
+
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
   out.write(reinterpret_cast<const char*>(off.data()),
             static_cast<std::streamsize>(off.size() * sizeof(eid)));
   out.write(reinterpret_cast<const char*>(adj.data()),
             static_cast<std::streamsize>(adj.size() * sizeof(vid)));
+  out.write(reinterpret_cast<const char*>(&t), sizeof t);
   GCT_CHECK(out.good(), "write failed: " + path);
 }
 
 CsrGraph read_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   GCT_CHECK(in.good(), "cannot open binary graph file: " + path);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
 
   Header h;
+  GCT_CHECK(file_bytes >= sizeof h,
+            "not a GraphCT binary graph (file smaller than the header): " +
+                path);
   in.read(reinterpret_cast<char*>(&h), sizeof h);
-  GCT_CHECK(in.good(), "truncated binary graph header: " + path);
-  GCT_CHECK(h.magic == kMagic, "not a GraphCT binary graph: " + path);
-  GCT_CHECK(h.version == kVersion,
-            "unsupported binary graph version in " + path);
+  GCT_CHECK(in.good(), "cannot read binary graph header: " + path);
+  GCT_CHECK(h.magic == kMagic,
+            "not a GraphCT binary graph (bad magic): " + path);
+  GCT_CHECK(h.version == 1 || h.version == kVersion,
+            "unsupported binary graph version " + std::to_string(h.version) +
+                " in " + path + " (this build reads versions 1-" +
+                std::to_string(kVersion) + ")");
   GCT_CHECK(h.num_vertices >= 0 && h.num_entries >= 0,
-            "corrupt binary graph header: " + path);
+            "corrupt binary graph header (negative counts): " + path);
+
+  // Validate the size before allocating: a corrupt count would otherwise
+  // turn into a giant allocation or a confusing short read.
+  const std::uint64_t array_bytes =
+      (static_cast<std::uint64_t>(h.num_vertices) + 1) * sizeof(eid) +
+      static_cast<std::uint64_t>(h.num_entries) * sizeof(vid);
+  const std::uint64_t expected =
+      sizeof(Header) + array_bytes + (h.version >= 2 ? sizeof(Trailer) : 0);
+  GCT_CHECK(file_bytes >= expected,
+            "truncated binary graph file: " + path + " (" +
+                std::to_string(file_bytes) + " bytes, header promises " +
+                std::to_string(expected) + ")");
+  GCT_CHECK(file_bytes == expected,
+            "binary graph file has trailing bytes: " + path + " (" +
+                std::to_string(file_bytes) + " bytes, header promises " +
+                std::to_string(expected) + ")");
 
   std::vector<eid> offsets(static_cast<std::size_t>(h.num_vertices) + 1);
   std::vector<vid> adjacency(static_cast<std::size_t>(h.num_entries));
@@ -64,6 +112,22 @@ CsrGraph read_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(adjacency.data()),
           static_cast<std::streamsize>(adjacency.size() * sizeof(vid)));
   GCT_CHECK(in.good(), "truncated binary graph data: " + path);
+
+  if (h.version >= 2) {
+    Trailer t;
+    in.read(reinterpret_cast<char*>(&t), sizeof t);
+    GCT_CHECK(in.good(), "truncated binary graph trailer: " + path);
+    GCT_CHECK(end_magic_ok(t),
+              "corrupt binary graph trailer (bad end marker): " + path);
+    Fnv1a64 sum;
+    sum.update(&h, sizeof h);
+    sum.update(offsets.data(), offsets.size() * sizeof(eid));
+    sum.update(adjacency.data(), adjacency.size() * sizeof(vid));
+    GCT_CHECK(sum.digest() == t.checksum,
+              "binary graph checksum mismatch (corrupt or partially "
+              "written file): " +
+                  path);
+  }
 
   // The CsrGraph constructor re-validates all structural invariants, so a
   // corrupt file cannot produce an out-of-bounds graph.

@@ -7,6 +7,9 @@
 /// format" (`extract component 1 => comp1.bin`, §IV-B). This is that format:
 /// a fixed header (magic, version, flags, counts) followed by the raw CSR
 /// offsets and adjacency arrays, so save/restore is a straight memory copy.
+/// Version 2 appends a trailer (FNV-1a checksum over header + arrays, end
+/// marker) so truncated or corrupted files fail loudly at load; version-1
+/// files (no trailer) still read.
 
 #include <string>
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/toolkit.hpp"
+#include "util/error.hpp"
 
 namespace graphct::script {
 
@@ -28,6 +29,17 @@ class GraphProvider {
   /// failure.
   virtual std::shared_ptr<Toolkit> load_graph(const std::string& name,
                                               const std::string& path) = 0;
+
+  /// As load_graph(), but opening `path` as a packed (block-compressed,
+  /// mmap-backed) graph — the script's `load packed <name> <path>`. The
+  /// default refuses; registries that serve packed graphs override it.
+  virtual std::shared_ptr<Toolkit> load_packed_graph(const std::string& name,
+                                                     const std::string& path) {
+    (void)name;
+    (void)path;
+    throw Error("load packed: this session's graph provider does not "
+                "support packed graphs");
+  }
 
   /// The resident graph named `name`, or nullptr when absent.
   virtual std::shared_ptr<Toolkit> get_graph(const std::string& name) = 0;

@@ -17,6 +17,7 @@
 #include "graph/transforms.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "storage/packed_writer.hpp"
 #include "twitter/mention_graph.hpp"
 #include "twitter/tweet_io.hpp"
 #include "util/error.hpp"
@@ -233,6 +234,12 @@ void Interpreter::execute(const Command& cmd) {
       graphct::EdgeList el = graphct::read_edge_list(path);
       im.stack.clear();
       im.push_private(Toolkit(graphct::build_csr(el), im.opts.toolkit));
+    } else if (fmt == "packed") {
+      // Open a block-compressed packed file (see `pack`) as a session-
+      // private store-backed graph; adjacency stays on disk and decodes
+      // per block through the mmap store.
+      im.stack.clear();
+      im.push_private(Toolkit::load_packed(path, im.opts.toolkit));
     } else if (fmt == "tweets") {
       // Build the undirected user-to-user mention graph from a TSV tweet
       // stream — the §III-B ingest, scriptable.
@@ -249,7 +256,7 @@ void Interpreter::execute(const Command& cmd) {
       throw Error("script line " + std::to_string(cmd.line) +
                   ": unknown read format '" + fmt + "'");
     }
-    const auto& g = im.stack.back().tk->graph();
+    const auto g = im.stack.back().tk->view();
     out << "read " << fmt << " " << path << ": " << g.num_vertices()
         << " vertices, " << g.num_edges() << " edges\n";
   } else if (verb == "generate") {
@@ -271,20 +278,27 @@ void Interpreter::execute(const Command& cmd) {
   } else if (verb == "load") {
     // load graph <name> <path>: load once into the shared registry and make
     // it the current graph; a taken name resolves to the resident graph.
+    // load packed <name> <path>: same, but opening a packed file as an
+    // mmap-backed store (the graph stays on disk).
     require_arity(cmd, 4, 4);
-    GCT_CHECK(cmd.tokens[1] == "graph",
+    const std::string& kind = cmd.tokens[1];
+    GCT_CHECK(kind == "graph" || kind == "packed",
               "script line " + std::to_string(cmd.line) +
-                  ": expected 'load graph <name> <path>'");
+                  ": expected 'load graph <name> <path>' or "
+                  "'load packed <name> <path>'");
     GCT_CHECK(im.opts.provider != nullptr,
-              "script line " + std::to_string(cmd.line) +
-                  ": 'load graph' needs a graph registry (server mode)");
+              "script line " + std::to_string(cmd.line) + ": 'load " + kind +
+                  "' needs a graph registry (server mode)");
     const std::string& name = cmd.tokens[2];
-    auto tk = im.opts.provider->load_graph(name, cmd.tokens[3]);
+    auto tk = kind == "packed"
+                  ? im.opts.provider->load_packed_graph(name, cmd.tokens[3])
+                  : im.opts.provider->load_graph(name, cmd.tokens[3]);
     im.stack.clear();
     im.stack.push_back({tk, name});
-    const auto& g = tk->graph();
-    out << "loaded graph '" << name << "': " << g.num_vertices()
-        << " vertices, " << g.num_edges() << " edges\n";
+    const auto g = tk->view();
+    out << "loaded " << (kind == "packed" ? "packed graph '" : "graph '")
+        << name << "': " << g.num_vertices() << " vertices, " << g.num_edges()
+        << " edges\n";
   } else if (verb == "use") {
     // use graph <name>: switch to a registry-resident graph (shared
     // read-only with every other session using it).
@@ -303,7 +317,7 @@ void Interpreter::execute(const Command& cmd) {
     }
     im.stack.clear();
     im.stack.push_back({tk, name});
-    const auto& g = tk->graph();
+    const auto g = tk->view();
     out << "using graph '" << name << "': " << g.num_vertices()
         << " vertices, " << g.num_edges() << " edges\n";
   } else if (verb == "threads") {
@@ -358,7 +372,7 @@ void Interpreter::execute(const Command& cmd) {
         GCT_CHECK(pct > 0.0 && pct <= 100.0,
                   "script line " + std::to_string(cmd.line) +
                       ": diameter sample percentage must be in (0,100]");
-        const auto n = tk.graph().num_vertices();
+        const auto n = tk.view().num_vertices();
         const auto samples = std::max<std::int64_t>(
             1, static_cast<std::int64_t>(static_cast<double>(n) * pct / 100.0));
         const auto& d = tk.estimate_diameter(samples, 4);
@@ -374,7 +388,7 @@ void Interpreter::execute(const Command& cmd) {
       out << "degrees: n=" << s.count << " mean=" << s.mean
           << " variance=" << s.variance << " max=" << s.max << "\n";
       if (cmd.has_redirect()) {
-        write_per_vertex(cmd.redirect, graphct::degrees(tk.graph()));
+        write_per_vertex(cmd.redirect, graphct::degrees(tk.view()));
       }
     } else if (what == "components") {
       const auto& stats = tk.components_stats();
@@ -398,10 +412,14 @@ void Interpreter::execute(const Command& cmd) {
         write_per_vertex(cmd.redirect, cores);
       }
     } else if (what == "graph") {
-      const auto& g = tk.graph();
+      const auto g = tk.view();
       out << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
           << " edges, " << g.num_self_loops() << " self-loops, "
-          << (g.directed() ? "directed" : "undirected") << "\n";
+          << (g.directed() ? "directed" : "undirected");
+      if (tk.store_backed()) {
+        out << ", packed store " << tk.store()->path();
+      }
+      out << "\n";
     } else {
       throw Error("script line " + std::to_string(cmd.line) +
                   ": unknown print target '" + what + "'");
@@ -416,7 +434,13 @@ void Interpreter::execute(const Command& cmd) {
     // the copy and 'restore graph' pops back to the original.
     graphct::ToolkitOptions topts = im.opts.toolkit;
     topts.estimate_diameter_on_load = false;  // identical graph; skip rework
-    im.push_private(Toolkit(tk.graph(), topts));
+    if (tk.store_backed()) {
+      // The store is immutable on disk; the duplicate shares it and only
+      // the result caches are per-Toolkit.
+      im.push_private(Toolkit(tk.shared_store(), topts));
+    } else {
+      im.push_private(Toolkit(tk.graph(), topts));
+    }
     out << "graph saved (stack depth " << im.stack.size() << ")\n";
   } else if (verb == "restore") {
     require_arity(cmd, 2, 2);
@@ -447,7 +471,9 @@ void Interpreter::execute(const Command& cmd) {
       im.replace_current_graph(std::move(sub), cmd.line);
     } else if (what == "kcore") {
       const std::int64_t k = parse_i64(cmd.tokens[2], cmd);
-      graphct::Subgraph sub = graphct::kcore_subgraph(tk.graph(), k);
+      graphct::CsrGraph decoded;
+      graphct::Subgraph sub =
+          graphct::kcore_subgraph(tk.view().as_csr_or(decoded), k);
       if (cmd.has_redirect()) {
         graphct::write_binary(sub.graph, cmd.redirect);
       }
@@ -575,7 +601,7 @@ void Interpreter::execute(const Command& cmd) {
     graphct::BfsOptions bo;
     const graphct::vid src = parse_i64(cmd.tokens[1], cmd);
     bo.max_depth = parse_i64(cmd.tokens[2], cmd);
-    const auto r = graphct::bfs(tk.graph(), src, bo);
+    const auto r = graphct::bfs(tk.view(), src, bo);
     out << "bfs from " << src << " depth " << bo.max_depth << ": reached "
         << r.num_reached() << " vertices\n";
     if (cmd.has_redirect()) {
@@ -588,7 +614,9 @@ void Interpreter::execute(const Command& cmd) {
     Toolkit& tk = im.current(cmd.line);
     const graphct::vid center = parse_i64(cmd.tokens[1], cmd);
     const graphct::vid radius = parse_i64(cmd.tokens[2], cmd);
-    graphct::Subgraph sub = graphct::ego_network(tk.graph(), center, radius);
+    graphct::CsrGraph decoded;
+    graphct::Subgraph sub =
+        graphct::ego_network(tk.view().as_csr_or(decoded), center, radius);
     if (cmd.has_redirect()) {
       graphct::write_binary(sub.graph, cmd.redirect);
     }
@@ -600,15 +628,49 @@ void Interpreter::execute(const Command& cmd) {
     require_arity(cmd, 3, 3);
     Toolkit& tk = im.current(cmd.line);
     const std::string& fmt = cmd.tokens[1];
+    // Writers need a DRAM CSR; a store-backed graph decodes once here, so
+    // `read packed` + `write binary` is the unpack path.
+    graphct::CsrGraph decoded;
+    const graphct::CsrGraph* g = &tk.view().as_csr_or(decoded);
     if (fmt == "binary") {
-      graphct::write_binary(tk.graph(), cmd.tokens[2]);
+      graphct::write_binary(*g, cmd.tokens[2]);
     } else if (fmt == "dimacs") {
-      graphct::write_dimacs(tk.graph(), cmd.tokens[2]);
+      graphct::write_dimacs(*g, cmd.tokens[2]);
     } else {
       throw Error("script line " + std::to_string(cmd.line) +
                   ": unknown write format '" + fmt + "'");
     }
     out << "wrote " << fmt << " " << cmd.tokens[2] << "\n";
+  } else if (verb == "pack") {
+    // pack <path> [none|varint] [block-KiB]: write the current graph in the
+    // block-compressed packed format (read back with 'read packed').
+    require_arity(cmd, 2, 4);
+    Toolkit& tk = im.current(cmd.line);
+    storage::PackOptions po;
+    if (cmd.tokens.size() >= 3) {
+      const std::string& codec = cmd.tokens[2];
+      if (codec == "none") {
+        po.codec = storage::Codec::kNone;
+      } else if (codec == "varint") {
+        po.codec = storage::Codec::kVarint;
+      } else {
+        throw Error("script line " + std::to_string(cmd.line) +
+                    ": pack codec must be 'none' or 'varint' (got '" + codec +
+                    "')");
+      }
+    }
+    if (cmd.tokens.size() >= 4) {
+      const std::int64_t kib = parse_i64(cmd.tokens[3], cmd);
+      GCT_CHECK(kib > 0, "script line " + std::to_string(cmd.line) +
+                             ": pack block size must be a positive KiB count");
+      po.block_target_bytes = static_cast<std::uint64_t>(kib) << 10;
+    }
+    graphct::CsrGraph decoded;
+    const auto res =
+        storage::pack_graph(tk.view().as_csr_or(decoded), cmd.tokens[1], po);
+    out << "packed " << cmd.tokens[1] << ": " << res.num_blocks << " blocks, "
+        << res.payload_bytes << " payload bytes, ratio "
+        << res.compression_ratio << "x\n";
   } else if (verb == "echo") {
     for (std::size_t i = 1; i < cmd.tokens.size(); ++i) {
       if (i > 1) out << ' ';

@@ -33,6 +33,10 @@ void set_resident_gauge(const Map& graphs) {
 
 CsrGraph GraphRegistry::load_graph_file(const std::string& path) {
   if (ends_with(path, ".bin")) return read_binary(path);
+  GCT_CHECK(!ends_with(path, ".gctp") && !storage::GraphStore::sniff(path),
+            "'" + path +
+                "' is a packed graph file — use 'load packed' to open it "
+                "as an mmap-backed store");
   if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
     return read_metis(path);
   }
@@ -45,8 +49,9 @@ CsrGraph GraphRegistry::load_graph_file(const std::string& path) {
 
 GraphRegistry::GraphRegistry(ToolkitOptions opts) : opts_(opts) {}
 
-std::shared_ptr<Toolkit> GraphRegistry::load_graph(const std::string& name,
-                                                   const std::string& path) {
+template <typename BuildFn>
+std::shared_ptr<Toolkit> GraphRegistry::load_once(const std::string& name,
+                                                  BuildFn&& build) {
   std::shared_ptr<Entry> entry;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -66,7 +71,7 @@ std::shared_ptr<Toolkit> GraphRegistry::load_graph(const std::string& name,
   }
   // Parse outside the lock so other names stay resolvable during long I/O.
   try {
-    auto tk = std::make_shared<Toolkit>(load_graph_file(path), opts_);
+    auto tk = build();
     std::lock_guard<std::mutex> lock(mu_);
     entry->toolkit = tk;
     set_resident_gauge(graphs_);
@@ -80,6 +85,20 @@ std::shared_ptr<Toolkit> GraphRegistry::load_graph(const std::string& name,
     loaded_cv_.notify_all();
     throw;
   }
+}
+
+std::shared_ptr<Toolkit> GraphRegistry::load_graph(const std::string& name,
+                                                   const std::string& path) {
+  return load_once(name, [&] {
+    return std::make_shared<Toolkit>(load_graph_file(path), opts_);
+  });
+}
+
+std::shared_ptr<Toolkit> GraphRegistry::load_packed_graph(
+    const std::string& name, const std::string& path) {
+  return load_once(name, [&] {
+    return std::make_shared<Toolkit>(Toolkit::load_packed(path, opts_));
+  });
 }
 
 std::shared_ptr<Toolkit> GraphRegistry::add(const std::string& name,
@@ -117,8 +136,9 @@ std::vector<GraphRegistry::Info> GraphRegistry::list() const {
     if (!entry->toolkit) continue;  // still loading
     Info info;
     info.name = name;
-    info.vertices = entry->toolkit->graph().num_vertices();
-    info.edges = entry->toolkit->graph().num_edges();
+    const auto view = entry->toolkit->view();
+    info.vertices = view.num_vertices();
+    info.edges = view.num_edges();
     info.sessions = entry->toolkit.use_count() - 1;  // minus the registry's
     out.push_back(std::move(info));
   }

@@ -46,6 +46,13 @@ class GraphRegistry : public script::GraphProvider {
   std::shared_ptr<Toolkit> load_graph(const std::string& name,
                                       const std::string& path) override;
 
+  /// As load_graph(), but opening `path` as a packed (block-compressed,
+  /// mmap-backed) store — the graph's adjacency stays on disk and sessions
+  /// share one store and its per-thread block caches. Same load-once
+  /// semantics as load_graph().
+  std::shared_ptr<Toolkit> load_packed_graph(const std::string& name,
+                                             const std::string& path) override;
+
   /// Register an already-built graph under `name` (used by tests and
   /// embedders). Throws when the name is taken.
   std::shared_ptr<Toolkit> add(const std::string& name, CsrGraph graph);
@@ -72,6 +79,12 @@ class GraphRegistry : public script::GraphProvider {
     std::shared_ptr<Toolkit> toolkit;  // null while loading
     bool failed = false;
   };
+
+  /// Load-once core shared by load_graph()/load_packed_graph(): resolve a
+  /// resident `name`, or run `build` (outside the lock) and publish its
+  /// result, waking concurrent loaders of the same name.
+  template <typename BuildFn>
+  std::shared_ptr<Toolkit> load_once(const std::string& name, BuildFn&& build);
 
   ToolkitOptions opts_;
   mutable std::mutex mu_;

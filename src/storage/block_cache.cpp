@@ -1,0 +1,36 @@
+#include "storage/block_cache.hpp"
+
+namespace graphct::storage {
+
+const BlockCache::Decoded& BlockCache::insert(Decoded d) {
+  const std::uint64_t bytes = d.values.size() * sizeof(vid);
+  d.last_use = ++tick_;
+  auto [it, inserted] = blocks_.insert_or_assign(d.block, std::move(d));
+  if (inserted) {
+    stats_.resident_bytes += bytes;
+  }
+  stats_.decoded_bytes += bytes;
+  mru_ = &it->second;
+
+  // Evict least-recently-used blocks until back under budget. The resident
+  // floor keeps the two newest blocks alive so previously returned spans
+  // survive one further block switch. A linear LRU scan is fine here:
+  // resident counts are budget / block size (tens to hundreds), and the
+  // scan only runs on miss-and-over-budget, which already paid a decode.
+  while (stats_.resident_bytes > budget_ && blocks_.size() > kMinResident) {
+    auto victim = blocks_.end();
+    for (auto jt = blocks_.begin(); jt != blocks_.end(); ++jt) {
+      if (victim == blocks_.end() ||
+          jt->second.last_use < victim->second.last_use) {
+        victim = jt;
+      }
+    }
+    if (victim == blocks_.end() || &victim->second == mru_) break;
+    stats_.resident_bytes -= victim->second.values.size() * sizeof(vid);
+    ++stats_.evictions;
+    blocks_.erase(victim);
+  }
+  return *mru_;
+}
+
+}  // namespace graphct::storage

@@ -1,0 +1,133 @@
+#include "storage/block_codec.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "storage/varint.hpp"
+#include "util/error.hpp"
+
+namespace graphct::storage {
+
+namespace {
+
+/// Gaps are encoded as unsigned deltas; the first neighbor is encoded as
+/// its raw (non-negative) id. Sorted lists make every delta non-negative,
+/// so no zig-zag step is needed — ids up to INT64_MAX round-trip exactly.
+void encode_varint_list(std::span<const vid> list,
+                        std::vector<std::uint8_t>& out) {
+  std::uint8_t buf[kMaxVarintBytes];
+  vid prev = 0;
+  bool first = true;
+  for (vid v : list) {
+    GCT_CHECK(v >= 0, "encode_block: negative vertex id in adjacency");
+    std::uint64_t value;
+    if (first) {
+      value = static_cast<std::uint64_t>(v);
+    } else {
+      GCT_CHECK(v >= prev,
+                "encode_block: varint codec requires sorted adjacency");
+      value = static_cast<std::uint64_t>(v) - static_cast<std::uint64_t>(prev);
+    }
+    std::uint8_t* end = encode_varint(value, buf);
+    out.insert(out.end(), buf, end);
+    prev = v;
+    first = false;
+  }
+}
+
+}  // namespace
+
+void encode_block(Codec codec, std::span<const eid> offsets, vid first_vertex,
+                  vid nv, std::span<const vid> adjacency,
+                  std::vector<std::uint8_t>& out) {
+  const eid first_entry = offsets[static_cast<std::size_t>(first_vertex)];
+  const eid last_entry = offsets[static_cast<std::size_t>(first_vertex + nv)];
+  const auto entries = static_cast<std::size_t>(last_entry - first_entry);
+  switch (codec) {
+    case Codec::kNone: {
+      const std::size_t old = out.size();
+      out.resize(old + entries * sizeof(vid));
+      std::memcpy(out.data() + old,
+                  adjacency.data() + static_cast<std::size_t>(first_entry),
+                  entries * sizeof(vid));
+      return;
+    }
+    case Codec::kVarint: {
+      for (vid v = first_vertex; v < first_vertex + nv; ++v) {
+        const eid lo = offsets[static_cast<std::size_t>(v)];
+        const eid hi = offsets[static_cast<std::size_t>(v) + 1];
+        encode_varint_list(
+            adjacency.subspan(static_cast<std::size_t>(lo),
+                              static_cast<std::size_t>(hi - lo)),
+            out);
+      }
+      return;
+    }
+  }
+  throw Error("encode_block: unknown codec");
+}
+
+void decode_block(Codec codec, std::span<const eid> offsets, vid first_vertex,
+                  vid nv, std::span<const std::uint8_t> bytes,
+                  std::span<vid> out) {
+  const eid first_entry = offsets[static_cast<std::size_t>(first_vertex)];
+  const eid last_entry = offsets[static_cast<std::size_t>(first_vertex + nv)];
+  const auto entries = static_cast<std::size_t>(last_entry - first_entry);
+  GCT_CHECK(out.size() == entries,
+            "decode_block: output span does not match block entry count");
+  switch (codec) {
+    case Codec::kNone: {
+      GCT_CHECK(bytes.size() == entries * sizeof(vid),
+                "decode_block: raw block size mismatch (corrupt file?)");
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+      return;
+    }
+    case Codec::kVarint: {
+      const std::uint8_t* p = bytes.data();
+      const std::uint8_t* end = bytes.data() + bytes.size();
+      std::size_t k = 0;
+      for (vid v = first_vertex; v < first_vertex + nv; ++v) {
+        const eid lo = offsets[static_cast<std::size_t>(v)];
+        const eid hi = offsets[static_cast<std::size_t>(v) + 1];
+        std::uint64_t acc = 0;
+        for (eid i = lo; i < hi; ++i) {
+          std::uint64_t value = 0;
+          p = decode_varint(p, end, value);
+          GCT_CHECK(p != nullptr,
+                    "decode_block: truncated or malformed varint payload");
+          acc = (i == lo) ? value : acc + value;
+          GCT_CHECK(acc <= static_cast<std::uint64_t>(
+                               std::numeric_limits<vid>::max()),
+                    "decode_block: vertex id overflows 64-bit signed range");
+          out[k++] = static_cast<vid>(acc);
+        }
+      }
+      GCT_CHECK(p == end, "decode_block: trailing bytes after block payload");
+      return;
+    }
+  }
+  throw Error("decode_block: unknown codec");
+}
+
+std::size_t encoded_list_size(Codec codec, std::span<const vid> list) {
+  switch (codec) {
+    case Codec::kNone:
+      return list.size() * sizeof(vid);
+    case Codec::kVarint: {
+      std::size_t n = 0;
+      vid prev = 0;
+      bool first = true;
+      for (vid v : list) {
+        n += varint_size(first ? static_cast<std::uint64_t>(v)
+                               : static_cast<std::uint64_t>(v) -
+                                     static_cast<std::uint64_t>(prev));
+        prev = v;
+        first = false;
+      }
+      return n;
+    }
+  }
+  throw Error("encoded_list_size: unknown codec");
+}
+
+}  // namespace graphct::storage

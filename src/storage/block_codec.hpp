@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file block_codec.hpp
+/// Encode/decode adjacency blocks for the packed format. The API operates
+/// on raw offset/value spans (not CsrGraph) so property tests can exercise
+/// adversarial shapes — near-INT64_MAX ids, synthetic degree patterns —
+/// without building a validated graph around them.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "storage/packed_format.hpp"
+
+namespace graphct::storage {
+
+/// Encode vertices [first_vertex, first_vertex + nv) into out (appended).
+/// offsets/adjacency are the global CSR arrays; offsets must be indexable
+/// at [first_vertex, first_vertex + nv]. For Codec::kVarint each vertex's
+/// list must be sorted ascending (delta gaps must be non-negative). For
+/// Codec::kNone the encoding is the raw 8-byte values.
+void encode_block(Codec codec, std::span<const eid> offsets, vid first_vertex,
+                  vid nv, std::span<const vid> adjacency,
+                  std::vector<std::uint8_t>& out);
+
+/// Decode an encoded block back into out, which must be sized to the
+/// block's entry count (offsets[first_vertex + nv] - offsets[first_vertex]).
+/// Throws graphct::Error on malformed/truncated bytes.
+void decode_block(Codec codec, std::span<const eid> offsets, vid first_vertex,
+                  vid nv, std::span<const std::uint8_t> bytes,
+                  std::span<vid> out);
+
+/// Exact encoded size in bytes of one vertex's list under a codec.
+[[nodiscard]] std::size_t encoded_list_size(Codec codec,
+                                            std::span<const vid> list);
+
+}  // namespace graphct::storage

@@ -1,0 +1,21 @@
+#include "storage/graph_view.hpp"
+
+#include <algorithm>
+
+namespace graphct {
+
+bool GraphView::has_edge(vid u, vid v) const {
+  if (u < 0 || u >= num_vertices_) return false;
+  const std::span<const vid> nbrs = neighbors(u);
+  if (sorted_) {
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+CsrGraph GraphView::materialize() const {
+  if (mem_ != nullptr) return *mem_;
+  return store_->materialize();
+}
+
+}  // namespace graphct

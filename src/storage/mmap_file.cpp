@@ -1,0 +1,74 @@
+#include "storage/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace graphct::storage {
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  GCT_CHECK(fd >= 0, "mmap open failed for '" + path +
+                         "': " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("mmap fstat failed for '" + path + "': " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap(0) is EINVAL; an empty mapping is representable as nullptr.
+    ::close(fd);
+    return;
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);
+  GCT_CHECK(p != MAP_FAILED, "mmap failed for '" + path +
+                                 "': " + std::strerror(err));
+  data_ = static_cast<const std::uint8_t*>(p);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+void MmapFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+void MmapFile::advise_random() const {
+  if (data_ != nullptr) {
+    ::madvise(const_cast<std::uint8_t*>(data_), size_, MADV_RANDOM);
+  }
+}
+
+}  // namespace graphct::storage

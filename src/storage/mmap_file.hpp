@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file mmap_file.hpp
+/// Read-only memory-mapped file, RAII. The packed graph store keeps the
+/// whole file mapped and lets the page cache decide residency — the point
+/// of the format is that traversal touches only the blocks it decodes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace graphct::storage {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Map path read-only. Throws graphct::Error on open/stat/map failure.
+  explicit MmapFile(const std::string& path);
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  ~MmapFile();
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Advise the kernel that access will be random (block decode pattern).
+  void advise_random() const;
+
+ private:
+  void reset() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace graphct::storage

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file packed_format.hpp
+/// On-disk layout of the packed (block-compressed) CSR graph format —
+/// the out-of-core representation behind storage::GraphStore.
+///
+/// File layout (all integers little-endian, sections 8-byte aligned):
+///
+///   PackedHeader                       fixed-size, magic "GCTPACK1"
+///   eid offsets[num_vertices + 1]      raw CSR offsets, mmap'd in place
+///   BlockIndexEntry index[num_blocks+1] uncompressed block index
+///   uint8_t payload[payload_bytes]     encoded adjacency blocks
+///   PackedTrailer                      FNV-1a checksum + end magic
+///
+/// Each block covers a contiguous run of whole vertices; the index entry
+/// gives the first vertex and the payload byte offset of each block, with a
+/// sentinel entry {num_vertices, payload_bytes} closing the last block.
+/// Offsets stay uncompressed so degree() and entry positions never decode;
+/// only neighbor values are encoded. The trailer checksum covers every byte
+/// of the file before the trailer, sharing the header/trailer discipline
+/// with the v2 in-memory binary format (graph/io_binary).
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct::storage {
+
+/// Adjacency encoding for packed blocks.
+enum class Codec : std::uint32_t {
+  /// Raw 64-bit neighbor ids, 8-byte aligned — the no-op pass-through
+  /// codec. Blocks mmap directly as spans; traversal pays nothing over
+  /// DRAM-resident CSR.
+  kNone = 0,
+
+  /// Delta-gap + LEB128 varint over sorted adjacency: per vertex, the
+  /// first neighbor as a varint, then successive non-negative gaps.
+  kVarint = 1,
+};
+
+inline constexpr char kPackedMagic[8] = {'G', 'C', 'T', 'P', 'A', 'C', 'K', '1'};
+inline constexpr char kPackedEndMagic[8] = {'G', 'C', 'T', 'P', 'E', 'N', 'D', '1'};
+inline constexpr std::uint32_t kPackedVersion = 1;
+
+/// Header flags.
+inline constexpr std::uint32_t kPackedFlagDirected = 1u << 0;
+inline constexpr std::uint32_t kPackedFlagSorted = 1u << 1;
+
+struct PackedHeader {
+  char magic[8];                   ///< kPackedMagic
+  std::uint32_t version;           ///< kPackedVersion
+  std::uint32_t codec;             ///< Codec enumerator
+  std::uint32_t flags;             ///< kPackedFlag* bits
+  std::uint32_t reserved;          ///< zero
+  std::int64_t num_vertices;
+  std::int64_t num_entries;        ///< adjacency entries (directed arcs)
+  std::int64_t num_self_loops;
+  std::int64_t num_blocks;
+  std::uint64_t block_target_bytes;  ///< encoder's per-block payload target
+  std::uint64_t offsets_off;         ///< file offset of the offsets array
+  std::uint64_t index_off;           ///< file offset of the block index
+  std::uint64_t payload_off;         ///< file offset of the encoded blocks
+  std::uint64_t payload_bytes;       ///< total encoded payload bytes
+  std::uint64_t file_bytes;          ///< total file size, trailer included
+};
+static_assert(sizeof(PackedHeader) == 104);
+static_assert(sizeof(PackedHeader) % 8 == 0);
+
+/// One block: vertices [first_vertex, next.first_vertex) encoded at
+/// payload[byte_offset, next.byte_offset). The index has num_blocks + 1
+/// entries; the last is the sentinel {num_vertices, payload_bytes}.
+struct BlockIndexEntry {
+  std::int64_t first_vertex;
+  std::uint64_t byte_offset;
+};
+static_assert(sizeof(BlockIndexEntry) == 16);
+
+struct PackedTrailer {
+  std::uint64_t checksum;  ///< FNV-1a 64 over file bytes [0, file_bytes - 16)
+  char magic[8];           ///< kPackedEndMagic
+};
+static_assert(sizeof(PackedTrailer) == 16);
+
+}  // namespace graphct::storage

@@ -1,0 +1,125 @@
+#include "storage/packed_writer.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "storage/block_codec.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace graphct::storage {
+
+PackResult pack_graph(const CsrGraph& g, const std::string& path,
+                      const PackOptions& opts) {
+  GCT_SPAN("storage.pack");
+  GCT_CHECK(opts.codec == Codec::kNone || g.sorted_adjacency(),
+            "pack_graph: varint codec requires sorted adjacency "
+            "(call sort_adjacency() first)");
+  GCT_CHECK(opts.block_target_bytes > 0,
+            "pack_graph: block_target_bytes must be positive");
+
+  const vid n = g.num_vertices();
+  const std::span<const eid> offsets = g.offsets();
+  const std::span<const vid> adjacency = g.adjacency();
+
+  // Partition vertices into blocks by exact encoded size, then encode.
+  // Whole vertices per block, at least one vertex per block; a run of
+  // zero-degree vertices costs nothing and folds into the current block.
+  std::vector<BlockIndexEntry> index;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(static_cast<std::size_t>(
+      opts.codec == Codec::kNone
+          ? g.num_adjacency_entries() * static_cast<eid>(sizeof(vid))
+          : g.num_adjacency_entries() * 3));
+  {
+    vid v = 0;
+    while (v < n) {
+      BlockIndexEntry e;
+      e.first_vertex = v;
+      e.byte_offset = payload.size();
+      index.push_back(e);
+      std::uint64_t block_bytes = 0;
+      vid first = v;
+      while (v < n) {
+        const std::size_t list_bytes =
+            encoded_list_size(opts.codec, g.neighbors(v));
+        if (v > first && block_bytes + list_bytes > opts.block_target_bytes) {
+          break;
+        }
+        block_bytes += list_bytes;
+        ++v;
+        if (block_bytes >= opts.block_target_bytes) break;
+      }
+      encode_block(opts.codec, offsets, first, v - first, adjacency, payload);
+    }
+  }
+  // Pass-through blocks must stay 8-aligned: they are, because every raw
+  // list is a multiple of sizeof(vid) bytes and the payload section starts
+  // aligned (header and index are multiples of 8).
+  const auto num_blocks = static_cast<std::int64_t>(index.size());
+  BlockIndexEntry sentinel;
+  sentinel.first_vertex = n;
+  sentinel.byte_offset = payload.size();
+  index.push_back(sentinel);
+
+  PackedHeader h{};
+  std::memcpy(h.magic, kPackedMagic, 8);
+  h.version = kPackedVersion;
+  h.codec = static_cast<std::uint32_t>(opts.codec);
+  h.flags = (g.directed() ? kPackedFlagDirected : 0u) |
+            (g.sorted_adjacency() ? kPackedFlagSorted : 0u);
+  h.num_vertices = n;
+  h.num_entries = g.num_adjacency_entries();
+  h.num_self_loops = g.num_self_loops();
+  h.num_blocks = num_blocks;
+  h.block_target_bytes = opts.block_target_bytes;
+  h.offsets_off = sizeof(PackedHeader);
+  h.index_off = h.offsets_off + (static_cast<std::uint64_t>(n) + 1) * sizeof(eid);
+  h.payload_off = h.index_off + index.size() * sizeof(BlockIndexEntry);
+  h.payload_bytes = payload.size();
+  h.file_bytes = h.payload_off + h.payload_bytes + sizeof(PackedTrailer);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GCT_CHECK(out.good(), "pack_graph: cannot open '" + path + "' for writing");
+
+  Fnv1a64 sum;
+  auto emit = [&](const void* data, std::size_t bytes) {
+    sum.update(data, bytes);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+  };
+  emit(&h, sizeof(h));
+  // The format always stores n+1 offsets; a default-constructed empty
+  // graph has no offsets array, so emit the implicit single zero.
+  if (offsets.empty()) {
+    const eid zero = 0;
+    emit(&zero, sizeof zero);
+  } else {
+    emit(offsets.data(), offsets.size_bytes());
+  }
+  emit(index.data(), index.size() * sizeof(BlockIndexEntry));
+  emit(payload.data(), payload.size());
+
+  PackedTrailer t{};
+  t.checksum = sum.digest();
+  std::memcpy(t.magic, kPackedEndMagic, 8);
+  out.write(reinterpret_cast<const char*>(&t), sizeof(t));
+  out.flush();
+  GCT_CHECK(out.good(), "pack_graph: write failed for '" + path + "'");
+
+  PackResult r;
+  r.num_blocks = num_blocks;
+  r.payload_bytes = h.payload_bytes;
+  r.raw_adjacency_bytes =
+      static_cast<std::uint64_t>(g.num_adjacency_entries()) * sizeof(vid);
+  r.file_bytes = h.file_bytes;
+  r.compression_ratio =
+      r.payload_bytes == 0 ? 1.0
+                           : static_cast<double>(r.raw_adjacency_bytes) /
+                                 static_cast<double>(r.payload_bytes);
+  return r;
+}
+
+}  // namespace graphct::storage

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file packed_writer.hpp
+/// Write a CsrGraph to the packed on-disk format (see packed_format.hpp).
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "storage/packed_format.hpp"
+
+namespace graphct::storage {
+
+/// Options for pack_graph().
+struct PackOptions {
+  Codec codec = Codec::kVarint;
+
+  /// Target encoded bytes per block. Blocks hold whole vertices, so a hub
+  /// whose list alone exceeds the target gets a block to itself (and the
+  /// block runs over target). Smaller blocks mean finer-grained decode and
+  /// a larger index; 64 KiB is a good default for social-network degree
+  /// distributions.
+  std::uint64_t block_target_bytes = std::uint64_t{64} << 10;
+};
+
+/// What pack_graph() produced.
+struct PackResult {
+  std::int64_t num_blocks = 0;
+  std::uint64_t payload_bytes = 0;        ///< encoded adjacency bytes
+  std::uint64_t raw_adjacency_bytes = 0;  ///< entries * sizeof(vid)
+  std::uint64_t file_bytes = 0;
+  double compression_ratio = 0.0;  ///< raw / payload (1.0 for empty)
+};
+
+/// Pack g to path. The varint codec requires sorted adjacency (delta gaps
+/// must be non-negative) — Toolkit sorts on load; call
+/// CsrGraph::sort_adjacency() first for hand-built graphs. Throws
+/// graphct::Error on I/O failure or unsorted input under Codec::kVarint.
+PackResult pack_graph(const CsrGraph& g, const std::string& path,
+                      const PackOptions& opts = {});
+
+}  // namespace graphct::storage

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file varint.hpp
+/// LEB128 unsigned varints — the byte-oriented encoding under the packed
+/// adjacency codec (storage/block_codec). Values up to 64 bits occupy 1-10
+/// bytes; small gaps between sorted neighbor ids dominate social-network
+/// adjacency, so most gaps fit in one byte.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphct::storage {
+
+/// Worst-case encoded size of a 64-bit value.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Encoded size of v in bytes.
+[[nodiscard]] inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Append v to out (must have >= kMaxVarintBytes writable bytes). Returns
+/// one past the last byte written.
+inline std::uint8_t* encode_varint(std::uint64_t v, std::uint8_t* out) {
+  while (v >= 0x80) {
+    *out++ = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *out++ = static_cast<std::uint8_t>(v);
+  return out;
+}
+
+/// Decode one varint from [p, end). Returns one past the last byte
+/// consumed, or nullptr on truncation / >64-bit overflow (malformed or
+/// corrupt input).
+inline const std::uint8_t* decode_varint(const std::uint8_t* p,
+                                         const std::uint8_t* end,
+                                         std::uint64_t& value) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (p != end) {
+    const std::uint8_t byte = *p++;
+    if (shift == 63 && byte > 1) return nullptr;  // would overflow 64 bits
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      value = v;
+      return p;
+    }
+    shift += 7;
+    if (shift > 63) return nullptr;
+  }
+  return nullptr;  // truncated
+}
+
+}  // namespace graphct::storage

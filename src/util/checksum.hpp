@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file checksum.hpp
+/// FNV-1a 64-bit checksum, shared by the binary graph format trailer
+/// (graph/io_binary) and the packed storage format trailer
+/// (storage/packed_format). Not cryptographic — it exists to catch
+/// truncation, bit rot, and cross-format confusion, cheaply and with no
+/// dependencies.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphct {
+
+/// Incremental FNV-1a 64. Feed bytes in any chunking; digest() is the
+/// checksum of everything fed so far.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = hash_;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= static_cast<std::uint64_t>(p[i]);
+      h *= kPrime;
+    }
+    hash_ = h;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// One-shot convenience over a single buffer.
+inline std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  Fnv1a64 h;
+  h.update(data, bytes);
+  return h.digest();
+}
+
+}  // namespace graphct

@@ -505,6 +505,71 @@ TEST(InterpreterTest, StatsJsonIsOneLine) {
   EXPECT_THROW(in.run("stats yaml\n"), Error);
 }
 
+TEST(InterpreterTest, PackAndReadPackedRoundTrip) {
+  const std::string packed = temp_path("gct_interp_pack.gctp");
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 6 4\npack " + packed + " varint 4\nread packed " +
+         packed + "\nprint graph\nprint components\n");
+  EXPECT_NE(out.str().find("packed " + packed), std::string::npos);
+  EXPECT_NE(out.str().find("packed store"), std::string::npos);
+  EXPECT_NE(out.str().find("64 vertices"), std::string::npos);
+  EXPECT_TRUE(in.current().store_backed());
+  // Surgery decodes back to DRAM through the replace_graph() path.
+  in.run("extract component 1\n");
+  EXPECT_FALSE(in.current().store_backed());
+  std::remove(packed.c_str());
+}
+
+TEST(InterpreterTest, PackArgumentValidation) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 5 4\n");
+  EXPECT_THROW(in.run("pack /tmp/x.gctp zstd\n"), graphct::Error);
+  EXPECT_THROW(in.run("pack /tmp/x.gctp varint 0\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, LoadPackedViaProvider) {
+  const std::string packed = temp_path("gct_interp_prov_pack.gctp");
+  {
+    std::ostringstream tmp;
+    Interpreter packer(tmp, fast_opts());
+    packer.run("generate rmat 6 4\npack " + packed + "\n");
+  }
+  graphct::server::GraphRegistry registry;
+  InterpreterOptions o = fast_opts();
+  o.provider = &registry;
+
+  std::ostringstream out;
+  Interpreter in(out, o);
+  in.run("load packed shared_pack " + packed + "\n");
+  EXPECT_NE(out.str().find("loaded packed graph 'shared_pack'"),
+            std::string::npos);
+  EXPECT_EQ(in.current_graph_key(), "graph:shared_pack");
+  EXPECT_TRUE(in.current().store_backed());
+
+  // Resident under the name: a second session resolves the same toolkit.
+  std::ostringstream out2;
+  Interpreter other(out2, o);
+  other.run("use graph shared_pack\n");
+  EXPECT_EQ(&other.current(), &in.current());
+
+  // The plain load path refuses packed files and points at 'load packed'.
+  try {
+    registry.load_graph("oops", packed);
+    FAIL() << "expected Error";
+  } catch (const graphct::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("load packed"), std::string::npos);
+  }
+  std::remove(packed.c_str());
+}
+
+TEST(InterpreterTest, LoadPackedWithoutProviderThrows) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("load packed g /tmp/x.gctp\n"), graphct::Error);
+}
+
 TEST(InterpreterTest, ThreadsEchoesEffectiveCount) {
   std::ostringstream out;
   Interpreter in(out, fast_opts());

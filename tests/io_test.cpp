@@ -138,6 +138,83 @@ TEST(BinaryReadTest, TruncatedFileThrows) {
   std::remove(path.c_str());
 }
 
+TEST(BinaryReadTest, TruncatedTrailerThrows) {
+  const auto g = make_undirected(100, {{0, 1}, {5, 9}});
+  const std::string path = temp_path("gct_io_trunc_trailer.bin");
+  write_binary(g, path);
+  // Chop half the trailer: the size check reports a truncated file.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  try {
+    read_binary(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryReadTest, TrailingBytesThrow) {
+  const auto g = make_undirected(10, {{0, 1}, {2, 3}});
+  const std::string path = temp_path("gct_io_trailing.bin");
+  write_binary(g, path);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "extra";
+  }
+  try {
+    read_binary(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryReadTest, CorruptAdjacencyFailsChecksum) {
+  const auto g = make_undirected(50, {{0, 1}, {1, 2}, {2, 3}, {10, 20}});
+  const std::string path = temp_path("gct_io_bitflip.bin");
+  write_binary(g, path);
+  {
+    // Flip one byte inside the adjacency region (after the 40-byte header
+    // and the 51-entry offsets array).
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40 + 51 * 8 + 3);
+    char b = 0;
+    f.seekg(f.tellp());
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(40 + 51 * 8 + 3);
+    f.write(&b, 1);
+  }
+  try {
+    read_binary(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryReadTest, UnsupportedVersionThrows) {
+  const auto g = make_undirected(10, {{0, 1}});
+  const std::string path = temp_path("gct_io_badver.bin");
+  write_binary(g, path);
+  {
+    // The version field sits right after the 8-byte magic.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint32_t bogus = 99;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof bogus);
+  }
+  try {
+    read_binary(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(EdgeListIoTest, ParseBasics) {
   const EdgeList el = parse_edge_list("# comment\n0 1\n2 3\n\n% other\n1 2\n");
   ASSERT_EQ(el.size(), 3u);

@@ -46,6 +46,8 @@
 #include "obs/trace.hpp"
 #include "script/interpreter.hpp"
 #include "server/server.hpp"
+#include "storage/graph_store.hpp"
+#include "storage/packed_writer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -63,6 +65,18 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 CsrGraph load_graph(const std::string& path) {
   return server::GraphRegistry::load_graph_file(path);
+}
+
+bool is_packed(const std::string& path) {
+  return ends_with(path, ".gctp") || storage::GraphStore::sniff(path);
+}
+
+/// Open `path` as a Toolkit, mmap-backed when it is a packed file (by
+/// .gctp extension or magic sniff), in-memory otherwise. Kernels that run
+/// over GraphView (bc, components, pagerank, ...) work over either.
+Toolkit load_toolkit(const std::string& path) {
+  if (is_packed(path)) return Toolkit::load_packed(path);
+  return Toolkit(load_graph(path));
 }
 
 void save_graph(const CsrGraph& g, const std::string& path) {
@@ -95,6 +109,8 @@ int usage() {
          "     [--budget-mb M] [--out f]          (k-)betweenness\n"
          "  components <graph> [--out f]         connected components\n"
          "  convert <in> <out>                   convert between formats\n"
+         "  pack <in> <out.gctp> [--codec none|varint] [--block-kb N]\n"
+         "                                       write block-compressed CSR\n"
          "  generate rmat <scale> <ef> <out>     synthesize an R-MAT graph\n"
          "  script <file.gct>                    run an analyst script\n"
          "  serve <port> | serve --stdio [--workers N]\n"
@@ -214,8 +230,8 @@ int cmd_client(const Cli& cli) {
 
 int cmd_info(const std::string& path) {
   Timer t;
-  Toolkit tk(load_graph(path));
-  const auto& g = tk.graph();
+  Toolkit tk = load_toolkit(path);
+  const auto g = tk.view();
   const auto& d = tk.diameter();
   TextTable table({"property", "value"});
   table.add_row({"file", path});
@@ -223,13 +239,64 @@ int cmd_info(const std::string& path) {
   table.add_row({"edges", with_commas(g.num_edges())});
   table.add_row({"self-loops", with_commas(g.num_self_loops())});
   table.add_row({"directed", g.directed() ? "yes" : "no"});
-  table.add_row({"memory", strf("%.1f MiB", static_cast<double>(g.memory_bytes()) / 1048576.0)});
+  if (const auto* store = tk.store()) {
+    table.add_row({"backend", store->codec() == storage::Codec::kVarint
+                                  ? "packed (varint)"
+                                  : "packed (pass-through)"});
+    table.add_row({"blocks", with_commas(store->num_blocks())});
+    table.add_row(
+        {"payload",
+         strf("%.1f MiB (%.2fx vs raw adjacency)",
+              static_cast<double>(store->packed_payload_bytes()) / 1048576.0,
+              store->compression_ratio())});
+    table.add_row(
+        {"block cache budget",
+         strf("%.1f MiB/thread",
+              static_cast<double>(store->cache_budget_bytes()) / 1048576.0)});
+  } else {
+    table.add_row(
+        {"memory",
+         strf("%.1f MiB",
+              static_cast<double>(tk.graph().memory_bytes()) / 1048576.0)});
+  }
   table.add_row({"diameter estimate",
                  strf("%lld (longest observed %lld)",
                       static_cast<long long>(d.estimate),
                       static_cast<long long>(d.longest_distance))});
   table.add_row({"load+estimate time", format_duration(t.seconds())});
   std::cout << table.render();
+  return 0;
+}
+
+int cmd_pack(const Cli& cli) {
+  GCT_CHECK(cli.positional().size() >= 2, "pack: need <in> <out.gctp>");
+  storage::PackOptions opts;
+  const auto codec = cli.get("codec", std::string("varint"));
+  if (codec == "none") {
+    opts.codec = storage::Codec::kNone;
+  } else if (codec == "varint") {
+    opts.codec = storage::Codec::kVarint;
+  } else {
+    throw Error("pack: --codec must be none or varint (got '" + codec + "')");
+  }
+  const auto block_kb = cli.get("block-kb", std::int64_t{64});
+  GCT_CHECK(block_kb > 0, "pack: --block-kb must be positive");
+  opts.block_target_bytes = static_cast<std::uint64_t>(block_kb) << 10;
+  Timer t;
+  CsrGraph g = load_graph(cli.positional()[0]);
+  g.sort_adjacency();  // delta-gap encoding needs ascending neighbor lists
+  const auto res = storage::pack_graph(g, cli.positional()[1], opts);
+  std::cout << "packed " << cli.positional()[1] << ": "
+            << with_commas(g.num_vertices()) << " vertices, "
+            << with_commas(g.num_edges()) << " edges, "
+            << with_commas(res.num_blocks) << " blocks\n"
+            << strf("payload %.1f MiB vs raw %.1f MiB (ratio %.2fx), "
+                    "file %.1f MiB, %s\n",
+                    static_cast<double>(res.payload_bytes) / 1048576.0,
+                    static_cast<double>(res.raw_adjacency_bytes) / 1048576.0,
+                    res.compression_ratio,
+                    static_cast<double>(res.file_bytes) / 1048576.0,
+                    format_duration(t.seconds()).c_str());
   return 0;
 }
 
@@ -285,7 +352,7 @@ int cmd_characterize(const std::string& path) {
 
 int cmd_bc(const Cli& cli) {
   GCT_CHECK(!cli.positional().empty(), "bc: missing graph file");
-  Toolkit tk(load_graph(cli.positional()[0]));
+  Toolkit tk = load_toolkit(cli.positional()[0]);
   const auto k = cli.get("k", std::int64_t{0});
   const auto sources = cli.get("sources", std::int64_t{kNoVertex});
   const auto mode = cli.get("mode", std::string("auto"));
@@ -338,7 +405,7 @@ int cmd_bc(const Cli& cli) {
 
 int cmd_components(const Cli& cli) {
   GCT_CHECK(!cli.positional().empty(), "components: missing graph file");
-  Toolkit tk(load_graph(cli.positional()[0]));
+  Toolkit tk = load_toolkit(cli.positional()[0]);
   const auto& stats = tk.components_stats();
   std::cout << "components: " << with_commas(stats.num_components)
             << " (largest " << with_commas(stats.largest_size()) << ")\n";
@@ -386,6 +453,8 @@ int main(int argc, char** argv) {
              {"mode", "BC parallelism: fine|coarse|auto"},
              {"budget-mb", "BC score-memory budget in MiB (auto mode)"},
              {"out", "per-vertex output file"},
+             {"codec", "pack: block codec (none|varint)"},
+             {"block-kb", "pack: target encoded block size in KiB"},
              {"timings", "script timings!"},
              {"threads", "OpenMP thread count (0 = default)"},
              {"profile", "per-kernel phase profiling!"},
@@ -427,6 +496,7 @@ int main(int argc, char** argv) {
     }
     if (command == "bc") return finish(cmd_bc(cli));
     if (command == "components") return finish(cmd_components(cli));
+    if (command == "pack") return finish(cmd_pack(cli));
     if (command == "convert") {
       GCT_CHECK(cli.positional().size() >= 2, "convert: need <in> <out>");
       const auto g = load_graph(cli.positional()[0]);

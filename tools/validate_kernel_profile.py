@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Validate bench/kernel_profile output (one JSON object per line).
+"""Validate bench profile output (one JSON object per line).
 
 Usage: validate_kernel_profile.py FILE [--require KERNEL ...]
 
-Checks, per line:
-  * parses as a single JSON object,
+Understands two row families, dispatched on the "bench" field:
+
+kernel_profile rows (bench/kernel_profile):
   * carries the bench metadata (bench/scale/edge_factor) and the
     KernelProfile fields (kernel, seconds, threads, vertices, edges, teps,
     phases[]) with the right types,
@@ -12,8 +13,17 @@ Checks, per line:
   * each phase has name/depth/calls/seconds/vertices/edges and depth-1
     phase seconds do not exceed the kernel total (10% slack — the same
     attribution bound the profiler guarantees).
+  Each valid row contributes its kernel name to the --require pool.
 
-With --require, additionally checks that each named kernel appears at
+storage_profile rows (bench/storage_profile):
+  * a "pack" row with codec/blocks/payload_bytes/raw_adjacency_bytes/
+    file_bytes/compression_ratio/cache_budget_bytes — the cache budget
+    must be smaller than the raw adjacency bytes (out-of-core invariant),
+  * "kernel" rows with seconds_mem/seconds_store/overhead plus the
+    decode and block-cache counters; parity must be true.
+  Rows contribute "storage-pack" / "storage-<kernel>" to the pool.
+
+With --require, additionally checks that each named entry appears at
 least once. Exits non-zero with a message on the first violation.
 """
 
@@ -45,25 +55,55 @@ PHASE_FIELDS = {
     "edges": int,
 }
 
+STORAGE_PACK_FIELDS = {
+    "bench": str,
+    "scale": int,
+    "edge_factor": int,
+    "row": str,
+    "codec": str,
+    "blocks": int,
+    "payload_bytes": int,
+    "raw_adjacency_bytes": int,
+    "file_bytes": int,
+    "compression_ratio": NUMERIC,
+    "cache_budget_bytes": int,
+    "pack_seconds": NUMERIC,
+}
+
+STORAGE_KERNEL_FIELDS = {
+    "bench": str,
+    "scale": int,
+    "edge_factor": int,
+    "row": str,
+    "kernel": str,
+    "threads": int,
+    "seconds_mem": NUMERIC,
+    "seconds_store": NUMERIC,
+    "overhead": NUMERIC,
+    "parity": bool,
+    "blocks_decoded": int,
+    "decoded_bytes": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_evictions": int,
+}
+
 
 def check_fields(obj, schema, where):
     for key, typ in schema.items():
         if key not in obj:
             raise ValueError(f"{where}: missing field '{key}'")
-        if not isinstance(obj[key], typ) or isinstance(obj[key], bool):
+        ok = isinstance(obj[key], typ)
+        if typ is not bool and isinstance(obj[key], bool):
+            ok = False
+        if not ok:
             raise ValueError(
                 f"{where}: field '{key}' has type "
                 f"{type(obj[key]).__name__}, expected {typ}")
 
 
-def validate_line(line, lineno):
-    where = f"line {lineno}"
-    obj = json.loads(line)
-    if not isinstance(obj, dict):
-        raise ValueError(f"{where}: not a JSON object")
+def validate_kernel_profile(obj, where):
     check_fields(obj, PROFILE_FIELDS, where)
-    if obj["bench"] != "kernel_profile":
-        raise ValueError(f"{where}: bench is '{obj['bench']}'")
     if obj["seconds"] < 0 or obj["threads"] < 1:
         raise ValueError(f"{where}: nonsensical seconds/threads")
     if obj["edges"] > 0 and obj["seconds"] > 0:
@@ -86,11 +126,52 @@ def validate_line(line, lineno):
     return obj["kernel"]
 
 
+def validate_storage_profile(obj, where):
+    row = obj.get("row")
+    if row == "pack":
+        check_fields(obj, STORAGE_PACK_FIELDS, where)
+        if obj["blocks"] < 0 or obj["compression_ratio"] <= 0:
+            raise ValueError(f"{where}: nonsensical pack stats")
+        if obj["payload_bytes"] > 0 and \
+                obj["cache_budget_bytes"] >= obj["raw_adjacency_bytes"]:
+            raise ValueError(
+                f"{where}: cache budget {obj['cache_budget_bytes']} is not "
+                f"smaller than the raw adjacency "
+                f"({obj['raw_adjacency_bytes']} bytes) — the smoke run must "
+                f"exercise the out-of-core path")
+        return "storage-pack"
+    if row == "kernel":
+        check_fields(obj, STORAGE_KERNEL_FIELDS, where)
+        if obj["seconds_mem"] < 0 or obj["seconds_store"] < 0 \
+                or obj["threads"] < 1:
+            raise ValueError(f"{where}: nonsensical storage kernel stats")
+        if not obj["parity"]:
+            raise ValueError(
+                f"{where}: kernel '{obj['kernel']}' parity is false — "
+                f"store-backed results differ from in-memory")
+        return "storage-" + obj["kernel"]
+    raise ValueError(f"{where}: unknown storage_profile row '{row}'")
+
+
+def validate_line(line, lineno):
+    where = f"line {lineno}"
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: not a JSON object")
+    bench = obj.get("bench")
+    if bench == "kernel_profile":
+        return validate_kernel_profile(obj, where)
+    if bench == "storage_profile":
+        return validate_storage_profile(obj, where)
+    raise ValueError(f"{where}: bench is '{bench}'")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("file")
     parser.add_argument("--require", nargs="*", default=[],
-                        help="kernels that must each appear at least once")
+                        help="entries that must each appear at least once "
+                             "(kernel names, or storage-pack/storage-<k>)")
     args = parser.parse_args()
 
     seen = []
