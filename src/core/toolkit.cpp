@@ -1,6 +1,8 @@
 #include "core/toolkit.hpp"
 
+#include "algs/bfs.hpp"
 #include "algs/degree.hpp"
+#include "dist/coordinator.hpp"
 #include "graph/builder.hpp"
 #include "graph/io_binary.hpp"
 #include "graph/io_dimacs.hpp"
@@ -203,6 +205,55 @@ const PageRankResult& Toolkit::pagerank(const PageRankOptions& opts) {
                           "|iters=" + std::to_string(opts.max_iterations);
   return *cache_->get_or_compute<PageRankResult>(
       key, [&] { return graphct::pagerank(view(), opts); }, StructBytes{});
+}
+
+namespace {
+
+/// Ship the Toolkit's graph into the coordinator's workers on first use.
+/// Store-backed graphs decode to DRAM here: the blocks are sliced from a
+/// CSR either way, and each worker holds only its slice afterwards.
+void ensure_dist_loaded(dist::Coordinator& coord, const GraphView& v) {
+  if (coord.loaded()) return;
+  CsrGraph decoded;
+  coord.load_graph(v.as_csr_or(decoded));
+}
+
+}  // namespace
+
+const std::vector<vid>& Toolkit::components_dist(dist::Coordinator& coord) {
+  const std::string key =
+      "components|workers=" + std::to_string(coord.num_workers());
+  return *cache_->get_or_compute<std::vector<vid>>(key, [&] {
+    ensure_dist_loaded(coord, view());
+    return coord.components();
+  });
+}
+
+const PageRankResult& Toolkit::pagerank_dist(dist::Coordinator& coord,
+                                             const PageRankOptions& opts) {
+  const std::string key = "pagerank|d=" + std::to_string(opts.damping) +
+                          "|tol=" + std::to_string(opts.tolerance) +
+                          "|iters=" + std::to_string(opts.max_iterations) +
+                          "|workers=" + std::to_string(coord.num_workers());
+  return *cache_->get_or_compute<PageRankResult>(
+      key,
+      [&] {
+        ensure_dist_loaded(coord, view());
+        return coord.pagerank(opts);
+      },
+      StructBytes{});
+}
+
+const std::vector<vid>& Toolkit::bfs_distances_dist(dist::Coordinator& coord,
+                                                    vid source,
+                                                    vid max_depth) {
+  const std::string key = "bfs|src=" + std::to_string(source) +
+                          "|depth=" + std::to_string(max_depth) +
+                          "|workers=" + std::to_string(coord.num_workers());
+  return *cache_->get_or_compute<std::vector<vid>>(key, [&] {
+    ensure_dist_loaded(coord, view());
+    return coord.bfs_distances(source, max_depth);
+  });
 }
 
 const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {

@@ -44,6 +44,10 @@
 
 namespace graphct {
 
+namespace dist {
+class Coordinator;
+}
+
 /// Toolkit configuration.
 struct ToolkitOptions {
   /// Diameter estimation on load (paper defaults: 256 sources, 4x).
@@ -152,6 +156,21 @@ class Toolkit {
 
   /// PageRank (cached per option set).
   const PageRankResult& pagerank(const PageRankOptions& opts = {});
+
+  /// Distributed variants: run the kernel on `coord`'s workers (loading
+  /// this Toolkit's graph into them first if needed) and cache under a key
+  /// carrying a `workers=N` dimension — the results are defined to match
+  /// the single-process kernels, but they are distinct computations and a
+  /// degraded run must never poison the single-process entry (or vice
+  /// versa). The caller owns the coordinator's lifecycle and must bind it
+  /// to this Toolkit's current graph (the script layer rebinds on every
+  /// graph change).
+  const std::vector<vid>& components_dist(dist::Coordinator& coord);
+  const PageRankResult& pagerank_dist(dist::Coordinator& coord,
+                                      const PageRankOptions& opts = {});
+  const std::vector<vid>& bfs_distances_dist(dist::Coordinator& coord,
+                                             vid source,
+                                             vid max_depth = kNoVertex);
 
   /// Harmonic closeness (cached per option set).
   const ClosenessResult& closeness(const ClosenessOptions& opts = {});

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file coordinator.hpp
+/// The dist substrate's coordinator: drives N workers through partitioned
+/// kernels over the framed wire protocol (dist/wire.hpp).
+///
+/// graphctd and the CLI embed a Coordinator per distributed job context:
+/// connect() performs the hello handshake against already-listening
+/// workers, load_graph() partitions a CsrGraph into 1-D vertex blocks
+/// (dist/partition.hpp) and ships each worker its slice (plus the
+/// partitioned reverse graph when the input is directed, for PageRank's
+/// pull), and the three kernel entry points run superstep loops:
+///
+///   * bfs_distances — frontier exchange per level; the coordinator owns
+///     the global distance array, sends each worker its owned frontier
+///     slice, and merges candidate discoveries. Levels are unique, so
+///     distances are *identical* to the single-process kernel.
+///   * components — label propagation with delta exchange; workers mirror
+///     the full label array and propose minima from their owned rows. The
+///     fixed point (min vertex id per component) is exactly the
+///     single-process kernel's canonical labeling.
+///   * pagerank — block-row pull SpMV with rank exchange and a
+///     convergence reduction; the coordinator computes contributions and
+///     the dangling redistribution, workers accumulate owned rows in the
+///     single-process kernel's adjacency order. Per-vertex sums match to
+///     the last ulp modulo the dangling-mass reduction order.
+///
+/// ## Failure semantics
+///
+/// Any transport failure (dead socket, checksum mismatch, worker kError
+/// reply) cancels exactly the in-flight kernel: the coordinator closes all
+/// worker connections, records the reason, and throws graphct::Error with
+/// an explicit message. Later kernel calls fail fast with the stored
+/// reason (degraded()), so a wedged substrate can never hang a job — the
+/// embedding layer (Toolkit / interpreter / graphctd job) surfaces the
+/// error reply and the registry graph stays fully serviceable through the
+/// single-process kernels.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algs/pagerank.hpp"
+#include "dist/partition.hpp"
+#include "dist/wire.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace graphct::dist {
+
+/// Traffic and superstep accounting, aggregated over all workers.
+struct DistStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t steps = 0;  ///< kernel supersteps driven
+};
+
+class Coordinator {
+ public:
+  Coordinator() = default;
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Connect to workers listening on 127.0.0.1:ports[i] and handshake.
+  void connect(const std::vector<int>& ports);
+
+  /// Partition `g` across the connected workers and ship every block.
+  /// Directed graphs also ship the partitioned reverse graph (PageRank's
+  /// pull slot). May be called again to load a different graph.
+  void load_graph(const CsrGraph& g);
+
+  [[nodiscard]] int num_workers() const {
+    return static_cast<int>(conns_.size());
+  }
+  [[nodiscard]] bool loaded() const { return loaded_; }
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+
+  /// Distributed BFS: hop distances from `source` (kNoVertex when
+  /// unreached), identical to algs/bfs distances. `max_depth` bounds the
+  /// level count (kNoVertex = unbounded).
+  std::vector<vid> bfs_distances(vid source, vid max_depth = kNoVertex);
+
+  /// Distributed weak components: canonical min-vertex-id labels,
+  /// identical to algs/connected_components' weak_components.
+  std::vector<vid> components();
+
+  /// Distributed PageRank, numerically matching algs/pagerank.
+  PageRankResult pagerank(const PageRankOptions& opts = {});
+
+  /// Graceful worker shutdown (kShutdown to every live worker). Called by
+  /// the destructor; safe to call repeatedly.
+  void shutdown();
+
+  /// True once a worker failure has poisoned this coordinator; every
+  /// kernel call then throws degraded_reason() without touching sockets.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] const std::string& degraded_reason() const {
+    return degraded_reason_;
+  }
+
+  /// Cumulative traffic since connect(), plus supersteps driven.
+  [[nodiscard]] DistStats stats() const;
+
+  /// Traffic/steps attributable to the most recent kernel call.
+  [[nodiscard]] const DistStats& last_kernel_stats() const {
+    return last_kernel_;
+  }
+
+ private:
+  /// Throws the stored degraded reason, or checks connection state.
+  void require_ready() const;
+  /// Mark the substrate dead and throw an explicit kernel-cancelled error.
+  [[noreturn]] void fail(int worker, const std::string& what,
+                         const std::string& detail);
+  /// Send one request to worker w (failure -> fail()).
+  void send_to(int w, Msg type, std::string payload, const char* what);
+  /// Receive worker w's reply, demanding `expect` (kError -> fail()).
+  std::string recv_from(int w, Msg expect, const char* what);
+  /// Ship one graph's blocks into `slot` using the current partition.
+  void ship_blocks(const CsrGraph& g, std::uint8_t slot);
+  DistStats snapshot_traffic() const;
+  void begin_kernel();
+  void end_kernel(const char* kernel, std::int64_t steps);
+
+  std::vector<FrameConn> conns_;
+  Partition partition_;
+  bool loaded_ = false;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+
+  // Retained from load_graph for PageRank's contribution pass.
+  std::vector<vid> out_degree_;
+  bool directed_ = false;
+  vid global_n_ = 0;
+
+  std::int64_t total_steps_ = 0;
+  DistStats last_kernel_;
+  DistStats kernel_base_;
+};
+
+}  // namespace graphct::dist

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file local_worker_set.hpp
+/// Spawn N loopback workers in one call, in either of two modes:
+///
+///   * threads (default) — each WorkerServer runs serve() on a std::thread
+///     in this process. Cheap and sanitizer-friendly; the mode tests and
+///     the script engine use.
+///   * fork — each worker is a fork()ed child process serving until
+///     kShutdown, EOF, or SIGKILL. Genuine multi-process isolation, the
+///     mode the CLI and bench use. The listen socket is bound *before*
+///     fork(), so ports() is valid immediately and there is no race
+///     between spawn and connect.
+///
+/// Fork mode must be entered before the parent spins up thread pools
+/// (fork() only carries the calling thread into the child); the CLI forks
+/// workers before any kernel touches OpenMP, and the forked worker itself
+/// computes serially by design.
+///
+/// stop() (also the destructor) tears the set down: thread mode unblocks
+/// serve() and joins; fork mode reaps children, escalating to SIGKILL for
+/// any worker that does not exit promptly — a wedged or fault-injected
+/// worker can never hang teardown.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dist/worker.hpp"
+
+namespace graphct::dist {
+
+struct LocalWorkerSetOptions {
+  int num_workers = 2;
+  bool fork_mode = false;  ///< false = in-process threads
+
+  /// Fault injection: worker `fail_worker` abruptly closes its coordinator
+  /// connection after `fail_after` received messages (see WorkerOptions).
+  /// fail_worker == -1 disables injection.
+  int fail_worker = -1;
+  std::int64_t fail_after = -1;
+};
+
+class LocalWorkerSet {
+ public:
+  explicit LocalWorkerSet(const LocalWorkerSetOptions& opts = {});
+  ~LocalWorkerSet();
+  LocalWorkerSet(const LocalWorkerSet&) = delete;
+  LocalWorkerSet& operator=(const LocalWorkerSet&) = delete;
+
+  /// Listen ports, one per worker, valid from construction.
+  [[nodiscard]] const std::vector<int>& ports() const { return ports_; }
+
+  [[nodiscard]] int num_workers() const {
+    return static_cast<int>(ports_.size());
+  }
+  [[nodiscard]] bool fork_mode() const { return fork_mode_; }
+
+  /// Tear every worker down (idempotent; called by the destructor).
+  void stop();
+
+ private:
+  struct ThreadWorker {
+    std::unique_ptr<WorkerServer> server;
+    std::thread thread;
+  };
+
+  bool fork_mode_ = false;
+  std::vector<int> ports_;
+  std::vector<ThreadWorker> threads_;  // threads mode
+  std::vector<pid_t> pids_;            // fork mode
+};
+
+}  // namespace graphct::dist

@@ -1,0 +1,87 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace graphct::dist {
+
+int Partition::owner(vid v) const {
+  GCT_CHECK(v >= 0 && v < num_vertices, "partition: vertex id out of range");
+  // Blocks are contiguous and ascending; find the first block ending past v.
+  auto it = std::upper_bound(
+      blocks.begin(), blocks.end(), v,
+      [](vid value, const BlockInfo& b) { return value < b.end; });
+  GCT_ASSERT(it != blocks.end());
+  return static_cast<int>(it - blocks.begin());
+}
+
+double Partition::edge_cut_fraction() const {
+  if (total_entries == 0) return 0.0;
+  eid cut = 0;
+  for (const auto& b : blocks) cut += b.cut_entries;
+  return static_cast<double>(cut) / static_cast<double>(total_entries);
+}
+
+double Partition::imbalance() const {
+  if (total_entries == 0 || blocks.empty()) return 0.0;
+  eid max_entries = 0;
+  for (const auto& b : blocks) max_entries = std::max(max_entries, b.entries);
+  const double mean = static_cast<double>(total_entries) /
+                      static_cast<double>(blocks.size());
+  return static_cast<double>(max_entries) / mean;
+}
+
+Partition partition_graph(const CsrGraph& g, int num_blocks) {
+  GCT_CHECK(num_blocks >= 1, "partition: need >= 1 block");
+  Partition p;
+  p.num_vertices = g.num_vertices();
+  p.total_entries = g.num_adjacency_entries();
+  p.directed = g.directed();
+  p.blocks.resize(static_cast<std::size_t>(num_blocks));
+
+  const auto offsets = g.offsets();
+  const auto adj = g.adjacency();
+
+  // Edge-balanced split points: block i begins at the first vertex whose
+  // row starts at or past i/N of the total entries. Monotone by
+  // construction, so blocks never overlap; clamping keeps them ordered when
+  // a single hub row spans several ideal boundaries.
+  std::vector<vid> splits(static_cast<std::size_t>(num_blocks) + 1, 0);
+  splits[static_cast<std::size_t>(num_blocks)] = p.num_vertices;
+  for (int i = 1; i < num_blocks; ++i) {
+    const eid ideal =
+        static_cast<eid>((static_cast<__int128>(p.total_entries) * i) /
+                         num_blocks);
+    const auto it = std::lower_bound(offsets.begin(), offsets.end(), ideal);
+    vid split = static_cast<vid>(it - offsets.begin());
+    split = std::clamp(split, splits[static_cast<std::size_t>(i) - 1],
+                       p.num_vertices);
+    splits[static_cast<std::size_t>(i)] = split;
+  }
+
+  for (int i = 0; i < num_blocks; ++i) {
+    auto& b = p.blocks[static_cast<std::size_t>(i)];
+    b.begin = splits[static_cast<std::size_t>(i)];
+    b.end = splits[static_cast<std::size_t>(i) + 1];
+    b.entries = offsets[static_cast<std::size_t>(b.end)] -
+                offsets[static_cast<std::size_t>(b.begin)];
+  }
+
+  // Cut accounting: one parallel sweep per block over its adjacency slice.
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int i = 0; i < num_blocks; ++i) {
+    auto& b = p.blocks[static_cast<std::size_t>(i)];
+    const eid lo = offsets[static_cast<std::size_t>(b.begin)];
+    const eid hi = offsets[static_cast<std::size_t>(b.end)];
+    eid cut = 0;
+    for (eid e = lo; e < hi; ++e) {
+      const vid t = adj[static_cast<std::size_t>(e)];
+      if (t < b.begin || t >= b.end) ++cut;
+    }
+    b.cut_entries = cut;
+  }
+  return p;
+}
+
+}  // namespace graphct::dist

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file partition.hpp
+/// 1-D vertex-block partitioning over a CSR graph.
+///
+/// The dist substrate's data model (docs/DISTRIBUTED.md): the vertex set is
+/// cut into N contiguous blocks, block i owning [splits[i], splits[i+1]).
+/// Split points are chosen to balance **adjacency entries** (not vertices):
+/// for a scale-free graph a vertex-balanced split can put nearly all edges
+/// in one block, so each split lands on the first vertex whose row starts
+/// at or past i/N of the total entries — a binary search over the CSR
+/// offsets array, no edge scan needed.
+///
+/// Because blocks are contiguous vertex ranges, a worker's share of the
+/// graph is literally a slice of the global offsets/adjacency arrays:
+/// offsets[begin..end] rebased to zero, adjacency[offsets[begin] ..
+/// offsets[end]) with targets keeping their global ids. No relabeling, no
+/// ghost tables — the coordinator addresses every vertex by global id and
+/// owner(v) is a binary search over the split points.
+///
+/// Edge-cut accounting (entries whose target lies outside the owning
+/// block) and imbalance (max block entries / mean block entries) are
+/// computed up front: they are the two numbers that predict communication
+/// volume and straggler time, surfaced by `graphct partition` and the
+/// script's `partition info`.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace graphct::dist {
+
+/// One vertex block and its edge accounting.
+struct BlockInfo {
+  vid begin = 0;         ///< first owned vertex
+  vid end = 0;           ///< one past the last owned vertex
+  eid entries = 0;       ///< adjacency entries in owned rows
+  eid cut_entries = 0;   ///< entries whose target is outside [begin, end)
+
+  [[nodiscard]] vid num_vertices() const { return end - begin; }
+};
+
+/// A full 1-D partition: contiguous owner ranges plus accounting.
+struct Partition {
+  vid num_vertices = 0;
+  eid total_entries = 0;
+  bool directed = false;
+  std::vector<BlockInfo> blocks;
+
+  [[nodiscard]] int num_blocks() const {
+    return static_cast<int>(blocks.size());
+  }
+
+  /// The block owning vertex v (binary search over the contiguous ranges).
+  [[nodiscard]] int owner(vid v) const;
+
+  /// Fraction of adjacency entries whose target lies off-block: the
+  /// per-traversal communication bound (0 when the graph has no edges).
+  [[nodiscard]] double edge_cut_fraction() const;
+
+  /// Max block entries over mean block entries (1.0 = perfectly balanced;
+  /// 0 when the graph has no edges). Bounds straggler time per superstep.
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Partition `g` into `num_blocks` contiguous, edge-balanced vertex blocks
+/// and compute cut/balance accounting. Throws for num_blocks < 1. More
+/// blocks than vertices yields trailing empty blocks (legal; workers with
+/// no vertices simply answer every step with nothing).
+Partition partition_graph(const CsrGraph& g, int num_blocks);
+
+}  // namespace graphct::dist

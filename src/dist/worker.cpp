@@ -1,0 +1,293 @@
+#include "dist/worker.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace graphct::dist {
+
+WorkerServer::WorkerServer(const WorkerOptions& opts) : opts_(opts) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GCT_CHECK(fd >= 0, "dist worker: cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 1) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("dist worker: cannot bind 127.0.0.1:" +
+                std::to_string(opts.port) + ": " + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  GCT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "dist worker: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+}
+
+WorkerServer::~WorkerServer() { stop(); }
+
+void WorkerServer::stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a racing accept(); close() alone may not.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void WorkerServer::release() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+void WorkerServer::serve() {
+  int cfd = -1;
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;  // stopped before a coordinator arrived
+    cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd >= 0) break;
+    if (errno == EINTR) continue;
+    return;  // listen socket closed under us (stop()) or fatal error
+  }
+  stop();  // one coordinator per worker; no further accepts
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  FrameConn conn(cfd);
+
+  std::int64_t received = 0;
+  Msg type;
+  std::string payload;
+  for (;;) {
+    try {
+      if (!conn.recv(type, payload)) return;  // coordinator hung up
+    } catch (const std::exception&) {
+      return;  // transport corrupt/dead; nothing to report it on
+    }
+    ++received;
+    if (opts_.fail_after >= 0 && received > opts_.fail_after) {
+      // Injected death: drop the connection without replying, exactly as
+      // a crashed worker would.
+      conn.close();
+      return;
+    }
+    if (type == Msg::kShutdown) {
+      try {
+        conn.send(Msg::kAck, "");
+      } catch (const std::exception&) {
+      }
+      return;
+    }
+    try {
+      handle(type, payload, conn);
+    } catch (const std::exception& e) {
+      // Handler failure is a protocol-level error: report it in the reply
+      // slot and keep serving. Only a failing send ends the loop.
+      try {
+        WireWriter w;
+        w.str(e.what());
+        conn.send(Msg::kError, w.take());
+      } catch (const std::exception&) {
+        return;
+      }
+    }
+  }
+}
+
+void WorkerServer::handle(Msg type, const std::string& payload,
+                          FrameConn& conn) {
+  WireReader r(payload);
+  WireWriter reply;
+  Msg reply_type = Msg::kAck;
+  switch (type) {
+    case Msg::kHello: {
+      const std::uint64_t version = r.u64();
+      GCT_CHECK(version == 1,
+                "dist worker: unsupported protocol version " +
+                    std::to_string(version));
+      reply.u64(1);
+      reply.u64(static_cast<std::uint64_t>(::getpid()));
+      reply_type = Msg::kHelloAck;
+      break;
+    }
+    case Msg::kLoadBlock:
+      handle_load(r, reply);
+      reply_type = Msg::kLoadAck;
+      break;
+    case Msg::kBfsStart: {
+      const auto& s = slots_[kSlotPrimary];
+      GCT_CHECK(s.present, "dist worker: bfs-start before load-block");
+      proposed_.assign(static_cast<std::size_t>(s.global_n), 0);
+      break;
+    }
+    case Msg::kBfsStep:
+      handle_bfs_step(r, reply);
+      reply_type = Msg::kBfsFrontier;
+      break;
+    case Msg::kCcStart: {
+      const auto& s = slots_[kSlotPrimary];
+      GCT_CHECK(s.present, "dist worker: cc-start before load-block");
+      labels_.resize(static_cast<std::size_t>(s.global_n));
+      for (vid v = 0; v < s.global_n; ++v) {
+        labels_[static_cast<std::size_t>(v)] = v;
+      }
+      break;
+    }
+    case Msg::kCcStep:
+      handle_cc_step(r, reply);
+      reply_type = Msg::kCcDelta;
+      break;
+    case Msg::kPrStart: {
+      pr_slot_ = r.u8();
+      GCT_CHECK(pr_slot_ < kNumSlots && slots_[pr_slot_].present,
+                "dist worker: pr-start references an unloaded graph slot");
+      break;
+    }
+    case Msg::kPrStep:
+      handle_pr_step(r, reply);
+      reply_type = Msg::kPrRanks;
+      break;
+    default:
+      throw Error(std::string("dist worker: unexpected message ") +
+                  msg_name(type));
+  }
+  conn.send(reply_type, reply.take());
+}
+
+void WorkerServer::handle_load(WireReader& r, WireWriter& reply) {
+  const std::uint8_t slot_id = r.u8();
+  GCT_CHECK(slot_id < kNumSlots, "dist worker: bad graph slot");
+  Slot& s = slots_[slot_id];
+  s.directed = r.u8() != 0;
+  s.global_n = r.i64();
+  s.begin = r.i64();
+  s.end = r.i64();
+  GCT_CHECK(s.begin >= 0 && s.begin <= s.end && s.end <= s.global_n,
+            "dist worker: bad block range");
+  r.i64_vec(s.offsets);
+  r.i64_vec(s.adjacency);
+  GCT_CHECK(static_cast<vid>(s.offsets.size()) == s.end - s.begin + 1,
+            "dist worker: offsets length does not match block range");
+  // Rebase to zero so neighbors() indexes the local adjacency slice.
+  const eid base = s.offsets.empty() ? 0 : s.offsets.front();
+  for (auto& o : s.offsets) o -= base;
+  GCT_CHECK(s.offsets.empty() ||
+                s.offsets.back() == static_cast<eid>(s.adjacency.size()),
+            "dist worker: adjacency length does not match offsets");
+  s.present = true;
+  reply.u8(slot_id);
+  reply.i64(static_cast<std::int64_t>(s.adjacency.size()));
+}
+
+void WorkerServer::handle_bfs_step(WireReader& r, WireWriter& reply) {
+  const Slot& s = slots_[kSlotPrimary];
+  GCT_CHECK(s.present && !proposed_.empty(),
+            "dist worker: bfs-step before bfs-start");
+  r.i64_vec(scratch_i64_);
+  std::vector<vid> candidates;
+  for (const vid u : scratch_i64_) {
+    GCT_CHECK(u >= s.begin && u < s.end,
+              "dist worker: bfs frontier vertex not owned by this block");
+    // The frontier vertex itself is visited; never propose it again.
+    proposed_[static_cast<std::size_t>(u)] = 1;
+    for (const vid v : s.neighbors(u)) {
+      auto& seen = proposed_[static_cast<std::size_t>(v)];
+      if (!seen) {
+        seen = 1;
+        candidates.push_back(v);
+      }
+    }
+  }
+  reply.i64_span(candidates);
+}
+
+void WorkerServer::handle_cc_step(WireReader& r, WireWriter& reply) {
+  const Slot& s = slots_[kSlotPrimary];
+  GCT_CHECK(s.present && !labels_.empty(),
+            "dist worker: cc-step before cc-start");
+  // Apply the coordinator's merged delta first (monotone min, idempotent).
+  r.i64_vec(scratch_i64_);
+  std::vector<std::int64_t> delta_labels;
+  r.i64_vec(delta_labels);
+  GCT_CHECK(scratch_i64_.size() == delta_labels.size(),
+            "dist worker: cc delta arrays disagree");
+  for (std::size_t i = 0; i < scratch_i64_.size(); ++i) {
+    const auto v = static_cast<std::size_t>(scratch_i64_[i]);
+    GCT_CHECK(v < labels_.size(), "dist worker: cc delta vertex out of range");
+    if (delta_labels[i] < labels_[v]) labels_[v] = delta_labels[i];
+  }
+
+  // Scan owned rows, absorbing labels across each arc in both directions
+  // (weak components: a directed arc still merges its endpoints). Updates
+  // apply locally as they are found — monotone minima converge to the same
+  // fixed point in any order — and every locally lowered vertex is
+  // proposed to the coordinator.
+  std::vector<vid> changed;
+  auto lower = [&](vid v, vid label) {
+    auto& cur = labels_[static_cast<std::size_t>(v)];
+    if (label < cur) {
+      cur = label;
+      changed.push_back(v);  // may repeat across arcs; deduped below
+    }
+  };
+  for (vid u = s.begin; u < s.end; ++u) {
+    for (const vid v : s.neighbors(u)) {
+      const vid lu = labels_[static_cast<std::size_t>(u)];
+      const vid lv = labels_[static_cast<std::size_t>(v)];
+      if (lu < lv) {
+        lower(v, lu);
+      } else if (lv < lu) {
+        lower(u, lv);
+      }
+    }
+  }
+  // Dedup: a vertex lowered several times reports its final label once.
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  std::vector<std::int64_t> out_labels(changed.size());
+  for (std::size_t i = 0; i < changed.size(); ++i) {
+    out_labels[i] = labels_[static_cast<std::size_t>(changed[i])];
+  }
+  reply.i64_span(changed);
+  reply.i64_span(out_labels);
+}
+
+void WorkerServer::handle_pr_step(WireReader& r, WireWriter& reply) {
+  const Slot& s = slots_[pr_slot_];
+  GCT_CHECK(s.present, "dist worker: pr-step before pr-start");
+  const double base = r.f64();
+  const double damping = r.f64();
+  r.f64_vec(contrib_);
+  GCT_CHECK(static_cast<vid>(contrib_.size()) == s.global_n,
+            "dist worker: contrib vector length mismatch");
+  next_.resize(static_cast<std::size_t>(s.end - s.begin));
+  // Sequential per-vertex accumulation in adjacency order: floating-point
+  // addition is order-dependent, and this order is exactly the
+  // single-process kernel's, which is what makes per-vertex sums match it
+  // bitwise given identical inputs.
+  for (vid v = s.begin; v < s.end; ++v) {
+    double acc = 0.0;
+    for (const vid u : s.neighbors(v)) {
+      acc += contrib_[static_cast<std::size_t>(u)];
+    }
+    next_[static_cast<std::size_t>(v - s.begin)] = base + damping * acc;
+  }
+  reply.f64_span(next_);
+}
+
+}  // namespace graphct::dist

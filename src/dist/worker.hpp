@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file worker.hpp
+/// The dist substrate's worker: owns one vertex block per graph slot and
+/// serves step RPCs to a single coordinator.
+///
+/// A WorkerServer binds a loopback listen socket at construction (port 0 =
+/// ephemeral, the default — the chosen port is readable immediately via
+/// port(), which is what lets tests and benches run collision-free), then
+/// serve() accepts exactly one coordinator connection and answers frames
+/// until kShutdown, peer EOF, or an injected failure.
+///
+/// Workers compute serially: each superstep's per-worker work is already
+/// the unit of parallelism, and a fork()ed worker must not spin up OpenMP
+/// teams it would share with the parent's runtime state. Kernel state
+/// (BFS proposal bitmap, component labels) lives across steps of one
+/// kernel and is reset by the corresponding kStart message.
+///
+/// Failure semantics: a handler exception is reported to the coordinator
+/// as a kError frame (the reply slot for that request) and the worker
+/// keeps serving; only transport-level failures end the loop. The
+/// `fail_after` option abruptly closes the connection after N received
+/// messages without replying — deterministic mid-kernel worker death for
+/// the coordinator's failure-path tests.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace graphct::dist {
+
+struct WorkerOptions {
+  int port = 0;  ///< listen port; 0 = kernel-assigned ephemeral port
+
+  /// Abruptly close the coordinator connection after this many received
+  /// messages (fault injection; -1 = never). The dropped message gets no
+  /// reply, so the coordinator observes a dead socket mid-kernel.
+  std::int64_t fail_after = -1;
+};
+
+class WorkerServer {
+ public:
+  explicit WorkerServer(const WorkerOptions& opts = {});
+  ~WorkerServer();
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  /// The bound listen port (resolved even when opts.port was 0).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Accept one coordinator and serve frames until kShutdown, EOF, an
+  /// injected failure, or stop(). Always returns normally; handler errors
+  /// are reported to the coordinator as kError replies.
+  void serve();
+
+  /// Unblock a concurrently running serve() (thread-mode teardown).
+  /// Idempotent; safe to call from another thread.
+  void stop();
+
+  /// Drop this process's copy of the listen fd *without* shutting the
+  /// socket down. Fork-mode parents call this after fork(): shutdown()
+  /// would kill the shared listening socket under the child, close() alone
+  /// leaves the child's copy accepting.
+  void release();
+
+ private:
+  /// One resident graph block: rebased offsets over the owned range plus
+  /// the adjacency slice, targets in global ids.
+  struct Slot {
+    bool present = false;
+    bool directed = false;
+    vid global_n = 0;
+    vid begin = 0;
+    vid end = 0;
+    std::vector<eid> offsets;    ///< size end-begin+1, offsets[0] == 0
+    std::vector<vid> adjacency;  ///< global target ids
+
+    [[nodiscard]] std::span<const vid> neighbors(vid global_v) const {
+      const auto local = static_cast<std::size_t>(global_v - begin);
+      const eid lo = offsets[local];
+      const eid hi = offsets[local + 1];
+      return {adjacency.data() + lo, static_cast<std::size_t>(hi - lo)};
+    }
+  };
+
+  void handle(Msg type, const std::string& payload, FrameConn& conn);
+  void handle_load(WireReader& r, WireWriter& reply);
+  void handle_bfs_step(WireReader& r, WireWriter& reply);
+  void handle_cc_step(WireReader& r, WireWriter& reply);
+  void handle_pr_step(WireReader& r, WireWriter& reply);
+
+  WorkerOptions opts_;
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+
+  Slot slots_[kNumSlots];
+
+  // BFS: vertices already proposed during this search (never worth
+  // re-proposing — once proposed at level d they are visited by d+1).
+  std::vector<std::uint8_t> proposed_;
+  // Components: mirrored full label array.
+  std::vector<vid> labels_;
+  // PageRank: which slot to pull in-edges from, plus scratch buffers.
+  std::uint8_t pr_slot_ = kSlotPrimary;
+  std::vector<double> contrib_;
+  std::vector<double> next_;
+  std::vector<std::int64_t> scratch_i64_;
+};
+
+}  // namespace graphct::dist

@@ -70,6 +70,27 @@ std::string with_label(const std::string& labels, const std::string& extra) {
 
 }  // namespace
 
+std::string prom_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------- Counter
 
 Counter::Counter() : shards_(new Shard[kShards]) {}

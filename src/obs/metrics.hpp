@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -159,5 +160,12 @@ class Registry {
 /// not one object (per-object accounting, like ResultCache::stats(), stays
 /// on the object).
 Registry& registry();
+
+/// Escape `raw` for embedding inside a Prometheus label value — metric
+/// names carry their labels inline ('name{key="value"}'), so any dynamic
+/// value (kernel names, error strings) must go through this before being
+/// spliced into a name. Escapes backslash, double quote, and newline per
+/// the exposition-format rules.
+std::string prom_label_value(std::string_view raw);
 
 }  // namespace graphct::obs

@@ -9,6 +9,9 @@
 #include "algs/degree.hpp"
 #include "algs/kcore.hpp"
 #include "algs/ranking.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/local_worker_set.hpp"
+#include "dist/partition.hpp"
 #include "gen/rmat.hpp"
 #include "graph/io_binary.hpp"
 #include "graph/io_dimacs.hpp"
@@ -49,6 +52,24 @@ struct Interpreter::Impl {
   /// Last `threads N` request (0 = runtime default).
   int requested_threads = 0;
 
+  /// Distributed execution context (`workers N`). The worker set and
+  /// coordinator are created lazily on the first dist-dispatched kernel and
+  /// rebuilt whenever the current graph changes (graph_epoch) or the
+  /// substrate degrades — a failed worker never wedges the session, the
+  /// next dist kernel simply gets a fresh set.
+  struct DistCtx {
+    int requested = 0;  ///< worker count; 0 = distribution off
+    bool fork_mode = false;
+    std::unique_ptr<dist::LocalWorkerSet> workers;
+    std::unique_ptr<dist::Coordinator> coord;
+    std::int64_t bound_epoch = -1;  ///< graph_epoch the coordinator loaded
+  };
+  DistCtx dist_ctx;
+
+  /// Bumped on every current-graph change (read/generate/load/use/save/
+  /// restore/extract/ego) so stale dist workers are never consulted.
+  std::int64_t graph_epoch = 0;
+
   Impl(std::ostream& o, InterpreterOptions op) : out(o), opts(std::move(op)) {}
 
   Toolkit& current(int line) {
@@ -60,7 +81,36 @@ struct Interpreter::Impl {
   }
 
   void push_private(Toolkit tk) {
+    ++graph_epoch;
     stack.push_back({std::make_shared<Toolkit>(std::move(tk)), ""});
+  }
+
+  /// Tear down the worker set and coordinator (mode selection survives).
+  void drop_dist_workers() {
+    if (dist_ctx.coord) dist_ctx.coord->shutdown();
+    dist_ctx.coord.reset();
+    dist_ctx.workers.reset();
+    dist_ctx.bound_epoch = -1;
+  }
+
+  /// The coordinator to dispatch kernels through, or nullptr when
+  /// distribution is off. Spawns/rebuilds workers as needed.
+  dist::Coordinator* ensure_dist(int line) {
+    if (dist_ctx.requested <= 0) return nullptr;
+    current(line);  // dist kernels need a graph like any other kernel
+    const bool stale = !dist_ctx.coord || dist_ctx.coord->degraded() ||
+                       dist_ctx.bound_epoch != graph_epoch;
+    if (stale) {
+      drop_dist_workers();
+      dist::LocalWorkerSetOptions wo;
+      wo.num_workers = dist_ctx.requested;
+      wo.fork_mode = dist_ctx.fork_mode;
+      dist_ctx.workers = std::make_unique<dist::LocalWorkerSet>(wo);
+      dist_ctx.coord = std::make_unique<dist::Coordinator>();
+      dist_ctx.coord->connect(dist_ctx.workers->ports());
+      dist_ctx.bound_epoch = graph_epoch;
+    }
+    return dist_ctx.coord.get();
   }
 
   /// Replace the current graph with `g` — the script's `extract`/`ego`
@@ -72,6 +122,7 @@ struct Interpreter::Impl {
   void replace_current_graph(CsrGraph g, int line) {
     GCT_ASSERT(!stack.empty());
     (void)line;
+    ++graph_epoch;
     Slot& slot = stack.back();
     if (!slot.shared() && slot.tk.use_count() == 1) {
       slot.tk->replace_graph(std::move(g));
@@ -294,6 +345,7 @@ void Interpreter::execute(const Command& cmd) {
                   ? im.opts.provider->load_packed_graph(name, cmd.tokens[3])
                   : im.opts.provider->load_graph(name, cmd.tokens[3]);
     im.stack.clear();
+    ++im.graph_epoch;
     im.stack.push_back({tk, name});
     const auto g = tk->view();
     out << "loaded " << (kind == "packed" ? "packed graph '" : "graph '")
@@ -316,6 +368,7 @@ void Interpreter::execute(const Command& cmd) {
                   ": no graph named '" + name + "' (see 'load graph')");
     }
     im.stack.clear();
+    ++im.graph_epoch;
     im.stack.push_back({tk, name});
     const auto g = tk->view();
     out << "using graph '" << name << "': " << g.num_vertices()
@@ -333,6 +386,74 @@ void Interpreter::execute(const Command& cmd) {
     out << "threads set to "
         << (n == 0 ? "default" : std::to_string(n)) << " (effective "
         << effective << ")\n";
+  } else if (verb == "workers") {
+    // workers <n> [fork|threads] | workers off: route components/pagerank/
+    // bfs through n loopback worker processes (threads by default — cheap
+    // and sanitizer-friendly; fork gives genuine process isolation). The
+    // workers spawn lazily on the first distributed kernel.
+    require_arity(cmd, 2, 3);
+    const std::string& arg = cmd.tokens[1];
+    if (arg == "off") {
+      require_arity(cmd, 2, 2);
+      im.drop_dist_workers();
+      im.dist_ctx.requested = 0;
+      out << "workers off\n";
+    } else {
+      const std::int64_t n = parse_i64(arg, cmd);
+      GCT_CHECK(n >= 0 && n <= 256,
+                "script line " + std::to_string(cmd.line) +
+                    ": worker count must be in [0, 256] (0 = off)");
+      bool fork_mode = false;
+      if (cmd.tokens.size() == 3) {
+        const std::string& mode = cmd.tokens[2];
+        if (mode == "fork") {
+          fork_mode = true;
+        } else if (mode != "threads") {
+          throw Error("script line " + std::to_string(cmd.line) +
+                      ": worker mode must be 'fork' or 'threads' (got '" +
+                      mode + "')");
+        }
+      }
+      if (n != im.dist_ctx.requested || fork_mode != im.dist_ctx.fork_mode) {
+        im.drop_dist_workers();
+      }
+      im.dist_ctx.requested = static_cast<int>(n);
+      im.dist_ctx.fork_mode = fork_mode;
+      if (n == 0) {
+        out << "workers off\n";
+      } else {
+        out << "workers set to " << n << " ("
+            << (fork_mode ? "fork" : "threads") << " mode)\n";
+      }
+    }
+  } else if (verb == "partition") {
+    // partition info <N>: show the 1-D edge-balanced blocks `workers N`
+    // would use — per-block vertex/entry counts, edge-cut fraction, and
+    // imbalance — without spawning anything.
+    require_arity(cmd, 3, 3);
+    GCT_CHECK(cmd.tokens[1] == "info",
+              "script line " + std::to_string(cmd.line) +
+                  ": expected 'partition info <num blocks>'");
+    const std::int64_t n = parse_i64(cmd.tokens[2], cmd);
+    GCT_CHECK(n >= 1 && n <= 4096,
+              "script line " + std::to_string(cmd.line) +
+                  ": block count must be in [1, 4096]");
+    Toolkit& tk = im.current(cmd.line);
+    graphct::CsrGraph decoded;
+    const dist::Partition p =
+        dist::partition_graph(tk.view().as_csr_or(decoded),
+                              static_cast<int>(n));
+    out << "partition into " << p.num_blocks() << " blocks ("
+        << p.num_vertices << " vertices, " << p.total_entries
+        << " adjacency entries)\n";
+    for (int b = 0; b < p.num_blocks(); ++b) {
+      const auto& blk = p.blocks[static_cast<std::size_t>(b)];
+      out << "  block " << b << ": vertices [" << blk.begin << ", "
+          << blk.end << ") entries " << blk.entries << " cut "
+          << blk.cut_entries << "\n";
+    }
+    out << "edge-cut fraction " << p.edge_cut_fraction() << ", imbalance "
+        << p.imbalance() << "\n";
   } else if (verb == "profile") {
     // profile on|off: toggle per-kernel phase profiling. While on, every
     // command that runs kernels prints a phase-breakdown table per kernel.
@@ -391,11 +512,23 @@ void Interpreter::execute(const Command& cmd) {
         write_per_vertex(cmd.redirect, graphct::degrees(tk.view()));
       }
     } else if (what == "components") {
-      const auto& stats = tk.components_stats();
-      out << "components: " << stats.num_components << " (largest "
-          << stats.largest_size() << ")\n";
-      if (cmd.has_redirect()) {
-        write_per_vertex(cmd.redirect, tk.components());
+      if (dist::Coordinator* coord = im.ensure_dist(cmd.line)) {
+        const auto& labels = tk.components_dist(*coord);
+        const auto stats = graphct::component_stats(
+            std::span<const graphct::vid>(labels.data(), labels.size()));
+        out << "components: " << stats.num_components << " (largest "
+            << stats.largest_size() << ") [workers="
+            << coord->num_workers() << "]\n";
+        if (cmd.has_redirect()) {
+          write_per_vertex(cmd.redirect, labels);
+        }
+      } else {
+        const auto& stats = tk.components_stats();
+        out << "components: " << stats.num_components << " (largest "
+            << stats.largest_size() << ")\n";
+        if (cmd.has_redirect()) {
+          write_per_vertex(cmd.redirect, tk.components());
+        }
       }
     } else if (what == "clustering") {
       const auto& c = tk.clustering();
@@ -453,6 +586,7 @@ void Interpreter::execute(const Command& cmd) {
     // and its caches wholesale; the restored toolkit's caches were computed
     // for exactly the graph it still holds, so nothing stale survives.
     im.stack.pop_back();
+    ++im.graph_epoch;
     out << "graph restored (stack depth " << im.stack.size() << ")\n";
   } else if (verb == "extract") {
     require_arity(cmd, 3, 3);
@@ -554,9 +688,12 @@ void Interpreter::execute(const Command& cmd) {
   } else if (verb == "pagerank") {
     require_arity(cmd, 1, 1);
     Toolkit& tk = im.current(cmd.line);
-    const auto& res = tk.pagerank();
+    dist::Coordinator* coord = im.ensure_dist(cmd.line);
+    const auto& res = coord ? tk.pagerank_dist(*coord) : tk.pagerank();
     out << "pagerank: " << res.iterations << " iterations, residual "
-        << res.residual << (res.converged ? "" : " (not converged)") << "\n";
+        << res.residual << (res.converged ? "" : " (not converged)");
+    if (coord) out << " [workers=" << coord->num_workers() << "]";
+    out << "\n";
     if (cmd.has_redirect()) {
       write_per_vertex(cmd.redirect, res.score);
     } else {
@@ -601,11 +738,23 @@ void Interpreter::execute(const Command& cmd) {
     graphct::BfsOptions bo;
     const graphct::vid src = parse_i64(cmd.tokens[1], cmd);
     bo.max_depth = parse_i64(cmd.tokens[2], cmd);
-    const auto r = graphct::bfs(tk.view(), src, bo);
-    out << "bfs from " << src << " depth " << bo.max_depth << ": reached "
-        << r.num_reached() << " vertices\n";
-    if (cmd.has_redirect()) {
-      write_per_vertex(cmd.redirect, r.distance);
+    if (dist::Coordinator* coord = im.ensure_dist(cmd.line)) {
+      const auto& d = tk.bfs_distances_dist(*coord, src, bo.max_depth);
+      std::int64_t reached = 0;
+      for (const auto dv : d) reached += dv != graphct::kNoVertex ? 1 : 0;
+      out << "bfs from " << src << " depth " << bo.max_depth << ": reached "
+          << reached << " vertices [workers=" << coord->num_workers()
+          << "]\n";
+      if (cmd.has_redirect()) {
+        write_per_vertex(cmd.redirect, d);
+      }
+    } else {
+      const auto r = graphct::bfs(tk.view(), src, bo);
+      out << "bfs from " << src << " depth " << bo.max_depth << ": reached "
+          << r.num_reached() << " vertices\n";
+      if (cmd.has_redirect()) {
+        write_per_vertex(cmd.redirect, r.distance);
+      }
     }
   } else if (verb == "ego") {
     // Analyst drill-down: replace the current graph with a vertex's

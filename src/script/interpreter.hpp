@@ -45,6 +45,12 @@
 ///   + use graph <name>           (switch to a registry-resident graph)
 ///   + repeat <n> ... end    (the paper's "simple loop structures ... a
 ///     topic for future consideration"; nestable, script-level only)
+///   + workers <n> [fork|threads] | workers off
+///     (route components / pagerank / bfs through n loopback worker
+///     processes via the dist substrate, docs/DISTRIBUTED.md; results are
+///     identical to single-process runs)
+///   + partition info <n>    (the 1-D blocks `workers n` would use:
+///     per-block vertex/entry counts, edge-cut fraction, imbalance)
 
 #include <iosfwd>
 #include <string>

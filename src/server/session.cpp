@@ -41,14 +41,6 @@ std::string split_request_id(const std::string& line, std::string& rest) {
   return id;
 }
 
-std::size_t count_lines(const std::string& payload) {
-  std::size_t n = 0;
-  for (const char c : payload) {
-    if (c == '\n') ++n;
-  }
-  return n;
-}
-
 }  // namespace
 
 Session::Session(std::string name, GraphRegistry& registry, JobQueue& queue,
@@ -61,45 +53,12 @@ Session::Session(std::string name, GraphRegistry& registry, JobQueue& queue,
 std::string Session::format_reply(const Reply& reply,
                                   const std::string& request_id,
                                   Protocol protocol) const {
-  const char* status = reply.status == Reply::Status::kOk      ? "ok"
-                       : reply.status == Reply::Status::kError ? "error"
-                                                               : "busy";
-  std::string payload = reply.payload;
-  if (!payload.empty() && payload.back() != '\n') payload += '\n';
-
-  if (protocol == Protocol::kCompat) {
-    // Original framing: payload lines, then one terminator line starting
-    // "ok" or "error". Shed requests render as errors so old clients keep
-    // framing correctly; the "busy:" prefix is the machine-readable hint.
-    std::string term;
-    if (reply.status == Reply::Status::kBusy) {
-      term = "error";
-      if (!request_id.empty()) term += " id=" + request_id;
-      term += " busy: " + reply.message;
-    } else if (reply.status == Reply::Status::kError) {
-      term = "error";
-      if (!request_id.empty()) term += " id=" + request_id;
-      term += " " + reply.message;
-    } else {
-      term = "ok";
-      if (!request_id.empty()) term += " id=" + request_id;
-      term += reply.accounting;
-    }
-    return payload + term + "\n";
-  }
-
-  // Framed v1: one header line with a payload line count, then exactly
-  // that many lines. Errors carry the message as the last payload line;
-  // busy responses carry the reason as their only payload line.
-  if (reply.status != Reply::Status::kOk && !reply.message.empty()) {
-    payload += reply.message + "\n";
-  }
-  std::string header = "gct/1 ";
-  header += status;
-  header += " lines=" + std::to_string(count_lines(payload));
-  if (!request_id.empty()) header += " id=" + request_id;
-  if (reply.status == Reply::Status::kOk) header += reply.accounting;
-  return header + "\n" + payload;
+  // Rendering for both framings lives in util/framing; the session only
+  // maps its protocol selection onto it.
+  return framing::render_text_reply(reply, request_id,
+                                    protocol == Protocol::kCompat
+                                        ? framing::TextProtocol::kCompat
+                                        : framing::TextProtocol::kFramedV1);
 }
 
 std::string Session::handle_line(const std::string& line) {

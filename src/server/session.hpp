@@ -60,6 +60,7 @@
 #include "script/interpreter.hpp"
 #include "server/graph_registry.hpp"
 #include "server/job_queue.hpp"
+#include "util/framing.hpp"
 
 namespace graphct::server {
 
@@ -108,13 +109,9 @@ class Session {
 
  private:
   /// One response, rendered by format_reply() per the active protocol.
-  struct Reply {
-    enum class Status { kOk, kError, kBusy };
-    Status status = Status::kOk;
-    std::string payload;     ///< '\n'-terminated output lines (may be empty)
-    std::string message;     ///< error/busy reason (single line, no '\n')
-    std::string accounting;  ///< job trailer tokens, leading space
-  };
+  /// Both framings live in util/framing (shared with the dist wire layer's
+  /// tests and any future client); the session only chooses which to use.
+  using Reply = framing::TextReply;
 
   [[nodiscard]] std::string format_reply(const Reply& reply,
                                          const std::string& request_id,

@@ -1,0 +1,362 @@
+/// Tests for the dist substrate: partitioning invariants, distributed
+/// kernel parity against the single-process kernels, and worker-failure
+/// semantics (explicit error, no wedge, graph stays serviceable).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algs/bfs.hpp"
+#include "algs/connected_components.hpp"
+#include "algs/pagerank.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/local_worker_set.hpp"
+#include "dist/partition.hpp"
+#include "gen/rmat.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace graphct::dist {
+namespace {
+
+using testing::make_directed;
+using testing::make_undirected;
+
+CsrGraph test_rmat(std::int64_t scale, bool directed) {
+  RmatOptions opts;
+  opts.scale = scale;
+  opts.edge_factor = 8;
+  opts.seed = directed ? 7 : 11;
+  CsrGraph g = rmat_graph(opts);
+  if (!directed) g = to_undirected(g);
+  return g;
+}
+
+/// Spin up `n` in-process workers, connect a coordinator, load `g`, and
+/// hand the coordinator to `body`. Teardown is exercised on every path.
+template <typename Body>
+void with_coordinator(const CsrGraph& g, int n, Body&& body) {
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = n;
+  LocalWorkerSet workers(wopts);
+  Coordinator coord;
+  coord.connect(workers.ports());
+  coord.load_graph(g);
+  body(coord);
+  coord.shutdown();
+}
+
+// --------------------------------------------------------------- partition
+
+TEST(PartitionTest, BlocksAreContiguousAndCoverEveryVertex) {
+  const CsrGraph g = test_rmat(9, true);
+  for (const int n : {1, 2, 3, 4, 7}) {
+    const Partition p = partition_graph(g, n);
+    ASSERT_EQ(p.num_blocks(), n);
+    EXPECT_EQ(p.num_vertices, g.num_vertices());
+    EXPECT_EQ(p.total_entries, g.num_adjacency_entries());
+    vid expect_begin = 0;
+    eid entries = 0;
+    for (const BlockInfo& b : p.blocks) {
+      EXPECT_EQ(b.begin, expect_begin);
+      EXPECT_LE(b.begin, b.end);
+      EXPECT_LE(b.cut_entries, b.entries);
+      expect_begin = b.end;
+      entries += b.entries;
+    }
+    EXPECT_EQ(expect_begin, g.num_vertices());
+    EXPECT_EQ(entries, g.num_adjacency_entries());
+  }
+}
+
+TEST(PartitionTest, OwnerAgreesWithBlockRanges) {
+  const CsrGraph g = test_rmat(8, false);
+  const Partition p = partition_graph(g, 4);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const int o = p.owner(v);
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, p.num_blocks());
+    EXPECT_GE(v, p.blocks[static_cast<std::size_t>(o)].begin);
+    EXPECT_LT(v, p.blocks[static_cast<std::size_t>(o)].end);
+  }
+}
+
+TEST(PartitionTest, SingleBlockHasNoCut) {
+  const CsrGraph g = test_rmat(8, true);
+  const Partition p = partition_graph(g, 1);
+  EXPECT_EQ(p.blocks[0].cut_entries, 0);
+  EXPECT_DOUBLE_EQ(p.edge_cut_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(p.imbalance(), 1.0);
+}
+
+TEST(PartitionTest, CutMatchesBruteForceCount) {
+  const CsrGraph g = make_undirected(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                         {4, 5}, {0, 5}, {1, 4}});
+  const Partition p = partition_graph(g, 2);
+  const auto offsets = g.offsets();
+  const auto adjacency = g.adjacency();
+  eid expect_cut = 0;
+  for (const BlockInfo& b : p.blocks) {
+    eid cut = 0;
+    for (eid e = offsets[static_cast<std::size_t>(b.begin)];
+         e < offsets[static_cast<std::size_t>(b.end)]; ++e) {
+      const vid t = adjacency[static_cast<std::size_t>(e)];
+      if (t < b.begin || t >= b.end) ++cut;
+    }
+    EXPECT_EQ(b.cut_entries, cut);
+    expect_cut += cut;
+  }
+  EXPECT_DOUBLE_EQ(p.edge_cut_fraction(),
+                   static_cast<double>(expect_cut) /
+                       static_cast<double>(g.num_adjacency_entries()));
+}
+
+TEST(PartitionTest, MoreBlocksThanVerticesYieldsEmptyBlocks) {
+  const CsrGraph g = make_undirected(3, {{0, 1}, {1, 2}});
+  const Partition p = partition_graph(g, 8);
+  ASSERT_EQ(p.num_blocks(), 8);
+  vid covered = 0;
+  int empty = 0;
+  for (const BlockInfo& b : p.blocks) {
+    covered += b.num_vertices();
+    if (b.num_vertices() == 0) ++empty;
+  }
+  EXPECT_EQ(covered, 3);
+  EXPECT_GE(empty, 5);  // only 3 vertices exist; empty blocks are legal
+  EXPECT_GE(p.imbalance(), 1.0);
+}
+
+TEST(PartitionTest, RejectsNonPositiveBlockCount) {
+  const CsrGraph g = make_undirected(2, {{0, 1}});
+  EXPECT_THROW(partition_graph(g, 0), Error);
+  EXPECT_THROW(partition_graph(g, -3), Error);
+}
+
+TEST(PartitionTest, EdgeBalanceBeatsNaiveVertexSplitOnSkew) {
+  // A star: vertex 0 owns half of all entries. An edge-balanced 2-way
+  // split must isolate the hub rather than cutting vertices in half.
+  EdgeList el(64);
+  for (vid v = 1; v < 64; ++v) el.add(0, v);
+  BuildOptions b;
+  b.symmetrize = true;
+  const CsrGraph g = build_csr(el, b);
+  const Partition p = partition_graph(g, 2);
+  EXPECT_LT(p.blocks[0].num_vertices(), 32);
+  EXPECT_LE(p.imbalance(), 1.5);
+}
+
+// ------------------------------------------------------------------ parity
+
+void expect_bfs_parity(const CsrGraph& g, int workers, vid source) {
+  const auto expect = bfs(g, source).distance;
+  with_coordinator(g, workers, [&](Coordinator& c) {
+    const auto got = c.bfs_distances(source);
+    ASSERT_EQ(got.size(), expect.size());
+    EXPECT_EQ(got, expect) << "bfs parity failed, workers=" << workers;
+  });
+}
+
+void expect_cc_parity(const CsrGraph& g, int workers) {
+  const auto expect = weak_components(g);
+  with_coordinator(g, workers, [&](Coordinator& c) {
+    const auto got = c.components();
+    ASSERT_EQ(got.size(), expect.size());
+    EXPECT_EQ(got, expect) << "cc parity failed, workers=" << workers;
+  });
+}
+
+void expect_pr_parity(const CsrGraph& g, int workers) {
+  const auto expect = pagerank(g);
+  with_coordinator(g, workers, [&](Coordinator& c) {
+    const auto got = c.pagerank();
+    ASSERT_EQ(got.score.size(), expect.score.size());
+    EXPECT_EQ(got.iterations, expect.iterations);
+    EXPECT_EQ(got.converged, expect.converged);
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < got.score.size(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(got.score[i] - expect.score[i]));
+    }
+    // Identical adjacency-order accumulation; only the dangling-mass
+    // reduction order differs from the OpenMP single-process kernel.
+    EXPECT_LE(max_abs, 1e-12) << "pr parity failed, workers=" << workers;
+  });
+}
+
+TEST(DistParityTest, BfsMatchesSingleProcessUndirected) {
+  const CsrGraph g = test_rmat(11, false);
+  for (const int w : {1, 2, 4}) expect_bfs_parity(g, w, 0);
+}
+
+TEST(DistParityTest, BfsMatchesSingleProcessDirected) {
+  const CsrGraph g = test_rmat(11, true);
+  for (const int w : {1, 2, 4}) expect_bfs_parity(g, w, 1);
+}
+
+TEST(DistParityTest, BoundedBfsHonorsMaxDepth) {
+  const CsrGraph g = test_rmat(10, false);
+  BfsOptions opts;
+  opts.max_depth = 2;
+  const auto expect = bfs(g, 0, opts).distance;
+  with_coordinator(g, 3, [&](Coordinator& c) {
+    EXPECT_EQ(c.bfs_distances(0, 2), expect);
+  });
+}
+
+TEST(DistParityTest, ComponentsMatchSingleProcessUndirected) {
+  const CsrGraph g = test_rmat(11, false);
+  for (const int w : {1, 2, 4}) expect_cc_parity(g, w);
+}
+
+TEST(DistParityTest, ComponentsMatchSingleProcessDirected) {
+  // Weak components: a directed arc still merges its endpoints.
+  const CsrGraph g = test_rmat(11, true);
+  for (const int w : {1, 2, 4}) expect_cc_parity(g, w);
+}
+
+TEST(DistParityTest, PageRankMatchesSingleProcessUndirected) {
+  const CsrGraph g = test_rmat(11, false);
+  for (const int w : {1, 2, 4}) expect_pr_parity(g, w);
+}
+
+TEST(DistParityTest, PageRankMatchesSingleProcessDirected) {
+  const CsrGraph g = test_rmat(11, true);
+  for (const int w : {1, 2, 4}) expect_pr_parity(g, w);
+}
+
+TEST(DistParityTest, DisconnectedSourcesAndIsolatedVertices) {
+  const CsrGraph g =
+      make_undirected(9, {{0, 1}, {1, 2}, {4, 5}, {5, 6}});  // 3,7,8 isolated
+  with_coordinator(g, 4, [&](Coordinator& c) {
+    EXPECT_EQ(c.bfs_distances(4), testing::reference_bfs_distances(g, 4));
+    EXPECT_EQ(c.components(), weak_components(g));
+  });
+}
+
+TEST(DistParityTest, KernelsAreRerunnableOnOneCoordinator) {
+  const CsrGraph g = test_rmat(10, false);
+  with_coordinator(g, 2, [&](Coordinator& c) {
+    const auto d0 = c.bfs_distances(0);
+    EXPECT_EQ(c.bfs_distances(0), d0);  // state fully reset between runs
+    const auto cc = c.components();
+    EXPECT_EQ(c.components(), cc);
+    EXPECT_EQ(c.bfs_distances(7), bfs(g, 7).distance);
+  });
+}
+
+TEST(DistParityTest, ReloadingADifferentGraphWorks) {
+  const CsrGraph a = test_rmat(9, false);
+  const CsrGraph b = test_rmat(10, true);
+  with_coordinator(a, 2, [&](Coordinator& c) {
+    EXPECT_EQ(c.components(), weak_components(a));
+    c.load_graph(b);
+    EXPECT_EQ(c.components(), weak_components(b));
+    EXPECT_EQ(c.bfs_distances(0), bfs(b, 0).distance);
+  });
+}
+
+TEST(DistParityTest, StatsCountTrafficAndSteps) {
+  const CsrGraph g = test_rmat(9, false);
+  with_coordinator(g, 2, [&](Coordinator& c) {
+    const DistStats before = c.stats();
+    EXPECT_GT(before.messages_sent, 0);  // hello + load traffic
+    c.bfs_distances(0);
+    const DistStats& k = c.last_kernel_stats();
+    EXPECT_GT(k.steps, 0);
+    EXPECT_GT(k.messages_sent, 0);
+    EXPECT_GT(k.bytes_received, 0);
+    const DistStats after = c.stats();
+    EXPECT_GE(after.messages_sent, before.messages_sent + k.messages_sent);
+    EXPECT_EQ(after.steps, k.steps);
+  });
+}
+
+// ----------------------------------------------------------------- failure
+
+TEST(DistFailureTest, DeadWorkerCancelsKernelWithExplicitError) {
+  const CsrGraph g = test_rmat(10, false);
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = 3;
+  wopts.fail_worker = 1;
+  wopts.fail_after = 4;  // dies mid-kernel, after handshake + loads
+  LocalWorkerSet workers(wopts);
+  Coordinator coord;
+  coord.connect(workers.ports());
+  coord.load_graph(g);
+
+  try {
+    coord.components();
+    FAIL() << "expected the kernel to be cancelled by the dead worker";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("job cancelled"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(coord.degraded());
+
+  // No wedge: later kernel calls fail fast with the stored reason instead
+  // of touching dead sockets.
+  try {
+    coord.bfs_distances(0);
+    FAIL() << "expected degraded coordinator to fail fast";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("degraded"), std::string::npos);
+  }
+
+  // The graph itself stays fully serviceable through single-process runs.
+  EXPECT_EQ(weak_components(g).size(),
+            static_cast<std::size_t>(g.num_vertices()));
+  coord.shutdown();  // must not throw or hang on a degraded substrate
+}
+
+TEST(DistFailureTest, ConnectToDeadPortFailsExplicitly) {
+  Coordinator coord;
+  int dead_port;
+  {
+    // Bind-then-close: the port existed a moment ago and is now free, so
+    // connecting to it must fail fast rather than wedge.
+    WorkerServer probe;
+    dead_port = probe.port();
+  }
+  EXPECT_THROW(coord.connect({dead_port}), Error);
+}
+
+TEST(DistFailureTest, KernelBeforeLoadIsAnError) {
+  LocalWorkerSet workers(LocalWorkerSetOptions{.num_workers = 2});
+  Coordinator coord;
+  coord.connect(workers.ports());
+  EXPECT_THROW(coord.components(), Error);
+  EXPECT_THROW(coord.bfs_distances(0), Error);
+}
+
+TEST(DistFailureTest, BfsRejectsOutOfRangeSource) {
+  const CsrGraph g = make_undirected(4, {{0, 1}, {2, 3}});
+  with_coordinator(g, 2, [&](Coordinator& c) {
+    EXPECT_THROW(c.bfs_distances(-1), Error);
+    EXPECT_THROW(c.bfs_distances(4), Error);
+  });
+}
+
+// --------------------------------------------------------------- fork mode
+
+TEST(DistForkTest, ForkedWorkersMatchSingleProcess) {
+  // Genuine multi-process execution: each worker is a fork()ed child.
+  const CsrGraph g = test_rmat(10, false);
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = 2;
+  wopts.fork_mode = true;
+  LocalWorkerSet workers(wopts);
+  ASSERT_TRUE(workers.fork_mode());
+  Coordinator coord;
+  coord.connect(workers.ports());
+  coord.load_graph(g);
+  EXPECT_EQ(coord.components(), weak_components(g));
+  EXPECT_EQ(coord.bfs_distances(0), bfs(g, 0).distance);
+  coord.shutdown();
+  workers.stop();  // children exited on kShutdown; reap must not hang
+}
+
+}  // namespace
+}  // namespace graphct::dist

@@ -579,5 +579,75 @@ TEST(InterpreterTest, ThreadsEchoesEffectiveCount) {
   in.run("threads 0\n");  // back to the hardware default
 }
 
+TEST(InterpreterTest, PartitionInfoPrintsBlocks) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 8 4\npartition info 3\n");
+  EXPECT_NE(out.str().find("block 0:"), std::string::npos);
+  EXPECT_NE(out.str().find("block 2:"), std::string::npos);
+  EXPECT_NE(out.str().find("edge-cut fraction"), std::string::npos);
+  EXPECT_THROW(in.run("partition info 0\n"), graphct::Error);
+}
+
+TEST(InterpreterTest, WorkersRouteKernelsAndMatchSingleProcess) {
+  // Same script through 2 loopback workers and single-process; the kernel
+  // lines must agree verbatim modulo the "[workers=2]" marker.
+  const std::string kernels = "print components\npagerank\nbfs 0 2\n";
+  std::ostringstream dist_out;
+  {
+    Interpreter in(dist_out, fast_opts());
+    in.run("generate rmat 8 4\nworkers 2\n" + kernels + "workers off\n");
+  }
+  std::ostringstream single_out;
+  {
+    Interpreter in(single_out, fast_opts());
+    in.run("generate rmat 8 4\n" + kernels);
+  }
+  EXPECT_NE(dist_out.str().find("workers set to 2"), std::string::npos);
+  EXPECT_NE(dist_out.str().find("[workers=2]"), std::string::npos);
+  std::string scrubbed = dist_out.str();
+  for (std::string::size_type pos;
+       (pos = scrubbed.find(" [workers=2]")) != std::string::npos;) {
+    scrubbed.erase(pos, 12);
+  }
+  // Every single-process kernel line appears verbatim in the dist run.
+  std::istringstream lines(single_out.str());
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("components:", 0) == 0 ||
+        line.rfind("pagerank:", 0) == 0 || line.rfind("bfs", 0) == 0) {
+      EXPECT_NE(scrubbed.find(line), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(InterpreterTest, WorkersSurviveGraphSwap) {
+  // Replacing the current graph must rebind the dist substrate, not serve
+  // results computed for the old graph.
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  in.run("generate rmat 7 4\nworkers 2\nprint components\n");
+  in.run("generate rmat 8 4\nprint components\n");
+  std::ostringstream expected;
+  Interpreter ref(expected, fast_opts());
+  ref.run("generate rmat 8 4\nprint components\n");
+  std::istringstream lines(expected.str());
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("components:", 0) == 0) {
+      EXPECT_NE(out.str().find(line + " [workers=2]"), std::string::npos)
+          << line;
+    }
+  }
+}
+
+TEST(InterpreterTest, WorkersArgumentValidation) {
+  std::ostringstream out;
+  Interpreter in(out, fast_opts());
+  EXPECT_THROW(in.run("workers -1\n"), graphct::Error);
+  EXPECT_THROW(in.run("workers 1000\n"), graphct::Error);
+  EXPECT_THROW(in.run("workers 2 bogus\n"), graphct::Error);
+  in.run("workers off\n");  // valid with no substrate running
+  EXPECT_NE(out.str().find("workers off"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace graphct::script

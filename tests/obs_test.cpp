@@ -174,6 +174,19 @@ TEST(RegistryTest, PrometheusExposition) {
   EXPECT_NE(text.find("gct_wait_seconds_count 1"), std::string::npos);
 }
 
+TEST(RegistryTest, PromLabelValueEscapesSpecials) {
+  EXPECT_EQ(prom_label_value("bfs"), "bfs");
+  EXPECT_EQ(prom_label_value(""), "");
+  EXPECT_EQ(prom_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_label_value("a\nb"), "a\\nb");
+  // An escaped value embeds without breaking the exposition line.
+  Registry r;
+  r.counter("gct_x_total{k=\"" + prom_label_value("we\"ird\n") + "\"}").add();
+  const std::string text = r.snapshot().to_prometheus();
+  EXPECT_NE(text.find("gct_x_total{k=\"we\\\"ird\\n\"} 1"), std::string::npos);
+}
+
 TEST(RegistryTest, JsonIsOneLine) {
   Registry r;
   r.counter("a_total").add();

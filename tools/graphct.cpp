@@ -7,7 +7,10 @@
 ///   graphct characterize <graph>             # every cached kernel
 ///   graphct bc <graph> [--sources N] [--k K] [--mode fine|coarse|auto]
 ///              [--budget-mb M] [--out scores.txt]
-///   graphct components <graph> [--out labels.txt]
+///   graphct components <graph> [--workers N] [--out labels.txt]
+///   graphct pagerank <graph> [--workers N] [--out scores.txt]
+///   graphct partition <graph> <N>            # 1-D block partition report
+///   graphct worker [--port P]                # serve one dist worker
 ///   graphct convert <in> <out>               # formats by extension
 ///   graphct generate rmat <scale> <edge factor> <out>
 ///   graphct script <file.gct>                # run an analyst script
@@ -29,6 +32,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <span>
 
 #include "algs/assortativity.hpp"
 #include "algs/bridges.hpp"
@@ -37,6 +42,10 @@
 #include "algs/ranking.hpp"
 #include "algs/scc.hpp"
 #include "core/toolkit.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/local_worker_set.hpp"
+#include "dist/partition.hpp"
+#include "dist/worker.hpp"
 #include "gen/rmat.hpp"
 #include "graph/builder.hpp"
 #include "graph/io_binary.hpp"
@@ -107,7 +116,12 @@ int usage() {
          "  characterize <graph>                 run every kernel\n"
          "  bc <graph> [--sources N] [--k K] [--mode fine|coarse|auto]\n"
          "     [--budget-mb M] [--out f]          (k-)betweenness\n"
-         "  components <graph> [--out f]         connected components\n"
+         "  components <graph> [--workers N] [--out f]\n"
+         "                                       connected components\n"
+         "  pagerank <graph> [--workers N] [--out f]\n"
+         "                                       PageRank scores\n"
+         "  partition <graph> <N>                1-D block partition report\n"
+         "  worker [--port P] [--fail-after K]   serve one dist worker\n"
          "  convert <in> <out>                   convert between formats\n"
          "  pack <in> <out.gctp> [--codec none|varint] [--block-kb N]\n"
          "                                       write block-compressed CSR\n"
@@ -403,15 +417,115 @@ int cmd_bc(const Cli& cli) {
   return 0;
 }
 
+/// Fork `workers` loopback dist workers (nullptr when workers == 0). Must
+/// run before anything spins up OpenMP teams — fork() carries only the
+/// calling thread into the child (see dist/local_worker_set.hpp) — so the
+/// dist commands call this before loading the graph.
+std::unique_ptr<dist::LocalWorkerSet> fork_workers(int workers,
+                                                   const char* cmd) {
+  GCT_CHECK(workers >= 0 && workers <= 256,
+            std::string(cmd) + ": --workers must be in [0, 256]");
+  if (workers == 0) return nullptr;
+  dist::LocalWorkerSetOptions opts;
+  opts.num_workers = workers;
+  opts.fork_mode = true;
+  return std::make_unique<dist::LocalWorkerSet>(opts);
+}
+
 int cmd_components(const Cli& cli) {
   GCT_CHECK(!cli.positional().empty(), "components: missing graph file");
+  const int workers = static_cast<int>(cli.get("workers", std::int64_t{0}));
+  auto set = fork_workers(workers, "components");
   Toolkit tk = load_toolkit(cli.positional()[0]);
+  if (set) {
+    dist::Coordinator coord;
+    coord.connect(set->ports());
+    const auto& labels = tk.components_dist(coord);
+    const auto stats =
+        component_stats(std::span<const vid>(labels.data(), labels.size()));
+    std::cout << "components: " << with_commas(stats.num_components)
+              << " (largest " << with_commas(stats.largest_size())
+              << ") [workers=" << workers << "]\n";
+    if (cli.has("out")) write_scores(cli.get("out", std::string()), labels);
+    return 0;
+  }
   const auto& stats = tk.components_stats();
   std::cout << "components: " << with_commas(stats.num_components)
             << " (largest " << with_commas(stats.largest_size()) << ")\n";
   if (cli.has("out")) {
     write_scores(cli.get("out", std::string()), tk.components());
   }
+  return 0;
+}
+
+int cmd_pagerank(const Cli& cli) {
+  GCT_CHECK(!cli.positional().empty(), "pagerank: missing graph file");
+  const int workers = static_cast<int>(cli.get("workers", std::int64_t{0}));
+  auto set = fork_workers(workers, "pagerank");
+  Toolkit tk = load_toolkit(cli.positional()[0]);
+  dist::Coordinator coord;
+  const PageRankResult* res;
+  if (set) {
+    coord.connect(set->ports());
+    res = &tk.pagerank_dist(coord);
+  } else {
+    res = &tk.pagerank();
+  }
+  std::cout << "pagerank: " << res->iterations << " iterations, residual "
+            << strf("%.6g", res->residual)
+            << (res->converged ? "" : " (not converged)");
+  if (set) std::cout << " [workers=" << workers << "]";
+  std::cout << "\n";
+  if (cli.has("out")) {
+    write_scores(cli.get("out", std::string()), res->score);
+  } else {
+    const auto top = top_k(
+        std::span<const double>(res->score.data(), res->score.size()), 10);
+    TextTable table({"vertex", "score"});
+    for (vid v : top) {
+      table.add_row({std::to_string(v),
+                     strf("%.6g", res->score[static_cast<std::size_t>(v)])});
+    }
+    std::cout << table.render();
+  }
+  return 0;
+}
+
+int cmd_partition(const Cli& cli) {
+  GCT_CHECK(cli.positional().size() >= 2, "partition: need <graph> <N>");
+  const int n = static_cast<int>(std::stoll(cli.positional()[1]));
+  GCT_CHECK(n >= 1 && n <= 4096, "partition: N must be in [1, 4096]");
+  Toolkit tk = load_toolkit(cli.positional()[0]);
+  CsrGraph decoded;
+  const auto p = dist::partition_graph(tk.view().as_csr_or(decoded), n);
+  std::cout << "partition of " << cli.positional()[0] << " into " << n
+            << " blocks (" << with_commas(p.num_vertices) << " vertices, "
+            << with_commas(p.total_entries) << " adjacency entries)\n";
+  TextTable table({"block", "vertices", "entries", "cut entries"});
+  for (int i = 0; i < p.num_blocks(); ++i) {
+    const auto& b = p.blocks[static_cast<std::size_t>(i)];
+    table.add_row({std::to_string(i),
+                   strf("[%lld, %lld)", static_cast<long long>(b.begin),
+                        static_cast<long long>(b.end)),
+                   with_commas(b.entries), with_commas(b.cut_entries)});
+  }
+  std::cout << table.render()
+            << strf("edge-cut fraction %.4f, imbalance %.3f\n",
+                    p.edge_cut_fraction(), p.imbalance());
+  return 0;
+}
+
+int cmd_worker(const Cli& cli) {
+  dist::WorkerOptions opts;
+  opts.port = static_cast<int>(cli.get("port", std::int64_t{0}));
+  GCT_CHECK(opts.port >= 0 && opts.port <= 65535,
+            "worker: --port must be in [0, 65535]");
+  opts.fail_after = cli.get("fail-after", std::int64_t{-1});
+  dist::WorkerServer server(opts);
+  std::cout << "graphct worker listening on 127.0.0.1:" << server.port()
+            << "\n"
+            << std::flush;
+  server.serve();
   return 0;
 }
 
@@ -458,7 +572,9 @@ int main(int argc, char** argv) {
              {"timings", "script timings!"},
              {"threads", "OpenMP thread count (0 = default)"},
              {"profile", "per-kernel phase profiling!"},
-             {"workers", "server worker threads"},
+             {"workers", "server worker threads / dist worker processes"},
+             {"port", "worker: listen port (0 = ephemeral)"},
+             {"fail-after", "worker: close connection after K messages"},
              {"stdio", "serve one session over stdin/stdout!"},
              {"max-conns", "server: concurrent connection cap"},
              {"max-queued", "server: global queued-job cap"},
@@ -496,6 +612,9 @@ int main(int argc, char** argv) {
     }
     if (command == "bc") return finish(cmd_bc(cli));
     if (command == "components") return finish(cmd_components(cli));
+    if (command == "pagerank") return finish(cmd_pagerank(cli));
+    if (command == "partition") return finish(cmd_partition(cli));
+    if (command == "worker") return cmd_worker(cli);
     if (command == "pack") return finish(cmd_pack(cli));
     if (command == "convert") {
       GCT_CHECK(cli.positional().size() >= 2, "convert: need <in> <out>");
