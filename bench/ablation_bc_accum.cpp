@@ -7,6 +7,12 @@
 /// scores; their costs differ by memory footprint and synchronization.
 ///
 ///   ./ablation_bc_accum [--scale 13] [--sources 64] [--quick]
+///                       [--engine top_down|hybrid]
+///
+/// --engine selects the forward-sweep engine for both modes (default: the
+/// kAuto resolution, i.e. the hybrid direction-optimizing sweep on this
+/// undirected graph). Running once per engine isolates the hybrid sweep's
+/// contribution; scores are bit-identical between engines by construction.
 
 #include <cmath>
 #include <iostream>
@@ -24,10 +30,21 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv,
             {{"scale", "R-MAT scale"},
              {"sources", "sampled sources"},
+             {"engine", "forward sweep: top_down or hybrid"},
              {"quick", "small graph!"}});
     const auto scale = cli.has("quick") ? std::int64_t{11}
                                         : cli.get("scale", std::int64_t{13});
     const auto sources = cli.get("sources", std::int64_t{64});
+    const auto engine_name = cli.get("engine", std::string("auto"));
+    BcForwardEngine engine = BcForwardEngine::kAuto;
+    if (engine_name == "top_down") {
+      engine = BcForwardEngine::kTopDown;
+    } else if (engine_name == "hybrid") {
+      engine = BcForwardEngine::kHybrid;
+    } else if (engine_name != "auto") {
+      std::cerr << "error: --engine must be top_down or hybrid\n";
+      return 1;
+    }
 
     RmatOptions r;
     r.scale = scale;
@@ -36,11 +53,13 @@ int main(int argc, char** argv) {
     std::cout << "== Ablation: BC parallel decomposition (coarse vs fine) ==\n"
               << "graph: " << with_commas(g.num_vertices()) << " vertices, "
               << with_commas(g.num_edges()) << " edges; " << sources
-              << " sources; " << num_threads() << " threads\n\n";
+              << " sources; " << num_threads() << " threads\n";
 
     BetweennessOptions base;
     base.num_sources = sources;
     base.seed = 5;
+    base.forward = engine;
+    std::cout << "forward engine: " << engine_name << "\n\n";
 
     TextTable t({"mode", "time", "Medge-traversals/s", "score checksum"});
     std::vector<double> coarse_scores, fine_scores;

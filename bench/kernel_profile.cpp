@@ -12,6 +12,7 @@
 
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "algs/bfs.hpp"
 #include "algs/clustering.hpp"
@@ -74,9 +75,14 @@ int main(int argc, char** argv) {
               << with_commas(g.num_edges()) << " edges, "
               << obs::effective_threads() << " threads\n";
 
-    const std::string meta = "\"bench\":\"kernel_profile\",\"scale\":" +
-                             std::to_string(scale) + ",\"edge_factor\":" +
-                             std::to_string(r.edge_factor) + ",";
+    // hw_concurrency records the machine the row came from, so downstream
+    // checks can flag rows whose thread count oversubscribes the host
+    // (thread-scaling numbers from such rows measure contention, not speedup).
+    const std::string meta =
+        "\"bench\":\"kernel_profile\",\"scale\":" + std::to_string(scale) +
+        ",\"edge_factor\":" + std::to_string(r.edge_factor) +
+        ",\"hw_concurrency\":" +
+        std::to_string(std::thread::hardware_concurrency()) + ",";
 
     obs::set_profiling_enabled(true);
 

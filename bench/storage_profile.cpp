@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "algs/bfs.hpp"
 #include "algs/connected_components.hpp"
@@ -143,7 +144,9 @@ int main(int argc, char** argv) {
 
     const std::string meta =
         "\"bench\":\"storage_profile\",\"scale\":" + std::to_string(scale) +
-        ",\"edge_factor\":" + std::to_string(r.edge_factor) + ",";
+        ",\"edge_factor\":" + std::to_string(r.edge_factor) +
+        ",\"hw_concurrency\":" +
+        std::to_string(std::thread::hardware_concurrency()) + ",";
     std::printf(
         "{%s\"row\":\"pack\",\"codec\":\"varint\",\"blocks\":%lld,"
         "\"payload_bytes\":%llu,\"raw_adjacency_bytes\":%llu,"

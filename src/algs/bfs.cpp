@@ -9,6 +9,7 @@
 #include "util/bitmap.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/work_queue.hpp"
 
 namespace graphct {
 
@@ -24,6 +25,7 @@ struct BfsScratch {
   Bitmap visited;   // distance != kNoVertex; maintained across bottom-up runs
   std::vector<std::int64_t> block_counts;   // bitmap compaction scratch
   std::vector<std::int64_t> queue_offsets;  // per-thread queue prefix sums
+  WorkQueue queue;                          // work-stealing level scheduler
 
   void ensure_bitmaps(vid n) {
     frontier.resize(n);
@@ -163,6 +165,180 @@ void expand_bottom_up(const GraphView& g, std::vector<vid>& distance,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Brandes forward-sweep steps (bc_forward_sweep). Level ranges are scheduled
+// through the work-stealing queue instead of per-level `omp parallel for`
+// barriers; tiny levels run inline (see stealing_for).
+
+// Vertices per work chunk, and the level size below which a level runs
+// serially inside the calling thread (no region fork, no atomics).
+constexpr std::int64_t kLevelChunk = 64;
+constexpr std::int64_t kLevelSerialBelow = 512;
+// Bottom-up sweeps are scheduled in words (64 vertices each).
+constexpr std::int64_t kWordChunk = 16;
+constexpr std::int64_t kWordSerialBelow = 256;
+
+// Top-down discovery for the sigma sweep. Parallel chunks claim distances by
+// CAS and mark `next` with atomic ORs; a single thread (or a tiny level)
+// takes the plain-write path — same discoveries, no lock-prefixed
+// instructions on the t=1 hot path.
+void expand_top_down_sigma(const GraphView& g, std::vector<vid>& distance,
+                           const std::vector<vid>& order, eid lo, eid hi,
+                           vid depth, Bitmap& next, WorkQueue& wq,
+                           int nthreads) {
+  if (nthreads <= 1 || omp_in_parallel() || hi - lo < kLevelSerialBelow) {
+    for (eid i = lo; i < hi; ++i) {
+      const vid u = order[static_cast<std::size_t>(i)];
+      for (vid v : g.neighbors(u)) {
+        if (distance[static_cast<std::size_t>(v)] == kNoVertex) {
+          distance[static_cast<std::size_t>(v)] = depth;
+          next.set(v);
+        }
+      }
+    }
+    return;
+  }
+  stealing_for(wq, lo, hi, kLevelChunk, kLevelSerialBelow, nthreads,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   const vid u = order[static_cast<std::size_t>(i)];
+                   for (vid v : g.neighbors(u)) {
+                     if (distance[static_cast<std::size_t>(v)] != kNoVertex) {
+                       continue;
+                     }
+                     if (compare_and_swap(distance[static_cast<std::size_t>(v)],
+                                          kNoVertex, depth)) {
+                       next.set_atomic(v);
+                     }
+                   }
+                 }
+               });
+}
+
+// Pull shortest-path counts into the freshly discovered level order[lo,hi):
+// each new vertex sums sigma over its depth-1 neighbors in adjacency order.
+// Writes are per-vertex exclusive and reads are one level back, so there are
+// no atomics and the sums — being fixed-order — are bit-identical for any
+// thread count.
+void pull_sigma_level(const GraphView& g, const std::vector<vid>& distance,
+                      const std::vector<vid>& order, eid lo, eid hi, vid depth,
+                      std::vector<double>& sigma, WorkQueue& wq,
+                      int nthreads) {
+  const vid prev = depth - 1;
+  stealing_for(wq, lo, hi, kLevelChunk, kLevelSerialBelow, nthreads,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   const vid v = order[static_cast<std::size_t>(i)];
+                   // Multiply-by-comparison instead of a guarded load: the
+                   // depth test flips unpredictably along the adjacency
+                   // list, and sigma[u] is always a finite double even for
+                   // undiscovered u (stale from a prior source), so the
+                   // unconditional load times an exact 0.0/1.0 is safe.
+                   // The four lanes break the FP-add latency chain; lane
+                   // assignment depends only on the neighbor index, so the
+                   // sum is bit-identical to the bottom-up sweep's for the
+                   // same vertex (engine-parity tests pin this).
+                   const auto nbrs = g.neighbors(v);
+                   const vid* nb = nbrs.data();
+                   const auto deg = static_cast<std::int64_t>(nbrs.size());
+                   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+                   std::int64_t j = 0;
+                   for (; j + 4 <= deg; j += 4) {
+                     if (j + 20 <= deg) {
+                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 16])]);
+                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 17])]);
+                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 18])]);
+                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 19])]);
+                     }
+                     a0 += sigma[static_cast<std::size_t>(nb[j])] *
+                           static_cast<double>(
+                               distance[static_cast<std::size_t>(nb[j])] == prev);
+                     a1 += sigma[static_cast<std::size_t>(nb[j + 1])] *
+                           static_cast<double>(
+                               distance[static_cast<std::size_t>(nb[j + 1])] == prev);
+                     a2 += sigma[static_cast<std::size_t>(nb[j + 2])] *
+                           static_cast<double>(
+                               distance[static_cast<std::size_t>(nb[j + 2])] == prev);
+                     a3 += sigma[static_cast<std::size_t>(nb[j + 3])] *
+                           static_cast<double>(
+                               distance[static_cast<std::size_t>(nb[j + 3])] == prev);
+                   }
+                   for (; j < deg; ++j) {
+                     a0 += sigma[static_cast<std::size_t>(nb[j])] *
+                           static_cast<double>(
+                               distance[static_cast<std::size_t>(nb[j])] == prev);
+                   }
+                   sigma[static_cast<std::size_t>(v)] = (a0 + a1) + (a2 + a3);
+                 }
+               });
+}
+
+// Fused bottom-up level: discovery and sigma in one adjacency scan. Each
+// undiscovered vertex sums sigma over frontier neighbors; unlike the plain
+// BFS sweep it cannot break at the first hit — every shortest-path
+// predecessor must be counted — and the non-zero sum IS the discovery test
+// (path counts are >= 1). Word-partitioned, so the bit writes and the sigma
+// write are owner-exclusive: no atomics at all. The frontier test and the
+// pull both read sigma of frontier members only, which no thread writes this
+// level. Summation order is adjacency order, identical to the top-down pull.
+void expand_bottom_up_sigma(const GraphView& g, std::vector<vid>& distance,
+                            vid depth, const Bitmap& frontier, Bitmap& visited,
+                            Bitmap& next, std::vector<double>& sigma,
+                            WorkQueue& wq, int nthreads) {
+  const std::int64_t nw = visited.num_words();
+  stealing_for(
+      wq, 0, nw, kWordChunk, kWordSerialBelow, nthreads,
+      [&](std::int64_t wb, std::int64_t we) {
+        for (std::int64_t w = wb; w < we; ++w) {
+          std::uint64_t todo = ~visited.word(w) & visited.live_mask(w);
+          while (todo != 0) {
+            const int bit = std::countr_zero(todo);
+            todo &= todo - 1;
+            const vid v = w * Bitmap::kBitsPerWord + bit;
+            // Same multiply-select/4-lane shape as pull_sigma_level —
+            // frontier membership at this level IS distance == depth-1, so
+            // matching the lane structure keeps the sums bit-identical
+            // between the two sweeps (sigma[u] of a non-frontier vertex is
+            // stale but finite, so the unconditional load is safe). The
+            // frontier bitmap is small enough to live in L1; only sigma is
+            // worth prefetching.
+            const auto nbrs = g.neighbors(v);
+            const vid* nb = nbrs.data();
+            const auto deg = static_cast<std::int64_t>(nbrs.size());
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            std::int64_t j = 0;
+            for (; j + 4 <= deg; j += 4) {
+              if (j + 20 <= deg) {
+                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 16])]);
+                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 17])]);
+                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 18])]);
+                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 19])]);
+              }
+              a0 += sigma[static_cast<std::size_t>(nb[j])] *
+                    static_cast<double>(frontier.test(nb[j]));
+              a1 += sigma[static_cast<std::size_t>(nb[j + 1])] *
+                    static_cast<double>(frontier.test(nb[j + 1]));
+              a2 += sigma[static_cast<std::size_t>(nb[j + 2])] *
+                    static_cast<double>(frontier.test(nb[j + 2]));
+              a3 += sigma[static_cast<std::size_t>(nb[j + 3])] *
+                    static_cast<double>(frontier.test(nb[j + 3]));
+            }
+            for (; j < deg; ++j) {
+              a0 += sigma[static_cast<std::size_t>(nb[j])] *
+                    static_cast<double>(frontier.test(nb[j]));
+            }
+            const double acc = (a0 + a1) + (a2 + a3);
+            if (acc != 0.0) {
+              distance[static_cast<std::size_t>(v)] = depth;
+              sigma[static_cast<std::size_t>(v)] = acc;
+              visited.set_in_word(w, bit);
+              next.set_in_word(w, bit);
+            }
+          }
+        }
+      });
+}
+
 }  // namespace
 
 void BfsResult::sort_levels() {
@@ -221,6 +397,13 @@ void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
   if (!opts.deterministic_order) sc.ensure_offsets(num_threads());
 
   const eid total_entries = g.num_adjacency_entries();
+  // Per-level work counters keep the Graph500 convention (edges traversed
+  // from level d = Σ deg(v) over level d) while attributing the work to the
+  // bfs.top_down / bfs.bottom_up span that actually expanded the level, so
+  // kernel_profile phase rows stop reporting 0/0. Summed over all expanded
+  // levels this equals the old end-of-search bulk count for an unbounded
+  // search; max_depth-bounded runs now count only expanded levels.
+  const bool profiling = obs::profile_active();
   bool bottom_up = false;
   bool frontier_bitmap_valid = false;  // sc.frontier holds level [lo,hi)
   bool visited_valid = false;          // sc.visited matches r.distance
@@ -247,16 +430,14 @@ void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
     eid tail;
     if (bottom_up) {
       GCT_SPAN("bfs.bottom_up");
+      if (profiling) obs::add_work(hi - lo, frontier_edges);
       if (!visited_valid) {
         rebuild_visited(sc.visited, r.distance);
         visited_valid = true;
       }
       if (!frontier_bitmap_valid) {
-        sc.frontier.clear();
-#pragma omp parallel for schedule(static)
-        for (eid i = lo; i < hi; ++i) {
-          sc.frontier.set_atomic(r.order[static_cast<std::size_t>(i)]);
-        }
+        sc.frontier.assign_bits(r.order.data() + static_cast<std::ptrdiff_t>(lo),
+                                hi - lo);
       }
       sc.next.clear();
       expand_bottom_up(g, r.distance, r.parent, depth, opts.compute_parents,
@@ -274,6 +455,7 @@ void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
       frontier_bitmap_valid = true;
     } else {
       GCT_SPAN("bfs.top_down");
+      if (profiling) obs::add_work(hi - lo, frontier_edges);
       if (opts.deterministic_order) {
         sc.next.clear();
         expand_top_down_bitmap(g, r.distance, r.parent, r.order, lo, hi, depth,
@@ -304,9 +486,9 @@ void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
     hi = tail;
     if (hi > lo) r.level_offsets.push_back(hi);
 
-    // Refresh the frontier edge count only when the heuristic will read it
-    // again — the final (empty) level skips the sweep entirely.
-    if (dir_opt && hi > lo) {
+    // Refresh the frontier edge count only when the heuristic or the work
+    // counters will read it again — the final (empty) level skips the sweep.
+    if ((dir_opt || profiling) && hi > lo) {
       std::int64_t fe = 0;
 #pragma omp parallel for reduction(+ : fe) schedule(static)
       for (eid i = lo; i < hi; ++i) {
@@ -319,17 +501,108 @@ void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
   r.order.resize(static_cast<std::size_t>(hi));
   // deterministic_order needs no post-sort: every level is emitted by bitmap
   // compaction, which yields ascending vertex ids for any thread count.
+}
 
-  if (obs::profile_active()) {
-    // Graph500-style work count: edges traversed = Σ deg(v) over reached
-    // vertices. Only computed while profiling — it is an O(reached) sweep.
-    std::int64_t traversed = 0;
-#pragma omp parallel for reduction(+ : traversed) schedule(static)
-    for (eid i = 0; i < hi; ++i) {
-      traversed += g.degree(r.order[static_cast<std::size_t>(i)]);
+void bc_forward_sweep(const GraphView& g, vid source,
+                      const BcSweepOptions& opts, BfsResult& r,
+                      std::vector<double>& sigma) {
+  const vid n = g.num_vertices();
+  GCT_CHECK(source >= 0 && source < n, "bc_forward_sweep: source out of range");
+  GCT_CHECK(!(opts.hybrid && g.directed()),
+            "bc_forward_sweep: hybrid sweep requires an undirected graph "
+            "(bottom-up pulls use out-neighbors as in-neighbors)");
+  GCT_CHECK(static_cast<vid>(sigma.size()) >= n,
+            "bc_forward_sweep: sigma buffer too small");
+
+  r.distance.assign(static_cast<std::size_t>(n), kNoVertex);
+  r.parent.clear();
+  r.order.resize(static_cast<std::size_t>(n));
+  r.level_offsets.assign({0, 1});
+  r.distance[static_cast<std::size_t>(source)] = 0;
+  r.order[0] = source;
+  sigma[static_cast<std::size_t>(source)] = 1.0;
+
+  BfsScratch& sc = scratch();
+  sc.ensure_bitmaps(n);
+  const int nthreads = num_threads();
+
+  const eid total_entries = g.num_adjacency_entries();
+  const bool profiling = obs::profile_active();
+  bool bottom_up = false;
+  bool frontier_bitmap_valid = false;  // sc.frontier holds level [lo,hi)
+  bool visited_valid = false;          // sc.visited matches r.distance
+
+  eid lo = 0, hi = 1;
+  vid depth = 0;
+  eid frontier_edges = g.degree(source);
+  while (hi > lo) {
+    ++depth;
+
+    if (opts.hybrid) {
+      const eid remaining_edges = total_entries - frontier_edges;
+      if (!bottom_up &&
+          static_cast<double>(frontier_edges) >
+              static_cast<double>(remaining_edges) / opts.alpha) {
+        bottom_up = true;
+      } else if (bottom_up && static_cast<double>(hi - lo) <
+                                  static_cast<double>(n) / opts.beta) {
+        bottom_up = false;
+      }
     }
-    obs::add_work(static_cast<std::int64_t>(hi), traversed);
+
+    eid tail;
+    if (bottom_up) {
+      GCT_SPAN("bc.forward_bu");
+      if (profiling) obs::add_work(hi - lo, frontier_edges);
+      if (!visited_valid) {
+        rebuild_visited(sc.visited, r.distance);
+        visited_valid = true;
+      }
+      if (!frontier_bitmap_valid) {
+        sc.frontier.assign_bits(r.order.data() + static_cast<std::ptrdiff_t>(lo),
+                                hi - lo);
+      }
+      sc.next.clear();
+      expand_bottom_up_sigma(g, r.distance, depth, sc.frontier, sc.visited,
+                             sc.next, sigma, sc.queue, nthreads);
+      tail = hi + compact_set_bits(
+                      sc.next, r.order.data() + static_cast<std::ptrdiff_t>(hi),
+                      sc.block_counts);
+      std::swap(sc.frontier, sc.next);
+      frontier_bitmap_valid = true;
+    } else {
+      GCT_SPAN("bc.forward_td");
+      if (profiling) obs::add_work(hi - lo, frontier_edges);
+      sc.next.clear();
+      expand_top_down_sigma(g, r.distance, r.order, lo, hi, depth, sc.next,
+                            sc.queue, nthreads);
+      tail = hi + compact_set_bits(
+                      sc.next, r.order.data() + static_cast<std::ptrdiff_t>(hi),
+                      sc.block_counts);
+      pull_sigma_level(g, r.distance, r.order, hi, tail, depth, sigma,
+                       sc.queue, nthreads);
+      if (opts.hybrid) {
+        std::swap(sc.frontier, sc.next);
+        frontier_bitmap_valid = true;
+      }
+      visited_valid = false;
+    }
+
+    lo = hi;
+    hi = tail;
+    if (hi > lo) r.level_offsets.push_back(hi);
+
+    if ((opts.hybrid || profiling) && hi > lo) {
+      std::int64_t fe = 0;
+#pragma omp parallel for reduction(+ : fe) schedule(static)
+      for (eid i = lo; i < hi; ++i) {
+        fe += g.degree(r.order[static_cast<std::size_t>(i)]);
+      }
+      frontier_edges = fe;
+    }
   }
+
+  r.order.resize(static_cast<std::size_t>(hi));
 }
 
 Subgraph ego_network(const CsrGraph& g, vid center, vid radius) {

@@ -116,6 +116,50 @@ BfsResult bfs(const GraphView& g, vid source, const BfsOptions& opts = {});
 void bfs_into(const GraphView& g, vid source, const BfsOptions& opts,
               BfsResult& result);
 
+/// Options for the Brandes forward sweep (bc_forward_sweep).
+struct BcSweepOptions {
+  /// Direction-optimizing sweep: switch to fused bottom-up levels when the
+  /// frontier's edge count exceeds (unexplored edges)/alpha, back to
+  /// top-down below n/beta frontier vertices. Undirected graphs only (the
+  /// bottom-up pull reads out-neighbors as in-neighbors); callers with a
+  /// directed graph must pass hybrid = false.
+  bool hybrid = true;
+
+  /// Hybrid switch thresholds. The defaults are deliberately more
+  /// conservative than plain BFS's 14/24: a bottom-up sigma level cannot
+  /// stop at the first discovered parent — every shortest-path predecessor
+  /// must be summed — so bottom-up pays full degree per undiscovered vertex
+  /// and only wins on the fattest levels.
+  double alpha = 28.0;
+  double beta = 24.0;
+};
+
+/// Brandes forward sweep: BFS levels and shortest-path counts (sigma) in a
+/// single direction-optimizing pass. This is the front half of betweenness's
+/// accumulate_source, fused so the adjacency is streamed once per level
+/// instead of once for discovery and again for the sigma sweep:
+///
+///  * top-down levels discover via the bitmap engine (CAS on distance, bit
+///    order = vertex order), then pull sigma into the newly compacted level
+///    — each new vertex sums sigma over its depth-1 neighbors in adjacency
+///    order, so no atomics and no schedule dependence;
+///  * bottom-up levels fuse discovery and sigma: every undiscovered vertex
+///    scans its full neighbor list summing sigma over frontier members; a
+///    non-zero sum IS discovery (word-partitioned, owner-exclusive bit and
+///    sigma writes, no atomics at all).
+///
+/// Both directions sum sigma in adjacency order over the same predecessor
+/// sets, so sigma — and everything derived from it — is bit-identical for
+/// any thread count and any hybrid/top-down switch schedule. Levels are
+/// emitted in ascending vertex id by bitmap compaction (no post-sort).
+///
+/// `sigma` must have room for n entries; only entries of reached vertices
+/// are written (each exactly once — no pre-clearing needed). `r.parent` is
+/// left empty (Brandes recovers predecessors from distances).
+void bc_forward_sweep(const GraphView& g, vid source,
+                      const BcSweepOptions& opts, BfsResult& r,
+                      std::vector<double>& sigma);
+
 /// Ego network: the subgraph induced by every vertex within `radius` hops
 /// of `center` (radius 1 = the classic ego net of center + its neighbors).
 /// The analyst drill-down after a ranking: "show me @ajc's neighborhood."

@@ -47,6 +47,12 @@ ClosenessResult closeness_centrality(const GraphView& g,
       const int t = omp_get_thread_num();
       auto& mine = buffers[static_cast<std::size_t>(t)];
       BfsOptions bopts;
+      // Direction-optimizing searches (closeness is undirected-only): the
+      // low-diameter graphs this kernel samples spend most levels in the
+      // fat middle, exactly where bottom-up wins. Harmonic sums are
+      // per-vertex adds of 1/d, so level order does not affect scores —
+      // they stay bit-identical to the top-down engine.
+      bopts.strategy = BfsStrategy::kDirectionOptimizing;
       bopts.deterministic_order = false;
       bopts.compute_parents = false;
       BfsResult b;

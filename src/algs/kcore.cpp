@@ -62,7 +62,11 @@ std::vector<std::int64_t> core_numbers(const CsrGraph& g) {
       GCT_SPAN("kcore.peel");
       std::int64_t next_tail = 0;
       const std::int64_t fsz = static_cast<std::int64_t>(frontier.size());
-#pragma omp parallel for schedule(dynamic, 64)
+      // Serial threshold: most peel waves hold a handful of vertices, and a
+      // team fork plus lock-prefixed degree decrements per tiny wave is pure
+      // overhead (it showed up as threads=8 run-to-run noise at scale 16).
+      constexpr std::int64_t kPeelSerialBelow = 256;
+#pragma omp parallel for schedule(dynamic, 64) if (fsz >= kPeelSerialBelow)
       for (std::int64_t i = 0; i < fsz; ++i) {
         const vid v = frontier[static_cast<std::size_t>(i)];
         removed[static_cast<std::size_t>(v)] = 1;

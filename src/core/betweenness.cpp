@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
 #include <unordered_map>
 
 #include "algs/bfs.hpp"
@@ -12,114 +15,250 @@
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/work_queue.hpp"
 
 namespace graphct {
 
 namespace {
 
+// Level chunking for the work-stealing backward sweep (matches the forward
+// sweep's granularity in bfs.cpp).
+constexpr std::int64_t kBcLevelChunk = 64;
+constexpr std::int64_t kBcLevelSerialBelow = 512;
+
+/// Backward-sweep per-vertex state, packed so the per-edge random access
+/// touches ONE cache line instead of two: the sweep reads a neighbor's
+/// distance and, when it is one level deeper, its coefficient
+/// (1 + delta) / sigma — keeping them in separate arrays doubles the random
+/// line traffic that dominates the pass.
+struct alignas(16) DistCoef {
+  double coef;
+  std::int64_t dist;
+};
+
 /// Per-source scratch reused across sources by one thread.
 struct BcWorkspace {
   std::vector<double> sigma;
-  std::vector<double> delta;
-  BfsResult bfs_buffer;  // reused so the hot loop never allocates
+  std::vector<DistCoef> dc;  // backward sweep state, see DistCoef
+  BfsResult bfs_buffer;      // reused so the hot loop never allocates
+  WorkQueue queue;           // level scheduler for the backward sweep
 
   explicit BcWorkspace(vid n)
-      : sigma(static_cast<std::size_t>(n)), delta(static_cast<std::size_t>(n)) {}
+      : sigma(static_cast<std::size_t>(n)),
+        dc(static_cast<std::size_t>(n), DistCoef{0.0, 0}) {}
 };
 
-/// Brandes accumulation from one source into `score`.
-/// `atomic_scores` selects atomic adds (fine mode shares one score array
-/// between concurrently-running level loops; coarse mode owns its buffer).
-/// The inner loops carry OpenMP pragmas; under coarse mode they execute
-/// serially because the caller is already inside a parallel region and
-/// nested parallelism is disabled.
-void accumulate_source(const GraphView& g, vid s, BcWorkspace& ws,
-                       std::vector<double>& score, bool atomic_scores) {
+/// Directed forward pass: the push baseline. Directed CSR stores
+/// out-neighbors only, so the pull engine (which reads a vertex's neighbor
+/// list as its in-edges) cannot run; sigma flows by fetch-and-add pushes
+/// along arcs instead. Levels come out ascending (deterministic bitmap path
+/// for packed stores, post-sort otherwise) so the backward sweep's reads
+/// stay sequential and scores stay bitwise equal across storage backends.
+void forward_push_directed(const GraphView& g, vid s, BfsResult& b,
+                           std::vector<double>& sigma) {
   BfsOptions bopts;
-  // sigma/delta sums are order-invariant, so DRAM graphs take the queued
-  // top-down path (no per-level bitmap scan). Packed stores take the
-  // deterministic bitmap path instead: its compaction emits levels in
-  // ascending vertex order, so the expansion's adjacency reads stream
-  // through blocks instead of thrashing the per-thread decode cache.
   bopts.deterministic_order = g.store_backed();
   bopts.compute_parents = false;  // predecessors come from distances
-  BfsResult& b = ws.bfs_buffer;
   {
     // Spans here record only in fine mode, where this runs on the
     // orchestrating thread; coarse-mode workers have no sink.
     GCT_SPAN("bc.bfs");
     bfs_into(g, s, bopts, b);
-    // Ascending order within levels makes the sweeps' adjacency reads
-    // sequential (decisive on packed stores) and, because both backends
-    // end up with the identical order, keeps results bitwise equal
-    // across them. No-op for levels the bitmap path already sorted.
     b.sort_levels();
   }
   const auto& dist = b.distance;
-  auto& sigma = ws.sigma;
-  auto& delta = ws.delta;
   const vid reached = b.num_reached();
-  // Only touch reached vertices, so sparse components stay cheap.
+  // Pushes accumulate, so reached entries must start at zero (the pull
+  // engine skips this: it assigns each sigma exactly once).
   for (eid i = 0; i < reached; ++i) {
-    const vid v = b.order[static_cast<std::size_t>(i)];
-    sigma[static_cast<std::size_t>(v)] = 0.0;
-    delta[static_cast<std::size_t>(v)] = 0.0;
+    sigma[static_cast<std::size_t>(b.order[static_cast<std::size_t>(i)])] = 0.0;
   }
   sigma[static_cast<std::size_t>(s)] = 1.0;
 
+  GCT_SPAN("bc.forward");
   const std::int64_t num_levels =
       static_cast<std::int64_t>(b.level_offsets.size()) - 1;
-
-  {
-    GCT_SPAN("bc.forward");
-    // Forward sweep: shortest-path counts, level by level. sigma of level
-    // d+1 vertices accumulates from level-d neighbors; vertices within a
-    // level are independent, so each level is a parallel loop.
-    for (std::int64_t d = 0; d + 1 < num_levels; ++d) {
-      const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
-      const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
-#pragma omp parallel for schedule(dynamic, 64)
-      for (eid i = lo; i < hi; ++i) {
-        const vid u = b.order[static_cast<std::size_t>(i)];
-        const double su = sigma[static_cast<std::size_t>(u)];
-        for (vid v : g.neighbors(u)) {
-          if (dist[static_cast<std::size_t>(v)] ==
-              dist[static_cast<std::size_t>(u)] + 1) {
-            fetch_add(sigma[static_cast<std::size_t>(v)], su);
-          }
-        }
-      }
-    }
-  }
-
-  GCT_SPAN("bc.backward");
-  // Backward sweep: dependencies, deepest level first. delta[v] reads only
-  // values one level deeper, so again each level is parallel.
-  for (std::int64_t d = num_levels - 1; d >= 0; --d) {
+  for (std::int64_t d = 0; d + 1 < num_levels; ++d) {
     const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
     const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 64) if (hi - lo >= kBcLevelSerialBelow)
     for (eid i = lo; i < hi; ++i) {
-      const vid v = b.order[static_cast<std::size_t>(i)];
-      double acc = 0.0;
-      const double sv = sigma[static_cast<std::size_t>(v)];
-      for (vid w : g.neighbors(v)) {
-        if (dist[static_cast<std::size_t>(w)] ==
-            dist[static_cast<std::size_t>(v)] + 1) {
-          acc += sv / sigma[static_cast<std::size_t>(w)] *
-                 (1.0 + delta[static_cast<std::size_t>(w)]);
-        }
-      }
-      delta[static_cast<std::size_t>(v)] = acc;
-      if (v != s) {
-        if (atomic_scores) {
-          fetch_add(score[static_cast<std::size_t>(v)], acc);
-        } else {
-          score[static_cast<std::size_t>(v)] += acc;
+      const vid u = b.order[static_cast<std::size_t>(i)];
+      const double su = sigma[static_cast<std::size_t>(u)];
+      for (vid v : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] ==
+            dist[static_cast<std::size_t>(u)] + 1) {
+          fetch_add(sigma[static_cast<std::size_t>(v)], su);
         }
       }
     }
   }
+}
+
+/// Narrowed adjacency shared by every source of one betweenness run: vid is
+/// 8 bytes, but the backward sweep streams the whole adjacency array once
+/// per source, so on graphs whose ids fit 32 bits a one-time narrowed copy
+/// halves the dominant stream (and halves the cache pollution that evicts
+/// the per-vertex state between random accesses). Built once per
+/// betweenness call, read-only afterwards; empty when ids would not fit or
+/// the copy would not be worth the memory (see betweenness_impl).
+struct NarrowAdjacency {
+  std::vector<eid> offsets;
+  std::vector<std::int32_t> adj;
+
+  [[nodiscard]] bool active() const { return !offsets.empty(); }
+};
+
+/// One backward dependency sweep, deepest level first, over the packed
+/// distance+coefficient array (already loaded with this source's
+/// distances). `nbrs_of(v)` yields v's neighbor span — int32 from the
+/// narrowed copy or vid from the GraphView — hence the template.
+template <typename NbrFn>
+void backward_sweep_impl(const GraphView& g, vid s, const BfsResult& b,
+                         BcWorkspace& ws, std::vector<double>& score,
+                         const NbrFn& nbrs_of, int nthreads, bool profiling) {
+  const auto& sigma = ws.sigma;
+  DistCoef* dc = ws.dc.data();
+  const std::int64_t num_levels =
+      static_cast<std::int64_t>(b.level_offsets.size()) - 1;
+  {
+    // The deepest level has no deeper neighbors: its dependency sum is
+    // exactly zero, so the scan collapses to the closed form
+    // coef = 1/sigma (and no score contribution).
+    const eid lo = b.level_offsets[static_cast<std::size_t>(num_levels - 1)];
+    const eid hi = b.level_offsets[static_cast<std::size_t>(num_levels)];
+    if (profiling) obs::add_work(hi - lo, 0);
+    for (eid i = lo; i < hi; ++i) {
+      const vid v = b.order[static_cast<std::size_t>(i)];
+      dc[v].coef = 1.0 / sigma[static_cast<std::size_t>(v)];
+    }
+  }
+  for (std::int64_t d = num_levels - 2; d >= 0; --d) {
+    const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
+    const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
+    if (profiling) {
+      std::int64_t fe = 0;
+      for (eid i = lo; i < hi; ++i) {
+        fe += g.degree(b.order[static_cast<std::size_t>(i)]);
+      }
+      obs::add_work(hi - lo, fe);
+    }
+    const std::int64_t deeper = d + 1;
+    stealing_for(
+        ws.queue, lo, hi, kBcLevelChunk, kBcLevelSerialBelow, nthreads,
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const vid v = b.order[static_cast<std::size_t>(i)];
+            // Branchless accumulation: levels interleave unpredictably in
+            // adjacency order, so `if (dist == deeper)` mispredicts often
+            // as a branch. Multiplying by the comparison instead
+            // (coef * 1.0 or coef * 0.0 — exact either way, coef is always
+            // finite) keeps the loop branch-free, and four independent
+            // accumulators break the FP-add latency chain. The lane
+            // assignment depends only on the neighbor index, so the
+            // summation order — lanes combined pairwise at the end — is
+            // fixed for any thread count, mode, or forward engine.
+            const auto nbrs = nbrs_of(v);
+            const auto* nb = nbrs.data();
+            const auto deg = static_cast<std::int64_t>(nbrs.size());
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            std::int64_t j = 0;
+            for (; j + 4 <= deg; j += 4) {
+              if (j + 20 <= deg) {
+                // dc lines are random; the adjacency stream gives the
+                // addresses ~4 iterations ahead for free.
+                __builtin_prefetch(&dc[nb[j + 16]]);
+                __builtin_prefetch(&dc[nb[j + 17]]);
+                __builtin_prefetch(&dc[nb[j + 18]]);
+                __builtin_prefetch(&dc[nb[j + 19]]);
+              }
+              const DistCoef& p0 = dc[nb[j]];
+              const DistCoef& p1 = dc[nb[j + 1]];
+              const DistCoef& p2 = dc[nb[j + 2]];
+              const DistCoef& p3 = dc[nb[j + 3]];
+              a0 += p0.coef * static_cast<double>(p0.dist == deeper);
+              a1 += p1.coef * static_cast<double>(p1.dist == deeper);
+              a2 += p2.coef * static_cast<double>(p2.dist == deeper);
+              a3 += p3.coef * static_cast<double>(p3.dist == deeper);
+            }
+            for (; j < deg; ++j) {
+              const DistCoef& p = dc[nb[j]];
+              a0 += p.coef * static_cast<double>(p.dist == deeper);
+            }
+            const double acc = (a0 + a1) + (a2 + a3);
+            const double sv = sigma[static_cast<std::size_t>(v)];
+            const double dv = sv * acc;
+            dc[v].coef = (1.0 + dv) / sv;
+            if (v != s) score[static_cast<std::size_t>(v)] += dv;
+          }
+        });
+  }
+}
+
+void backward_sweep(const GraphView& g, vid s, const BfsResult& b,
+                    BcWorkspace& ws, std::vector<double>& score,
+                    const NarrowAdjacency& na, int nthreads, bool profiling) {
+  if (na.active()) {
+    const eid* off = na.offsets.data();
+    const std::int32_t* adj = na.adj.data();
+    backward_sweep_impl(
+        g, s, b, ws, score,
+        [off, adj](vid v) {
+          return std::span<const std::int32_t>(
+              adj + off[v], static_cast<std::size_t>(off[v + 1] - off[v]));
+        },
+        nthreads, profiling);
+  } else {
+    backward_sweep_impl(
+        g, s, b, ws, score, [&g](vid v) { return g.neighbors(v); }, nthreads,
+        profiling);
+  }
+}
+
+/// Brandes accumulation from one source into `score`.
+///
+/// Forward: undirected graphs run bc_forward_sweep (fused direction-
+/// optimizing BFS + pull sigma; `sweep.hybrid` false = pure top-down, the
+/// ablation baseline — bit-identical scores either way). Directed graphs
+/// take the push baseline above.
+///
+/// Backward: coefficient form. Instead of delta we keep
+/// coef[v] = (1 + delta[v]) / sigma[v], so each vertex does ONE division and
+/// the per-edge work is a plain add: delta[v] = sigma[v] * sum of coef[w]
+/// over neighbors one level deeper. The sum runs in adjacency order and
+/// every write (coef, score) is per-vertex exclusive — no atomics in any
+/// mode, and bit-identical results for any thread count. Levels are
+/// scheduled through the work-stealing queue; under coarse mode
+/// stealing_for detects the enclosing parallel region and runs inline.
+void accumulate_source(const GraphView& g, vid s, BcWorkspace& ws,
+                       std::vector<double>& score,
+                       const BcSweepOptions& sweep,
+                       const NarrowAdjacency& na) {
+  BfsResult& b = ws.bfs_buffer;
+  auto& sigma = ws.sigma;
+  if (g.directed()) {
+    forward_push_directed(g, s, b, sigma);
+  } else {
+    bc_forward_sweep(g, s, sweep, b, sigma);
+  }
+
+  const int nthreads = num_threads();
+  const bool profiling = obs::profile_active();
+
+  GCT_SPAN("bc.backward");
+  // Load this source's distances into the packed per-vertex state (one
+  // sequential O(n) pass, cheap next to the O(m) sweep; the coef halves
+  // keep whatever the previous source left — finite, and rewritten before
+  // any vertex reads them because coef[w] is only read from one level up).
+  {
+    const vid n = g.num_vertices();
+    const auto& dist = b.distance;
+    DistCoef* dc = ws.dc.data();
+    for (vid v = 0; v < n; ++v) {
+      dc[v].dist = dist[static_cast<std::size_t>(v)];
+    }
+  }
+  backward_sweep(g, s, b, ws, score, na, nthreads, profiling);
 }
 
 std::vector<vid> sample_component_aware(const GraphView& g, std::int64_t k,
@@ -191,10 +330,18 @@ constexpr std::int64_t kBcSourcesPerSlot = 8;
 }  // namespace
 
 BcPlan plan_betweenness(vid n, std::int64_t num_sources, int threads,
-                        const BetweennessOptions& opts) {
+                        const BetweennessOptions& opts, bool directed) {
   BcPlan p;
   if (threads < 1) threads = 1;
   if (num_sources < 1) num_sources = 1;
+
+  GCT_CHECK(!(directed && opts.forward == BcForwardEngine::kHybrid),
+            "betweenness: the hybrid forward sweep requires an undirected "
+            "graph (bottom-up pulls use out-neighbors as in-neighbors)");
+  p.forward = opts.forward == BcForwardEngine::kAuto
+                  ? (directed ? BcForwardEngine::kTopDown
+                              : BcForwardEngine::kHybrid)
+                  : opts.forward;
   const std::uint64_t per_buffer =
       static_cast<std::uint64_t>(n) * sizeof(double);
 
@@ -276,18 +423,51 @@ BetweennessResult betweenness_impl(const GraphView& g,
   }
   result.sources_used = static_cast<std::int64_t>(sources.size());
 
-  const BcPlan plan =
-      plan_betweenness(n, result.sources_used, num_threads(), opts);
+  const BcPlan plan = plan_betweenness(n, result.sources_used, num_threads(),
+                                       opts, g.directed());
   result.parallelism_used = plan.mode;
+  result.forward_used = plan.forward;
+
+  BcSweepOptions sweep;
+  sweep.hybrid = plan.forward == BcForwardEngine::kHybrid;
+  if (opts.sweep_alpha > 0.0) sweep.alpha = opts.sweep_alpha;
+  if (opts.sweep_beta > 0.0) sweep.beta = opts.sweep_beta;
+
+  // Narrow the adjacency to 32-bit ids once for the whole run when ids fit
+  // and the copy fits the score-memory budget: the backward sweep streams
+  // the full adjacency array per source, so halving its width halves the
+  // dominant memory traffic of the kernel (and the cache pollution that
+  // keeps evicting the per-vertex state). Skipped for graphs too large to
+  // narrow — the sweep then reads the GraphView directly.
+  NarrowAdjacency na;
+  if (n <= std::numeric_limits<std::int32_t>::max() &&
+      static_cast<std::uint64_t>(g.num_adjacency_entries()) *
+              sizeof(std::int32_t) <=
+          opts.score_memory_budget_bytes) {
+    GCT_SPAN("bc.narrow_adjacency");
+    na.offsets.resize(static_cast<std::size_t>(n) + 1);
+    na.adj.resize(static_cast<std::size_t>(g.num_adjacency_entries()));
+    eid pos = 0;
+    for (vid v = 0; v < n; ++v) {
+      na.offsets[static_cast<std::size_t>(v)] = pos;
+      for (vid u : g.neighbors(v)) {
+        na.adj[static_cast<std::size_t>(pos++)] =
+            static_cast<std::int32_t>(u);
+      }
+    }
+    na.offsets[static_cast<std::size_t>(n)] = pos;
+  }
 
   if (plan.mode == BcParallelism::kFine) {
-    // Sources serial; each sweep is level-parallel with atomic adds. The
-    // per-source BFS records exact work counters into bc.bfs (fine mode
-    // runs on the profiling thread).
+    // Sources serial; each sweep is level-parallel (work-stealing chunks,
+    // no atomics — every write is per-vertex exclusive). The per-source
+    // sweeps record exact work counters into the bc.forward_td /
+    // bc.forward_bu / bc.backward phases (fine mode runs on the profiling
+    // thread).
     GCT_SPAN("bc.accumulate");
     BcWorkspace ws(n);
     for (vid s : sources) {
-      accumulate_source(g, s, ws, result.score, /*atomic_scores=*/true);
+      accumulate_source(g, s, ws, result.score, sweep, na);
     }
   } else {
     // Coarse: sources in parallel across a buffer team, batch by batch; each
@@ -318,8 +498,8 @@ BetweennessResult betweenness_impl(const GraphView& g,
             for (std::int64_t i = b0; i < b1; ++i) {
               accumulate_source(g, sources[static_cast<std::size_t>(i)],
                                 workspaces[static_cast<std::size_t>(t)],
-                                buffers[static_cast<std::size_t>(t)],
-                                /*atomic_scores=*/false);
+                                buffers[static_cast<std::size_t>(t)], sweep,
+                                na);
             }
           }
         }

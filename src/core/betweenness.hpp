@@ -37,6 +37,15 @@ enum class BcParallelism {
             ///< buffers exceed the budget
 };
 
+/// Which forward-sweep engine accumulate_source runs.
+enum class BcForwardEngine {
+  kAuto,     ///< hybrid on undirected graphs, top-down on directed
+  kTopDown,  ///< classic push: BFS + sigma fetch-and-add (exact baseline)
+  kHybrid,   ///< fused direction-optimizing sweep (bc_forward_sweep);
+             ///< undirected only — the bottom-up pull reads out-neighbors
+             ///< as in-neighbors
+};
+
 /// How sampled sources are chosen.
 enum class BcSampling {
   kUniform,         ///< uniform over all vertices (the paper's scheme)
@@ -59,6 +68,16 @@ struct BetweennessOptions {
   std::uint64_t seed = 1;
   BcParallelism parallelism = BcParallelism::kCoarse;
   BcSampling sampling = BcSampling::kUniform;
+
+  /// Forward-sweep engine. kAuto picks the hybrid sweep whenever the graph
+  /// is undirected; kTopDown forces the push baseline (the ablation point —
+  /// scores are bit-identical between the two, see bc_forward_sweep).
+  BcForwardEngine forward = BcForwardEngine::kAuto;
+
+  /// Hybrid switch thresholds, forwarded to BcSweepOptions. Negative =
+  /// keep the sweep defaults (alpha 28, beta 24).
+  double sweep_alpha = -1.0;
+  double sweep_beta = -1.0;
 
   /// Scale sampled scores by n/num_sources so magnitudes estimate exact BC
   /// (rankings are unaffected; off by default to match GraphCT's raw sums).
@@ -83,6 +102,9 @@ struct BetweennessResult {
   BcParallelism parallelism_used = BcParallelism::kCoarse;
   std::int64_t batches = 0;             ///< coarse source batches (0 = fine)
   std::uint64_t peak_buffer_bytes = 0;  ///< high-water score-buffer memory
+
+  /// Forward engine actually run (kAuto resolves per graph direction).
+  BcForwardEngine forward_used = BcForwardEngine::kTopDown;
 };
 
 /// Execution plan the coarse/auto engine derives from the vertex count,
@@ -94,13 +116,18 @@ struct BcPlan {
   std::int64_t batch_sources = 0;  ///< sources per batch (coarse)
   std::int64_t num_batches = 0;
   std::uint64_t buffer_bytes = 0;  ///< team * n * sizeof(double)
+
+  /// Forward engine (kTopDown or kHybrid, never kAuto after planning).
+  BcForwardEngine forward = BcForwardEngine::kTopDown;
 };
 
 /// Resolve BetweennessOptions::parallelism against a graph size and thread
 /// count. kCoarse and kFine pass through (kCoarse = one batch, one buffer
 /// per thread, budget ignored); kAuto applies the score memory budget.
+/// BcForwardEngine::kAuto resolves to kHybrid on undirected graphs and
+/// kTopDown on directed ones (no in-neighbor CSR to pull from).
 BcPlan plan_betweenness(vid n, std::int64_t num_sources, int threads,
-                        const BetweennessOptions& opts);
+                        const BetweennessOptions& opts, bool directed = false);
 
 /// Compute (approximate) betweenness centrality of an undirected graph.
 /// Self-loops never lie on shortest paths and are ignored.

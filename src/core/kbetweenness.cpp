@@ -14,6 +14,11 @@ namespace graphct {
 
 namespace {
 
+// Level size below which the slack-indexed sweeps skip the parallel-for:
+// a region fork per (level x slack) pair dwarfs the work on the short
+// levels that dominate high-diameter searches.
+constexpr eid kKbcLevelSerialBelow = 512;
+
 /// Scratch for one source, sized (k+1) x n for the slack-indexed tables.
 struct KbcWorkspace {
   std::int64_t k;
@@ -44,14 +49,17 @@ void accumulate_source_kbc(const GraphView& g, vid s, KbcWorkspace& ws,
                            std::vector<double>& score) {
   const std::int64_t k = ws.k;
   BfsOptions bopts;
-  // Per-vertex sums are order-invariant; see the same choice in
-  // betweenness.cpp — bitmap (ascending) levels for packed stores,
-  // queued top-down for DRAM, sort_levels() making both identical.
-  bopts.deterministic_order = g.store_backed();
+  // Direction-optimizing BFS (kbc is undirected-only, so bottom-up sweeps
+  // are always legal) with deterministic bitmap levels: compaction emits
+  // each level ascending by construction, so the old post-sort is gone and
+  // every storage backend sees the identical order. The k-BC sums
+  // themselves are per-vertex pulls in adjacency order, so scores are
+  // bit-identical to the top-down engine this replaces.
+  bopts.strategy = BfsStrategy::kDirectionOptimizing;
+  bopts.deterministic_order = true;
   bopts.compute_parents = false;
   BfsResult& b = ws.bfs_buffer;
   bfs_into(g, s, bopts, b);
-  b.sort_levels();
   const auto& dist = b.distance;
   const vid reached = b.num_reached();
   const std::int64_t num_levels =
@@ -73,7 +81,7 @@ void accumulate_source_kbc(const GraphView& g, vid s, KbcWorkspace& ws,
     for (std::int64_t d = 0; d < num_levels; ++d) {
       const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
       const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 64) if (hi - lo >= kKbcLevelSerialBelow)
       for (eid i = lo; i < hi; ++i) {
         const vid v = b.order[static_cast<std::size_t>(i)];
         double acc = (j == 0 && v == s) ? 1.0 : 0.0;
@@ -105,7 +113,7 @@ void accumulate_source_kbc(const GraphView& g, vid s, KbcWorkspace& ws,
     for (std::int64_t d = num_levels - 1; d >= 0; --d) {
       const eid lo = b.level_offsets[static_cast<std::size_t>(d)];
       const eid hi = b.level_offsets[static_cast<std::size_t>(d) + 1];
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 64) if (hi - lo >= kKbcLevelSerialBelow)
       for (eid i = lo; i < hi; ++i) {
         const vid v = b.order[static_cast<std::size_t>(i)];
         double acc = (m == 0 && v != s)

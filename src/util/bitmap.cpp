@@ -22,6 +22,19 @@ void Bitmap::clear() {
   }
 }
 
+void Bitmap::assign_bits(const std::int64_t* ids, std::int64_t count) {
+  clear();
+  // Small frontiers skip the parallel region and the lock-prefixed ORs;
+  // ascending-id level arrays make the serial path a near-sequential write.
+  constexpr std::int64_t kSerialBelow = 4096;
+  if (count < kSerialBelow) {
+    for (std::int64_t i = 0; i < count; ++i) set(ids[i]);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) set_atomic(ids[i]);
+}
+
 std::int64_t Bitmap::count() const {
   const std::int64_t nw = num_words();
   std::int64_t total = 0;

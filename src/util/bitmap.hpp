@@ -89,6 +89,12 @@ class Bitmap {
     return (std::uint64_t{1} << rem) - 1;
   }
 
+  /// Clear every bit, then set the bit for each of ids[0..count). Parallel
+  /// atomic ORs for large id lists; plain serial writes below a threshold so
+  /// tiny frontiers (high-diameter BFS levels) pay no atomics. Safe for
+  /// duplicate ids.
+  void assign_bits(const std::int64_t* ids, std::int64_t count);
+
   /// Population count over the whole bitmap (parallel).
   [[nodiscard]] std::int64_t count() const;
 

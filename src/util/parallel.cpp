@@ -75,6 +75,12 @@ std::int64_t exclusive_scan(std::span<const std::int64_t> in,
   const int nt = num_threads();
   std::vector<std::int64_t> block_sum(static_cast<std::size_t>(nt) + 1, 0);
 
+  // The region may get fewer threads than requested (most importantly when
+  // the caller is already inside a parallel region and nesting is off, where
+  // the team collapses to 1) — so the total lives at block_sum[actual team
+  // size], not block_sum[nt]. Indexing by nt here returned a stale 0 for
+  // nested callers, which silently emptied every compacted BFS level.
+  int team = 1;
 #pragma omp parallel num_threads(nt)
   {
     const int t = omp_get_thread_num();
@@ -88,6 +94,7 @@ std::int64_t exclusive_scan(std::span<const std::int64_t> in,
 #pragma omp single
     {
       for (int b = 0; b < p; ++b) block_sum[b + 1] += block_sum[b];
+      team = p;
     }
     std::int64_t run = block_sum[static_cast<std::size_t>(t)];
     for (std::int64_t i = lo; i < hi; ++i) {
@@ -96,7 +103,7 @@ std::int64_t exclusive_scan(std::span<const std::int64_t> in,
       run += v;
     }
   }
-  return block_sum[static_cast<std::size_t>(num_threads())];
+  return block_sum[static_cast<std::size_t>(team)];
 }
 
 std::int64_t exclusive_scan_inplace(std::vector<std::int64_t>& v) {

@@ -1,0 +1,144 @@
+#include "util/work_queue.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace graphct {
+
+/// One per-thread deque. Chunks are stored descending by begin, so the
+/// owner's pop (back of the vector) walks its span in ascending index order
+/// while thieves take from the front — the chunks farthest from where the
+/// owner is currently working. The mutex is uncontended except during
+/// steals; chunk granularity keeps lock traffic far off the per-item path.
+struct alignas(64) WorkQueue::Deque {
+  std::mutex m;
+  std::vector<WorkChunk> q;
+};
+
+WorkQueue::WorkQueue() = default;
+WorkQueue::~WorkQueue() = default;
+
+WorkQueue::WorkQueue(WorkQueue&& other) noexcept
+    : deques_(std::move(other.deques_)),
+      count_(other.count_),
+      steals_(other.steals_.load(std::memory_order_relaxed)) {
+  other.count_ = 0;
+}
+
+WorkQueue& WorkQueue::operator=(WorkQueue&& other) noexcept {
+  deques_ = std::move(other.deques_);
+  count_ = other.count_;
+  steals_.store(other.steals_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.count_ = 0;
+  return *this;
+}
+
+void WorkQueue::reset(int num_queues) {
+  GCT_CHECK(num_queues >= 1, "WorkQueue: need at least one queue");
+  if (num_queues != count_) {
+    deques_ = std::make_unique<Deque[]>(static_cast<std::size_t>(num_queues));
+    count_ = num_queues;
+  } else {
+    for (int t = 0; t < count_; ++t) deques_[t].q.clear();
+  }
+}
+
+void WorkQueue::fill(std::int64_t begin, std::int64_t end, std::int64_t chunk) {
+  GCT_CHECK(count_ >= 1, "WorkQueue: fill before reset");
+  GCT_CHECK(chunk >= 1, "WorkQueue: chunk must be positive");
+  const std::int64_t total = end - begin;
+  if (total <= 0) return;
+  const std::int64_t per = (total + count_ - 1) / count_;
+  for (int t = 0; t < count_; ++t) {
+    const std::int64_t s = begin + static_cast<std::int64_t>(t) * per;
+    const std::int64_t e = std::min(end, s + per);
+    if (s >= e) break;
+    const std::int64_t nchunks = (e - s + chunk - 1) / chunk;
+    auto& d = deques_[t];
+    std::lock_guard<std::mutex> lock(d.m);
+    d.q.reserve(d.q.size() + static_cast<std::size_t>(nchunks));
+    for (std::int64_t c = nchunks - 1; c >= 0; --c) {
+      const std::int64_t cb = s + c * chunk;
+      d.q.push_back({cb, std::min(e, cb + chunk)});
+    }
+  }
+}
+
+void WorkQueue::push(int t, WorkChunk c) {
+  auto& d = deques_[t];
+  std::lock_guard<std::mutex> lock(d.m);
+  d.q.push_back(c);
+}
+
+bool WorkQueue::pop(int t, WorkChunk& out) {
+  auto& d = deques_[t];
+  std::lock_guard<std::mutex> lock(d.m);
+  if (d.q.empty()) return false;
+  out = d.q.back();
+  d.q.pop_back();
+  return true;
+}
+
+bool WorkQueue::steal(int t, WorkChunk& out) {
+  for (int i = 1; i < count_; ++i) {
+    const int v = (t + i) % count_;
+    std::vector<WorkChunk> got;
+    {
+      auto& d = deques_[v];
+      std::lock_guard<std::mutex> lock(d.m);
+      const auto sz = static_cast<std::int64_t>(d.q.size());
+      if (sz == 0) continue;
+      const std::int64_t k = (sz + 1) / 2;  // steal-half, at least one
+      got.assign(d.q.begin(), d.q.begin() + k);
+      d.q.erase(d.q.begin(), d.q.begin() + k);
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    // got is descending by begin; keep the lowest chunk for immediate
+    // execution and park the rest so subsequent pops ascend through them.
+    if (got.size() > 1) {
+      auto& mine = deques_[t];
+      std::lock_guard<std::mutex> lock(mine.m);
+      mine.q.reserve(mine.q.size() + got.size() - 1);
+      for (std::size_t j = 0; j + 1 < got.size(); ++j) mine.q.push_back(got[j]);
+    }
+    out = got.back();
+    return true;
+  }
+  return false;
+}
+
+std::int64_t WorkQueue::chunks_queued() const {
+  std::int64_t total = 0;
+  for (int t = 0; t < count_; ++t) {
+    auto& d = deques_[t];
+    std::lock_guard<std::mutex> lock(d.m);
+    total += static_cast<std::int64_t>(d.q.size());
+  }
+  return total;
+}
+
+void stealing_for(WorkQueue& q, std::int64_t begin, std::int64_t end,
+                  std::int64_t chunk, std::int64_t serial_below, int nthreads,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (nthreads <= 1 || omp_in_parallel() || end - begin < serial_below) {
+    body(begin, end);
+    return;
+  }
+  q.reset(nthreads);
+  q.fill(begin, end, chunk);
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int t = omp_get_thread_num();
+    WorkChunk c;
+    while (q.pop_or_steal(t, c)) body(c.begin, c.end);
+  }
+}
+
+}  // namespace graphct

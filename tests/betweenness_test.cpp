@@ -6,9 +6,12 @@
 
 #include "algs/ranking.hpp"
 #include "gen/random_graphs.hpp"
+#include "gen/rmat.hpp"
 #include "gen/shapes.hpp"
+#include "graph/builder.hpp"
 #include "test_support.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace graphct {
 namespace {
@@ -273,6 +276,170 @@ TEST(BetweennessTest, EmptyGraph) {
   const auto r = betweenness_centrality(g);
   EXPECT_TRUE(r.score.empty());
   EXPECT_EQ(r.sources_used, 0);
+}
+
+// ---- Forward-engine parity ----
+//
+// The hybrid direction-optimizing sweep and the pure top-down sweep both
+// pull sigma in adjacency order over identical predecessor sets, and the
+// backward sweep is shared, so on undirected graphs the two engines must
+// produce BIT-IDENTICAL scores — compared with EXPECT_EQ, not a tolerance.
+
+std::vector<double> run_forward_engine(const CsrGraph& g, BcForwardEngine e,
+                                       BcParallelism mode,
+                                       std::int64_t num_sources = kNoVertex) {
+  BetweennessOptions o;
+  o.forward = e;
+  o.parallelism = mode;
+  o.num_sources = num_sources;
+  o.seed = 7;
+  auto r = betweenness_centrality(g, o);
+  EXPECT_EQ(r.forward_used, e == BcForwardEngine::kAuto
+                                ? BcForwardEngine::kHybrid
+                                : e);
+  return r.score;
+}
+
+void expect_scores_bitwise_equal(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "vertex " << i;
+  }
+}
+
+// Two components: a 6-path and a 5-clique with a pendant, so the hybrid
+// heuristic sees both a high-diameter sparse piece and a dense piece, and
+// unreached-vertex handling (stale sigma entries) is exercised.
+CsrGraph two_component_graph() {
+  return make_undirected(13, {{0, 1},
+                              {1, 2},
+                              {2, 3},
+                              {3, 4},
+                              {4, 5},
+                              {6, 7},
+                              {6, 8},
+                              {6, 9},
+                              {7, 8},
+                              {7, 9},
+                              {8, 9},
+                              {9, 10},
+                              {10, 11},
+                              {10, 12}});
+}
+
+TEST(BcForwardEngineTest, HybridMatchesTopDownBitExactOnShapes) {
+  const CsrGraph graphs[] = {star_graph(64), path_graph(200),
+                             two_component_graph()};
+  for (const auto& g : graphs) {
+    for (auto mode : {BcParallelism::kCoarse, BcParallelism::kFine}) {
+      expect_scores_bitwise_equal(
+          run_forward_engine(g, BcForwardEngine::kHybrid, mode),
+          run_forward_engine(g, BcForwardEngine::kTopDown, mode));
+    }
+  }
+}
+
+TEST(BcForwardEngineTest, HybridMatchesTopDownBitExactOnRmat) {
+  RmatOptions r;
+  r.scale = 11;
+  r.edge_factor = 16;
+  r.seed = 3;
+  const auto g = rmat_graph(r);  // low diameter: bottom-up levels engage
+  for (auto mode : {BcParallelism::kCoarse, BcParallelism::kFine}) {
+    expect_scores_bitwise_equal(
+        run_forward_engine(g, BcForwardEngine::kHybrid, mode, 128),
+        run_forward_engine(g, BcForwardEngine::kTopDown, mode, 128));
+  }
+}
+
+TEST(BcForwardEngineTest, AutoResolvesToHybridOnUndirected) {
+  const auto g = star_graph(16);
+  BetweennessOptions o;  // forward defaults to kAuto
+  const auto r = betweenness_centrality(g, o);
+  EXPECT_EQ(r.forward_used, BcForwardEngine::kHybrid);
+}
+
+TEST(BcForwardEngineTest, DirectedFallsBackToTopDown) {
+  RmatOptions ro;
+  ro.scale = 11;
+  ro.edge_factor = 8;
+  ro.seed = 4;
+  BuildOptions bo;
+  bo.symmetrize = false;
+  const auto g = build_csr(rmat_edges(ro), bo);
+  ASSERT_TRUE(g.directed());
+
+  BetweennessOptions o;
+  o.num_sources = 64;
+  o.seed = 7;
+  const auto auto_run = directed_betweenness_centrality(g, o);
+  EXPECT_EQ(auto_run.forward_used, BcForwardEngine::kTopDown);
+
+  BetweennessOptions td = o;
+  td.forward = BcForwardEngine::kTopDown;
+  expect_scores_bitwise_equal(auto_run.score,
+                              directed_betweenness_centrality(g, td).score);
+
+  BetweennessOptions hy = o;
+  hy.forward = BcForwardEngine::kHybrid;
+  EXPECT_THROW(directed_betweenness_centrality(g, hy), Error);
+}
+
+TEST(BcForwardEngineTest, CoarseModeMatchesAcrossThreadCounts) {
+  // Coarse workers run the full sweep machinery from inside a parallel
+  // region, where nested utilities (level compaction's prefix scan, the
+  // work-stealing scheduler's in-parallel guard) take their serial paths.
+  // Regression: exclusive_scan once returned a stale 0 total for nested
+  // callers, truncating every BFS level to empty — coarse multi-thread
+  // runs silently produced all-zero scores while every threads=1 and
+  // fine-mode test stayed green. Scores reassociate across the per-thread
+  // buffers (dynamic source assignment), hence near, not bitwise.
+  RmatOptions ro;
+  ro.scale = 10;
+  ro.edge_factor = 16;
+  ro.seed = 9;
+  const auto g = rmat_graph(ro);
+  BetweennessOptions o;
+  o.num_sources = 96;
+  o.seed = 5;
+  o.parallelism = BcParallelism::kCoarse;
+  set_num_threads(1);
+  const auto base = betweenness_centrality(g, o);
+  double sum = 0.0;
+  for (const double s : base.score) sum += s;
+  EXPECT_GT(sum, 0.0);
+  for (int t : {2, 8}) {
+    set_num_threads(t);
+    const auto got = betweenness_centrality(g, o);
+    set_num_threads(0);
+    expect_scores_near(got.score, base.score, 1e-7);
+  }
+  set_num_threads(0);
+}
+
+TEST(BcForwardEngineTest, FineModeBitIdenticalAcrossThreadCounts) {
+  // Fine mode has no atomic accumulations left: sigma is pulled and the
+  // backward coefficient sums run in adjacency order, so scores must be
+  // bit-identical for any thread count, hybrid and top-down alike.
+  RmatOptions ro;
+  ro.scale = 10;
+  ro.edge_factor = 16;
+  ro.seed = 9;
+  const auto g = rmat_graph(ro);
+  for (auto engine : {BcForwardEngine::kHybrid, BcForwardEngine::kTopDown}) {
+    set_num_threads(1);
+    const auto base =
+        run_forward_engine(g, engine, BcParallelism::kFine, 96);
+    for (int t : {2, 8}) {
+      set_num_threads(t);
+      const auto got =
+          run_forward_engine(g, engine, BcParallelism::kFine, 96);
+      set_num_threads(0);
+      expect_scores_bitwise_equal(base, got);
+    }
+  }
+  set_num_threads(0);
 }
 
 // Property sweep: parallel implementation matches the serial Brandes

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <numeric>
 #include <vector>
@@ -87,6 +88,25 @@ TEST(ScanTest, InPlaceAliasing) {
   for (std::size_t i = 0; i < v.size(); ++i) {
     EXPECT_EQ(v[i], static_cast<std::int64_t>(i));
   }
+}
+
+TEST(ScanTest, CorrectTotalInsideParallelRegion) {
+  // Inside an enclosing parallel region the scan's own region collapses to
+  // a single thread (nesting is off); the total must come from the actual
+  // team size, not the configured thread count. Regression: the coarse bc
+  // engine calls the level compactor — and through it this scan — from
+  // worker threads, and the stale block_sum[num_threads()] slot returned 0,
+  // silently truncating every BFS level to empty.
+  set_num_threads(4);
+  std::vector<std::int64_t> totals(4, -1);
+#pragma omp parallel num_threads(4)
+  {
+    const int t = omp_get_thread_num();
+    std::vector<std::int64_t> v(1000, 1);
+    totals[static_cast<std::size_t>(t)] = exclusive_scan_inplace(v);
+  }
+  set_num_threads(0);
+  for (const auto total : totals) EXPECT_EQ(total, 1000);
 }
 
 TEST(ReduceTest, SumAndMax) {

@@ -12,13 +12,25 @@ subset). By default only threads=1 rows are compared — single-thread TEPS
 is the schedule-independent number; oversubscribed multi-thread rows are
 too noisy for a hard floor. Pass --threads 0 to compare every row.
 
-A kernel fails when current_teps < baseline_teps * (1 - max_regression).
+A kernel fails when current_teps < baseline_teps * (1 - max_regression),
+or when it has an entry in ABSOLUTE_MIN_TEPS and falls below that. The
+absolute floors encode deliberate engine upgrades: after the hybrid
+direction-optimizing Brandes rework, bc must hold >= 2x the pre-rework
+63.5 MTEPS single-thread baseline at scale 16 — merely "not regressing"
+against a refreshed baseline would let the speedup quietly erode.
 Exits non-zero listing every failing kernel.
 """
 
 import argparse
 import json
 import sys
+
+# kernel -> minimum acceptable TEPS at threads=1 (scale-16 reference run).
+# Only enforced for rows whose thread count is 1; multi-thread rows stay
+# ratio-checked only.
+ABSOLUTE_MIN_TEPS = {
+    "bc": 127.0e6,  # 2x the 63.5 MTEPS top-down push engine this replaced
+}
 
 
 def load_profiles(path, threads_filter):
@@ -70,18 +82,32 @@ def main():
             print(f"  {kernel} (t={threads}): in baseline only — skipped")
             continue
         floor = baseline[key] * (1.0 - args.max_regression)
+        if threads == 1 and kernel in ABSOLUTE_MIN_TEPS:
+            floor = max(floor, ABSOLUTE_MIN_TEPS[kernel])
         ratio = current[key] / baseline[key] if baseline[key] > 0 else 1.0
         status = "ok" if current[key] >= floor else "FAIL"
         print(f"  {kernel} (t={threads}): {current[key]:.3e} vs baseline "
-              f"{baseline[key]:.3e} ({ratio:.2f}x) {status}")
+              f"{baseline[key]:.3e} ({ratio:.2f}x, floor {floor:.3e}) "
+              f"{status}")
         if current[key] < floor:
             failures.append(f"{kernel} (t={threads})")
     for key in sorted(set(current) - set(baseline)):
-        print(f"  {key[0]} (t={key[1]}): new kernel, no baseline — skipped")
+        kernel, threads = key
+        floor = ABSOLUTE_MIN_TEPS.get(kernel) if threads == 1 else None
+        if floor is not None:
+            status = "ok" if current[key] >= floor else "FAIL"
+            print(f"  {kernel} (t={threads}): {current[key]:.3e} vs absolute "
+                  f"floor {floor:.3e} {status}")
+            if current[key] < floor:
+                failures.append(f"{kernel} (t={threads})")
+        else:
+            print(f"  {kernel} (t={threads}): new kernel, no baseline — "
+                  f"skipped")
 
     if failures:
-        sys.exit(f"check_teps_floor: TEPS regressed more than "
-                 f"{args.max_regression:.0%}: {failures}")
+        sys.exit(f"check_teps_floor: TEPS below floor (regression > "
+                 f"{args.max_regression:.0%} or under an absolute minimum): "
+                 f"{failures}")
     print(f"check_teps_floor: {len(baseline)} kernels within "
           f"{args.max_regression:.0%} of baseline")
 

@@ -6,7 +6,8 @@ Usage: validate_kernel_profile.py FILE [--require KERNEL ...]
 Understands two row families, dispatched on the "bench" field:
 
 kernel_profile rows (bench/kernel_profile):
-  * carries the bench metadata (bench/scale/edge_factor) and the
+  * carries the bench metadata (bench/scale/edge_factor, plus the optional
+    hw_concurrency of the machine that produced the row) and the
     KernelProfile fields (kernel, seconds, threads, vertices, edges, teps,
     phases[]) with the right types,
   * teps is consistent with edges/seconds,
@@ -22,6 +23,11 @@ storage_profile rows (bench/storage_profile):
   * "kernel" rows with seconds_mem/seconds_store/overhead plus the
     decode and block-cache counters; parity must be true.
   Rows contribute "storage-pack" / "storage-<kernel>" to the pool.
+
+Rows whose threads exceed the recorded hw_concurrency are flagged with a
+warning on stderr but do not fail validation: oversubscribed rows measure
+scheduler contention rather than speedup, which is worth knowing when
+reading thread-scaling numbers, but the row itself is well-formed.
 
 With --require, additionally checks that each named entry appears at
 least once. Exits non-zero with a message on the first violation.
@@ -89,7 +95,30 @@ STORAGE_KERNEL_FIELDS = {
 }
 
 
+# Optional per-row metadata: absent from rows produced before it was
+# recorded, so validated only when present.
+OPTIONAL_FIELDS = {
+    "hw_concurrency": int,
+}
+
+
+def warn_if_oversubscribed(obj, where):
+    """Flag (never fail) rows whose thread count exceeds the host's cores."""
+    cores = obj.get("hw_concurrency", 0)
+    threads = obj.get("threads", 0)
+    if cores and threads > cores:
+        print(f"validate_kernel_profile: WARNING {where}: threads={threads} "
+              f"oversubscribes hw_concurrency={cores} — timings measure "
+              f"contention, not scaling", file=sys.stderr)
+
+
 def check_fields(obj, schema, where):
+    for key, typ in OPTIONAL_FIELDS.items():
+        if key in obj and (not isinstance(obj[key], typ)
+                           or isinstance(obj[key], bool)):
+            raise ValueError(
+                f"{where}: field '{key}' has type "
+                f"{type(obj[key]).__name__}, expected {typ}")
     for key, typ in schema.items():
         if key not in obj:
             raise ValueError(f"{where}: missing field '{key}'")
@@ -106,6 +135,7 @@ def validate_kernel_profile(obj, where):
     check_fields(obj, PROFILE_FIELDS, where)
     if obj["seconds"] < 0 or obj["threads"] < 1:
         raise ValueError(f"{where}: nonsensical seconds/threads")
+    warn_if_oversubscribed(obj, where)
     if obj["edges"] > 0 and obj["seconds"] > 0:
         expect = obj["edges"] / obj["seconds"]
         if abs(obj["teps"] - expect) > 0.01 * max(expect, 1.0):
@@ -145,6 +175,7 @@ def validate_storage_profile(obj, where):
         if obj["seconds_mem"] < 0 or obj["seconds_store"] < 0 \
                 or obj["threads"] < 1:
             raise ValueError(f"{where}: nonsensical storage kernel stats")
+        warn_if_oversubscribed(obj, where)
         if not obj["parity"]:
             raise ValueError(
                 f"{where}: kernel '{obj['kernel']}' parity is false — "
