@@ -13,6 +13,10 @@
 /// kAuto resolution, i.e. the hybrid direction-optimizing sweep on this
 /// undirected graph). Running once per engine isolates the hybrid sweep's
 /// contribution; scores are bit-identical between engines by construction.
+/// A third decomposition — the distributed path over loopback workers,
+/// which replays the fine-mode accumulation bitwise across processes —
+/// is ablated separately by bench/dist_profile (bc and bc_overlap rows;
+/// see docs/DISTRIBUTED.md).
 
 #include <cmath>
 #include <iostream>
@@ -30,7 +34,8 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv,
             {{"scale", "R-MAT scale"},
              {"sources", "sampled sources"},
-             {"engine", "forward sweep: top_down or hybrid"},
+             {"engine", "forward sweep: top_down or hybrid (the distributed "
+                        "path is ablated by dist_profile's bc rows)"},
              {"quick", "small graph!"}});
     const auto scale = cli.has("quick") ? std::int64_t{11}
                                         : cli.get("scale", std::int64_t{13});

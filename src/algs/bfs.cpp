@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "algs/bc_accum.hpp"
 #include "obs/trace.hpp"
 #include "util/bitmap.hpp"
 #include "util/error.hpp"
@@ -234,41 +235,18 @@ void pull_sigma_level(const GraphView& g, const std::vector<vid>& distance,
                    // list, and sigma[u] is always a finite double even for
                    // undiscovered u (stale from a prior source), so the
                    // unconditional load times an exact 0.0/1.0 is safe.
-                   // The four lanes break the FP-add latency chain; lane
-                   // assignment depends only on the neighbor index, so the
-                   // sum is bit-identical to the bottom-up sweep's for the
-                   // same vertex (engine-parity tests pin this).
+                   // bc_pull_sigma_row (algs/bc_accum.hpp) is the canonical
+                   // 4-lane row: lane assignment depends only on the
+                   // neighbor index, so the sum is bit-identical to the
+                   // bottom-up sweep's and to the dist worker's for the
+                   // same vertex (engine- and dist-parity tests pin this).
                    const auto nbrs = g.neighbors(v);
-                   const vid* nb = nbrs.data();
-                   const auto deg = static_cast<std::int64_t>(nbrs.size());
-                   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-                   std::int64_t j = 0;
-                   for (; j + 4 <= deg; j += 4) {
-                     if (j + 20 <= deg) {
-                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 16])]);
-                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 17])]);
-                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 18])]);
-                       __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 19])]);
-                     }
-                     a0 += sigma[static_cast<std::size_t>(nb[j])] *
-                           static_cast<double>(
-                               distance[static_cast<std::size_t>(nb[j])] == prev);
-                     a1 += sigma[static_cast<std::size_t>(nb[j + 1])] *
-                           static_cast<double>(
-                               distance[static_cast<std::size_t>(nb[j + 1])] == prev);
-                     a2 += sigma[static_cast<std::size_t>(nb[j + 2])] *
-                           static_cast<double>(
-                               distance[static_cast<std::size_t>(nb[j + 2])] == prev);
-                     a3 += sigma[static_cast<std::size_t>(nb[j + 3])] *
-                           static_cast<double>(
-                               distance[static_cast<std::size_t>(nb[j + 3])] == prev);
-                   }
-                   for (; j < deg; ++j) {
-                     a0 += sigma[static_cast<std::size_t>(nb[j])] *
-                           static_cast<double>(
-                               distance[static_cast<std::size_t>(nb[j])] == prev);
-                   }
-                   sigma[static_cast<std::size_t>(v)] = (a0 + a1) + (a2 + a3);
+                   const double* sg = sigma.data();
+                   sigma[static_cast<std::size_t>(v)] = bc_pull_sigma_row(
+                       nbrs.data(), static_cast<std::int64_t>(nbrs.size()), sg,
+                       [&distance, prev](vid u) {
+                         return distance[static_cast<std::size_t>(u)] == prev;
+                       });
                  }
                });
 }
@@ -295,39 +273,19 @@ void expand_bottom_up_sigma(const GraphView& g, std::vector<vid>& distance,
             const int bit = std::countr_zero(todo);
             todo &= todo - 1;
             const vid v = w * Bitmap::kBitsPerWord + bit;
-            // Same multiply-select/4-lane shape as pull_sigma_level —
-            // frontier membership at this level IS distance == depth-1, so
-            // matching the lane structure keeps the sums bit-identical
-            // between the two sweeps (sigma[u] of a non-frontier vertex is
-            // stale but finite, so the unconditional load is safe). The
-            // frontier bitmap is small enough to live in L1; only sigma is
-            // worth prefetching.
+            // Same multiply-select/4-lane row as pull_sigma_level
+            // (bc_pull_sigma_row, algs/bc_accum.hpp) — frontier membership
+            // at this level IS distance == depth-1, so sharing the lane
+            // structure keeps the sums bit-identical between the two
+            // sweeps (sigma[u] of a non-frontier vertex is stale but
+            // finite, so the unconditional load is safe). The frontier
+            // bitmap is small enough to live in L1; only sigma is worth
+            // prefetching.
             const auto nbrs = g.neighbors(v);
-            const vid* nb = nbrs.data();
-            const auto deg = static_cast<std::int64_t>(nbrs.size());
-            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-            std::int64_t j = 0;
-            for (; j + 4 <= deg; j += 4) {
-              if (j + 20 <= deg) {
-                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 16])]);
-                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 17])]);
-                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 18])]);
-                __builtin_prefetch(&sigma[static_cast<std::size_t>(nb[j + 19])]);
-              }
-              a0 += sigma[static_cast<std::size_t>(nb[j])] *
-                    static_cast<double>(frontier.test(nb[j]));
-              a1 += sigma[static_cast<std::size_t>(nb[j + 1])] *
-                    static_cast<double>(frontier.test(nb[j + 1]));
-              a2 += sigma[static_cast<std::size_t>(nb[j + 2])] *
-                    static_cast<double>(frontier.test(nb[j + 2]));
-              a3 += sigma[static_cast<std::size_t>(nb[j + 3])] *
-                    static_cast<double>(frontier.test(nb[j + 3]));
-            }
-            for (; j < deg; ++j) {
-              a0 += sigma[static_cast<std::size_t>(nb[j])] *
-                    static_cast<double>(frontier.test(nb[j]));
-            }
-            const double acc = (a0 + a1) + (a2 + a3);
+            const double acc = bc_pull_sigma_row(
+                nbrs.data(), static_cast<std::int64_t>(nbrs.size()),
+                sigma.data(),
+                [&frontier](vid u) { return frontier.test(u); });
             if (acc != 0.0) {
               distance[static_cast<std::size_t>(v)] = depth;
               sigma[static_cast<std::size_t>(v)] = acc;

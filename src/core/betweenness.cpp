@@ -9,6 +9,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "algs/bc_accum.hpp"
 #include "algs/bfs.hpp"
 #include "algs/connected_components.hpp"
 #include "obs/trace.hpp"
@@ -26,15 +27,9 @@ namespace {
 constexpr std::int64_t kBcLevelChunk = 64;
 constexpr std::int64_t kBcLevelSerialBelow = 512;
 
-/// Backward-sweep per-vertex state, packed so the per-edge random access
-/// touches ONE cache line instead of two: the sweep reads a neighbor's
-/// distance and, when it is one level deeper, its coefficient
-/// (1 + delta) / sigma — keeping them in separate arrays doubles the random
-/// line traffic that dominates the pass.
-struct alignas(16) DistCoef {
-  double coef;
-  std::int64_t dist;
-};
+// Per-vertex backward-sweep state (DistCoef) and the canonical 4-lane
+// accumulation rows live in algs/bc_accum.hpp, shared with the forward
+// pulls in algs/bfs.cpp and the distributed worker in dist/worker.cpp.
 
 /// Per-source scratch reused across sources by one thread.
 struct BcWorkspace {
@@ -151,41 +146,17 @@ void backward_sweep_impl(const GraphView& g, vid s, const BfsResult& b,
             const vid v = b.order[static_cast<std::size_t>(i)];
             // Branchless accumulation: levels interleave unpredictably in
             // adjacency order, so `if (dist == deeper)` mispredicts often
-            // as a branch. Multiplying by the comparison instead
-            // (coef * 1.0 or coef * 0.0 — exact either way, coef is always
-            // finite) keeps the loop branch-free, and four independent
-            // accumulators break the FP-add latency chain. The lane
-            // assignment depends only on the neighbor index, so the
-            // summation order — lanes combined pairwise at the end — is
-            // fixed for any thread count, mode, or forward engine.
+            // as a branch. bc_pull_coef_row multiplies by the comparison
+            // instead (coef * 1.0 or coef * 0.0 — exact either way, coef
+            // is always finite) with the canonical 4-lane layout from
+            // algs/bc_accum.hpp, so the summation order is fixed for any
+            // thread count, mode, forward engine, or (dist path) worker
+            // count.
             const auto nbrs = nbrs_of(v);
-            const auto* nb = nbrs.data();
-            const auto deg = static_cast<std::int64_t>(nbrs.size());
-            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-            std::int64_t j = 0;
-            for (; j + 4 <= deg; j += 4) {
-              if (j + 20 <= deg) {
-                // dc lines are random; the adjacency stream gives the
-                // addresses ~4 iterations ahead for free.
-                __builtin_prefetch(&dc[nb[j + 16]]);
-                __builtin_prefetch(&dc[nb[j + 17]]);
-                __builtin_prefetch(&dc[nb[j + 18]]);
-                __builtin_prefetch(&dc[nb[j + 19]]);
-              }
-              const DistCoef& p0 = dc[nb[j]];
-              const DistCoef& p1 = dc[nb[j + 1]];
-              const DistCoef& p2 = dc[nb[j + 2]];
-              const DistCoef& p3 = dc[nb[j + 3]];
-              a0 += p0.coef * static_cast<double>(p0.dist == deeper);
-              a1 += p1.coef * static_cast<double>(p1.dist == deeper);
-              a2 += p2.coef * static_cast<double>(p2.dist == deeper);
-              a3 += p3.coef * static_cast<double>(p3.dist == deeper);
-            }
-            for (; j < deg; ++j) {
-              const DistCoef& p = dc[nb[j]];
-              a0 += p.coef * static_cast<double>(p.dist == deeper);
-            }
-            const double acc = (a0 + a1) + (a2 + a3);
+            const double acc =
+                bc_pull_coef_row(nbrs.data(),
+                                 static_cast<std::int64_t>(nbrs.size()), dc,
+                                 deeper);
             const double sv = sigma[static_cast<std::size_t>(v)];
             const double dv = sv * acc;
             dc[v].coef = (1.0 + dv) / sv;

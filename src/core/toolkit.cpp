@@ -8,6 +8,7 @@
 #include "graph/io_dimacs.hpp"
 #include "graph/transforms.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace graphct {
 
@@ -254,6 +255,44 @@ const std::vector<vid>& Toolkit::bfs_distances_dist(dist::Coordinator& coord,
     ensure_dist_loaded(coord, view());
     return coord.bfs_distances(source, max_depth);
   });
+}
+
+const BetweennessResult& Toolkit::betweenness_dist(
+    dist::Coordinator& coord, const BetweennessOptions& opts) {
+  const std::string key =
+      bc_key("bc", opts) + "|workers=" + std::to_string(coord.num_workers());
+  return *cache_->get_or_compute<BetweennessResult>(
+      key,
+      [&] {
+        ensure_dist_loaded(coord, view());
+        Timer timer;
+        const vid n = view().num_vertices();
+        const std::vector<vid> sources = choose_sources(view(), opts);
+        // Source batching bounds how long a gather can lag: reuse the
+        // single-process plan's memory-budget arithmetic at one thread
+        // (fine mode plans batch_sources = 0 = one batch).
+        const BcPlan plan =
+            plan_betweenness(n, static_cast<std::int64_t>(sources.size()),
+                             /*threads=*/1, opts, /*directed=*/false);
+        BetweennessResult result;
+        result.score = coord.betweenness(sources, plan.batch_sources);
+        result.sources_used = static_cast<std::int64_t>(sources.size());
+        // Workers accumulate in fine-mode per-source order; the forward
+        // sweep is the top-down push (there is no distributed pull).
+        result.parallelism_used = BcParallelism::kFine;
+        result.forward_used = BcForwardEngine::kTopDown;
+        result.batches = plan.batch_sources > 0 ? plan.num_batches : 0;
+        if (opts.rescale && result.sources_used > 0 &&
+            result.sources_used < n) {
+          // Same multiply as the single-process rescale: bit-neutral.
+          const double scale = static_cast<double>(n) /
+                               static_cast<double>(result.sources_used);
+          for (double& s : result.score) s *= scale;
+        }
+        result.seconds = timer.seconds();
+        return result;
+      },
+      StructBytes{});
 }
 
 const ClosenessResult& Toolkit::closeness(const ClosenessOptions& opts) {

@@ -172,6 +172,14 @@ class Toolkit {
                                              vid source,
                                              vid max_depth = kNoVertex);
 
+  /// Distributed betweenness: sources are chosen single-process
+  /// (choose_sources, so the sample is identical to the single-process
+  /// kernel's) and gather batching reuses the BcPlan memory-budget
+  /// arithmetic at one thread. Scores are bit-identical to the fine-mode
+  /// single-process kernel over the same sources.
+  const BetweennessResult& betweenness_dist(dist::Coordinator& coord,
+                                            const BetweennessOptions& opts = {});
+
   /// Harmonic closeness (cached per option set).
   const ClosenessResult& closeness(const ClosenessOptions& opts = {});
 

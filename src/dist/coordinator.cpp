@@ -1,7 +1,11 @@
 #include "dist/coordinator.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 
 #include "graph/transforms.hpp"
 #include "obs/metrics.hpp"
@@ -86,6 +90,108 @@ std::string Coordinator::recv_from(int w, Msg expect, const char* what) {
              msg_name(expect) + ")");
   }
   return payload;
+}
+
+void Coordinator::exchange(
+    Msg type, const std::vector<std::string>& payloads, Msg expect,
+    const char* what,
+    const std::function<void(int, std::string&)>& on_reply) {
+  const int nw = num_workers();
+  const bool broadcast = payloads.size() == 1;
+  GCT_CHECK(broadcast || static_cast<int>(payloads.size()) == nw,
+            "dist: exchange payload count mismatch");
+
+  if (!overlap_) {
+    // Lockstep: send everything, then drain replies in worker order. Kept
+    // for the overlap ablation (bench/dist_profile --no-overlap rows).
+    for (int w = 0; w < nw; ++w) {
+      send_to(w, type, payloads[broadcast ? 0 : static_cast<std::size_t>(w)],
+              what);
+    }
+    for (int w = 0; w < nw; ++w) {
+      std::string reply = recv_from(w, expect, what);
+      on_reply(w, reply);
+    }
+    return;
+  }
+
+  // Overlapped: queue every request into the per-connection outbox (never
+  // blocks), then poll() all sockets at once — flushing sends and merging
+  // each reply the moment it completes, so a fast worker's reply is
+  // consumed while a slow worker is still computing or receiving.
+  for (int w = 0; w < nw; ++w) {
+    auto& c = conns_[static_cast<std::size_t>(w)];
+    try {
+      c.queue_send(type,
+                   payloads[broadcast ? 0 : static_cast<std::size_t>(w)]);
+    } catch (const Error& e) {
+      fail(w, what, e.what());
+    }
+  }
+
+  std::vector<pollfd> fds(static_cast<std::size_t>(nw));
+  std::vector<char> done(static_cast<std::size_t>(nw), 0);
+  int remaining = nw;
+  Msg rtype{};
+  std::string rpayload;
+  while (remaining > 0) {
+    for (int w = 0; w < nw; ++w) {
+      auto& p = fds[static_cast<std::size_t>(w)];
+      if (done[static_cast<std::size_t>(w)]) {
+        p.fd = -1;  // negative fds are ignored by poll()
+        p.events = 0;
+      } else {
+        const auto& c = conns_[static_cast<std::size_t>(w)];
+        p.fd = c.fd();
+        p.events = POLLIN;
+        if (c.send_pending()) p.events |= POLLOUT;
+      }
+      p.revents = 0;
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(nw), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail(0, what, std::string("poll: ") + std::strerror(errno));
+    }
+    for (int w = 0; w < nw; ++w) {
+      if (done[static_cast<std::size_t>(w)]) continue;
+      const short re = fds[static_cast<std::size_t>(w)].revents;
+      if (re == 0) continue;
+      auto& c = conns_[static_cast<std::size_t>(w)];
+      try {
+        // On POLLERR/POLLHUP the I/O calls themselves produce the precise
+        // error (or drain the final bytes a closing peer already sent).
+        if (c.send_pending() && (re & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+          c.flush_some();
+        }
+        if ((re & (POLLIN | POLLERR | POLLHUP)) != 0 &&
+            c.recv_some(rtype, rpayload)) {
+          if (rtype == Msg::kError) {
+            WireReader r(rpayload);
+            fail(w, what, "worker reported: " + r.str());
+          }
+          if (rtype != expect) {
+            fail(w, what,
+                 std::string("unexpected reply ") + msg_name(rtype) +
+                     " (wanted " + msg_name(expect) + ")");
+          }
+          done[static_cast<std::size_t>(w)] = 1;
+          --remaining;
+          on_reply(w, rpayload);
+        }
+      } catch (const Error& e) {
+        fail(w, what, e.what());
+      }
+    }
+  }
+}
+
+std::pair<std::int64_t, std::int64_t> Coordinator::owned_span(
+    const std::vector<vid>& sorted, int w) const {
+  const BlockInfo& b = partition_.blocks[static_cast<std::size_t>(w)];
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), b.begin);
+  const auto hi = std::lower_bound(lo, sorted.end(), b.end);
+  return {lo - sorted.begin(), hi - lo};
 }
 
 void Coordinator::connect(const std::vector<int>& ports) {
@@ -207,12 +313,12 @@ std::vector<vid> Coordinator::bfs_distances(vid source, vid max_depth) {
   std::vector<vid> dist(static_cast<std::size_t>(global_n_), kNoVertex);
   dist[static_cast<std::size_t>(source)] = 0;
 
-  for (int w = 0; w < num_workers(); ++w) {
-    send_to(w, Msg::kBfsStart, "", "bfs");
-  }
-  for (int w = 0; w < num_workers(); ++w) recv_from(w, Msg::kAck, "bfs");
+  exchange(Msg::kBfsStart, {std::string()}, Msg::kAck, "bfs",
+           [](int, std::string&) {});
 
   std::vector<vid> frontier{source};
+  std::vector<std::string> payloads(
+      static_cast<std::size_t>(num_workers()));
   std::vector<std::int64_t> candidates;
   vid level = 0;
   std::int64_t steps = 0;
@@ -223,29 +329,26 @@ std::vector<vid> Coordinator::bfs_distances(vid source, vid max_depth) {
     // The frontier is sorted ascending, so each worker's owned slice is
     // one contiguous range: [lower_bound(begin), lower_bound(end)).
     for (int w = 0; w < num_workers(); ++w) {
-      const BlockInfo& b = partition_.blocks[static_cast<std::size_t>(w)];
-      const auto lo =
-          std::lower_bound(frontier.begin(), frontier.end(), b.begin);
-      const auto hi = std::lower_bound(lo, frontier.end(), b.end);
+      const auto [off, len] = owned_span(frontier, w);
       WireWriter msg;
       msg.i64_span(std::span<const std::int64_t>(
-          &*frontier.begin() + (lo - frontier.begin()),
-          static_cast<std::size_t>(hi - lo)));
-      send_to(w, Msg::kBfsStep, msg.take(), "bfs");
+          frontier.data() + off, static_cast<std::size_t>(len)));
+      payloads[static_cast<std::size_t>(w)] = msg.take();
     }
     std::vector<vid> next;
-    for (int w = 0; w < num_workers(); ++w) {
-      const std::string reply = recv_from(w, Msg::kBfsFrontier, "bfs");
-      WireReader r(reply);
-      r.i64_vec(candidates);
-      for (const std::int64_t c : candidates) {
-        auto& d = dist[static_cast<std::size_t>(c)];
-        if (d == kNoVertex) {
-          d = level + 1;
-          next.push_back(static_cast<vid>(c));
-        }
-      }
-    }
+    // First-assignment dedup then a sort: merge order never matters.
+    exchange(Msg::kBfsStep, payloads, Msg::kBfsFrontier, "bfs",
+             [&](int, std::string& reply) {
+               WireReader r(reply);
+               r.i64_vec(candidates);
+               for (const std::int64_t c : candidates) {
+                 auto& d = dist[static_cast<std::size_t>(c)];
+                 if (d == kNoVertex) {
+                   d = level + 1;
+                   next.push_back(static_cast<vid>(c));
+                 }
+               }
+             });
     std::sort(next.begin(), next.end());
     frontier.swap(next);
     ++level;
@@ -265,12 +368,8 @@ std::vector<vid> Coordinator::components() {
     labels[static_cast<std::size_t>(v)] = v;
   }
 
-  for (int w = 0; w < num_workers(); ++w) {
-    send_to(w, Msg::kCcStart, "", "components");
-  }
-  for (int w = 0; w < num_workers(); ++w) {
-    recv_from(w, Msg::kAck, "components");
-  }
+  exchange(Msg::kCcStart, {std::string()}, Msg::kAck, "components",
+           [](int, std::string&) {});
 
   // Delta exchange: broadcast the vertices whose master label changed last
   // round, collect proposals, repeat until a round changes nothing.
@@ -286,27 +385,25 @@ std::vector<vid> Coordinator::components() {
     WireWriter msg;
     msg.i64_span(delta_v);
     msg.i64_span(delta_l);
-    const std::string payload = msg.take();
-    for (int w = 0; w < num_workers(); ++w) {
-      send_to(w, Msg::kCcStep, payload, "components");
-    }
     changed.clear();
-    for (int w = 0; w < num_workers(); ++w) {
-      const std::string reply = recv_from(w, Msg::kCcDelta, "components");
-      WireReader r(reply);
-      r.i64_vec(prop_v);
-      r.i64_vec(prop_l);
-      if (prop_v.size() != prop_l.size()) {
-        fail(w, "components", "mismatched delta arrays");
-      }
-      for (std::size_t i = 0; i < prop_v.size(); ++i) {
-        auto& cur = labels[static_cast<std::size_t>(prop_v[i])];
-        if (prop_l[i] < cur) {
-          cur = static_cast<vid>(prop_l[i]);
-          changed.push_back(static_cast<vid>(prop_v[i]));
-        }
-      }
-    }
+    // Monotone min-merge: applying workers' proposals in any order
+    // reaches the same labels, so completion-order delivery is safe.
+    exchange(Msg::kCcStep, {msg.take()}, Msg::kCcDelta, "components",
+             [&](int w, std::string& reply) {
+               WireReader r(reply);
+               r.i64_vec(prop_v);
+               r.i64_vec(prop_l);
+               if (prop_v.size() != prop_l.size()) {
+                 fail(w, "components", "mismatched delta arrays");
+               }
+               for (std::size_t i = 0; i < prop_v.size(); ++i) {
+                 auto& cur = labels[static_cast<std::size_t>(prop_v[i])];
+                 if (prop_l[i] < cur) {
+                   cur = static_cast<vid>(prop_l[i]);
+                   changed.push_back(static_cast<vid>(prop_v[i]));
+                 }
+               }
+             });
     ++steps;
     step_seconds().observe(step_timer.seconds());
     if (changed.empty()) break;
@@ -335,13 +432,8 @@ PageRankResult Coordinator::pagerank(const PageRankOptions& opts) {
   {
     WireWriter msg;
     msg.u8(directed_ ? kSlotReverse : kSlotPrimary);
-    const std::string payload = msg.take();
-    for (int w = 0; w < num_workers(); ++w) {
-      send_to(w, Msg::kPrStart, payload, "pagerank");
-    }
-    for (int w = 0; w < num_workers(); ++w) {
-      recv_from(w, Msg::kAck, "pagerank");
-    }
+    exchange(Msg::kPrStart, {msg.take()}, Msg::kAck, "pagerank",
+             [](int, std::string&) {});
   }
 
   const double inv_n = 1.0 / static_cast<double>(global_n_);
@@ -372,21 +464,20 @@ PageRankResult Coordinator::pagerank(const PageRankOptions& opts) {
     msg.f64(base);
     msg.f64(opts.damping);
     msg.f64_span(contrib);
-    const std::string payload = msg.take();
-    for (int w = 0; w < num_workers(); ++w) {
-      send_to(w, Msg::kPrStep, payload, "pagerank");
-    }
-    for (int w = 0; w < num_workers(); ++w) {
-      const std::string reply = recv_from(w, Msg::kPrRanks, "pagerank");
-      WireReader r(reply);
-      r.f64_vec(block);
-      const BlockInfo& b = partition_.blocks[static_cast<std::size_t>(w)];
-      if (static_cast<vid>(block.size()) != b.num_vertices()) {
-        fail(w, "pagerank", "rank block length mismatch");
-      }
-      std::copy(block.begin(), block.end(),
-                next.begin() + static_cast<std::ptrdiff_t>(b.begin));
-    }
+    // Disjoint block copies: any completion order lands the same ranks.
+    exchange(Msg::kPrStep, {msg.take()}, Msg::kPrRanks, "pagerank",
+             [&](int w, std::string& reply) {
+               WireReader r(reply);
+               r.f64_vec(block);
+               const BlockInfo& b =
+                   partition_.blocks[static_cast<std::size_t>(w)];
+               if (static_cast<vid>(block.size()) != b.num_vertices()) {
+                 fail(w, "pagerank", "rank block length mismatch");
+               }
+               std::copy(block.begin(), block.end(),
+                         next.begin() +
+                             static_cast<std::ptrdiff_t>(b.begin));
+             });
 
     double delta = 0.0;
     for (vid v = 0; v < global_n_; ++v) {
@@ -406,6 +497,175 @@ PageRankResult Coordinator::pagerank(const PageRankOptions& opts) {
   result.score = std::move(rank);
   end_kernel("pagerank", steps);
   return result;
+}
+
+std::vector<double> Coordinator::betweenness(std::span<const vid> sources,
+                                             std::int64_t batch_sources) {
+  begin_kernel();
+  GCT_CHECK(!directed_,
+            "dist bc: distributed betweenness requires an undirected graph");
+  GCT_CHECK(!sources.empty(), "dist bc: need at least one source");
+  for (const vid s : sources) {
+    GCT_CHECK(s >= 0 && s < global_n_, "dist bc: source out of range");
+  }
+  obs::KernelScope scope("dist.bc");
+  std::vector<double> score(static_cast<std::size_t>(global_n_), 0.0);
+  std::int64_t steps = 0;
+
+  const auto noop = [](int, std::string&) {};
+  exchange(Msg::kBcStart, {std::string()}, Msg::kAck, "bc", noop);
+  ++steps;
+
+  // Coordinator-side per-source state. `dist` dedups candidate proposals
+  // (workers propose across block boundaries); `levels` keeps every
+  // frontier because the backward sweep re-slices them per worker.
+  std::vector<vid> dist(static_cast<std::size_t>(global_n_));
+  std::vector<std::vector<vid>> levels;
+  std::vector<double> sigma_prev;
+  std::vector<double> values;
+  std::vector<std::int64_t> candidates;
+  std::vector<double> block;
+
+  // Copy one worker's reply values into its owned slice of a buffer
+  // aligned to the sorted frontier `f`.
+  const auto place_slice = [&](const std::vector<vid>& f,
+                               std::vector<double>& out, int w,
+                               const char* what, std::string& reply) {
+    WireReader r(reply);
+    r.f64_vec(block);
+    const auto [off, len] = owned_span(f, w);
+    if (static_cast<std::int64_t>(block.size()) != len) {
+      fail(w, what, "value slice length mismatch");
+    }
+    std::copy(block.begin(), block.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(off));
+  };
+
+  const std::int64_t num_sources = static_cast<std::int64_t>(sources.size());
+  const std::int64_t batch =
+      batch_sources > 0 ? batch_sources : num_sources;
+  for (std::int64_t b0 = 0; b0 < num_sources; b0 += batch) {
+    const std::int64_t b1 = std::min(b0 + batch, num_sources);
+    for (std::int64_t si = b0; si < b1; ++si) {
+      const vid source = sources[static_cast<std::size_t>(si)];
+      std::fill(dist.begin(), dist.end(), kNoVertex);
+      dist[static_cast<std::size_t>(source)] = 0;
+      levels.clear();
+      levels.push_back({source});
+      sigma_prev.assign(1, 1.0);
+      {
+        WireWriter msg;
+        msg.i64(source);
+        exchange(Msg::kBcSource, {msg.take()}, Msg::kAck, "bc", noop);
+        ++steps;
+      }
+
+      // Forward: per level, (A) broadcast sigma of the settled frontier
+      // and collect next-level candidates, (B) broadcast the merged
+      // frontier and collect its sigma slices. The loop's final kBcForward
+      // (empty candidates) has already scattered the deepest sigma, so
+      // the backward sweep needs no extra priming round.
+      {
+        GCT_SPAN("dist.bc.forward");
+        for (std::int64_t d = 1;; ++d) {
+          Timer step_timer;
+          std::vector<vid> next;
+          {
+            GCT_SPAN("dist.bc.exchange");
+            WireWriter msg;
+            msg.u64(static_cast<std::uint64_t>(d));
+            msg.f64_span(sigma_prev);
+            exchange(Msg::kBcForward, {msg.take()}, Msg::kBcCandidates,
+                     "bc.forward", [&](int, std::string& reply) {
+                       WireReader r(reply);
+                       r.i64_vec(candidates);
+                       for (const std::int64_t c : candidates) {
+                         auto& dc = dist[static_cast<std::size_t>(c)];
+                         if (dc == kNoVertex) {
+                           dc = d;
+                           next.push_back(static_cast<vid>(c));
+                         }
+                       }
+                     });
+            ++steps;
+          }
+          if (next.empty()) {
+            step_seconds().observe(step_timer.seconds());
+            break;
+          }
+          std::sort(next.begin(), next.end());
+          values.resize(next.size());
+          {
+            GCT_SPAN("dist.bc.exchange");
+            WireWriter msg;
+            msg.u64(static_cast<std::uint64_t>(d));
+            msg.i64_span(next);
+            exchange(Msg::kBcSigma, {msg.take()}, Msg::kBcSigmaBlock,
+                     "bc.forward", [&](int w, std::string& reply) {
+                       place_slice(next, values, w, "bc.forward", reply);
+                     });
+            ++steps;
+          }
+          obs::add_work(static_cast<std::int64_t>(next.size()), 0);
+          sigma_prev = values;
+          levels.push_back(std::move(next));
+          step_seconds().observe(step_timer.seconds());
+        }
+      }
+
+      // Backward, deepest level first: broadcast the coefficients one
+      // level deeper (empty at the deepest level) and collect this
+      // level's coefficient slices. Workers fold dependency deltas into
+      // their owned score blocks as they go.
+      {
+        GCT_SPAN("dist.bc.backward");
+        std::vector<double> coef_below;
+        for (std::int64_t d = static_cast<std::int64_t>(levels.size()) - 1;
+             d >= 0; --d) {
+          Timer step_timer;
+          const std::vector<vid>& f = levels[static_cast<std::size_t>(d)];
+          values.resize(f.size());
+          {
+            GCT_SPAN("dist.bc.exchange");
+            WireWriter msg;
+            msg.u64(static_cast<std::uint64_t>(d));
+            msg.f64_span(coef_below);
+            exchange(Msg::kBcBackward, {msg.take()}, Msg::kBcCoefBlock,
+                     "bc.backward", [&](int w, std::string& reply) {
+                       place_slice(f, values, w, "bc.backward", reply);
+                     });
+            ++steps;
+          }
+          coef_below.swap(values);
+          step_seconds().observe(step_timer.seconds());
+        }
+      }
+    }
+
+    // Batch boundary: gather the accumulated owned score blocks. Workers
+    // keep accumulating across batches, so each gather overwrites the
+    // coordinator's copy — the last one is the full sum.
+    {
+      GCT_SPAN("dist.bc.gather");
+      exchange(Msg::kBcScores, {std::string()}, Msg::kBcScoreBlock,
+               "bc.gather", [&](int w, std::string& reply) {
+                 WireReader r(reply);
+                 r.f64_vec(block);
+                 const BlockInfo& bi =
+                     partition_.blocks[static_cast<std::size_t>(w)];
+                 if (static_cast<vid>(block.size()) != bi.num_vertices()) {
+                   fail(w, "bc.gather", "score block length mismatch");
+                 }
+                 std::copy(block.begin(), block.end(),
+                           score.begin() +
+                               static_cast<std::ptrdiff_t>(bi.begin));
+               });
+      ++steps;
+    }
+  }
+
+  end_kernel("bc", steps);
+  return score;
 }
 
 void Coordinator::shutdown() {

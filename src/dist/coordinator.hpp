@@ -24,6 +24,23 @@
 ///     the dangling redistribution, workers accumulate owned rows in the
 ///     single-process kernel's adjacency order. Per-vertex sums match to
 ///     the last ulp modulo the dangling-mass reduction order.
+///   * betweenness — Brandes per source: a forward sweep exchanging
+///     per-level frontiers + sigma, then a level-synchronous backward
+///     sweep exchanging coefficients (the PR 9 coefficient form — no
+///     atomics cross the wire). Workers accumulate owned score blocks
+///     across all sources; every sum runs through the canonical 4-lane
+///     rows (algs/bc_accum.hpp), so scores are **bit-identical** to
+///     single-process fine-mode betweenness_centrality at any worker or
+///     worker-thread count.
+///
+/// Exchanges default to the overlapped engine (set_overlap): requests are
+/// queued into per-connection outboxes and a poll() loop drives every
+/// socket at once, merging each worker's reply the moment it completes —
+/// so one worker's compute overlaps another's transfer, and the
+/// coordinator never blocks on a send (the lockstep deadlock-freedom
+/// argument, strengthened). All merge callbacks are order-independent
+/// (first-assignment + sort, monotone min, or disjoint block copies), so
+/// results are identical to lockstep delivery.
 ///
 /// ## Failure semantics
 ///
@@ -37,6 +54,8 @@
 /// single-process kernels.
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,6 +108,21 @@ class Coordinator {
   /// Distributed PageRank, numerically matching algs/pagerank.
   PageRankResult pagerank(const PageRankOptions& opts = {});
 
+  /// Distributed Brandes betweenness from the given sources (undirected
+  /// graphs only). Sources run in coordinator order; `batch_sources` > 0
+  /// gathers the accumulated score blocks after every batch (the caller
+  /// derives it from core's BcPlan memory-budget machinery; 0 = one
+  /// batch). Returns unrescaled scores, bit-identical to single-process
+  /// fine-mode accumulation over the same source list.
+  std::vector<double> betweenness(std::span<const vid> sources,
+                                  std::int64_t batch_sources = 0);
+
+  /// Toggle the overlapped exchange engine (default on). Off = the PR 6
+  /// lockstep send-all-then-receive-in-order loop, kept for the overlap
+  /// ablation in bench/dist_profile.
+  void set_overlap(bool on) { overlap_ = on; }
+  [[nodiscard]] bool overlap() const { return overlap_; }
+
   /// Graceful worker shutdown (kShutdown to every live worker). Called by
   /// the destructor; safe to call repeatedly.
   void shutdown();
@@ -118,6 +152,17 @@ class Coordinator {
   void send_to(int w, Msg type, std::string payload, const char* what);
   /// Receive worker w's reply, demanding `expect` (kError -> fail()).
   std::string recv_from(int w, Msg expect, const char* what);
+  /// One superstep round: send `payloads[w]` (or `payloads[0]` to every
+  /// worker when size()==1) as `type`, receive one `expect` reply per
+  /// worker, handing each to `on_reply(w, payload)`. Overlapped mode
+  /// delivers replies in completion order; callers' merges must be
+  /// order-independent. Any failure -> fail().
+  void exchange(Msg type, const std::vector<std::string>& payloads,
+                Msg expect, const char* what,
+                const std::function<void(int, std::string&)>& on_reply);
+  /// Worker w's owned slice [offset, offset+len) of a sorted vertex list.
+  std::pair<std::int64_t, std::int64_t> owned_span(
+      const std::vector<vid>& sorted, int w) const;
   /// Ship one graph's blocks into `slot` using the current partition.
   void ship_blocks(const CsrGraph& g, std::uint8_t slot);
   DistStats snapshot_traffic() const;
@@ -127,6 +172,7 @@ class Coordinator {
   std::vector<FrameConn> conns_;
   Partition partition_;
   bool loaded_ = false;
+  bool overlap_ = true;
   bool degraded_ = false;
   std::string degraded_reason_;
 

@@ -18,6 +18,7 @@ LocalWorkerSet::LocalWorkerSet(const LocalWorkerSetOptions& opts)
   for (int i = 0; i < opts.num_workers; ++i) {
     WorkerOptions wo;
     wo.port = 0;  // ephemeral: concurrent sets never collide
+    wo.threads = opts.threads;
     if (i == opts.fail_worker) wo.fail_after = opts.fail_after;
     auto server = std::make_unique<WorkerServer>(wo);
     ports_.push_back(server->port());

@@ -14,8 +14,10 @@
 ///
 /// Fork mode must be entered before the parent spins up thread pools
 /// (fork() only carries the calling thread into the child); the CLI forks
-/// workers before any kernel touches OpenMP, and the forked worker itself
-/// computes serially by design.
+/// workers before any kernel touches OpenMP. Workers default to serial
+/// block-local sweeps (`threads` = 1); raising `threads` gives every
+/// worker its own OpenMP team — a worker's team is created inside
+/// serve(), after fork(), so fork mode composes safely.
 ///
 /// stop() (also the destructor) tears the set down: thread mode unblocks
 /// serve() and joins; fork mode reaps children, escalating to SIGKILL for
@@ -36,6 +38,11 @@ namespace graphct::dist {
 struct LocalWorkerSetOptions {
   int num_workers = 2;
   bool fork_mode = false;  ///< false = in-process threads
+
+  /// OpenMP threads per worker for block-local sweeps (WorkerOptions::
+  /// threads). Default 1 keeps a single-core bench host honest: N workers
+  /// never oversubscribe it further than N processes already do.
+  int threads = 1;
 
   /// Fault injection: worker `fail_worker` abruptly closes its coordinator
   /// connection after `fail_after` received messages (see WorkerOptions).

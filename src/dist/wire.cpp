@@ -34,6 +34,16 @@ const char* msg_name(Msg m) {
     case Msg::kAck: return "ack";
     case Msg::kError: return "error";
     case Msg::kShutdown: return "shutdown";
+    case Msg::kBcStart: return "bc-start";
+    case Msg::kBcSource: return "bc-source";
+    case Msg::kBcForward: return "bc-forward";
+    case Msg::kBcCandidates: return "bc-candidates";
+    case Msg::kBcSigma: return "bc-sigma";
+    case Msg::kBcSigmaBlock: return "bc-sigma-block";
+    case Msg::kBcBackward: return "bc-backward";
+    case Msg::kBcCoefBlock: return "bc-coef-block";
+    case Msg::kBcScores: return "bc-scores";
+    case Msg::kBcScoreBlock: return "bc-score-block";
   }
   return "unknown";
 }
@@ -199,7 +209,15 @@ bool read_all(int fd, char* data, std::size_t bytes) {
 }  // namespace
 
 FrameConn::FrameConn(FrameConn&& o) noexcept
-    : fd_(o.fd_), traffic_(o.traffic_) {
+    : fd_(o.fd_),
+      traffic_(o.traffic_),
+      outbox_(std::move(o.outbox_)),
+      out_pos_(o.out_pos_),
+      in_h_(o.in_h_),
+      in_got_(o.in_got_),
+      in_have_header_(o.in_have_header_),
+      in_payload_(std::move(o.in_payload_)) {
+  std::memcpy(in_header_, o.in_header_, sizeof(in_header_));
   o.fd_ = -1;
 }
 
@@ -208,6 +226,13 @@ FrameConn& FrameConn::operator=(FrameConn&& o) noexcept {
     close();
     fd_ = o.fd_;
     traffic_ = o.traffic_;
+    outbox_ = std::move(o.outbox_);
+    out_pos_ = o.out_pos_;
+    in_h_ = o.in_h_;
+    in_got_ = o.in_got_;
+    in_have_header_ = o.in_have_header_;
+    in_payload_ = std::move(o.in_payload_);
+    std::memcpy(in_header_, o.in_header_, sizeof(in_header_));
     o.fd_ = -1;
   }
   return *this;
@@ -218,6 +243,11 @@ void FrameConn::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  outbox_.clear();
+  out_pos_ = 0;
+  in_have_header_ = false;
+  in_got_ = 0;
+  in_payload_.clear();
 }
 
 void FrameConn::send(Msg type, std::string_view payload) {
@@ -261,6 +291,108 @@ bool FrameConn::recv(Msg& type, std::string& payload) {
   type = static_cast<Msg>(h.type);
   const std::int64_t total =
       static_cast<std::int64_t>(framing::kFrameHeaderBytes + h.payload_len);
+  traffic_.messages_received += 1;
+  traffic_.bytes_received += total;
+  auto& c = dist_counters();
+  c.msgs_rx.add(1);
+  c.bytes_rx.add(total);
+  return true;
+}
+
+void FrameConn::queue_send(Msg type, std::string_view payload) {
+  GCT_CHECK(valid(), "dist wire: send on closed connection");
+  const std::string frame =
+      framing::encode_frame(static_cast<std::uint8_t>(type), payload);
+  // Compact drained bytes before appending so back-to-back rounds reuse
+  // the buffer instead of growing it without bound.
+  if (out_pos_ == outbox_.size()) {
+    outbox_.clear();
+    out_pos_ = 0;
+  }
+  outbox_.append(frame);
+  traffic_.messages_sent += 1;
+  traffic_.bytes_sent += static_cast<std::int64_t>(frame.size());
+  auto& c = dist_counters();
+  c.msgs_tx.add(1);
+  c.bytes_tx.add(static_cast<std::int64_t>(frame.size()));
+}
+
+bool FrameConn::flush_some() {
+  GCT_CHECK(valid(), "dist wire: send on closed connection");
+  while (out_pos_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_, outbox_.data() + out_pos_,
+                             outbox_.size() - out_pos_,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      throw Error(std::string("dist wire: send failed: ") +
+                  std::strerror(errno));
+    }
+    out_pos_ += static_cast<std::size_t>(n);
+  }
+  outbox_.clear();
+  out_pos_ = 0;
+  return true;
+}
+
+bool FrameConn::recv_some(Msg& type, std::string& payload) {
+  GCT_CHECK(valid(), "dist wire: recv on closed connection");
+  if (!in_have_header_) {
+    while (in_got_ < framing::kFrameHeaderBytes) {
+      const ssize_t n =
+          ::recv(fd_, reinterpret_cast<char*>(in_header_) + in_got_,
+                 framing::kFrameHeaderBytes - in_got_, MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+        throw Error(std::string("dist wire: recv failed: ") +
+                    std::strerror(errno));
+      }
+      if (n == 0) {
+        // A reply is owed mid-exchange, so EOF here is never clean.
+        throw Error("dist wire: connection closed (worker died)");
+      }
+      in_got_ += static_cast<std::size_t>(n);
+    }
+    switch (framing::decode_frame_header(in_header_, in_h_)) {
+      case framing::HeaderStatus::kOk:
+        break;
+      case framing::HeaderStatus::kBadMagic:
+        throw Error("dist wire: bad frame magic (stream corrupt or peer is "
+                    "not a graphct worker)");
+      case framing::HeaderStatus::kBadVersion:
+        throw Error("dist wire: unsupported frame version " +
+                    std::to_string(in_h_.version));
+      case framing::HeaderStatus::kOversized:
+        throw Error("dist wire: frame payload length exceeds limit");
+    }
+    in_have_header_ = true;
+    in_payload_.resize(in_h_.payload_len);
+    in_got_ = 0;
+  }
+  while (in_got_ < in_h_.payload_len) {
+    const ssize_t n = ::recv(fd_, in_payload_.data() + in_got_,
+                             in_h_.payload_len - in_got_, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      throw Error(std::string("dist wire: recv failed: ") +
+                  std::strerror(errno));
+    }
+    if (n == 0) throw Error("dist wire: connection closed mid-frame");
+    in_got_ += static_cast<std::size_t>(n);
+  }
+  if (!framing::payload_matches(in_h_, in_payload_)) {
+    throw Error("dist wire: frame checksum mismatch");
+  }
+  type = static_cast<Msg>(in_h_.type);
+  payload = std::move(in_payload_);
+  in_payload_.clear();
+  in_have_header_ = false;
+  in_got_ = 0;
+  const std::int64_t total = static_cast<std::int64_t>(
+      framing::kFrameHeaderBytes + payload.size());
   traffic_.messages_received += 1;
   traffic_.bytes_received += total;
   auto& c = dist_counters();

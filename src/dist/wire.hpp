@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/framing.hpp"
+
 namespace graphct::dist {
 
 /// Message types. The numeric values are wire format — append only.
@@ -48,6 +50,19 @@ enum class Msg : std::uint8_t {
   kAck = 14,       ///< generic success reply
   kError = 15,     ///< worker-side failure; payload = message string
   kShutdown = 16,  ///< coordinator -> worker: clean exit after kAck
+  // Distributed betweenness supersteps. Forward: one expand + one sigma
+  // exchange per BFS level; backward: one coefficient exchange per level,
+  // deepest first (coefficient form — no atomics cross the wire).
+  kBcStart = 17,       ///< begin betweenness (zeroes the owned score block)
+  kBcSource = 18,      ///< per-source reset; payload = source vertex
+  kBcForward = 19,     ///< sigma of the previous frontier; expand owned rows
+  kBcCandidates = 20,  ///< proposed next-level discoveries
+  kBcSigma = 21,       ///< the merged new frontier; pull sigma for owned slice
+  kBcSigmaBlock = 22,  ///< sigma values for the owned frontier slice
+  kBcBackward = 23,    ///< coefs one level deeper; sweep the owned bucket
+  kBcCoefBlock = 24,   ///< coef values for the owned level bucket
+  kBcScores = 25,      ///< gather request for the accumulated score block
+  kBcScoreBlock = 26,  ///< owned score block (accumulated over all sources)
 };
 
 /// Human-readable message name (diagnostics and error text).
@@ -112,10 +127,19 @@ struct Traffic {
   std::int64_t bytes_received = 0;
 };
 
-/// One blocking framed connection over a socket fd. Owns the fd. send()
+/// One framed connection over a socket fd. Owns the fd. send()
 /// and recv() throw graphct::Error on I/O failure, mid-frame EOF, bad
 /// magic/version, or checksum mismatch; recv() returns false only on clean
 /// EOF at a frame boundary.
+///
+/// Besides the blocking pair there is a non-blocking progress API for the
+/// coordinator's overlapped exchange: queue_send() encodes a frame into a
+/// per-connection outbox (double buffering — the caller's payload is free
+/// to be reused immediately), flush_some()/recv_some() advance the send
+/// and receive sides without ever blocking (MSG_DONTWAIT on the otherwise
+/// blocking socket), and a poll() loop drives many connections at once.
+/// The two APIs must not be interleaved mid-frame on the same direction;
+/// kernels use one or the other per exchange round.
 class FrameConn {
  public:
   FrameConn() = default;
@@ -127,16 +151,41 @@ class FrameConn {
   FrameConn& operator=(FrameConn&& o) noexcept;
 
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
   void close();
 
   void send(Msg type, std::string_view payload);
   [[nodiscard]] bool recv(Msg& type, std::string& payload);
+
+  /// Encode a frame into the outbox without touching the socket (counted
+  /// as sent traffic immediately; a failed flush fails the kernel anyway).
+  void queue_send(Msg type, std::string_view payload);
+  /// True while queued frame bytes remain unsent.
+  [[nodiscard]] bool send_pending() const { return out_pos_ < outbox_.size(); }
+  /// Push outbox bytes with MSG_DONTWAIT. Returns true once the outbox is
+  /// drained; false means the socket would block (poll for POLLOUT).
+  /// Throws graphct::Error on I/O failure.
+  bool flush_some();
+  /// Pull frame bytes with MSG_DONTWAIT. Returns true when a complete
+  /// frame has been decoded into (type, payload); false means more bytes
+  /// are needed (poll for POLLIN). Throws on EOF or I/O/decode failure —
+  /// the peer must not hang up while a reply is owed.
+  bool recv_some(Msg& type, std::string& payload);
 
   [[nodiscard]] const Traffic& traffic() const { return traffic_; }
 
  private:
   int fd_ = -1;
   Traffic traffic_;
+  // Non-blocking send side: encoded frames pending transmission.
+  std::string outbox_;
+  std::size_t out_pos_ = 0;
+  // Non-blocking receive side: partial header, then partial payload.
+  unsigned char in_header_[framing::kFrameHeaderBytes];
+  framing::FrameHeader in_h_;
+  std::size_t in_got_ = 0;
+  bool in_have_header_ = false;
+  std::string in_payload_;
 };
 
 /// Connect to a worker listening on 127.0.0.1:port. Throws on failure.

@@ -10,11 +10,16 @@
 /// serve() accepts exactly one coordinator connection and answers frames
 /// until kShutdown, peer EOF, or an injected failure.
 ///
-/// Workers compute serially: each superstep's per-worker work is already
-/// the unit of parallelism, and a fork()ed worker must not spin up OpenMP
-/// teams it would share with the parent's runtime state. Kernel state
-/// (BFS proposal bitmap, component labels) lives across steps of one
-/// kernel and is reset by the corresponding kStart message.
+/// Block-local sweeps run through the same bitmap/work-queue engines as
+/// the single-process kernels, parallelized across
+/// `WorkerOptions::threads` OpenMP threads (default 1 = the exact serial
+/// paths; the knob is surfaced as CLI `worker --threads` and script
+/// `workers <n> ... threads=<k>`). Every floating-point sum a worker
+/// produces is per-vertex exclusive and runs in adjacency order through
+/// the canonical 4-lane rows (algs/bc_accum.hpp), so results are
+/// bit-identical at any thread count. Kernel state (proposal bitmap,
+/// component labels, betweenness mirrors) lives across steps of one kernel
+/// and is reset by the corresponding kStart message.
 ///
 /// Failure semantics: a handler exception is reported to the coordinator
 /// as a kError frame (the reply slot for that request) and the worker
@@ -27,13 +32,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "algs/bc_accum.hpp"
 #include "dist/wire.hpp"
 #include "graph/csr_graph.hpp"
+#include "util/bitmap.hpp"
+#include "util/work_queue.hpp"
 
 namespace graphct::dist {
 
 struct WorkerOptions {
   int port = 0;  ///< listen port; 0 = kernel-assigned ephemeral port
+
+  /// OpenMP threads for block-local sweeps (1 = serial, the default so a
+  /// one-core host is never oversubscribed by a multi-worker set).
+  int threads = 1;
 
   /// Abruptly close the coordinator connection after this many received
   /// messages (fault injection; -1 = never). The dropped message gets no
@@ -91,6 +103,17 @@ class WorkerServer {
   void handle_bfs_step(WireReader& r, WireWriter& reply);
   void handle_cc_step(WireReader& r, WireWriter& reply);
   void handle_pr_step(WireReader& r, WireWriter& reply);
+  void handle_bc_source(WireReader& r);
+  void handle_bc_forward(WireReader& r, WireWriter& reply);
+  void handle_bc_sigma(WireReader& r, WireWriter& reply);
+  void handle_bc_backward(WireReader& r, WireWriter& reply);
+
+  /// Expand owned frontier rows, proposing every not-yet-proposed
+  /// neighbor. Shared by BFS and the betweenness forward sweep: serial at
+  /// threads=1 (deterministic candidate order), per-thread candidate lists
+  /// above that (the coordinator dedups and sorts either way).
+  void expand_owned_rows(const Slot& s, std::span<const std::int64_t> owned,
+                         std::vector<vid>& candidates);
 
   WorkerOptions opts_;
   std::atomic<int> listen_fd_{-1};
@@ -98,9 +121,10 @@ class WorkerServer {
 
   Slot slots_[kNumSlots];
 
-  // BFS: vertices already proposed during this search (never worth
-  // re-proposing — once proposed at level d they are visited by d+1).
-  std::vector<std::uint8_t> proposed_;
+  // BFS / BC forward: vertices already proposed during this search (never
+  // worth re-proposing — once proposed at level d they are visited by
+  // d+1). A bitmap so multi-threaded expansion can mark with set_atomic.
+  Bitmap proposed_;
   // Components: mirrored full label array.
   std::vector<vid> labels_;
   // PageRank: which slot to pull in-edges from, plus scratch buffers.
@@ -108,6 +132,18 @@ class WorkerServer {
   std::vector<double> contrib_;
   std::vector<double> next_;
   std::vector<std::int64_t> scratch_i64_;
+  std::vector<double> scratch_f64_;
+
+  // Betweenness state. Mirrors span the global id space (targets are
+  // global); the score block covers only the owned range and accumulates
+  // across every source of one kBcStart..kBcScores run.
+  vid bc_source_ = kNoVertex;
+  std::vector<DistCoef> bc_dc_;    ///< per-vertex {coef, dist} mirror
+  std::vector<double> bc_sigma_;   ///< sigma mirror
+  std::vector<std::vector<vid>> bc_levels_;  ///< full frontier per level
+  std::vector<double> bc_score_;   ///< owned block, local index
+  std::vector<double> bc_out_;     ///< per-step reply values
+  WorkQueue wq_;                   ///< level scheduler for local sweeps
 };
 
 }  // namespace graphct::dist

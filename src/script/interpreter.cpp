@@ -60,6 +60,7 @@ struct Interpreter::Impl {
   struct DistCtx {
     int requested = 0;  ///< worker count; 0 = distribution off
     bool fork_mode = false;
+    int threads = 1;  ///< OpenMP threads per worker (`threads=k`)
     std::unique_ptr<dist::LocalWorkerSet> workers;
     std::unique_ptr<dist::Coordinator> coord;
     std::int64_t bound_epoch = -1;  ///< graph_epoch the coordinator loaded
@@ -105,6 +106,7 @@ struct Interpreter::Impl {
       dist::LocalWorkerSetOptions wo;
       wo.num_workers = dist_ctx.requested;
       wo.fork_mode = dist_ctx.fork_mode;
+      wo.threads = dist_ctx.threads;
       dist_ctx.workers = std::make_unique<dist::LocalWorkerSet>(wo);
       dist_ctx.coord = std::make_unique<dist::Coordinator>();
       dist_ctx.coord->connect(dist_ctx.workers->ports());
@@ -387,11 +389,14 @@ void Interpreter::execute(const Command& cmd) {
         << (n == 0 ? "default" : std::to_string(n)) << " (effective "
         << effective << ")\n";
   } else if (verb == "workers") {
-    // workers <n> [fork|threads] | workers off: route components/pagerank/
-    // bfs through n loopback worker processes (threads by default — cheap
-    // and sanitizer-friendly; fork gives genuine process isolation). The
-    // workers spawn lazily on the first distributed kernel.
-    require_arity(cmd, 2, 3);
+    // workers <n> [fork|threads] [threads=k] | workers off: route
+    // components/pagerank/bfs/bc through n loopback worker processes
+    // (threads by default — cheap and sanitizer-friendly; fork gives
+    // genuine process isolation). threads=k gives every worker its own
+    // k-thread OpenMP team for block-local sweeps (default 1 — serial, so
+    // a one-core host is never oversubscribed). The workers spawn lazily
+    // on the first distributed kernel.
+    require_arity(cmd, 2, 4);
     const std::string& arg = cmd.tokens[1];
     if (arg == "off") {
       require_arity(cmd, 2, 2);
@@ -404,26 +409,39 @@ void Interpreter::execute(const Command& cmd) {
                 "script line " + std::to_string(cmd.line) +
                     ": worker count must be in [0, 256] (0 = off)");
       bool fork_mode = false;
-      if (cmd.tokens.size() == 3) {
-        const std::string& mode = cmd.tokens[2];
+      int threads = 1;
+      for (std::size_t t = 2; t < cmd.tokens.size(); ++t) {
+        const std::string& mode = cmd.tokens[t];
         if (mode == "fork") {
           fork_mode = true;
+        } else if (mode.rfind("threads=", 0) == 0) {
+          const std::int64_t k =
+              parse_i64(mode.substr(std::string("threads=").size()), cmd);
+          GCT_CHECK(k >= 1 && k <= 256,
+                    "script line " + std::to_string(cmd.line) +
+                        ": worker threads must be in [1, 256]");
+          threads = static_cast<int>(k);
         } else if (mode != "threads") {
           throw Error("script line " + std::to_string(cmd.line) +
-                      ": worker mode must be 'fork' or 'threads' (got '" +
-                      mode + "')");
+                      ": worker mode must be 'fork', 'threads', or "
+                      "'threads=<k>' (got '" + mode + "')");
         }
       }
-      if (n != im.dist_ctx.requested || fork_mode != im.dist_ctx.fork_mode) {
+      if (n != im.dist_ctx.requested ||
+          fork_mode != im.dist_ctx.fork_mode ||
+          threads != im.dist_ctx.threads) {
         im.drop_dist_workers();
       }
       im.dist_ctx.requested = static_cast<int>(n);
       im.dist_ctx.fork_mode = fork_mode;
+      im.dist_ctx.threads = threads;
       if (n == 0) {
         out << "workers off\n";
       } else {
         out << "workers set to " << n << " ("
-            << (fork_mode ? "fork" : "threads") << " mode)\n";
+            << (fork_mode ? "fork" : "threads") << " mode, "
+            << threads << (threads == 1 ? " thread" : " threads")
+            << " each)\n";
       }
     }
   } else if (verb == "partition") {
@@ -649,12 +667,18 @@ void Interpreter::execute(const Command& cmd) {
       }
       bo.score_memory_budget_bytes = static_cast<std::uint64_t>(mib) << 20;
     }
-    const auto& res = tk.betweenness(bo);
+    // `workers N` routes betweenness through the dist substrate (scores
+    // are defined bit-identical to the single-process fine mode).
+    dist::Coordinator* coord = im.ensure_dist(cmd.line);
+    const auto& res =
+        coord ? tk.betweenness_dist(*coord, bo) : tk.betweenness(bo);
     out << "bc sources=" << res.sources_used << " mode="
         << (res.parallelism_used == graphct::BcParallelism::kFine ? "fine"
                                                                   : "coarse")
         << " batches=" << res.batches << ": done in "
-        << graphct::format_duration(res.seconds) << "\n";
+        << graphct::format_duration(res.seconds);
+    if (coord) out << " [workers=" << coord->num_workers() << "]";
+    out << "\n";
     if (cmd.has_redirect()) {
       write_per_vertex(cmd.redirect, res.score);
     } else {

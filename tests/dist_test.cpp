@@ -12,6 +12,8 @@
 #include "algs/bfs.hpp"
 #include "algs/connected_components.hpp"
 #include "algs/pagerank.hpp"
+#include "core/betweenness.hpp"
+#include "core/toolkit.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/local_worker_set.hpp"
 #include "dist/partition.hpp"
@@ -273,6 +275,121 @@ TEST(DistParityTest, StatsCountTrafficAndSteps) {
   });
 }
 
+// ------------------------------------------------------------- betweenness
+
+/// Single-process fine-mode reference over the same source list the dist
+/// engine will run — the contract is bit-identical scores.
+std::vector<double> reference_bc(const CsrGraph& g,
+                                 const BetweennessOptions& opts,
+                                 std::vector<vid>* sources_out = nullptr) {
+  const GraphView v(g);
+  if (sources_out) *sources_out = choose_sources(v, opts);
+  BetweennessOptions fine = opts;
+  fine.parallelism = BcParallelism::kFine;
+  return betweenness_centrality(v, fine).score;
+}
+
+void expect_bc_bit_parity(const CsrGraph& g, int workers, bool fork_mode,
+                          int worker_threads,
+                          std::int64_t batch_sources = 0) {
+  BetweennessOptions opts;
+  opts.num_sources = 24;
+  opts.seed = 5;
+  std::vector<vid> sources;
+  const std::vector<double> expect = reference_bc(g, opts, &sources);
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = workers;
+  wopts.fork_mode = fork_mode;
+  wopts.threads = worker_threads;
+  LocalWorkerSet set(wopts);
+  Coordinator coord;
+  coord.connect(set.ports());
+  coord.load_graph(g);
+  const std::vector<double> got = coord.betweenness(sources, batch_sources);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Bitwise, not approximate: the dist engine replays the fine-mode
+    // engine's exact add order through the shared 4-lane rows.
+    ASSERT_EQ(got[i], expect[i])
+        << "bc score diverged at vertex " << i << " (workers=" << workers
+        << " fork=" << fork_mode << " threads=" << worker_threads << ")";
+  }
+  coord.shutdown();
+}
+
+TEST(DistBcTest, BitIdenticalToFineModeAcrossWorkerCounts) {
+  const CsrGraph g = test_rmat(10, false);
+  for (const int w : {1, 2, 4}) {
+    expect_bc_bit_parity(g, w, /*fork_mode=*/false, /*worker_threads=*/1);
+  }
+}
+
+TEST(DistBcTest, BitIdenticalInForkMode) {
+  const CsrGraph g = test_rmat(10, false);
+  for (const int w : {1, 2, 4}) {
+    expect_bc_bit_parity(g, w, /*fork_mode=*/true, /*worker_threads=*/1);
+  }
+}
+
+TEST(DistBcTest, BitIdenticalWithMultithreadedWorkers) {
+  const CsrGraph g = test_rmat(10, false);
+  expect_bc_bit_parity(g, 2, /*fork_mode=*/false, /*worker_threads=*/2);
+  expect_bc_bit_parity(g, 2, /*fork_mode=*/true, /*worker_threads=*/2);
+}
+
+TEST(DistBcTest, SourceBatchingGathersTheSameScores) {
+  const CsrGraph g = test_rmat(9, false);
+  // Gather after every 5 sources: workers keep accumulating across
+  // batches, so the final gather must still hold the full sum.
+  expect_bc_bit_parity(g, 3, /*fork_mode=*/false, /*worker_threads=*/1,
+                       /*batch_sources=*/5);
+}
+
+TEST(DistBcTest, LockstepExchangeMatchesOverlapped) {
+  const CsrGraph g = test_rmat(9, false);
+  BetweennessOptions opts;
+  opts.num_sources = 12;
+  std::vector<vid> sources;
+  const std::vector<double> expect = reference_bc(g, opts, &sources);
+  with_coordinator(g, 3, [&](Coordinator& c) {
+    ASSERT_TRUE(c.overlap());
+    const auto overlapped = c.betweenness(sources);
+    c.set_overlap(false);
+    const auto lockstep = c.betweenness(sources);
+    c.set_overlap(true);
+    EXPECT_EQ(overlapped, expect);
+    EXPECT_EQ(lockstep, expect);
+  });
+}
+
+TEST(DistBcTest, DisconnectedGraphAndIsolatedSources) {
+  const CsrGraph g =
+      make_undirected(9, {{0, 1}, {1, 2}, {4, 5}, {5, 6}});  // 3,7,8 isolated
+  std::vector<vid> sources(static_cast<std::size_t>(g.num_vertices()));
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    sources[static_cast<std::size_t>(v)] = v;
+  }
+  BetweennessOptions fine;
+  fine.parallelism = BcParallelism::kFine;
+  const auto expect = betweenness_centrality(GraphView(g), fine).score;
+  with_coordinator(g, 4, [&](Coordinator& c) {
+    EXPECT_EQ(c.betweenness(sources), expect);
+  });
+}
+
+TEST(DistBcTest, RejectsDirectedGraphsAndBadSources) {
+  const CsrGraph g = make_directed(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.directed());
+  with_coordinator(g, 2, [&](Coordinator& c) {
+    EXPECT_THROW(c.betweenness(std::vector<vid>{0}), Error);
+  });
+  const CsrGraph u = test_rmat(8, false);
+  with_coordinator(u, 2, [&](Coordinator& c) {
+    EXPECT_THROW(c.betweenness(std::vector<vid>{}), Error);
+    EXPECT_THROW(c.betweenness(std::vector<vid>{u.num_vertices()}), Error);
+  });
+}
+
 // ----------------------------------------------------------------- failure
 
 TEST(DistFailureTest, DeadWorkerCancelsKernelWithExplicitError) {
@@ -309,6 +426,109 @@ TEST(DistFailureTest, DeadWorkerCancelsKernelWithExplicitError) {
   EXPECT_EQ(weak_components(g).size(),
             static_cast<std::size_t>(g.num_vertices()));
   coord.shutdown();  // must not throw or hang on a degraded substrate
+}
+
+TEST(DistFailureTest, DeadWorkerMidForwardSweepCancelsExactlyThatJob) {
+  const CsrGraph g = test_rmat(9, false);
+  const std::vector<vid> sources{0, 3, 5};
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = 3;
+  wopts.fail_worker = 1;
+  // Per-worker receive order: hello, load, kBcStart, kBcSource, then the
+  // first kBcForward — dying on message 5 is mid-forward-sweep.
+  wopts.fail_after = 5;
+  LocalWorkerSet workers(wopts);
+  Coordinator coord;
+  coord.connect(workers.ports());
+  coord.load_graph(g);
+  try {
+    coord.betweenness(sources);
+    FAIL() << "expected the bc job to be cancelled by the dead worker";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bc"), std::string::npos) << what;
+    EXPECT_NE(what.find("job cancelled"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(coord.degraded());
+  EXPECT_THROW(coord.betweenness(sources), Error);  // fast-fail, no wedge
+  // Single-process betweenness on the same graph is untouched.
+  BetweennessOptions fine;
+  fine.parallelism = BcParallelism::kFine;
+  fine.num_sources = 3;
+  EXPECT_EQ(betweenness_centrality(GraphView(g), fine).score.size(),
+            static_cast<std::size_t>(g.num_vertices()));
+  coord.shutdown();
+}
+
+TEST(DistFailureTest, DeadWorkerMidBackwardSweepCancelsExactlyThatJob) {
+  const CsrGraph g = test_rmat(9, false);
+  const std::vector<vid> sources{0, 3, 5};
+  // Derive the injection point from a healthy run: every kernel message is
+  // one frame per worker, so per-worker kernel traffic is uniform. The
+  // final two frames a worker receives are the last source's deepest-to-
+  // shallowest kBcBackward(d=0) and then kBcScores — dying one frame
+  // before the end lands mid-backward-sweep.
+  std::int64_t per_worker = 0;
+  {
+    LocalWorkerSetOptions hopts;
+    hopts.num_workers = 3;
+    LocalWorkerSet healthy(hopts);
+    Coordinator coord;
+    coord.connect(healthy.ports());
+    coord.load_graph(g);
+    coord.betweenness(sources);
+    ASSERT_EQ(coord.last_kernel_stats().messages_sent % 3, 0);
+    per_worker = coord.last_kernel_stats().messages_sent / 3;
+    coord.shutdown();
+  }
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = 3;
+  wopts.fail_worker = 2;
+  wopts.fail_after = 2 + per_worker - 1;  // hello + load + all but kBcScores
+  LocalWorkerSet workers(wopts);
+  Coordinator coord;
+  coord.connect(workers.ports());
+  coord.load_graph(g);
+  try {
+    coord.betweenness(sources);
+    FAIL() << "expected the bc job to be cancelled by the dead worker";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("job cancelled"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(coord.degraded());
+  EXPECT_THROW(coord.betweenness(sources), Error);
+  coord.shutdown();
+}
+
+TEST(DistFailureTest, DegradedBcRunNeverPoisonsCachedResults) {
+  Toolkit tk(test_rmat(9, false));
+  BetweennessOptions opts;
+  opts.num_sources = 8;
+  opts.parallelism = BcParallelism::kFine;
+  const std::vector<double> expect = tk.betweenness(opts).score;
+
+  LocalWorkerSetOptions wopts;
+  wopts.num_workers = 2;
+  wopts.fail_worker = 0;
+  wopts.fail_after = 5;  // dies mid-forward-sweep
+  LocalWorkerSet failing(wopts);
+  Coordinator coord;
+  coord.connect(failing.ports());
+  EXPECT_THROW(tk.betweenness_dist(coord, opts), Error);
+
+  // The single-process cache entry is intact, and a fresh healthy worker
+  // set computes the dist entry cleanly — bit-identical to fine mode.
+  EXPECT_EQ(tk.betweenness(opts).score, expect);
+  LocalWorkerSetOptions hopts;
+  hopts.num_workers = 2;
+  LocalWorkerSet healthy(hopts);
+  Coordinator coord2;
+  coord2.connect(healthy.ports());
+  EXPECT_EQ(tk.betweenness_dist(coord2, opts).score, expect);
+  coord2.shutdown();
 }
 
 TEST(DistFailureTest, ConnectToDeadPortFailsExplicitly) {

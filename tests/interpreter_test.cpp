@@ -645,8 +645,37 @@ TEST(InterpreterTest, WorkersArgumentValidation) {
   EXPECT_THROW(in.run("workers -1\n"), graphct::Error);
   EXPECT_THROW(in.run("workers 1000\n"), graphct::Error);
   EXPECT_THROW(in.run("workers 2 bogus\n"), graphct::Error);
+  EXPECT_THROW(in.run("workers 2 threads=0\n"), graphct::Error);
+  EXPECT_THROW(in.run("workers 2 threads=999\n"), graphct::Error);
   in.run("workers off\n");  // valid with no substrate running
   EXPECT_NE(out.str().find("workers off"), std::string::npos);
+}
+
+TEST(InterpreterTest, WorkersRouteBcBitIdentically) {
+  // `bc` through 2 two-thread workers must print the same top-vertex lines
+  // as the single-process fine run — the scores are bit-identical, so the
+  // formatted output agrees verbatim.
+  std::ostringstream dist_out;
+  {
+    Interpreter in(dist_out, fast_opts());
+    in.run("generate rmat 8 4\nworkers 2 threads=2\nbc 16 fine\n"
+           "workers off\n");
+  }
+  std::ostringstream single_out;
+  {
+    Interpreter in(single_out, fast_opts());
+    in.run("generate rmat 8 4\nbc 16 fine\n");
+  }
+  EXPECT_NE(dist_out.str().find("workers set to 2 (threads mode, 2 threads "
+                                "each)"),
+            std::string::npos);
+  EXPECT_NE(dist_out.str().find("[workers=2]"), std::string::npos);
+  std::istringstream lines(single_out.str());
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("  vertex", 0) == 0) {
+      EXPECT_NE(dist_out.str().find(line), std::string::npos) << line;
+    }
+  }
 }
 
 }  // namespace

@@ -620,12 +620,19 @@ TEST(ServerTest, ConcurrentSessionsOnDifferentGraphsMakeProgress) {
   EXPECT_NE(s2_resp.find("components: 1"), std::string::npos);
   EXPECT_NE(s2_resp.find("ok job="), std::string::npos);
 
-  // s1's job is still waiting on the busy graph.
+  // s1's job is still waiting on the busy graph. Poll until the job
+  // shows up in the snapshot — s1_thread races us to submit it — after
+  // which it cannot be terminal: the blocker still holds g1.
   bool s1_job_waiting = false;
-  for (const auto& job : srv.jobs().snapshot()) {
-    if (job.command == "print components" && job.session == "s1") {
-      s1_job_waiting = !job.terminal();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!s1_job_waiting && std::chrono::steady_clock::now() < deadline) {
+    for (const auto& job : srv.jobs().snapshot()) {
+      if (job.command == "print components" && job.session == "s1") {
+        s1_job_waiting = !job.terminal();
+      }
     }
+    if (!s1_job_waiting) std::this_thread::yield();
   }
   EXPECT_TRUE(s1_job_waiting);
 

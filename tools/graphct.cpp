@@ -115,13 +115,15 @@ int usage() {
          "  info <graph>                         counts + diameter estimate\n"
          "  characterize <graph>                 run every kernel\n"
          "  bc <graph> [--sources N] [--k K] [--mode fine|coarse|auto]\n"
-         "     [--budget-mb M] [--out f]          (k-)betweenness\n"
+         "     [--budget-mb M] [--workers N] [--out f]\n"
+         "                                       (k-)betweenness\n"
          "  components <graph> [--workers N] [--out f]\n"
          "                                       connected components\n"
          "  pagerank <graph> [--workers N] [--out f]\n"
          "                                       PageRank scores\n"
          "  partition <graph> <N>                1-D block partition report\n"
-         "  worker [--port P] [--fail-after K]   serve one dist worker\n"
+         "  worker [--port P] [--threads K] [--fail-after K]\n"
+         "                                       serve one dist worker\n"
          "  convert <in> <out>                   convert between formats\n"
          "  pack <in> <out.gctp> [--codec none|varint] [--block-kb N]\n"
          "                                       write block-compressed CSR\n"
@@ -364,10 +366,17 @@ int cmd_characterize(const std::string& path) {
   return 0;
 }
 
+std::unique_ptr<dist::LocalWorkerSet> fork_workers(int workers,
+                                                   const char* cmd);
+
 int cmd_bc(const Cli& cli) {
   GCT_CHECK(!cli.positional().empty(), "bc: missing graph file");
+  const int workers = static_cast<int>(cli.get("workers", std::int64_t{0}));
+  auto set = fork_workers(workers, "bc");  // before OpenMP spins up
   Toolkit tk = load_toolkit(cli.positional()[0]);
   const auto k = cli.get("k", std::int64_t{0});
+  GCT_CHECK(k == 0 || workers == 0,
+            "bc: --workers applies to plain betweenness only (not --k)");
   const auto sources = cli.get("sources", std::int64_t{kNoVertex});
   const auto mode = cli.get("mode", std::string("auto"));
   const auto budget_mb = cli.get("budget-mb", std::int64_t{1024});
@@ -388,9 +397,17 @@ int cmd_bc(const Cli& cli) {
                   "')");
     }
     o.score_memory_budget_bytes = static_cast<std::uint64_t>(budget_mb) << 20;
-    const auto& r = tk.betweenness(o);
-    scores = r.score;
-    seconds = r.seconds;
+    if (set) {
+      dist::Coordinator coord;
+      coord.connect(set->ports());
+      const auto& r = tk.betweenness_dist(coord, o);
+      scores = r.score;
+      seconds = r.seconds;
+    } else {
+      const auto& r = tk.betweenness(o);
+      scores = r.score;
+      seconds = r.seconds;
+    }
   } else {
     KBetweennessOptions o;
     o.k = k;
@@ -401,7 +418,9 @@ int cmd_bc(const Cli& cli) {
     seconds = r.seconds;
   }
   std::cout << "computed k=" << k << " betweenness in "
-            << format_duration(seconds) << "\n";
+            << format_duration(seconds);
+  if (set) std::cout << " [workers=" << workers << "]";
+  std::cout << "\n";
   if (cli.has("out")) {
     write_scores(cli.get("out", std::string()), scores);
   } else {
@@ -520,6 +539,9 @@ int cmd_worker(const Cli& cli) {
   opts.port = static_cast<int>(cli.get("port", std::int64_t{0}));
   GCT_CHECK(opts.port >= 0 && opts.port <= 65535,
             "worker: --port must be in [0, 65535]");
+  opts.threads = static_cast<int>(cli.get("threads", std::int64_t{1}));
+  GCT_CHECK(opts.threads >= 1 && opts.threads <= 256,
+            "worker: --threads must be in [1, 256]");
   opts.fail_after = cli.get("fail-after", std::int64_t{-1});
   dist::WorkerServer server(opts);
   std::cout << "graphct worker listening on 127.0.0.1:" << server.port()
